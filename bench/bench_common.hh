@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries.
+ */
+
+#ifndef TEA_BENCH_BENCH_COMMON_HH
+#define TEA_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+namespace tea::bench {
+
+inline void
+banner(const std::string &what, const std::string &paperRef)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", what.c_str());
+    std::printf("reproduces: %s\n", paperRef.c_str());
+    std::printf("(scale via REPRO_RUNS=<n> / REPRO_FULL=1; seed via REPRO_SEED)\n");
+    std::printf("==============================================================\n\n");
+}
+
+} // namespace tea::bench
+
+#endif // TEA_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,80 @@
+/**
+ * Fig. 4 — distribution of the 1000 longest (lowest-slack) timing paths
+ * across the pipeline units of the post-P&R core: only FPU arithmetic
+ * paths are timing-critical; integer-side logic has ample slack.
+ */
+
+#include <algorithm>
+#include <map>
+
+#include "bench_common.hh"
+#include "fpu/fpu_core.hh"
+#include "util/table.hh"
+
+using namespace tea;
+using namespace tea::fpu;
+
+int
+main()
+{
+    bench::banner("Longest-path distribution across pipeline units",
+                  "Fig. 4 (plus the Section IV.B clock derivation)");
+
+    FpuCore core;
+    std::printf("clock period (Eq. 1): %.0f ps  (paper: 4.5 ns @ 45 nm)\n",
+                core.clockPs());
+    std::printf("total FPU gates: %zu\n\n", core.totalCells());
+
+    auto report = core.pathReport();
+    size_t top = std::min<size_t>(1000, report.size());
+
+    // Group the 1000 longest paths by owning unit.
+    std::map<std::string, size_t> byUnit;
+    size_t fpuCount = 0;
+    for (size_t i = 0; i < top; ++i) {
+        // Strip the stage suffix for unit-level grouping.
+        std::string unit = report[i].unit;
+        auto dot = unit.rfind(".s");
+        if (dot != std::string::npos)
+            unit = unit.substr(0, dot);
+        ++byUnit[unit];
+        fpuCount += report[i].isFpu;
+    }
+
+    Table t({"Unit", "#paths in top-1000", "share"});
+    for (const auto &[unit, n] : byUnit)
+        t.addRow({unit, std::to_string(n),
+                  Table::pct(static_cast<double>(n) / top)});
+    std::printf("%s\n", t.render().c_str());
+    std::printf("FPU paths among the 1000 longest: %zu / %zu\n\n",
+                fpuCount, top);
+
+    // Slack summary per unit family (including the integer side).
+    std::map<std::string, double> worstByUnit;
+    for (const auto &p : report) {
+        std::string unit = p.unit;
+        auto dot = unit.rfind(".s");
+        if (dot != std::string::npos)
+            unit = unit.substr(0, dot);
+        worstByUnit[unit] =
+            std::max(worstByUnit[unit], p.pathDelayPs);
+    }
+    Table s({"Unit", "worst path (ps)", "slack at CLK (ps)",
+             "slack (%)"});
+    std::vector<std::pair<std::string, double>> rows(worstByUnit.begin(),
+                                                     worstByUnit.end());
+    std::sort(rows.begin(), rows.end(), [](auto &a, auto &b) {
+        return a.second > b.second;
+    });
+    for (const auto &[unit, worst] : rows) {
+        double slack = core.clockPs() - worst;
+        s.addRow({unit, Table::num(worst, 0), Table::num(slack, 0),
+                  Table::pct(slack / core.clockPs())});
+    }
+    std::printf("%s\n", s.render().c_str());
+    std::printf("Expected shape: fpu-mul.d sets the clock; fpu-div.d and\n"
+                "fpu-addsub.d sit just below; conversions, single-precision\n"
+                "units and all integer-side logic have large slack (so only\n"
+                "FP arithmetic can fail at VR15/VR20, as in the paper).\n");
+    return 0;
+}

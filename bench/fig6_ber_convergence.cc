@@ -1,0 +1,100 @@
+/**
+ * Fig. 6 — convergence of the fp-mul bit error ratio of `is` with the
+ * number of characterized instructions: the BER measured on K sampled
+ * instructions approaches the full-trace BER as K grows (the paper uses
+ * K = 10K/100K/1M against the full trace; we scale to our trace size).
+ * Reports the average absolute error (Eq. 3) per K.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hh"
+#include "core/toolflow.hh"
+#include "timing/dta_campaign.hh"
+#include "util/table.hh"
+
+using namespace tea;
+using namespace tea::core;
+using fpu::FpuOp;
+
+namespace {
+
+/** Average absolute relative error between two BER vectors (Eq. 3). */
+double
+averageAbsError(const timing::OpErrorStats &full,
+                const timing::OpErrorStats &sample)
+{
+    double sum = 0.0;
+    int n = 0;
+    for (unsigned b = 0; b < 64; ++b) {
+        double bf = full.ber(b);
+        if (bf <= 0.0)
+            continue;
+        sum += std::fabs((bf - sample.ber(b)) / bf);
+        ++n;
+    }
+    return n ? sum / n : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("BER convergence vs. number of fp-mul instructions",
+                  "Fig. 6 (is program, fp-mul, VR20)");
+
+    Toolflow tf;
+    const double vr = circuit::kVR20;
+    size_t point = tf.pointFor(vr);
+
+    // Extract the fp-mul instruction stream of `is`.
+    const auto &trace = tf.trace("is");
+    std::vector<sim::FpTraceEntry> muls;
+    for (const auto &e : trace)
+        if (e.op == FpuOp::MulD)
+            muls.push_back(e);
+    std::printf("fp-mul instructions in the is trace: %zu\n\n",
+                muls.size());
+
+    // Full-trace reference.
+    auto &core = tf.fpuCore();
+    auto runOver = [&](uint64_t k) {
+        timing::DtaCampaign c(core, point);
+        for (uint64_t i = 0; i < std::min<uint64_t>(k, muls.size());
+             ++i)
+            c.execute(FpuOp::MulD, muls[i].a, muls[i].b);
+        return c.stats().of(FpuOp::MulD);
+    };
+    auto full = runOver(muls.size());
+    std::printf("full-trace fp-mul error ratio: %s\n\n",
+                Table::sci(full.errorRatio()).c_str());
+
+    Table t({"K (sampled fp-mul)", "ER", "avg abs BER error (Eq. 3)"});
+    for (uint64_t k :
+         {muls.size() / 32, muls.size() / 8, muls.size() / 2,
+          muls.size()}) {
+        if (k == 0)
+            continue;
+        auto s = runOver(k);
+        t.addRow({std::to_string(k), Table::sci(s.errorRatio()),
+                  Table::num(averageAbsError(full, s), 3)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Expected shape (paper): AE shrinks monotonically with K\n"
+                "and is ~0 when K covers the trace — justifying the 1M-\n"
+                "operand characterization budget for the IA/WA models.\n");
+
+    // Bonus: the mantissa vs exponent split of the full-trace BER.
+    double manMax = 0, expMax = 0;
+    for (unsigned b = 0; b < 52; ++b)
+        manMax = std::max(manMax, full.ber(b));
+    for (unsigned b = 52; b < 63; ++b)
+        expMax = std::max(expMax, full.ber(b));
+    std::printf("\nmax mantissa-bit BER: %s   max exponent-bit BER: %s\n"
+                "(paper Fig. 8 observation: mantissa bits are more prone\n"
+                "to timing errors than exponent bits)\n",
+                Table::sci(manMax).c_str(), Table::sci(expMax).c_str());
+    return 0;
+}

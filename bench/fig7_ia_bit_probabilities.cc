@@ -1,0 +1,56 @@
+/**
+ * Fig. 7 — IA-model bit error-injection probabilities per instruction
+ * type at VR15 and VR20, characterized by DTA over random operands.
+ * The paper's shape: fp-mul is the most error-prone instruction; only a
+ * subset of types fail at VR15; conversions and all single-precision
+ * instructions never fail.
+ */
+
+#include <algorithm>
+
+#include "bench_common.hh"
+#include "core/toolflow.hh"
+#include "util/table.hh"
+
+using namespace tea;
+using namespace tea::core;
+using fpu::FpuOp;
+
+int
+main()
+{
+    bench::banner("IA-model per-instruction bit error probabilities",
+                  "Fig. 7");
+
+    Toolflow tf;
+    for (double vr : tf.options().vrLevels) {
+        const auto &stats = tf.iaStats(vr);
+        std::printf("---- VR%.0f ----\n", vr * 100);
+        Table t({"Instruction", "ER", "max BER", "S", "E(max)",
+                 "M[51:40]", "M[39:20]", "M[19:0]"});
+        for (unsigned o = 0; o < fpu::kNumFpuOps; ++o) {
+            const auto &s = stats.perOp[o];
+            auto groupMax = [&](unsigned lo, unsigned hi) {
+                double m = 0;
+                for (unsigned b = lo; b <= hi; ++b)
+                    m = std::max(m, s.ber(b));
+                return m;
+            };
+            double maxBer = groupMax(0, 63);
+            t.addRow({fpu::fpuOpName(static_cast<FpuOp>(o)),
+                      Table::sci(s.errorRatio()), Table::sci(maxBer),
+                      Table::sci(s.ber(63)), Table::sci(groupMax(52, 62)),
+                      Table::sci(groupMax(40, 51)),
+                      Table::sci(groupMax(20, 39)),
+                      Table::sci(groupMax(0, 19))});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+    std::printf("Expected shape: fp-mul.d most error-prone (it sets the\n"
+                "clock); fp-div.d joins at VR20; i2f/f2i and all single-\n"
+                "precision types show zero probabilities at both levels.\n"
+                "Deviation vs the paper: our characterized design keeps\n"
+                "fp-add/fp-sub error-free on random operands (their deep\n"
+                "carry chains are rarely excited) — see EXPERIMENTS.md.\n");
+    return 0;
+}

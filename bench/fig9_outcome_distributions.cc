@@ -1,0 +1,71 @@
+/**
+ * Fig. 9 — injection outcome distributions (Masked / SDC / Crash /
+ * Timeout) per benchmark under the DA/IA/WA models at VR15 and VR20,
+ * plus the per-cell AVM values shown above the paper's bars.
+ *
+ * This is the headline experiment: the full (7 benchmarks x 3 models x
+ * 2 VR levels) microarchitectural injection campaign. The per-cell run
+ * count defaults to a laptop-friendly value; REPRO_FULL=1 selects the
+ * paper's 1068 runs (3% margin, 95% confidence).
+ */
+
+#include "bench_common.hh"
+#include "core/results.hh"
+#include "util/table.hh"
+
+using namespace tea;
+using namespace tea::core;
+using models::ModelKind;
+
+int
+main()
+{
+    bench::banner("Injection outcome distributions", "Fig. 9");
+
+    Toolflow tf;
+    std::printf("runs per cell: %d (paper: %d)\n\n",
+                tf.options().runsPerCell, inject::kStatisticalRuns);
+    EvaluationGrid grid = runEvaluationGrid(tf);
+
+    for (double vr : tf.options().vrLevels) {
+        std::printf("---- VR%.0f ----\n", vr * 100);
+        Table t({"Benchmark", "Model", "Masked", "SDC", "Crash",
+                 "Timeout", "AVM"});
+        for (const auto &name : workloads::workloadNames()) {
+            for (ModelKind mk :
+                 {ModelKind::DA, ModelKind::IA, ModelKind::WA}) {
+                const auto *r = grid.find(name, mk, vr);
+                if (!r)
+                    continue;
+                t.addRow({name, models::modelKindName(mk),
+                          Table::pct(r->fraction(inject::Outcome::Masked)),
+                          Table::pct(r->fraction(inject::Outcome::SDC)),
+                          Table::pct(r->fraction(inject::Outcome::Crash)),
+                          Table::pct(
+                              r->fraction(inject::Outcome::Timeout)),
+                          Table::pct(r->avm())});
+            }
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+
+    // The paper's cg/hotspot/k-means observations.
+    auto masked = [&](const char *wl, ModelKind mk, double vr) {
+        const auto *r = grid.find(wl, mk, vr);
+        return r ? r->fraction(inject::Outcome::Masked) : -1.0;
+    };
+    std::printf(
+        "Key observations to compare with the paper:\n"
+        " - DA-model paints catastrophic corruption everywhere (its\n"
+        "   masked fractions: hotspot VR15 %.0f%%, k-means VR15 %.0f%%),\n"
+        "   while the WA-model shows these programs can tolerate the\n"
+        "   reduced voltage (masked: hotspot VR15 %.0f%%, k-means VR15\n"
+        "   %.0f%%) — DA hides real power-saving opportunities.\n"
+        " - AVM summarises each cell; Section V.C uses it for voltage\n"
+        "   guidance (see bench/avm_energy_analysis).\n",
+        100 * masked("hotspot", ModelKind::DA, 0.15),
+        100 * masked("k-means", ModelKind::DA, 0.15),
+        100 * masked("hotspot", ModelKind::WA, 0.15),
+        100 * masked("k-means", ModelKind::WA, 0.15));
+    return 0;
+}

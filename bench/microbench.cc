@@ -1,0 +1,170 @@
+/**
+ * Micro-performance benchmarks (google-benchmark) of the framework's
+ * hot paths: soft-float arithmetic, levelized netlist evaluation, the
+ * two DTA engines, gate-level FPU execution, and the two simulators.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "circuit/builders.hh"
+#include "circuit/dta.hh"
+#include "fpu/fpu_core.hh"
+#include "sim/func_sim.hh"
+#include "sim/ooo_sim.hh"
+#include "softfloat/softfloat.hh"
+#include "timing/dta_campaign.hh"
+#include "util/rng.hh"
+#include "workloads/workloads.hh"
+
+using namespace tea;
+
+static void
+BM_SoftFloatMul64(benchmark::State &state)
+{
+    Rng rng(1);
+    uint64_t a = sf::fromDouble(1.23456), b = sf::fromDouble(7.89);
+    for (auto _ : state) {
+        a ^= rng.next() & 0xffff;
+        benchmark::DoNotOptimize(sf::mul64(a, b));
+    }
+}
+BENCHMARK(BM_SoftFloatMul64);
+
+static void
+BM_SoftFloatDiv64(benchmark::State &state)
+{
+    Rng rng(2);
+    uint64_t a = sf::fromDouble(1.23456), b = sf::fromDouble(7.89);
+    for (auto _ : state) {
+        a ^= rng.next() & 0xffff;
+        benchmark::DoNotOptimize(sf::div64(a, b));
+    }
+}
+BENCHMARK(BM_SoftFloatDiv64);
+
+namespace {
+
+struct AdderFixture
+{
+    circuit::Netlist nl{"adder32"};
+    circuit::Bus ia, ib;
+
+    AdderFixture()
+    {
+        circuit::Builder b(nl);
+        ia = nl.addInputBus("a", 32);
+        ib = nl.addInputBus("b", 32);
+        auto add = b.rippleAdd(ia, ib);
+        nl.addOutputBus("s", add.sum);
+    }
+
+    std::vector<bool>
+    inputs(uint64_t a, uint64_t bv) const
+    {
+        std::vector<bool> in(nl.numInputs());
+        for (int i = 0; i < 32; ++i) {
+            in[ia[i]] = (a >> i) & 1;
+            in[ib[i]] = (bv >> i) & 1;
+        }
+        return in;
+    }
+};
+
+} // namespace
+
+static void
+BM_NetlistEvaluate(benchmark::State &state)
+{
+    AdderFixture f;
+    Rng rng(3);
+    for (auto _ : state) {
+        auto in = f.inputs(rng.next(), rng.next());
+        benchmark::DoNotOptimize(circuit::evaluate(f.nl, in));
+    }
+}
+BENCHMARK(BM_NetlistEvaluate);
+
+static void
+BM_DtaLevelized(benchmark::State &state)
+{
+    AdderFixture f;
+    circuit::DelayAnnotation annot(
+        f.nl, circuit::CellLibrary::nangate45Like(), 1);
+    circuit::LevelizedDta dta(f.nl, annot);
+    Rng rng(4);
+    auto prev = f.inputs(rng.next(), rng.next());
+    for (auto _ : state) {
+        auto cur = f.inputs(rng.next(), rng.next());
+        benchmark::DoNotOptimize(dta.run(prev, cur, 1000.0));
+        prev = cur;
+    }
+}
+BENCHMARK(BM_DtaLevelized);
+
+static void
+BM_DtaEventDriven(benchmark::State &state)
+{
+    AdderFixture f;
+    circuit::DelayAnnotation annot(
+        f.nl, circuit::CellLibrary::nangate45Like(), 1);
+    circuit::EventDrivenDta dta(f.nl, annot);
+    Rng rng(5);
+    auto prev = f.inputs(rng.next(), rng.next());
+    for (auto _ : state) {
+        auto cur = f.inputs(rng.next(), rng.next());
+        benchmark::DoNotOptimize(dta.run(prev, cur, 1000.0));
+        prev = cur;
+    }
+}
+BENCHMARK(BM_DtaEventDriven);
+
+static void
+BM_FpuGateLevelMul(benchmark::State &state)
+{
+    static fpu::FpuCore core;
+    static size_t point = core.addOperatingPoint(1.2);
+    Rng rng(6);
+    for (auto _ : state) {
+        uint64_t a, b;
+        timing::randomOperands(fpu::FpuOp::MulD, rng, a, b);
+        benchmark::DoNotOptimize(
+            core.execute(point, fpu::FpuOp::MulD, a, b));
+    }
+}
+BENCHMARK(BM_FpuGateLevelMul);
+
+static void
+BM_FuncSimSobel(benchmark::State &state)
+{
+    auto w = workloads::buildWorkload("sobel", 1);
+    uint64_t instr = 0;
+    for (auto _ : state) {
+        sim::FuncSim sim(w.program);
+        auto r = sim.run();
+        instr = r.instructions;
+        benchmark::DoNotOptimize(r);
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instr) * state.iterations(),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FuncSimSobel);
+
+static void
+BM_OooSimSobel(benchmark::State &state)
+{
+    auto w = workloads::buildWorkload("sobel", 1);
+    uint64_t instr = 0;
+    for (auto _ : state) {
+        sim::OooSim sim(w.program);
+        auto r = sim.run(~0ULL);
+        instr = r.committed;
+        benchmark::DoNotOptimize(r);
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instr) * state.iterations(),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OooSimSobel);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+/**
+ * Quickstart — the framework in five minutes:
+ *  1. assemble a small TRISC-64 program,
+ *  2. run it on the functional and the cycle-level OoO simulators,
+ *  3. characterize the gate-level FPU at a reduced voltage,
+ *  4. inject one realistic timing error and watch it corrupt (or not)
+ *     the program output.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "circuit/celllib.hh"
+#include "fpu/fpu_core.hh"
+#include "isa/assembler.hh"
+#include "sim/func_sim.hh"
+#include "sim/ooo_sim.hh"
+#include "softfloat/softfloat.hh"
+#include "timing/dta_campaign.hh"
+#include "util/rng.hh"
+
+using namespace tea;
+
+namespace {
+
+const char *kProgram = R"(
+# Dot product of two 8-element vectors, then a scale by the result.
+.data
+xs:  .double 1.5, 2.0, -0.5, 3.25, 4.0, -1.25, 0.75, 2.5
+ys:  .double 0.5, 1.0,  2.0, -1.0, 0.25, 3.0, -2.0, 1.5
+out: .space 8
+.text
+main:
+    la   x5, xs
+    la   x6, ys
+    li   x7, 8
+    fmv.d.x f1, x0          # acc = 0
+loop:
+    fld  f2, 0(x5)
+    fld  f3, 0(x6)
+    fmul.d f4, f2, f3
+    fadd.d f1, f1, f4
+    addi x5, x5, 8
+    addi x6, x6, 8
+    addi x7, x7, -1
+    bne  x7, x0, loop
+    la   x8, out
+    fsd  f1, 0(x8)
+    print.fp f1
+    halt
+)";
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== 1. Assemble ==\n");
+    isa::Program prog = isa::assemble(kProgram, "quickstart");
+    std::printf("assembled %zu instructions, %zu data segments\n\n",
+                prog.code.size(), prog.data.size());
+
+    std::printf("== 2. Simulate ==\n");
+    sim::FuncSim fsim(prog);
+    auto fres = fsim.run();
+    std::printf("functional: %llu instructions, result = %.6f\n",
+                static_cast<unsigned long long>(fres.instructions),
+                sf::toDouble(fsim.console()[0]));
+
+    sim::OooSim osim(prog);
+    auto ores = osim.run(1'000'000);
+    std::printf("OoO: %llu cycles, IPC %.2f, %llu mispredicts\n\n",
+                static_cast<unsigned long long>(ores.cycles),
+                static_cast<double>(ores.committed) / ores.cycles,
+                static_cast<unsigned long long>(ores.branchMispredicts));
+
+    std::printf("== 3. Characterize the FPU at 20%% undervolt ==\n");
+    fpu::FpuCore core;
+    circuit::VoltageModel vm;
+    size_t vr20 =
+        core.addOperatingPoint(vm.delayFactorAtReduction(0.20));
+    std::printf("clock period: %.0f ps, FPU gates: %zu\n",
+                core.clockPs(), core.totalCells());
+
+    Rng rng(1);
+    timing::DtaCampaign campaign(core, vr20);
+    for (int i = 0; i < 2000; ++i) {
+        uint64_t a, b;
+        timing::randomOperands(fpu::FpuOp::MulD, rng, a, b);
+        campaign.execute(fpu::FpuOp::MulD, a, b);
+    }
+    const auto &stats = campaign.stats().of(fpu::FpuOp::MulD);
+    std::printf("fp-mul.d error ratio at VR20: %.4f (%llu faulty of "
+                "%llu)\n\n",
+                stats.errorRatio(),
+                static_cast<unsigned long long>(stats.faulty),
+                static_cast<unsigned long long>(stats.total));
+
+    std::printf("== 4. Inject a timing error ==\n");
+    uint64_t mask = stats.maskPool.empty() ? 0xff00000000ULL
+                                           : stats.maskPool.front();
+    std::vector<sim::InjectionEvent> events{
+        {sim::InjectionEvent::Kind::FpOp, fpu::FpuOp::MulD, 3, mask},
+    };
+    sim::OooSim faulty(prog, sim::OooConfig{},
+                       sim::InjectionPlan(events));
+    auto fres2 = faulty.run(1'000'000);
+    std::printf("injected mask 0x%llx into the 4th executed fp-mul\n",
+                static_cast<unsigned long long>(mask));
+    if (fres2.status != sim::OooSim::Status::Halted) {
+        std::printf("outcome: the run crashed or hung -> Crash/Timeout\n");
+    } else if (faulty.console() == osim.console()) {
+        std::printf("outcome: output identical -> Masked\n");
+    } else {
+        std::printf("outcome: silent data corruption -> SDC "
+                    "(%.17g instead of %.17g)\n",
+                    sf::toDouble(faulty.console()[0]),
+                    sf::toDouble(osim.console()[0]));
+    }
+    return 0;
+}

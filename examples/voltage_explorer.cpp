@@ -1,0 +1,60 @@
+/**
+ * Voltage explorer — sweep the supply-voltage reduction from mild to
+ * aggressive for one workload and watch the timing wall: the FPU error
+ * ratio stays at zero until the first paths run out of slack, then
+ * grows steeply (the paper's Fig. 10 VR15 -> VR20 jump, at finer
+ * granularity). Uses circuit-level DTA only (no injection runs), so it
+ * is fast.
+ *
+ * Usage:  ./build/examples/voltage_explorer [workload]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/energy.hh"
+#include "core/toolflow.hh"
+#include "util/table.hh"
+
+using namespace tea;
+using namespace tea::core;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "srad_v1";
+
+    ToolflowOptions opt = optionsFromEnv();
+    opt.waMaxOps = 4000; // keep the sweep quick
+    opt.vrLevels.clear();
+    for (double vr = 0.05; vr < 0.26; vr += 0.025)
+        opt.vrLevels.push_back(vr);
+    Toolflow tf(opt);
+    circuit::VoltageModel vm;
+
+    std::printf("Timing-wall sweep for '%s' (gate-level DTA on the "
+                "workload's own operand trace)\n\n",
+                name.c_str());
+    std::printf("FPU clock: %.0f ps; VR failure threshold: paths with "
+                "less than ~%.0f%%/%.0f%% slack fail at VR15/VR20\n\n",
+                tf.fpuCore().clockPs(),
+                100 * (1 - 1 / vm.delayFactorAtReduction(0.15)),
+                100 * (1 - 1 / vm.delayFactorAtReduction(0.20)));
+
+    Table t({"VR", "supply (V)", "delay factor", "FP error ratio",
+             "power saving"});
+    for (double vr : opt.vrLevels) {
+        const auto &stats = tf.waStats(name, vr);
+        t.addRow({Table::pct(vr, 1), Table::num(vm.voltageFor(vr), 3),
+                  Table::num(vm.delayFactorAtReduction(vr), 3),
+                  Table::sci(stats.errorRatio()),
+                  Table::pct(powerSavingAt(vr, vm))});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("The error ratio is exactly zero until the workload's\n"
+                "excited paths cross the shrinking timing budget, then\n"
+                "climbs by orders of magnitude within a few percent of\n"
+                "voltage — the 'timing wall' that makes guardbands so\n"
+                "expensive and workload-aware models so valuable.\n");
+    return 0;
+}

@@ -1,0 +1,594 @@
+#include "circuit/builders.hh"
+
+#include <algorithm>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace tea::circuit {
+
+Builder::Builder(Netlist &nl) : nl_(nl) {}
+
+NetId
+Builder::c0()
+{
+    if (c0_ == invalidNet)
+        c0_ = nl_.addGate(CellKind::Const0);
+    return c0_;
+}
+
+NetId
+Builder::c1()
+{
+    if (c1_ == invalidNet)
+        c1_ = nl_.addGate(CellKind::Const1);
+    return c1_;
+}
+
+NetId
+Builder::inv(NetId a)
+{
+    return nl_.addGate(CellKind::Not, a);
+}
+
+NetId
+Builder::buf(NetId a)
+{
+    return nl_.addGate(CellKind::Buf, a);
+}
+
+NetId
+Builder::and2(NetId a, NetId b)
+{
+    return nl_.addGate(CellKind::And2, a, b);
+}
+
+NetId
+Builder::or2(NetId a, NetId b)
+{
+    return nl_.addGate(CellKind::Or2, a, b);
+}
+
+NetId
+Builder::xor2(NetId a, NetId b)
+{
+    return nl_.addGate(CellKind::Xor2, a, b);
+}
+
+NetId
+Builder::nand2(NetId a, NetId b)
+{
+    return nl_.addGate(CellKind::Nand2, a, b);
+}
+
+NetId
+Builder::nor2(NetId a, NetId b)
+{
+    return nl_.addGate(CellKind::Nor2, a, b);
+}
+
+NetId
+Builder::xnor2(NetId a, NetId b)
+{
+    return nl_.addGate(CellKind::Xnor2, a, b);
+}
+
+NetId
+Builder::mux2(NetId sel, NetId a, NetId b)
+{
+    return nl_.addGate(CellKind::Mux2, sel, a, b);
+}
+
+NetId
+Builder::maj3(NetId a, NetId b, NetId c)
+{
+    return nl_.addGate(CellKind::Maj3, a, b, c);
+}
+
+namespace {
+
+template <typename F>
+NetId
+reduceTree(std::span<const NetId> xs, NetId empty, F &&combine)
+{
+    if (xs.empty())
+        return empty;
+    std::vector<NetId> level(xs.begin(), xs.end());
+    while (level.size() > 1) {
+        std::vector<NetId> next;
+        next.reserve((level.size() + 1) / 2);
+        for (size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(combine(level[i], level[i + 1]));
+        if (level.size() % 2)
+            next.push_back(level.back());
+        level = std::move(next);
+    }
+    return level[0];
+}
+
+} // namespace
+
+NetId
+Builder::andTree(std::span<const NetId> xs)
+{
+    return reduceTree(xs, c1(),
+                      [this](NetId a, NetId b) { return and2(a, b); });
+}
+
+NetId
+Builder::orTree(std::span<const NetId> xs)
+{
+    return reduceTree(xs, c0(),
+                      [this](NetId a, NetId b) { return or2(a, b); });
+}
+
+NetId
+Builder::xorTree(std::span<const NetId> xs)
+{
+    return reduceTree(xs, c0(),
+                      [this](NetId a, NetId b) { return xor2(a, b); });
+}
+
+Bus
+Builder::constBus(uint64_t value, unsigned width)
+{
+    Bus bus(width);
+    for (unsigned i = 0; i < width; ++i)
+        bus[i] = bit(value, i) ? c1() : c0();
+    return bus;
+}
+
+Bus
+Builder::invBus(const Bus &a)
+{
+    Bus out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = inv(a[i]);
+    return out;
+}
+
+Bus
+Builder::and2Bus(const Bus &a, const Bus &b)
+{
+    panic_if(a.size() != b.size(), "and2Bus width mismatch");
+    Bus out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = and2(a[i], b[i]);
+    return out;
+}
+
+Bus
+Builder::or2Bus(const Bus &a, const Bus &b)
+{
+    panic_if(a.size() != b.size(), "or2Bus width mismatch");
+    Bus out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = or2(a[i], b[i]);
+    return out;
+}
+
+Bus
+Builder::xor2Bus(const Bus &a, const Bus &b)
+{
+    panic_if(a.size() != b.size(), "xor2Bus width mismatch");
+    Bus out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = xor2(a[i], b[i]);
+    return out;
+}
+
+Bus
+Builder::mux2Bus(NetId sel, const Bus &a, const Bus &b)
+{
+    panic_if(a.size() != b.size(), "mux2Bus width mismatch");
+    Bus out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = mux2(sel, a[i], b[i]);
+    return out;
+}
+
+Bus
+Builder::maskBus(const Bus &a, NetId enable)
+{
+    Bus out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = and2(a[i], enable);
+    return out;
+}
+
+Bus
+Builder::zeroExtend(const Bus &a, unsigned width)
+{
+    panic_if(a.size() > width, "zeroExtend: bus already wider");
+    Bus out = a;
+    while (out.size() < width)
+        out.push_back(c0());
+    return out;
+}
+
+Bus
+Builder::truncate(const Bus &a, unsigned width)
+{
+    panic_if(a.size() < width, "truncate: bus narrower than target");
+    return Bus(a.begin(), a.begin() + width);
+}
+
+Bus
+Builder::shiftLeftConst(const Bus &a, unsigned n, unsigned width)
+{
+    Bus out;
+    out.reserve(width);
+    for (unsigned i = 0; i < width; ++i) {
+        if (i < n || i - n >= a.size())
+            out.push_back(c0());
+        else
+            out.push_back(a[i - n]);
+    }
+    return out;
+}
+
+Builder::FullAdderOut
+Builder::halfAdder(NetId a, NetId b)
+{
+    return {xor2(a, b), and2(a, b)};
+}
+
+Builder::FullAdderOut
+Builder::fullAdder(NetId a, NetId b, NetId c)
+{
+    NetId ab = xor2(a, b);
+    return {xor2(ab, c), maj3(a, b, c)};
+}
+
+Builder::AddOut
+Builder::rippleAdd(const Bus &a, const Bus &b, NetId cin)
+{
+    panic_if(a.size() != b.size(), "rippleAdd width mismatch");
+    Bus sum(a.size());
+    NetId carry = (cin == invalidNet) ? c0() : cin;
+    for (size_t i = 0; i < a.size(); ++i) {
+        auto fa = fullAdder(a[i], b[i], carry);
+        sum[i] = fa.sum;
+        carry = fa.carry;
+    }
+    return {std::move(sum), carry};
+}
+
+Builder::AddOut
+Builder::koggeStoneAdd(const Bus &a, const Bus &b, NetId cin)
+{
+    panic_if(a.size() != b.size(), "koggeStoneAdd width mismatch");
+    size_t n = a.size();
+    panic_if(n == 0, "koggeStoneAdd on empty bus");
+
+    // Generate/propagate per bit.
+    Bus g(n), p(n);
+    for (size_t i = 0; i < n; ++i) {
+        g[i] = and2(a[i], b[i]);
+        p[i] = xor2(a[i], b[i]);
+    }
+
+    // Parallel-prefix: after the sweep, G[i]/P[i] describe bits [0..i].
+    Bus G = g, P = p;
+    // AND-tree of P is cheaper to compute per level than reusing xors.
+    for (size_t d = 1; d < n; d <<= 1) {
+        Bus Gn = G, Pn = P;
+        for (size_t i = d; i < n; ++i) {
+            Gn[i] = or2(G[i], and2(P[i], G[i - d]));
+            Pn[i] = and2(P[i], P[i - d]);
+        }
+        G = std::move(Gn);
+        P = std::move(Pn);
+    }
+
+    NetId carryIn = (cin == invalidNet) ? c0() : cin;
+    Bus sum(n);
+    for (size_t i = 0; i < n; ++i) {
+        NetId ci = (i == 0)
+                       ? carryIn
+                       : or2(G[i - 1], and2(P[i - 1], carryIn));
+        sum[i] = xor2(p[i], ci);
+    }
+    NetId cout = or2(G[n - 1], and2(P[n - 1], carryIn));
+    return {std::move(sum), cout};
+}
+
+Builder::AddOut
+Builder::carrySelectAdd(const Bus &a, const Bus &b, NetId cin,
+                        unsigned lowBits)
+{
+    panic_if(a.size() != b.size(), "carrySelectAdd width mismatch");
+    size_t n = a.size();
+    if (lowBits >= n)
+        return rippleAdd(a, b, cin);
+    Bus aLo(a.begin(), a.begin() + lowBits);
+    Bus bLo(b.begin(), b.begin() + lowBits);
+    Bus aHi(a.begin() + lowBits, a.end());
+    Bus bHi(b.begin() + lowBits, b.end());
+    AddOut lo = rippleAdd(aLo, bLo, cin);
+    AddOut hi0 = rippleAdd(aHi, bHi, c0());
+    AddOut hi1 = rippleAdd(aHi, bHi, c1());
+    Bus hiSum = mux2Bus(lo.carry, hi0.sum, hi1.sum);
+    NetId carry = mux2(lo.carry, hi0.carry, hi1.carry);
+    Bus sum = lo.sum;
+    sum.insert(sum.end(), hiSum.begin(), hiSum.end());
+    return {std::move(sum), carry};
+}
+
+Builder::AddOut
+Builder::subtract(const Bus &a, const Bus &b, bool fast)
+{
+    Bus nb = invBus(b);
+    return fast ? koggeStoneAdd(a, nb, c1()) : rippleAdd(a, nb, c1());
+}
+
+Bus
+Builder::incrementer(const Bus &a, NetId en)
+{
+    Bus out(a.size());
+    NetId carry = en;
+    for (size_t i = 0; i < a.size(); ++i) {
+        out[i] = xor2(a[i], carry);
+        if (i + 1 < a.size())
+            carry = and2(a[i], carry);
+    }
+    return out;
+}
+
+Bus
+Builder::fastIncrementer(const Bus &a, NetId en)
+{
+    // Parallel-prefix AND gives carry_i = en & a[0] & ... & a[i-1]
+    // in log depth.
+    size_t n = a.size();
+    Bus prefix(n); // prefix[i] = AND of a[0..i]
+    prefix[0] = a[0];
+    std::vector<NetId> cur = a;
+    for (size_t d = 1; d < n; d <<= 1) {
+        std::vector<NetId> next = cur;
+        for (size_t i = d; i < n; ++i)
+            next[i] = and2(cur[i], cur[i - d]);
+        cur = std::move(next);
+    }
+    prefix = cur;
+    Bus out(n);
+    out[0] = xor2(a[0], en);
+    for (size_t i = 1; i < n; ++i)
+        out[i] = xor2(a[i], and2(en, prefix[i - 1]));
+    return out;
+}
+
+Bus
+Builder::negate(const Bus &a)
+{
+    return incrementer(invBus(a), c1());
+}
+
+NetId
+Builder::equalBus(const Bus &a, const Bus &b)
+{
+    panic_if(a.size() != b.size(), "equalBus width mismatch");
+    Bus eq(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        eq[i] = xnor2(a[i], b[i]);
+    return andTree(eq);
+}
+
+NetId
+Builder::isZeroBus(const Bus &a)
+{
+    return inv(orTree(a));
+}
+
+NetId
+Builder::lessUnsigned(const Bus &a, const Bus &b)
+{
+    return inv(subtract(a, b).carry);
+}
+
+NetId
+Builder::geUnsigned(const Bus &a, const Bus &b)
+{
+    return subtract(a, b).carry;
+}
+
+Bus
+Builder::shiftRightLogical(const Bus &a, const Bus &amount)
+{
+    Bus cur = a;
+    for (size_t j = 0; j < amount.size(); ++j) {
+        size_t s = size_t(1) << j;
+        Bus shifted(cur.size());
+        for (size_t i = 0; i < cur.size(); ++i)
+            shifted[i] = (i + s < cur.size()) ? cur[i + s] : c0();
+        cur = mux2Bus(amount[j], cur, shifted);
+    }
+    return cur;
+}
+
+Builder::ShiftStickyOut
+Builder::shiftRightSticky(const Bus &a, const Bus &amount)
+{
+    Bus cur = a;
+    NetId sticky = c0();
+    for (size_t j = 0; j < amount.size(); ++j) {
+        size_t s = size_t(1) << j;
+        Bus shifted(cur.size());
+        for (size_t i = 0; i < cur.size(); ++i)
+            shifted[i] = (i + s < cur.size()) ? cur[i + s] : c0();
+        // Bits dropped by this stage (if it is selected).
+        size_t dropped = std::min(s, cur.size());
+        Bus lost(cur.begin(), cur.begin() + static_cast<long>(dropped));
+        NetId lostAny = orTree(lost);
+        sticky = or2(sticky, and2(amount[j], lostAny));
+        cur = mux2Bus(amount[j], cur, shifted);
+    }
+    return {std::move(cur), sticky};
+}
+
+Bus
+Builder::shiftLeftLogical(const Bus &a, const Bus &amount)
+{
+    Bus cur = a;
+    for (size_t j = 0; j < amount.size(); ++j) {
+        size_t s = size_t(1) << j;
+        Bus shifted(cur.size());
+        for (size_t i = 0; i < cur.size(); ++i)
+            shifted[i] = (i >= s) ? cur[i - s] : c0();
+        cur = mux2Bus(amount[j], cur, shifted);
+    }
+    return cur;
+}
+
+Bus
+Builder::leadingZeroCount(const Bus &a)
+{
+    panic_if(a.empty(), "leadingZeroCount on empty bus");
+    // Pad at the LSB end with ones up to a power of two; this leaves the
+    // count unchanged (an all-zero original input then counts exactly
+    // a.size() zeros before hitting a padded one).
+    size_t w = 1;
+    while (w < a.size())
+        w <<= 1;
+    Bus padded;
+    for (size_t i = 0; i < w - a.size(); ++i)
+        padded.push_back(c1());
+    padded.insert(padded.end(), a.begin(), a.end());
+
+    // Recursive halving; returns count bus of width log2(n)+1.
+    struct Rec
+    {
+        Builder &b;
+        Bus
+        operator()(std::span<const NetId> x) const
+        {
+            if (x.size() == 1)
+                return Bus{b.inv(x[0])};
+            size_t half = x.size() / 2;
+            std::span<const NetId> lo = x.subspan(0, half);
+            std::span<const NetId> hi = x.subspan(half);
+            Bus cntLo = (*this)(lo);
+            Bus cntHi = (*this)(hi);
+            NetId hiZero = b.isZeroBus(Bus(hi.begin(), hi.end()));
+            size_t m = cntLo.size() - 1; // == log2(half)
+            Bus out(m + 2);
+            for (size_t i = 0; i < m; ++i)
+                out[i] = b.mux2(hiZero, cntHi[i], cntLo[i]);
+            out[m] = b.mux2(hiZero, cntHi[m], b.inv(cntLo[m]));
+            out[m + 1] = b.and2(hiZero, cntLo[m]);
+            return out;
+        }
+    };
+    return Rec{*this}(std::span<const NetId>(padded));
+}
+
+Builder::CsaState
+Builder::csaInit(unsigned width)
+{
+    Bus zeros(width, c0());
+    return {zeros, zeros};
+}
+
+Builder::CsaState
+Builder::csaAddRow(const CsaState &st, const Bus &a, NetId bBit,
+                   unsigned row)
+{
+    size_t width = st.sum.size();
+    panic_if(st.carry.size() != width, "csaAddRow state width mismatch");
+    CsaState out;
+    out.sum.resize(width);
+    out.carry.resize(width);
+    NetId zero = c0();
+    for (size_t pos = 0; pos < width; ++pos) {
+        NetId p = zero;
+        if (pos >= row && pos - row < a.size())
+            p = and2(a[pos - row], bBit);
+        NetId s = st.sum[pos];
+        NetId c = st.carry[pos];
+        NetId ns, nc;
+        if (p == zero && c == zero) {
+            ns = s;
+            nc = zero;
+        } else if (p == zero) {
+            auto ha = halfAdder(s, c);
+            ns = ha.sum;
+            nc = ha.carry;
+        } else if (c == zero) {
+            auto ha = halfAdder(s, p);
+            ns = ha.sum;
+            nc = ha.carry;
+        } else {
+            auto fa = fullAdder(s, c, p);
+            ns = fa.sum;
+            nc = fa.carry;
+        }
+        out.sum[pos] = ns;
+        if (pos + 1 < width)
+            out.carry[pos + 1] = nc;
+        // A carry out of the top bit is dropped (result width covers the
+        // full product, so it is provably zero for in-range inputs).
+    }
+    out.carry[0] = zero;
+    return out;
+}
+
+Bus
+Builder::csaResolve(const CsaState &st, bool fast)
+{
+    AddOut res = fast ? koggeStoneAdd(st.sum, st.carry)
+                      : rippleAdd(st.sum, st.carry);
+    return res.sum;
+}
+
+Bus
+Builder::arrayMultiplier(const Bus &a, const Bus &b)
+{
+    unsigned width = static_cast<unsigned>(a.size() + b.size());
+    CsaState st = csaInit(width);
+    for (unsigned row = 0; row < b.size(); ++row)
+        st = csaAddRow(st, a, b[row], row);
+    return csaResolve(st);
+}
+
+Builder::DivRowOut
+Builder::divRow(const Bus &rem, const Bus &den)
+{
+    panic_if(rem.size() != den.size() + 1, "divRow width contract");
+    AddOut diff = subtract(rem, zeroExtend(den, rem.size()), true);
+    NetId qBit = diff.carry; // 1 iff rem >= den
+    Bus after = mux2Bus(qBit, rem, diff.sum);
+    // Shift left by one for the next row; the top bit is provably zero
+    // because after < den <= 2^w.
+    Bus next(rem.size());
+    next[0] = c0();
+    for (size_t i = 1; i < rem.size(); ++i)
+        next[i] = after[i - 1];
+    return {qBit, std::move(next)};
+}
+
+Builder::DivOut
+Builder::restoringDivider(const Bus &num, const Bus &den, unsigned qBits)
+{
+    panic_if(num.size() != den.size(), "restoringDivider width mismatch");
+    Bus rem = zeroExtend(num, static_cast<unsigned>(num.size()) + 1);
+    Bus q(qBits);
+    Bus lastAfter;
+    for (unsigned i = 0; i < qBits; ++i) {
+        AddOut diff = subtract(rem, zeroExtend(den, rem.size()), true);
+        NetId qBit = diff.carry;
+        Bus after = mux2Bus(qBit, rem, diff.sum);
+        q[qBits - 1 - i] = qBit;
+        lastAfter = after;
+        if (i + 1 < qBits) {
+            Bus next(rem.size());
+            next[0] = c0();
+            for (size_t k = 1; k < rem.size(); ++k)
+                next[k] = after[k - 1];
+            rem = std::move(next);
+        }
+    }
+    NetId sticky = orTree(lastAfter);
+    return {std::move(q), sticky};
+}
+
+} // namespace tea::circuit

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Composite combinational circuit generators.
+ *
+ * A Builder wraps a Netlist under construction and emits the datapath
+ * blocks the FPU stages are assembled from: bitwise buses, adder styles
+ * (ripple for area, Kogge-Stone for speed), barrel shifters with sticky
+ * collection, leading-zero counters, carry-save array multipliers and a
+ * restoring divider array. All blocks take and return LSB-first buses.
+ */
+
+#ifndef TEA_CIRCUIT_BUILDERS_HH
+#define TEA_CIRCUIT_BUILDERS_HH
+
+#include <cstdint>
+#include <span>
+
+#include "circuit/netlist.hh"
+
+namespace tea::circuit {
+
+class Builder
+{
+  public:
+    explicit Builder(Netlist &nl);
+
+    Netlist &netlist() { return nl_; }
+
+    // -- primitive helpers -------------------------------------------
+    NetId c0();
+    NetId c1();
+    NetId constBit(bool v) { return v ? c1() : c0(); }
+    NetId inv(NetId a);
+    NetId buf(NetId a);
+    NetId and2(NetId a, NetId b);
+    NetId or2(NetId a, NetId b);
+    NetId xor2(NetId a, NetId b);
+    NetId nand2(NetId a, NetId b);
+    NetId nor2(NetId a, NetId b);
+    NetId xnor2(NetId a, NetId b);
+    /** 2:1 mux — returns a when sel=0, b when sel=1. */
+    NetId mux2(NetId sel, NetId a, NetId b);
+    NetId maj3(NetId a, NetId b, NetId c);
+
+    /** Balanced reduction trees. */
+    NetId andTree(std::span<const NetId> xs);
+    NetId orTree(std::span<const NetId> xs);
+    NetId xorTree(std::span<const NetId> xs);
+    NetId andTree(const Bus &xs) { return andTree(std::span(xs)); }
+    NetId orTree(const Bus &xs) { return orTree(std::span(xs)); }
+    NetId xorTree(const Bus &xs) { return xorTree(std::span(xs)); }
+
+    // -- bus helpers --------------------------------------------------
+    Bus constBus(uint64_t value, unsigned width);
+    Bus invBus(const Bus &a);
+    Bus and2Bus(const Bus &a, const Bus &b);
+    Bus or2Bus(const Bus &a, const Bus &b);
+    Bus xor2Bus(const Bus &a, const Bus &b);
+    /** Per-bit mux: sel=0 -> a, sel=1 -> b. */
+    Bus mux2Bus(NetId sel, const Bus &a, const Bus &b);
+    /** AND every bit of a with the single enable bit. */
+    Bus maskBus(const Bus &a, NetId enable);
+    Bus zeroExtend(const Bus &a, unsigned width);
+    Bus truncate(const Bus &a, unsigned width);
+    /** Static left shift (zeros shifted in). */
+    Bus shiftLeftConst(const Bus &a, unsigned n, unsigned width);
+
+    // -- arithmetic ----------------------------------------------------
+    struct FullAdderOut
+    {
+        NetId sum;
+        NetId carry;
+    };
+    FullAdderOut halfAdder(NetId a, NetId b);
+    FullAdderOut fullAdder(NetId a, NetId b, NetId c);
+
+    struct AddOut
+    {
+        Bus sum;     ///< same width as the inputs
+        NetId carry; ///< carry out
+    };
+    /** Ripple-carry adder; cin may be invalidNet for 0. */
+    AddOut rippleAdd(const Bus &a, const Bus &b, NetId cin = invalidNet);
+    /** Kogge-Stone parallel-prefix adder (log-depth). */
+    AddOut koggeStoneAdd(const Bus &a, const Bus &b,
+                         NetId cin = invalidNet);
+    /**
+     * Carry-select adder: ripple over the low `lowBits`, duplicated
+     * ripple + mux over the rest. Depth ~ max(lowBits, n-lowBits) full
+     * adders — a tunable middle ground between ripple and Kogge-Stone.
+     */
+    AddOut carrySelectAdd(const Bus &a, const Bus &b, NetId cin,
+                          unsigned lowBits);
+    /**
+     * a - b as two's complement using the given adder style.
+     * carry output is the NOT-borrow (1 when a >= b).
+     */
+    AddOut subtract(const Bus &a, const Bus &b, bool fast = true);
+    /** a + 1 when en, else a (ripple carry chain). */
+    Bus incrementer(const Bus &a, NetId en);
+    /** a + 1 when en, else a (log-depth parallel prefix). */
+    Bus fastIncrementer(const Bus &a, NetId en);
+    /** Two's-complement negate. */
+    Bus negate(const Bus &a);
+
+    // -- comparisons ---------------------------------------------------
+    NetId equalBus(const Bus &a, const Bus &b);
+    NetId isZeroBus(const Bus &a);
+    /** Unsigned a < b. */
+    NetId lessUnsigned(const Bus &a, const Bus &b);
+    /** Unsigned a >= b. */
+    NetId geUnsigned(const Bus &a, const Bus &b);
+
+    // -- shifters --------------------------------------------------------
+    /** Logical barrel shift right by a variable amount bus. */
+    Bus shiftRightLogical(const Bus &a, const Bus &amount);
+    struct ShiftStickyOut
+    {
+        Bus out;
+        NetId sticky; ///< OR of all shifted-out bits
+    };
+    /** Barrel shift right collecting shifted-out bits into sticky. */
+    ShiftStickyOut shiftRightSticky(const Bus &a, const Bus &amount);
+    /** Logical barrel shift left by a variable amount bus. */
+    Bus shiftLeftLogical(const Bus &a, const Bus &amount);
+
+    // -- priority logic ---------------------------------------------------
+    /**
+     * Leading-zero count of the bus (MSB = bus.back()). Output width is
+     * ceil(log2(width+1)); all-zero input yields width.
+     */
+    Bus leadingZeroCount(const Bus &a);
+
+    // -- big datapath blocks ----------------------------------------------
+    /**
+     * Unsigned carry-save array multiplier: result width =
+     * a.size() + b.size(). rowsOut (optional) receives the row partial
+     * sums so callers can pipeline the array across stages.
+     */
+    Bus arrayMultiplier(const Bus &a, const Bus &b);
+
+    /**
+     * One carry-save accumulation step of an array multiplier; used by
+     * the FPU to split the multiply array across pipeline stages.
+     * State is {sums, carries, a, b} buses packed by the caller.
+     */
+    struct CsaState
+    {
+        Bus sum;   ///< partial sum, width a+b
+        Bus carry; ///< partial carry, width a+b
+    };
+    /** Fresh all-zero CSA state of the given width. */
+    CsaState csaInit(unsigned width);
+    /** Accumulate partial product row `row` (a AND b[row], shifted). */
+    CsaState csaAddRow(const CsaState &st, const Bus &a, NetId bBit,
+                       unsigned row);
+    /** Resolve carry-save state into a normal binary number. */
+    Bus csaResolve(const CsaState &st, bool fast = true);
+
+    /**
+     * Fractional restoring divider: numerator in [den, 2*den), both
+     * width w; produces qBits quotient bits (MSB guaranteed 1) equal to
+     * floor(num * 2^(qBits-1) / den) plus a remainder-nonzero sticky.
+     * rowsPerCall bounds nothing here; the FPU pipelines rows itself via
+     * divStep().
+     */
+    struct DivOut
+    {
+        Bus quotient;
+        NetId sticky;
+    };
+    DivOut restoringDivider(const Bus &num, const Bus &den,
+                            unsigned qBits);
+
+    /**
+     * One restoring-division row: given the running remainder (width
+     * w+1) and divisor (width w), produce the quotient bit and the next
+     * remainder (width w+1, already shifted for the next row).
+     */
+    struct DivRowOut
+    {
+        NetId qBit;
+        Bus nextRem;
+    };
+    DivRowOut divRow(const Bus &rem, const Bus &den);
+
+  private:
+    Netlist &nl_;
+    NetId c0_ = invalidNet;
+    NetId c1_ = invalidNet;
+};
+
+} // namespace tea::circuit
+
+#endif // TEA_CIRCUIT_BUILDERS_HH

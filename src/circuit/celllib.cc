@@ -1,0 +1,99 @@
+#include "circuit/celllib.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace tea::circuit {
+
+CellLibrary
+CellLibrary::nangate45Like()
+{
+    CellLibrary lib{};
+    for (auto &d : lib.intrinsicPs)
+        d = 0.0;
+    auto set = [&](CellKind k, double ps) {
+        lib.intrinsicPs[static_cast<size_t>(k)] = ps;
+    };
+    set(CellKind::Input, 0.0);
+    set(CellKind::Const0, 0.0);
+    set(CellKind::Const1, 0.0);
+    set(CellKind::Buf, 22.0);
+    set(CellKind::Not, 14.0);
+    set(CellKind::And2, 28.0);
+    set(CellKind::Or2, 30.0);
+    set(CellKind::Xor2, 46.0);
+    set(CellKind::Nand2, 18.0);
+    set(CellKind::Nor2, 24.0);
+    set(CellKind::Xnor2, 48.0);
+    set(CellKind::Mux2, 42.0);
+    set(CellKind::Maj3, 52.0);
+    return lib;
+}
+
+double
+VoltageModel::delayFactor(double v) const
+{
+    fatal_if(v <= vth, "supply voltage %.3f V is at or below Vth %.3f V",
+             v, vth);
+    double nom = nominalV / std::pow(nominalV - vth, alpha);
+    double cur = v / std::pow(v - vth, alpha);
+    return cur / nom;
+}
+
+double
+VoltageModel::voltageFor(double reductionFrac) const
+{
+    return nominalV * (1.0 - reductionFrac);
+}
+
+double
+VoltageModel::delayFactorAtReduction(double reductionFrac) const
+{
+    return delayFactor(voltageFor(reductionFrac));
+}
+
+double
+VoltageModel::dynamicPowerFactor(double v) const
+{
+    double r = v / nominalV;
+    return r * r;
+}
+
+double
+VoltageModel::leakagePowerFactor(double v) const
+{
+    double r = v / nominalV;
+    return r * r * r;
+}
+
+double
+VoltageModel::totalPowerFactor(double v, double leakageShare) const
+{
+    return (1.0 - leakageShare) * dynamicPowerFactor(v) +
+           leakageShare * leakagePowerFactor(v);
+}
+
+DelayAnnotation::DelayAnnotation(const Netlist &nl, const CellLibrary &lib,
+                                 uint64_t seed)
+    : lib_(lib), delays_(nl.numCells(), 0.0)
+{
+    Rng rng(seed ^ 0x5eed5eedULL);
+    const auto &fanouts = nl.fanouts();
+    for (NetId id = 0; id < nl.numCells(); ++id) {
+        const Cell &cell = nl.cell(id);
+        double base = lib.intrinsicPs[static_cast<size_t>(cell.kind)];
+        if (base == 0.0)
+            continue;
+        // Per-instance process variation (multiplicative, clamped so a
+        // cell can never get faster than 3 sigma below nominal).
+        double jitter = 1.0 + lib.variationSigma * rng.nextGaussian();
+        jitter = std::max(jitter, 1.0 - 3.0 * lib.variationSigma);
+        double wire =
+            lib.wirePerFanoutPs * static_cast<double>(fanouts[id].size());
+        delays_[id] = base * jitter + wire;
+    }
+}
+
+} // namespace tea::circuit

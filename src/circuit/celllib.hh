@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Synthetic 45 nm-flavoured standard-cell timing library, delay
+ * annotation (the SDF surrogate) and the voltage -> delay model.
+ *
+ * The paper extracts cell and interconnect delays from a NanGate 45 nm
+ * post-place-and-route flow (Design Compiler + Innovus) and
+ * re-characterizes the library at reduced voltages with SiliconSmart.
+ * We substitute: per-kind intrinsic delays of plausible 45 nm magnitude,
+ * a fanout-proportional wire-load term standing in for routed
+ * interconnect, a deterministic per-instance process-variation jitter,
+ * and an alpha-power-law voltage scaling factor. The experiments consume
+ * only the *ordering and data dependence* of path delays, which these
+ * preserve.
+ */
+
+#ifndef TEA_CIRCUIT_CELLLIB_HH
+#define TEA_CIRCUIT_CELLLIB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.hh"
+
+namespace tea::circuit {
+
+/**
+ * Per-kind timing parameters (picoseconds at nominal voltage).
+ */
+struct CellLibrary
+{
+    /** Intrinsic propagation delay per cell kind, indexed by CellKind. */
+    double intrinsicPs[16];
+    /** Added wire delay per fanout of the driven net. */
+    double wirePerFanoutPs = 4.0;
+    /** Sigma of the per-instance multiplicative process variation. */
+    double variationSigma = 0.04;
+    /** Clock-to-Q of the launching register. */
+    double clkToQPs = 80.0;
+    /** Setup time of the capturing register. */
+    double setupPs = 60.0;
+
+    /** The default synthetic 45 nm library. */
+    static CellLibrary nangate45Like();
+};
+
+/**
+ * Alpha-power-law delay model for supply-voltage reduction:
+ *   delayFactor(V) = (V/V0) * ((V0 - Vth) / (V - Vth))^alpha
+ * normalized to 1.0 at the nominal voltage V0.
+ */
+struct VoltageModel
+{
+    double nominalV = 1.1; ///< NanGate 45 nm typical corner
+    double vth = 0.4;
+    double alpha = 1.3;
+
+    /** Multiplicative delay increase at supply voltage v. */
+    double delayFactor(double v) const;
+    /** Supply voltage for a fractional reduction (0.15 -> VR15). */
+    double voltageFor(double reductionFrac) const;
+    /** Convenience: delay factor at a given reduction fraction. */
+    double delayFactorAtReduction(double reductionFrac) const;
+    /** Dynamic power factor ~ (V/V0)^2 at constant frequency. */
+    double dynamicPowerFactor(double v) const;
+    /** Leakage power factor, modelled ~ (V/V0)^3. */
+    double leakagePowerFactor(double v) const;
+    /**
+     * Total power factor with the given leakage share at nominal
+     * (datacenter-class cores sit around 30 % leakage).
+     */
+    double totalPowerFactor(double v, double leakageShare = 0.3) const;
+};
+
+/** Standard voltage-reduction levels studied in the paper. */
+constexpr double kVR15 = 0.15;
+constexpr double kVR20 = 0.20;
+
+/**
+ * Per-cell delay annotation of one netlist instance: intrinsic delay x
+ * process variation + wire load. Multiply by VoltageModel::delayFactor
+ * at simulation time to get the operating-point delay.
+ */
+class DelayAnnotation
+{
+  public:
+    /**
+     * Annotate a netlist. The seed determines the per-instance process
+     * variation; the same (netlist, seed) pair always yields identical
+     * delays, making campaigns reproducible.
+     */
+    DelayAnnotation(const Netlist &nl, const CellLibrary &lib,
+                    uint64_t seed);
+
+    /** Nominal delay of cell id in picoseconds (0 for inputs/constants). */
+    double delayPs(NetId id) const { return delays_[id]; }
+    const std::vector<double> &delays() const { return delays_; }
+
+    const CellLibrary &library() const { return lib_; }
+
+  private:
+    CellLibrary lib_;
+    std::vector<double> delays_;
+};
+
+} // namespace tea::circuit
+
+#endif // TEA_CIRCUIT_CELLLIB_HH

@@ -1,0 +1,227 @@
+#include "circuit/netlist.hh"
+
+#include "util/logging.hh"
+
+namespace tea::circuit {
+
+unsigned
+cellArity(CellKind kind)
+{
+    switch (kind) {
+      case CellKind::Input:
+      case CellKind::Const0:
+      case CellKind::Const1:
+        return 0;
+      case CellKind::Buf:
+      case CellKind::Not:
+        return 1;
+      case CellKind::And2:
+      case CellKind::Or2:
+      case CellKind::Xor2:
+      case CellKind::Nand2:
+      case CellKind::Nor2:
+      case CellKind::Xnor2:
+        return 2;
+      case CellKind::Mux2:
+      case CellKind::Maj3:
+        return 3;
+    }
+    panic("unknown cell kind");
+}
+
+const char *
+cellKindName(CellKind kind)
+{
+    switch (kind) {
+      case CellKind::Input: return "INPUT";
+      case CellKind::Const0: return "CONST0";
+      case CellKind::Const1: return "CONST1";
+      case CellKind::Buf: return "BUF";
+      case CellKind::Not: return "NOT";
+      case CellKind::And2: return "AND2";
+      case CellKind::Or2: return "OR2";
+      case CellKind::Xor2: return "XOR2";
+      case CellKind::Nand2: return "NAND2";
+      case CellKind::Nor2: return "NOR2";
+      case CellKind::Xnor2: return "XNOR2";
+      case CellKind::Mux2: return "MUX2";
+      case CellKind::Maj3: return "MAJ3";
+    }
+    return "?";
+}
+
+bool
+evalCell(CellKind kind, bool a, bool b, bool c)
+{
+    switch (kind) {
+      case CellKind::Input:
+        panic("evalCell on primary input");
+      case CellKind::Const0: return false;
+      case CellKind::Const1: return true;
+      case CellKind::Buf: return a;
+      case CellKind::Not: return !a;
+      case CellKind::And2: return a && b;
+      case CellKind::Or2: return a || b;
+      case CellKind::Xor2: return a != b;
+      case CellKind::Nand2: return !(a && b);
+      case CellKind::Nor2: return !(a || b);
+      case CellKind::Xnor2: return a == b;
+      case CellKind::Mux2: return a ? c : b; // a=sel, b=in0, c=in1
+      case CellKind::Maj3:
+        return (a && b) || (a && c) || (b && c);
+    }
+    panic("unknown cell kind");
+}
+
+Netlist::Netlist(std::string name) : name_(std::move(name)) {}
+
+NetId
+Netlist::addInput(const std::string &name)
+{
+    panic_if(inputsClosed_, "inputs must precede gates in netlist '%s'",
+             name_.c_str());
+    Cell cell{CellKind::Input, {invalidNet, invalidNet, invalidNet}};
+    cells_.push_back(cell);
+    inputNames_.push_back(name);
+    ++numInputs_;
+    return static_cast<NetId>(cells_.size() - 1);
+}
+
+Bus
+Netlist::addInputBus(const std::string &name, unsigned width)
+{
+    Bus bus;
+    bus.reserve(width);
+    for (unsigned i = 0; i < width; ++i)
+        bus.push_back(addInput(name + "[" + std::to_string(i) + "]"));
+    return bus;
+}
+
+NetId
+Netlist::addGate(CellKind kind, NetId a, NetId b, NetId c)
+{
+    inputsClosed_ = true;
+    unsigned arity = cellArity(kind);
+    NetId self = static_cast<NetId>(cells_.size());
+    NetId fi[3] = {a, b, c};
+    for (unsigned i = 0; i < 3; ++i) {
+        if (i < arity) {
+            panic_if(fi[i] == invalidNet,
+                     "gate %s missing fanin %u", cellKindName(kind), i);
+            panic_if(fi[i] >= self,
+                     "netlist '%s' not topological: fanin %u >= cell %u",
+                     name_.c_str(), fi[i], self);
+        } else {
+            fi[i] = invalidNet;
+        }
+    }
+    cells_.push_back(Cell{kind, {fi[0], fi[1], fi[2]}});
+    fanouts_.clear(); // invalidate cache
+    return self;
+}
+
+void
+Netlist::addOutputBus(const std::string &name, Bus nets)
+{
+    for (NetId n : nets)
+        panic_if(n >= cells_.size(), "output bus '%s' references net %u",
+                 name.c_str(), n);
+    outputs_.push_back(OutputBus{name, std::move(nets)});
+}
+
+size_t
+Netlist::numOutputBits() const
+{
+    size_t total = 0;
+    for (const auto &bus : outputs_)
+        total += bus.nets.size();
+    return total;
+}
+
+std::vector<NetId>
+Netlist::flatOutputs() const
+{
+    std::vector<NetId> flat;
+    flat.reserve(numOutputBits());
+    for (const auto &bus : outputs_)
+        flat.insert(flat.end(), bus.nets.begin(), bus.nets.end());
+    return flat;
+}
+
+const std::vector<std::vector<NetId>> &
+Netlist::fanouts() const
+{
+    if (fanouts_.empty() && !cells_.empty()) {
+        fanouts_.resize(cells_.size());
+        for (NetId id = 0; id < cells_.size(); ++id) {
+            const Cell &cell = cells_[id];
+            unsigned arity = cellArity(cell.kind);
+            for (unsigned i = 0; i < arity; ++i)
+                fanouts_[cell.fanin[i]].push_back(id);
+        }
+    }
+    return fanouts_;
+}
+
+std::vector<size_t>
+Netlist::kindCounts() const
+{
+    std::vector<size_t> counts(16, 0);
+    for (const auto &cell : cells_)
+        ++counts[static_cast<size_t>(cell.kind)];
+    return counts;
+}
+
+std::vector<bool>
+evaluate(const Netlist &nl, const std::vector<bool> &inputs)
+{
+    panic_if(inputs.size() != nl.numInputs(),
+             "evaluate: %zu inputs given, %zu expected", inputs.size(),
+             nl.numInputs());
+    std::vector<bool> values(nl.numCells());
+    const auto &cells = nl.cells();
+    for (NetId id = 0; id < cells.size(); ++id) {
+        const Cell &cell = cells[id];
+        if (cell.kind == CellKind::Input) {
+            values[id] = inputs[id];
+            continue;
+        }
+        bool a = cell.fanin[0] != invalidNet && values[cell.fanin[0]];
+        bool b = cell.fanin[1] != invalidNet && values[cell.fanin[1]];
+        bool c = cell.fanin[2] != invalidNet && values[cell.fanin[2]];
+        values[id] = evalCell(cell.kind, a, b, c);
+    }
+    return values;
+}
+
+uint64_t
+busValue(const std::vector<bool> &values, const Bus &bus)
+{
+    panic_if(bus.size() > 64, "busValue: bus wider than 64 bits");
+    uint64_t v = 0;
+    for (size_t i = 0; i < bus.size(); ++i)
+        if (values[bus[i]])
+            v |= 1ULL << i;
+    return v;
+}
+
+void
+setBusValue(std::vector<bool> &values, const Bus &bus, uint64_t v)
+{
+    panic_if(bus.size() > 64, "setBusValue: bus wider than 64 bits");
+    for (size_t i = 0; i < bus.size(); ++i)
+        values[bus[i]] = (v >> i) & 1;
+}
+
+std::vector<bool>
+flattenOutputs(const Netlist &nl, const std::vector<bool> &values)
+{
+    std::vector<bool> flat;
+    flat.reserve(nl.numOutputBits());
+    for (const auto &bus : nl.outputBuses())
+        for (NetId n : bus.nets)
+            flat.push_back(values[n]);
+    return flat;
+}
+
+} // namespace tea::circuit

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Structural gate-level netlist representation.
+ *
+ * A Netlist is a combinational network between two pipeline-register
+ * boundaries: primary inputs launch at t=0 (the register clock edge) and
+ * primary outputs are captured at the (voltage-scaled) clock period.
+ * Cells are stored in construction order, which the builders guarantee
+ * to be topological (every fanin id is smaller than the cell's own id);
+ * this lets every analysis run as a single forward pass.
+ *
+ * This plays the role of the post-place-and-route Verilog netlist in the
+ * paper's flow; the DelayAnnotation (celllib.hh) plays the role of the
+ * SDF file.
+ */
+
+#ifndef TEA_CIRCUIT_NETLIST_HH
+#define TEA_CIRCUIT_NETLIST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tea::circuit {
+
+/** Net identifier; each cell drives exactly one net with the same id. */
+using NetId = uint32_t;
+
+/** An ordered group of nets, LSB first. */
+using Bus = std::vector<NetId>;
+
+constexpr NetId invalidNet = ~static_cast<NetId>(0);
+
+/** Primitive cell types of the synthetic standard-cell library. */
+enum class CellKind : uint8_t
+{
+    Input, ///< primary input (pipeline register output)
+    Const0,
+    Const1,
+    Buf,
+    Not,
+    And2,
+    Or2,
+    Xor2,
+    Nand2,
+    Nor2,
+    Xnor2,
+    Mux2, ///< fanin order: sel, a (sel=0), b (sel=1)
+    Maj3, ///< majority-of-3 (full-adder carry)
+};
+
+/** Number of fanins a cell kind consumes. */
+unsigned cellArity(CellKind kind);
+
+/** Human-readable cell kind name. */
+const char *cellKindName(CellKind kind);
+
+/** Evaluate a cell function over up-to-3 boolean fanin values. */
+bool evalCell(CellKind kind, bool a, bool b, bool c);
+
+/** A single cell instance. */
+struct Cell
+{
+    CellKind kind;
+    NetId fanin[3];
+};
+
+/**
+ * A named primary-output bus (e.g. the 64 result bits of an FPU stage).
+ */
+struct OutputBus
+{
+    std::string name;
+    Bus nets;
+};
+
+/**
+ * Combinational gate-level netlist. Build with addInput()/addGate(),
+ * finish with addOutputBus(); construction order must be topological
+ * (enforced by assertions).
+ */
+class Netlist
+{
+  public:
+    explicit Netlist(std::string name);
+
+    const std::string &name() const { return name_; }
+
+    /** Add a primary input; returns the net it drives. */
+    NetId addInput(const std::string &name);
+    /** Add a whole input bus (LSB first). */
+    Bus addInputBus(const std::string &name, unsigned width);
+
+    /** Add a gate; fanins must already exist. Returns the output net. */
+    NetId addGate(CellKind kind, NetId a = invalidNet,
+                  NetId b = invalidNet, NetId c = invalidNet);
+
+    /** Register an output bus; outputs are captured by the DTA engines. */
+    void addOutputBus(const std::string &name, Bus nets);
+
+    size_t numCells() const { return cells_.size(); }
+    size_t numInputs() const { return numInputs_; }
+    const Cell &cell(NetId id) const { return cells_[id]; }
+    const std::vector<Cell> &cells() const { return cells_; }
+
+    const std::vector<OutputBus> &outputBuses() const { return outputs_; }
+    /** Total number of output bits across all buses. */
+    size_t numOutputBits() const;
+    /** Flattened output nets in bus order. */
+    std::vector<NetId> flatOutputs() const;
+
+    /** Name of input i (inputs are cells [0, numInputs)). */
+    const std::string &inputName(size_t i) const { return inputNames_[i]; }
+
+    /**
+     * Fanout list per net (lazy-built, cached). fanouts()[n] lists the
+     * cell ids that read net n.
+     */
+    const std::vector<std::vector<NetId>> &fanouts() const;
+
+    /** Count of gates by kind (for reporting). */
+    std::vector<size_t> kindCounts() const;
+
+  private:
+    std::string name_;
+    std::vector<Cell> cells_;
+    std::vector<std::string> inputNames_;
+    size_t numInputs_ = 0;
+    bool inputsClosed_ = false;
+    std::vector<OutputBus> outputs_;
+    mutable std::vector<std::vector<NetId>> fanouts_;
+};
+
+/**
+ * Levelized functional evaluation: compute all net values for one input
+ * vector. `inputs` must have numInputs() entries; returns one bool per
+ * net. This is the zero-delay reference ("golden") evaluation.
+ */
+std::vector<bool> evaluate(const Netlist &nl,
+                           const std::vector<bool> &inputs);
+
+/** Extract an output bus value (LSB first) from a net-value vector. */
+uint64_t busValue(const std::vector<bool> &values, const Bus &bus);
+
+/** Expand a uint64 into per-net bool assignments over a bus. */
+void setBusValue(std::vector<bool> &values, const Bus &bus, uint64_t v);
+
+/** Gather a net-value vector's output bits in flat bus order. */
+std::vector<bool> flattenOutputs(const Netlist &nl,
+                                 const std::vector<bool> &values);
+
+} // namespace tea::circuit
+
+#endif // TEA_CIRCUIT_NETLIST_HH

@@ -1,0 +1,84 @@
+#include "circuit/sta.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace tea::circuit {
+
+StaResult::StaResult(std::vector<double> arrival,
+                     std::vector<NetId> worstFanin,
+                     std::vector<PathEndpoint> endpoints, double setupPs)
+    : arrival_(std::move(arrival)), worstFanin_(std::move(worstFanin)),
+      endpoints_(std::move(endpoints)), setupPs_(setupPs)
+{
+    std::sort(endpoints_.begin(), endpoints_.end(),
+              [](const PathEndpoint &a, const PathEndpoint &b) {
+                  return a.pathDelayPs > b.pathDelayPs;
+              });
+}
+
+double
+StaResult::criticalPathPs() const
+{
+    return endpoints_.empty() ? 0.0 : endpoints_.front().pathDelayPs;
+}
+
+std::vector<NetId>
+StaResult::worstPath(NetId endpoint) const
+{
+    std::vector<NetId> path;
+    NetId cur = endpoint;
+    while (cur != invalidNet) {
+        path.push_back(cur);
+        cur = worstFanin_[cur];
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+StaResult
+staAnalyze(const Netlist &nl, const DelayAnnotation &annot)
+{
+    const auto &lib = annot.library();
+    size_t n = nl.numCells();
+    std::vector<double> arrival(n, 0.0);
+    std::vector<NetId> worstFanin(n, invalidNet);
+
+    for (NetId id = 0; id < n; ++id) {
+        const Cell &cell = nl.cell(id);
+        if (cell.kind == CellKind::Input) {
+            arrival[id] = lib.clkToQPs;
+            continue;
+        }
+        if (cell.kind == CellKind::Const0 || cell.kind == CellKind::Const1) {
+            arrival[id] = 0.0;
+            continue;
+        }
+        double worst = 0.0;
+        NetId worstId = invalidNet;
+        unsigned arity = cellArity(cell.kind);
+        for (unsigned i = 0; i < arity; ++i) {
+            NetId fi = cell.fanin[i];
+            if (arrival[fi] >= worst) {
+                worst = arrival[fi];
+                worstId = fi;
+            }
+        }
+        arrival[id] = worst + annot.delayPs(id);
+        worstFanin[id] = worstId;
+    }
+
+    std::vector<PathEndpoint> endpoints;
+    for (const auto &bus : nl.outputBuses()) {
+        for (unsigned bitIdx = 0; bitIdx < bus.nets.size(); ++bitIdx) {
+            NetId net = bus.nets[bitIdx];
+            endpoints.push_back(PathEndpoint{
+                net, bus.name, bitIdx, arrival[net] + lib.setupPs});
+        }
+    }
+    return StaResult(std::move(arrival), std::move(worstFanin),
+                     std::move(endpoints), lib.setupPs);
+}
+
+} // namespace tea::circuit

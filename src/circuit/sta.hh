@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Static timing analysis over an annotated netlist.
+ *
+ * Computes per-net worst-case arrival times (inputs launch at the
+ * register clock-to-Q) and per-output-endpoint path delays, with
+ * predecessor links so the worst path through any endpoint can be
+ * extracted. Used to pick the clock period (Eq. 1 of the paper) and to
+ * regenerate Fig. 4's longest-path distribution.
+ */
+
+#ifndef TEA_CIRCUIT_STA_HH
+#define TEA_CIRCUIT_STA_HH
+
+#include <string>
+#include <vector>
+
+#include "circuit/celllib.hh"
+#include "circuit/netlist.hh"
+
+namespace tea::circuit {
+
+/** One capture endpoint (an output bit) and its worst path delay. */
+struct PathEndpoint
+{
+    NetId net;
+    std::string busName;
+    unsigned bitIndex;
+    /** Worst arrival incl. launch clk-to-Q and capture setup. */
+    double pathDelayPs;
+};
+
+/** Result of a static timing pass. */
+class StaResult
+{
+  public:
+    StaResult(std::vector<double> arrival, std::vector<NetId> worstFanin,
+              std::vector<PathEndpoint> endpoints, double setupPs);
+
+    /** Worst arrival time of a net (ps, incl. clk-to-Q). */
+    double arrivalPs(NetId n) const { return arrival_[n]; }
+
+    /** All capture endpoints, sorted by descending path delay. */
+    const std::vector<PathEndpoint> &endpoints() const
+    {
+        return endpoints_;
+    }
+
+    /** The critical (maximum) path delay across all endpoints. */
+    double criticalPathPs() const;
+
+    /** Cells on the worst path into a net, input first. */
+    std::vector<NetId> worstPath(NetId endpoint) const;
+
+    /** Slack of an endpoint at a given clock period. */
+    double slackPs(const PathEndpoint &ep, double clkPs) const
+    {
+        return clkPs - ep.pathDelayPs;
+    }
+
+  private:
+    std::vector<double> arrival_;
+    std::vector<NetId> worstFanin_;
+    std::vector<PathEndpoint> endpoints_;
+    double setupPs_;
+};
+
+/** Run STA on an annotated netlist at nominal voltage. */
+StaResult staAnalyze(const Netlist &nl, const DelayAnnotation &annot);
+
+} // namespace tea::circuit
+
+#endif // TEA_CIRCUIT_STA_HH

@@ -1,0 +1,54 @@
+#include "core/energy.hh"
+
+#include <algorithm>
+
+namespace tea::core {
+
+double
+powerSavingAt(double vrFrac, const circuit::VoltageModel &vm)
+{
+    return 1.0 - vm.totalPowerFactor(vm.voltageFor(vrFrac));
+}
+
+VoltageGuidance
+guideVoltage(const std::map<double, double> &avmPerVr,
+             const circuit::VoltageModel &vm)
+{
+    VoltageGuidance g{0.0, 0.0};
+    for (const auto &[vr, avm] : avmPerVr) {
+        if (avm == 0.0 && vr > g.maxSafeVr)
+            g.maxSafeVr = vr;
+    }
+    g.powerSaving = g.maxSafeVr > 0.0 ? powerSavingAt(g.maxSafeVr, vm)
+                                      : 0.0;
+    return g;
+}
+
+PreventionAnalysis
+analyzePrevention(const models::ProgramProfile &profile,
+                  const models::StatisticalModel &waModel, double vrFrac,
+                  double guidedSaving, const circuit::VoltageModel &vm)
+{
+    // Dynamic fraction of instructions whose type is error-prone at
+    // this operating point (those get a doubled clock period).
+    uint64_t prone = 0;
+    for (unsigned o = 0; o < fpu::kNumFpuOps; ++o) {
+        if (waModel.opStats(static_cast<fpu::FpuOp>(o)).faultyProb > 0.0)
+            prone += profile.fpOpCounts[o];
+    }
+    double frac =
+        profile.totalInstructions
+            ? static_cast<double>(prone) /
+                  static_cast<double>(profile.totalInstructions)
+            : 0.0;
+    PreventionAnalysis out;
+    out.vrFrac = vrFrac;
+    out.stretchOverhead = frac; // each stretched op costs ~1 extra cycle
+    double power = vm.totalPowerFactor(vm.voltageFor(vrFrac));
+    out.energyFactor = power * (1.0 + out.stretchOverhead);
+    double saving = 1.0 - out.energyFactor;
+    out.extraSavingVsGuided = saving - guidedSaving;
+    return out;
+}
+
+} // namespace tea::core

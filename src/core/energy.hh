@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Energy/power analysis for AVM-guided voltage selection (Section V.C).
+ *
+ * Power scales with the supply voltage per the VoltageModel; given the
+ * AVM measured at each voltage-reduction level, the guidance picks the
+ * deepest level whose AVM is zero (no observed corruption) and reports
+ * the power saving. The prevention analysis models a simple timing-
+ * error prevention technique — instruction-aware clock stretching for
+ * the error-prone FP instruction types — which buys deeper voltage
+ * reduction at a small throughput cost (the paper's "up to 20% energy
+ * savings when combined with a timing error prevention technique").
+ */
+
+#ifndef TEA_CORE_ENERGY_HH
+#define TEA_CORE_ENERGY_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/celllib.hh"
+#include "models/error_models.hh"
+
+namespace tea::core {
+
+/** Fractional power saving (0..1) of running at a VR level. */
+double powerSavingAt(double vrFrac,
+                     const circuit::VoltageModel &vm =
+                         circuit::VoltageModel{});
+
+struct VoltageGuidance
+{
+    double maxSafeVr;   ///< deepest VR with AVM == 0 (0 if none)
+    double powerSaving; ///< fractional power saving at that VR
+};
+
+/**
+ * Pick the deepest studied VR level whose AVM is zero.
+ * @param avmPerVr map from VR fraction to measured AVM.
+ */
+VoltageGuidance guideVoltage(const std::map<double, double> &avmPerVr,
+                             const circuit::VoltageModel &vm =
+                                 circuit::VoltageModel{});
+
+struct PreventionAnalysis
+{
+    double vrFrac;          ///< VR enabled by prevention
+    double stretchOverhead; ///< fractional cycle overhead
+    double energyFactor;    ///< energy vs nominal (power x time)
+    double extraSavingVsGuided; ///< saving beyond AVM-only guidance
+};
+
+/**
+ * Model instruction-aware clock stretching: every FP instruction type
+ * whose WA-model probability of error at `vrFrac` is non-zero executes
+ * with a stretched (doubled) clock, eliminating its timing errors; all
+ * other instructions run at the scaled clock. The throughput overhead
+ * is the dynamic fraction of stretched instructions.
+ */
+PreventionAnalysis
+analyzePrevention(const models::ProgramProfile &profile,
+                  const models::StatisticalModel &waModel, double vrFrac,
+                  double guidedSaving,
+                  const circuit::VoltageModel &vm =
+                      circuit::VoltageModel{});
+
+} // namespace tea::core
+
+#endif // TEA_CORE_ENERGY_HH

@@ -1,0 +1,143 @@
+#include "core/results.hh"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace tea::core {
+
+using inject::CampaignResult;
+using models::ModelKind;
+
+const CampaignResult *
+EvaluationGrid::find(const std::string &workload, ModelKind model,
+                     double vrFrac) const
+{
+    for (const auto &cell : cells) {
+        if (cell.workload == workload && cell.model == model &&
+            std::fabs(cell.vrFrac - vrFrac) < 1e-9)
+            return &cell.result;
+    }
+    return nullptr;
+}
+
+void
+saveGrid(const std::string &path, const EvaluationGrid &grid)
+{
+    std::ofstream out(path);
+    fatal_if(!out, "cannot write '%s'", path.c_str());
+    out << "workload,model,vr,runs,masked,sdc,crash,timeout,"
+           "injected,committed,wrongpath\n";
+    for (const auto &c : grid.cells) {
+        out << c.workload << "," << static_cast<int>(c.model) << ","
+            << c.vrFrac << "," << c.result.runs << "," << c.result.masked
+            << "," << c.result.sdc << "," << c.result.crash << ","
+            << c.result.timeout << "," << c.result.injectedErrors << ","
+            << c.result.committedInstructions << ","
+            << c.result.wrongPathInjections << "\n";
+    }
+}
+
+std::optional<EvaluationGrid>
+loadGrid(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+    std::string header;
+    std::getline(in, header);
+    if (header.rfind("workload,model,vr", 0) != 0)
+        return std::nullopt;
+    EvaluationGrid grid;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        CampaignCell cell;
+        std::string tok;
+        int model;
+        auto field = [&](auto &dst) {
+            if (!std::getline(ls, tok, ','))
+                return false;
+            std::istringstream(tok) >> dst;
+            return true;
+        };
+        if (!std::getline(ls, cell.workload, ','))
+            return std::nullopt;
+        if (!field(model) || !field(cell.vrFrac) ||
+            !field(cell.result.runs) || !field(cell.result.masked) ||
+            !field(cell.result.sdc) || !field(cell.result.crash) ||
+            !field(cell.result.timeout) ||
+            !field(cell.result.injectedErrors) ||
+            !field(cell.result.committedInstructions) ||
+            !field(cell.result.wrongPathInjections))
+            return std::nullopt;
+        cell.model = static_cast<ModelKind>(model);
+        cell.result.workload = cell.workload;
+        cell.result.model = models::modelKindName(cell.model);
+        grid.cells.push_back(std::move(cell));
+    }
+    return grid.cells.empty() ? std::nullopt
+                              : std::make_optional(std::move(grid));
+}
+
+EvaluationGrid
+runEvaluationGrid(Toolflow &tf, bool useCache)
+{
+    const auto &opt = tf.options();
+    std::string cachePath;
+    if (useCache && !opt.cacheDir.empty()) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "%s/grid_r%d_s%llu_x%d.csv",
+                      opt.cacheDir.c_str(), opt.runsPerCell,
+                      static_cast<unsigned long long>(opt.seed),
+                      opt.workloadScale);
+        cachePath = buf;
+        if (auto grid = loadGrid(cachePath)) {
+            inform("loaded cached evaluation grid %s", cachePath.c_str());
+            return *grid;
+        }
+    }
+
+    EvaluationGrid grid;
+    Rng rng(opt.seed ^ 0xe1a1ULL);
+    for (const auto &name : workloads::workloadNames()) {
+        auto &campaign = tf.campaign(name);
+        for (double vr : opt.vrLevels) {
+            struct ModelRun
+            {
+                ModelKind kind;
+                std::unique_ptr<models::ErrorModel> model;
+            };
+            std::vector<ModelRun> runs;
+            runs.push_back({ModelKind::DA,
+                            std::make_unique<models::DaModel>(
+                                tf.daModel(vr))});
+            runs.push_back({ModelKind::IA,
+                            std::make_unique<models::IaModel>(
+                                tf.iaModel(vr))});
+            runs.push_back({ModelKind::WA,
+                            std::make_unique<models::WaModel>(
+                                tf.waModel(name, vr))});
+            for (auto &mr : runs) {
+                inform("campaign: %s %s VR%.0f (%d runs)...",
+                       name.c_str(), models::modelKindName(mr.kind),
+                       vr * 100, opt.runsPerCell);
+                Rng cellRng = rng.split();
+                CampaignCell cell;
+                cell.workload = name;
+                cell.model = mr.kind;
+                cell.vrFrac = vr;
+                cell.result =
+                    campaign.run(*mr.model, opt.runsPerCell, cellRng);
+                grid.cells.push_back(std::move(cell));
+            }
+        }
+    }
+    if (!cachePath.empty())
+        saveGrid(cachePath, grid);
+    return grid;
+}
+
+} // namespace tea::core

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Full-grid campaign execution (every workload x error model x VR
+ * level) with an on-disk result cache, so the Fig. 9 / Fig. 10 / AVM
+ * benches share one expensive evaluation pass.
+ */
+
+#ifndef TEA_CORE_RESULTS_HH
+#define TEA_CORE_RESULTS_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/toolflow.hh"
+#include "inject/campaign.hh"
+
+namespace tea::core {
+
+struct CampaignCell
+{
+    std::string workload;
+    models::ModelKind model;
+    double vrFrac;
+    inject::CampaignResult result;
+};
+
+struct EvaluationGrid
+{
+    std::vector<CampaignCell> cells;
+
+    const inject::CampaignResult *find(const std::string &workload,
+                                       models::ModelKind model,
+                                       double vrFrac) const;
+};
+
+/**
+ * Run (or load from cache) the full evaluation grid: the paper's
+ * 7 benchmarks x 3 models x 2 VR levels with runsPerCell runs each.
+ */
+EvaluationGrid runEvaluationGrid(Toolflow &tf, bool useCache = true);
+
+/** Serialize/deserialize the grid (CSV in the toolflow cache dir). */
+void saveGrid(const std::string &path, const EvaluationGrid &grid);
+std::optional<EvaluationGrid> loadGrid(const std::string &path);
+
+} // namespace tea::core
+
+#endif // TEA_CORE_RESULTS_HH

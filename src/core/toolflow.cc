@@ -1,0 +1,223 @@
+#include "core/toolflow.hh"
+
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+
+#include "sim/func_sim.hh"
+#include "util/logging.hh"
+
+namespace tea::core {
+
+using timing::CampaignStats;
+
+ToolflowOptions
+optionsFromEnv()
+{
+    ToolflowOptions opt;
+    if (const char *runs = std::getenv("REPRO_RUNS"))
+        opt.runsPerCell = std::max(1, std::atoi(runs));
+    if (const char *full = std::getenv("REPRO_FULL");
+        full && full[0] == '1') {
+        opt.runsPerCell = inject::kStatisticalRuns;
+        opt.iaCountPerOp = 20000;
+        opt.waMaxOps = 100000;
+        opt.daSampleOps = 100000;
+    }
+    if (const char *seed = std::getenv("REPRO_SEED"))
+        opt.seed = std::strtoull(seed, nullptr, 0);
+    if (const char *cache = std::getenv("REPRO_CACHE"))
+        opt.cacheDir = cache;
+    return opt;
+}
+
+Toolflow::Toolflow(ToolflowOptions opt)
+    : opt_(std::move(opt)), core_(std::make_unique<fpu::FpuCore>())
+{
+    if (!opt_.cacheDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opt_.cacheDir, ec);
+        if (ec) {
+            warn("cannot create cache dir '%s'; caching disabled",
+                 opt_.cacheDir.c_str());
+            opt_.cacheDir.clear();
+        }
+    }
+}
+
+size_t
+Toolflow::pointFor(double vrFrac)
+{
+    int key = static_cast<int>(vrFrac * 10000 + 0.5);
+    auto it = points_.find(key);
+    if (it != points_.end())
+        return it->second;
+    double scale = vm_.delayFactorAtReduction(vrFrac);
+    size_t idx = core_->addOperatingPoint(scale);
+    points_[key] = idx;
+    return idx;
+}
+
+std::string
+Toolflow::cachePath(const std::string &tag, double vrFrac) const
+{
+    if (opt_.cacheDir.empty())
+        return "";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "_vr%02d_s%llu.stats",
+                  static_cast<int>(vrFrac * 100 + 0.5),
+                  static_cast<unsigned long long>(opt_.seed));
+    return opt_.cacheDir + "/" + tag + buf;
+}
+
+const CampaignStats &
+Toolflow::characterize(
+    const std::string &tag, double vrFrac,
+    const std::function<CampaignStats(size_t)> &run)
+{
+    char keyBuf[32];
+    std::snprintf(keyBuf, sizeof(keyBuf), "@%.4f", vrFrac);
+    std::string key = tag + keyBuf;
+    auto it = statsCache_.find(key);
+    if (it != statsCache_.end())
+        return it->second;
+
+    std::string path = cachePath(tag, vrFrac);
+    CampaignStats stats;
+    if (!path.empty() && models::loadCampaignStats(path, stats)) {
+        inform("loaded cached characterization %s", path.c_str());
+        return statsCache_.emplace(key, std::move(stats)).first->second;
+    }
+    size_t point = pointFor(vrFrac);
+    stats = run(point);
+    if (!path.empty())
+        models::saveCampaignStats(path, stats);
+    return statsCache_.emplace(key, std::move(stats)).first->second;
+}
+
+const CampaignStats &
+Toolflow::iaStats(double vrFrac)
+{
+    char tag[64];
+    std::snprintf(tag, sizeof(tag), "ia_n%llu",
+                  static_cast<unsigned long long>(opt_.iaCountPerOp));
+    return characterize(tag, vrFrac, [&](size_t point) {
+        Rng rng(opt_.seed ^ 0x1a1a1aULL);
+        inform("IA characterization at VR%.0f (%llu ops/type)...",
+               vrFrac * 100,
+               static_cast<unsigned long long>(opt_.iaCountPerOp));
+        return timing::runRandomCampaign(*core_, point,
+                                         opt_.iaCountPerOp, rng);
+    });
+}
+
+const CampaignStats &
+Toolflow::waStats(const std::string &workload, double vrFrac)
+{
+    char tag[96];
+    std::snprintf(tag, sizeof(tag), "wa_%s_n%llu", workload.c_str(),
+                  static_cast<unsigned long long>(opt_.waMaxOps));
+    return characterize(tag, vrFrac, [&](size_t point) {
+        inform("WA characterization of %s at VR%.0f...",
+               workload.c_str(), vrFrac * 100);
+        return timing::runTraceCampaign(*core_, point, trace(workload),
+                                        opt_.waMaxOps);
+    });
+}
+
+double
+Toolflow::daErrorRatio(double vrFrac)
+{
+    int key = static_cast<int>(vrFrac * 10000 + 0.5);
+    auto it = daEr_.find(key);
+    if (it != daEr_.end())
+        return it->second;
+    // Monte-Carlo over instructions randomly extracted from all
+    // benchmarks (paper Section IV.C.1) — realized as an even trace
+    // sample per workload.
+    char tag[64];
+    std::snprintf(tag, sizeof(tag), "da_n%llu",
+                  static_cast<unsigned long long>(opt_.daSampleOps));
+    const CampaignStats &stats =
+        characterize(tag, vrFrac, [&](size_t point) {
+            inform("DA calibration at VR%.0f...", vrFrac * 100);
+            CampaignStats merged;
+            uint64_t per =
+                opt_.daSampleOps / workloads::workloadNames().size();
+            for (const auto &name : workloads::workloadNames()) {
+                auto s = timing::runTraceCampaign(*core_, point,
+                                                  trace(name), per);
+                for (unsigned o = 0; o < fpu::kNumFpuOps; ++o)
+                    merged.perOp[o].merge(s.perOp[o]);
+            }
+            return merged;
+        });
+    double er = stats.errorRatio();
+    daEr_[key] = er;
+    return er;
+}
+
+models::DaModel
+Toolflow::daModel(double vrFrac)
+{
+    return models::DaModel(daErrorRatio(vrFrac));
+}
+
+models::IaModel
+Toolflow::iaModel(double vrFrac)
+{
+    return models::IaModel(iaStats(vrFrac));
+}
+
+models::WaModel
+Toolflow::waModel(const std::string &workload, double vrFrac)
+{
+    return models::WaModel(workload, waStats(workload, vrFrac));
+}
+
+const workloads::Workload &
+Toolflow::workload(const std::string &name)
+{
+    auto it = workloads_.find(name);
+    if (it == workloads_.end()) {
+        it = workloads_
+                 .emplace(name, workloads::buildWorkload(
+                                    name, opt_.seed, opt_.workloadScale))
+                 .first;
+    }
+    return it->second;
+}
+
+const std::vector<sim::FpTraceEntry> &
+Toolflow::trace(const std::string &name)
+{
+    auto it = traces_.find(name);
+    if (it == traces_.end()) {
+        const auto &w = workload(name);
+        sim::FuncSim sim(w.program);
+        std::vector<sim::FpTraceEntry> tr;
+        sim.setFpTrace(&tr);
+        auto res = sim.run();
+        fatal_if(res.status != sim::FuncSim::Status::Halted,
+                 "workload '%s' did not halt while tracing",
+                 name.c_str());
+        it = traces_.emplace(name, std::move(tr)).first;
+    }
+    return it->second;
+}
+
+inject::InjectionCampaign &
+Toolflow::campaign(const std::string &name)
+{
+    auto it = campaigns_.find(name);
+    if (it == campaigns_.end()) {
+        it = campaigns_
+                 .emplace(name,
+                          std::make_unique<inject::InjectionCampaign>(
+                              workload(name)))
+                 .first;
+    }
+    return *it->second;
+}
+
+} // namespace tea::core

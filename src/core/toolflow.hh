@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The cross-layer toolflow facade (Fig. 2 of the paper).
+ *
+ * Ties the layers together: builds the gate-level FPU once, registers
+ * voltage operating points, runs the model-development phase (DTA
+ * characterizations for the DA/IA/WA models, with an on-disk cache so
+ * repeated bench invocations do not re-run gate-level simulation), and
+ * hands out injection campaigns for the application-evaluation phase.
+ */
+
+#ifndef TEA_CORE_TOOLFLOW_HH
+#define TEA_CORE_TOOLFLOW_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fpu/fpu_core.hh"
+#include "inject/campaign.hh"
+#include "models/error_models.hh"
+#include "timing/dta_campaign.hh"
+#include "workloads/workloads.hh"
+
+namespace tea::core {
+
+struct ToolflowOptions
+{
+    /** Voltage-reduction levels studied (paper: VR15 and VR20). */
+    std::vector<double> vrLevels = {circuit::kVR15, circuit::kVR20};
+    /** Random ops per instruction type for IA characterization. */
+    uint64_t iaCountPerOp = 4000;
+    /** Trace ops sampled per workload for WA characterization. */
+    uint64_t waMaxOps = 20000;
+    /** Benchmark-extracted ops for the DA Monte-Carlo ER estimate. */
+    uint64_t daSampleOps = 20000;
+    /** Injection runs per (workload, model, VR) cell. */
+    int runsPerCell = 60;
+    uint64_t seed = 1;
+    int workloadScale = 1;
+    /** Directory for characterization caches ("" disables caching). */
+    std::string cacheDir = "tea_cache";
+};
+
+/** Read REPRO_RUNS / REPRO_FULL / REPRO_SEED / REPRO_CACHE overrides. */
+ToolflowOptions optionsFromEnv();
+
+class Toolflow
+{
+  public:
+    explicit Toolflow(ToolflowOptions opt);
+    Toolflow() : Toolflow(optionsFromEnv()) {}
+
+    const ToolflowOptions &options() const { return opt_; }
+    fpu::FpuCore &fpuCore() { return *core_; }
+    const circuit::VoltageModel &voltageModel() const { return vm_; }
+
+    /** Operating-point index for a VR fraction (created on demand). */
+    size_t pointFor(double vrFrac);
+
+    // ---- model development phase -----------------------------------
+    const timing::CampaignStats &iaStats(double vrFrac);
+    const timing::CampaignStats &waStats(const std::string &workload,
+                                         double vrFrac);
+    /** DA fixed ER: DTA over instructions extracted from all benches. */
+    double daErrorRatio(double vrFrac);
+
+    models::DaModel daModel(double vrFrac);
+    models::IaModel iaModel(double vrFrac);
+    models::WaModel waModel(const std::string &workload, double vrFrac);
+
+    // ---- workload plumbing ------------------------------------------
+    const workloads::Workload &workload(const std::string &name);
+    const std::vector<sim::FpTraceEntry> &
+    trace(const std::string &workload);
+    inject::InjectionCampaign &campaign(const std::string &workload);
+
+  private:
+    std::string cachePath(const std::string &tag, double vrFrac) const;
+    const timing::CampaignStats &
+    characterize(const std::string &tag, double vrFrac,
+                 const std::function<timing::CampaignStats(size_t)> &run);
+
+    ToolflowOptions opt_;
+    circuit::VoltageModel vm_;
+    std::unique_ptr<fpu::FpuCore> core_;
+    std::map<int, size_t> points_; ///< key: VR percent x 100
+    std::map<std::string, timing::CampaignStats> statsCache_;
+    std::map<std::string, workloads::Workload> workloads_;
+    std::map<std::string, std::vector<sim::FpTraceEntry>> traces_;
+    std::map<std::string, std::unique_ptr<inject::InjectionCampaign>>
+        campaigns_;
+    std::map<int, double> daEr_;
+};
+
+} // namespace tea::core
+
+#endif // TEA_CORE_TOOLFLOW_HH

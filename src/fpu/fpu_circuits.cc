@@ -1,0 +1,785 @@
+#include "fpu/fpu_circuits.hh"
+
+#include <algorithm>
+
+#include "fpu/pipebuilder.hh"
+#include "util/logging.hh"
+
+namespace tea::fpu {
+
+using circuit::Builder;
+using circuit::Bus;
+using circuit::CellKind;
+using circuit::NetId;
+using circuit::Netlist;
+
+namespace {
+
+/** Shift-amount bus width for a datapath of the given bit count. */
+unsigned
+shiftWidth(size_t buswidth)
+{
+    unsigned w = 0;
+    while ((size_t(1) << w) < buswidth)
+        ++w;
+    return w;
+}
+
+/** Unpacked operand fields (all FTZ-normalized). */
+struct Unpacked
+{
+    NetId sign;
+    Bus exp;    ///< raw biased exponent (eb bits)
+    Bus sig;    ///< mb+1 bits incl. implicit 1; all-zero for zero input
+    Bus manRaw; ///< raw mantissa field
+    NetId isNaN, isInf, isZero;
+};
+
+Unpacked
+unpackOperand(Builder &b, const Bus &x, const FpFmt &f)
+{
+    Unpacked u;
+    u.sign = x[f.width() - 1];
+    u.exp = Bus(x.begin() + f.mb, x.begin() + f.mb + f.eb);
+    u.manRaw = Bus(x.begin(), x.begin() + f.mb);
+    NetId expZero = b.isZeroBus(u.exp);
+    NetId expMax = b.andTree(u.exp);
+    NetId manOr = b.orTree(u.manRaw);
+    u.isNaN = b.and2(expMax, manOr);
+    u.isInf = b.and2(expMax, b.inv(manOr));
+    u.isZero = expZero; // FTZ: subnormals count as zero
+    NetId notZero = b.inv(expZero);
+    u.sig.reserve(f.mb + 1);
+    for (unsigned i = 0; i < f.mb; ++i)
+        u.sig.push_back(b.and2(u.manRaw[i], notZero));
+    u.sig.push_back(notZero); // implicit leading one
+    return u;
+}
+
+/** Gate-level equivalent of softfloat's roundPack (RNE + FTZ). */
+struct RoundOut
+{
+    Bus packed; ///< width() bits; valid unless a special overrides it
+    NetId overflow, underflow, inexact;
+};
+
+RoundOut
+roundPackGate(Builder &b, NetId sign, const Bus &expExt, const Bus &sig,
+              const FpFmt &f)
+{
+    panic_if(expExt.size() != f.eb + 2, "roundPackGate expExt width");
+    panic_if(sig.size() != f.mb + 4, "roundPackGate sig width");
+
+    NetId g = sig[2], r = sig[1], s = sig[0];
+    NetId lsb = sig[3];
+    NetId roundUp = b.and2(g, b.or2(b.or2(r, s), lsb));
+
+    Bus man(sig.begin() + 3, sig.end()); // mb+1 incl. implicit
+    Bus manExt = b.zeroExtend(man, f.mb + 2);
+    Bus inc = b.fastIncrementer(manExt, roundUp);
+    NetId carry = inc[f.mb + 1];
+    // After a carry the fraction field is all zeros automatically.
+    Bus mantField(inc.begin(), inc.begin() + f.mb);
+
+    Bus expFin = b.incrementer(expExt, carry);
+    NetId signBit = expFin[f.eb + 1];
+    Bus expLow(expFin.begin(), expFin.begin() + f.eb + 1);
+    NetId geMax = b.geUnsigned(
+        expLow, b.constBus(f.expMax(), f.eb + 1));
+    NetId overflow = b.and2(b.inv(signBit), geMax);
+    NetId underflow = b.or2(signBit, b.isZeroBus(expFin));
+    NetId grsAny = b.or2(b.or2(g, r), s);
+    NetId inexact = b.or2(grsAny, b.or2(overflow, underflow));
+
+    NetId kill = b.or2(overflow, underflow);
+    Bus packed;
+    packed.reserve(f.width());
+    for (unsigned i = 0; i < f.mb; ++i)
+        packed.push_back(b.and2(mantField[i], b.inv(kill)));
+    for (unsigned i = 0; i < f.eb; ++i) {
+        // overflow -> all ones, underflow -> all zeros, else expFin.
+        NetId normOrUnd = b.and2(expFin[i], b.inv(underflow));
+        packed.push_back(b.mux2(overflow, normOrUnd, b.c1()));
+    }
+    packed.push_back(sign);
+    return {std::move(packed), overflow, underflow, inexact};
+}
+
+/** Constant W-bit packed patterns. */
+Bus
+qnanBus(Builder &b, const FpFmt &f)
+{
+    Bus out;
+    out.reserve(f.width());
+    for (unsigned i = 0; i < f.mb - 1; ++i)
+        out.push_back(b.c0());
+    out.push_back(b.c1()); // mantissa MSB
+    for (unsigned i = 0; i < f.eb; ++i)
+        out.push_back(b.c1());
+    out.push_back(b.c0());
+    return out;
+}
+
+Bus
+infBus(Builder &b, const FpFmt &f, NetId sign)
+{
+    Bus out;
+    out.reserve(f.width());
+    for (unsigned i = 0; i < f.mb; ++i)
+        out.push_back(b.c0());
+    for (unsigned i = 0; i < f.eb; ++i)
+        out.push_back(b.c1());
+    out.push_back(sign);
+    return out;
+}
+
+Bus
+zeroBus(Builder &b, const FpFmt &f, NetId sign)
+{
+    Bus out(f.width() - 1, b.c0());
+    out.push_back(sign);
+    return out;
+}
+
+/** expExt helper: zero-extend a raw exponent to eb+2 bits. */
+Bus
+extExp(Builder &b, const Bus &e, const FpFmt &f)
+{
+    return b.zeroExtend(e, f.eb + 2);
+}
+
+// =====================================================================
+// Add / Sub
+// =====================================================================
+
+std::vector<std::unique_ptr<Netlist>>
+buildAddSub(const FpFmt &f, const FpuConfig &cfg)
+{
+    const unsigned W = f.width(), MB = f.mb, EB = f.eb;
+    PipeBuilder pb(std::string("fpu-addsub.") + (MB == 52 ? "d" : "s"));
+
+    Bus inA = pb.input("a", W);
+    Bus inB = pb.input("b", W);
+    NetId isSubIn = pb.inputBit("is_sub");
+
+    // ---- Stage 1: unpack, classify, effective sign ----
+    Bus sa, sb, ea, eb, siga, sigb, spec;
+    {
+        Builder &b = pb.b();
+        Unpacked ua = unpackOperand(b, inA, f);
+        Unpacked ub = unpackOperand(b, inB, f);
+        NetId effSb = b.xor2(ub.sign, isSubIn);
+        NetId invalid = b.and2(b.and2(ua.isInf, ub.isInf),
+                               b.xor2(ua.sign, effSb));
+        NetId nanAny = b.or2(b.or2(ua.isNaN, ub.isNaN), invalid);
+        NetId infAny = b.or2(ua.isInf, ub.isInf);
+        NetId infSign = b.mux2(ua.isInf, effSb, ua.sign);
+        NetId bothZero = b.and2(ua.isZero, ub.isZero);
+        NetId zeroSign = b.and2(bothZero, b.and2(ua.sign, effSb));
+        sa = asBus(ua.sign);
+        sb = asBus(effSb);
+        ea = ua.exp;
+        eb = ub.exp;
+        siga = ua.sig;
+        sigb = ub.sig;
+        spec = {nanAny, infAny, infSign, zeroSign, invalid};
+    }
+    pb.nextStage({{"sa", &sa},
+                  {"sb", &sb},
+                  {"ea", &ea},
+                  {"eb", &eb},
+                  {"siga", &siga},
+                  {"sigb", &sigb},
+                  {"spec", &spec}});
+
+    // ---- Stage 2: magnitude compare, swap, alignment amount ----
+    const unsigned SW = shiftWidth(MB + 5);
+    Bus signBig, bigExp, bigSig, smallSig, amt, effSub;
+    {
+        Builder &b = pb.b();
+        NetId expLt = b.lessUnsigned(ea, eb);
+        NetId expEq = b.equalBus(ea, eb);
+        NetId manLt = b.lessUnsigned(siga, sigb);
+        NetId swap = b.or2(expLt, b.and2(expEq, manLt));
+        bigExp = b.mux2Bus(swap, ea, eb);
+        Bus smallExp = b.mux2Bus(swap, eb, ea);
+        bigSig = b.mux2Bus(swap, siga, sigb);
+        smallSig = b.mux2Bus(swap, sigb, siga);
+        NetId sBig = b.mux2(swap, sa[0], sb[0]);
+        NetId sSmall = b.mux2(swap, sb[0], sa[0]);
+        Bus d = b.subtract(bigExp, smallExp, false).sum;
+        // Saturate the shift amount into SW bits.
+        Bus dHigh(d.begin() + SW, d.end());
+        NetId sat = b.orTree(dHigh);
+        amt.resize(SW);
+        for (unsigned i = 0; i < SW; ++i)
+            amt[i] = b.or2(d[i], sat);
+        signBig = asBus(sBig);
+        effSub = asBus(b.xor2(sBig, sSmall));
+    }
+    pb.nextStage({{"sign_big", &signBig},
+                  {"big_exp", &bigExp},
+                  {"big_sig", &bigSig},
+                  {"small_sig", &smallSig},
+                  {"amt", &amt},
+                  {"eff_sub", &effSub},
+                  {"spec", &spec}});
+
+    // ---- Stage 3: align, complement, and the mantissa adder.  This is
+    // the deep data-dependent stage: shifter -> complement -> carry
+    // chain, excited in full only by long carry/borrow propagation. ----
+    Bus sum;
+    {
+        Builder &b = pb.b();
+        Bus big3 = b.shiftLeftConst(bigSig, 3, MB + 4);
+        Bus small3 = b.shiftLeftConst(smallSig, 3, MB + 4);
+        auto sh = b.shiftRightSticky(small3, amt);
+        Bus aligned = sh.out;
+        aligned[0] = b.or2(aligned[0], sh.sticky);
+        Bus addend(MB + 4);
+        for (unsigned i = 0; i < MB + 4; ++i)
+            addend[i] = b.xor2(aligned[i], effSub[0]);
+        Bus bigExt = b.zeroExtend(big3, MB + 5);
+        Bus addExt = addend;
+        addExt.push_back(effSub[0]); // ~x sign-extends with 1s
+        if (cfg.rippleMantissaAdd) {
+            unsigned low = (MB == 52) ? cfg.addsubSelectLowBitsD
+                                      : cfg.addsubSelectLowBitsS;
+            sum = b.carrySelectAdd(bigExt, addExt, effSub[0], low).sum;
+        } else {
+            sum = b.koggeStoneAdd(bigExt, addExt, effSub[0]).sum;
+        }
+    }
+    pb.nextStage({{"sign_big", &signBig},
+                  {"big_exp", &bigExp},
+                  {"sum", &sum},
+                  {"eff_sub", &effSub},
+                  {"spec", &spec}});
+
+    // ---- Stage 5: normalize ----
+    Bus sig, expExt, resZero;
+    {
+        Builder &b = pb.b();
+        NetId carryBit = sum[MB + 4];
+        Bus sumLow(sum.begin(), sum.begin() + MB + 4);
+        // Addition path: possible 1-bit right shift with sticky.
+        Bus addSig(MB + 4);
+        for (unsigned i = 0; i < MB + 4; ++i)
+            addSig[i] = (i + 1 < MB + 5) ? sum[i + 1] : b.c0();
+        addSig[0] = b.or2(sum[1], sum[0]);
+        Bus addSel = b.mux2Bus(carryBit, sumLow, addSig);
+        // Subtraction path: renormalize left by the leading-zero count.
+        Bus lz = b.leadingZeroCount(sumLow);
+        Bus lzSh(lz.begin(), lz.begin() + shiftWidth(MB + 5));
+        Bus norm = b.shiftLeftLogical(sumLow, lzSh);
+        sig = b.mux2Bus(effSub[0], addSel, norm);
+        resZero = asBus(b.isZeroBus(sum));
+        // Exponent: +carry on the add path, -lz on the subtract path.
+        Bus expZ = extExp(b, bigExp, f);
+        NetId incBy = b.and2(carryBit, b.inv(effSub[0]));
+        Bus expInc = b.incrementer(expZ, incBy);
+        Bus lzMask =
+            b.maskBus(b.zeroExtend(lz, EB + 2), effSub[0]);
+        expExt = b.subtract(expInc, lzMask, false).sum;
+    }
+    pb.nextStage({{"sign_big", &signBig},
+                  {"exp_ext", &expExt},
+                  {"sig", &sig},
+                  {"res_zero", &resZero},
+                  {"spec", &spec}});
+
+    // ---- Stage 6: round, pack, special-case selection ----
+    {
+        Builder &b = pb.b();
+        RoundOut rp = roundPackGate(b, signBig[0], expExt, sig, f);
+        NetId nanAny = spec[0], infAny = spec[1], infSign = spec[2],
+              zeroSign = spec[3], invalid = spec[4];
+        Bus res = rp.packed;
+        res = b.mux2Bus(resZero[0], res, zeroBus(b, f, zeroSign));
+        res = b.mux2Bus(infAny, res, infBus(b, f, infSign));
+        res = b.mux2Bus(nanAny, res, qnanBus(b, f));
+        NetId special =
+            b.or2(nanAny, b.or2(infAny, resZero[0]));
+        NetId valid = b.inv(special);
+        Bus flags = {invalid, b.c0(), b.and2(rp.overflow, valid),
+                     b.and2(rp.underflow, valid),
+                     b.and2(rp.inexact, valid)};
+        pb.finish({{"result", res}, {"flags", flags}});
+    }
+    return pb.take();
+}
+
+// =====================================================================
+// Mul
+// =====================================================================
+
+std::vector<std::unique_ptr<Netlist>>
+buildMul(const FpFmt &f, const FpuConfig &cfg)
+{
+    const unsigned W = f.width(), MB = f.mb, EB = f.eb;
+    const unsigned rowsTotal = MB + 1;
+    const unsigned rowsPerStage =
+        (MB == 52) ? cfg.mulRowsPerStageD : cfg.mulRowsPerStageS;
+    const unsigned prodW = 2 * MB + 2;
+    PipeBuilder pb(std::string("fpu-mul.") + (MB == 52 ? "d" : "s"));
+
+    Bus inA = pb.input("a", W);
+    Bus inB = pb.input("b", W);
+
+    // ---- Stage 1: unpack, classify, exponent sum ----
+    Bus resSign, expExt, siga, sigb, spec;
+    {
+        Builder &b = pb.b();
+        Unpacked ua = unpackOperand(b, inA, f);
+        Unpacked ub = unpackOperand(b, inB, f);
+        resSign = asBus(b.xor2(ua.sign, ub.sign));
+        NetId invalid = b.or2(b.and2(ua.isInf, ub.isZero),
+                              b.and2(ua.isZero, ub.isInf));
+        NetId nanAny = b.or2(b.or2(ua.isNaN, ub.isNaN), invalid);
+        NetId infOut = b.or2(ua.isInf, ub.isInf);
+        NetId zeroOut = b.or2(ua.isZero, ub.isZero);
+        Bus sumExp =
+            b.koggeStoneAdd(extExp(b, ua.exp, f), extExp(b, ub.exp, f))
+                .sum;
+        expExt =
+            b.subtract(sumExp, b.constBus(f.bias(), EB + 2), false).sum;
+        siga = ua.sig;
+        sigb = ub.sig;
+        spec = {nanAny, infOut, zeroOut, invalid};
+    }
+    pb.nextStage({{"sign", &resSign},
+                  {"exp_ext", &expExt},
+                  {"siga", &siga},
+                  {"sigb", &sigb},
+                  {"spec", &spec}});
+
+    // ---- Array stages: carry-save accumulation of partial products ----
+    Builder::CsaState st = pb.b().csaInit(prodW);
+    unsigned row = 0;
+    while (row < rowsTotal) {
+        Builder &b = pb.b();
+        unsigned end = std::min(rowsTotal, row + rowsPerStage);
+        for (; row < end; ++row)
+            st = b.csaAddRow(st, siga, sigb[row], row);
+        if (row < rowsTotal) {
+            // Only the unconsumed multiplier bits travel on.
+            Bus sigbRest(sigb.begin() + row, sigb.end());
+            pb.nextStage({{"sign", &resSign},
+                          {"exp_ext", &expExt},
+                          {"siga", &siga},
+                          {"sigb_rest", &sigbRest},
+                          {"csa_sum", &st.sum},
+                          {"csa_carry", &st.carry},
+                          {"spec", &spec}});
+            // Remap the multiplier so sigb[row] is the next fresh bit.
+            sigb.assign(row, circuit::invalidNet);
+            sigb.insert(sigb.end(), sigbRest.begin(), sigbRest.end());
+        }
+    }
+    pb.nextStage({{"sign", &resSign},
+                  {"exp_ext", &expExt},
+                  {"csa_sum", &st.sum},
+                  {"csa_carry", &st.carry},
+                  {"spec", &spec}});
+
+    // ---- Resolve stage: carry-save to binary ----
+    Bus prod;
+    {
+        Builder &b = pb.b();
+        prod = b.csaResolve({st.sum, st.carry}, true);
+    }
+    pb.nextStage({{"sign", &resSign},
+                  {"exp_ext", &expExt},
+                  {"prod", &prod},
+                  {"spec", &spec}});
+
+    // ---- Final stage: normalize, round, pack, specials ----
+    {
+        Builder &b = pb.b();
+        NetId high = prod[2 * MB + 1];
+        Bus sigLo(prod.begin() + (MB - 3), prod.begin() + (2 * MB + 1));
+        Bus sigHi(prod.begin() + (MB - 2), prod.begin() + (2 * MB + 2));
+        Bus sig = b.mux2Bus(high, sigLo, sigHi);
+        Bus lowBits(prod.begin(), prod.begin() + (MB - 3));
+        NetId sticky = b.or2(b.orTree(lowBits),
+                             b.and2(high, prod[MB - 3]));
+        sig[0] = b.or2(sig[0], sticky);
+        Bus expFin = b.incrementer(expExt, high);
+        RoundOut rp = roundPackGate(b, resSign[0], expFin, sig, f);
+        NetId nanAny = spec[0], infOut = spec[1], zeroOut = spec[2],
+              invalid = spec[3];
+        Bus res = rp.packed;
+        res = b.mux2Bus(zeroOut, res, zeroBus(b, f, resSign[0]));
+        res = b.mux2Bus(infOut, res, infBus(b, f, resSign[0]));
+        res = b.mux2Bus(nanAny, res, qnanBus(b, f));
+        NetId valid =
+            b.inv(b.or2(nanAny, b.or2(infOut, zeroOut)));
+        Bus flags = {invalid, b.c0(), b.and2(rp.overflow, valid),
+                     b.and2(rp.underflow, valid),
+                     b.and2(rp.inexact, valid)};
+        pb.finish({{"result", res}, {"flags", flags}});
+    }
+    return pb.take();
+}
+
+// =====================================================================
+// Div
+// =====================================================================
+
+std::vector<std::unique_ptr<Netlist>>
+buildDiv(const FpFmt &f, const FpuConfig &cfg)
+{
+    const unsigned W = f.width(), MB = f.mb, EB = f.eb;
+    const unsigned qBits = MB + 3;
+    const unsigned rowsPerStage =
+        (MB == 52) ? cfg.divRowsPerStageD : cfg.divRowsPerStageS;
+    PipeBuilder pb(std::string("fpu-div.") + (MB == 52 ? "d" : "s"));
+
+    Bus inA = pb.input("a", W);
+    Bus inB = pb.input("b", W);
+
+    // ---- Stage 1: unpack, classify, pre-shift, exponent ----
+    Bus resSign, expExt, rem, den, spec, qAcc;
+    {
+        Builder &b = pb.b();
+        Unpacked ua = unpackOperand(b, inA, f);
+        Unpacked ub = unpackOperand(b, inB, f);
+        resSign = asBus(b.xor2(ua.sign, ub.sign));
+        NetId invalid = b.or2(b.and2(ua.isInf, ub.isInf),
+                              b.and2(ua.isZero, ub.isZero));
+        NetId nanAny = b.or2(b.or2(ua.isNaN, ub.isNaN), invalid);
+        NetId dbz = b.and2(
+            ub.isZero,
+            b.inv(b.or2(ua.isZero, b.or2(ua.isNaN, ua.isInf))));
+        NetId infOut = b.or2(ua.isInf, dbz);
+        NetId zeroOut = b.or2(ub.isInf, ua.isZero);
+        NetId aLtB = b.lessUnsigned(ua.sig, ub.sig);
+        Bus saExt = b.zeroExtend(ua.sig, MB + 2);
+        Bus saShl = b.shiftLeftConst(ua.sig, 1, MB + 2);
+        Bus sa = b.mux2Bus(aLtB, saExt, saShl);
+        Bus diff = b.subtract(extExp(b, ua.exp, f),
+                              extExp(b, ub.exp, f), false)
+                       .sum;
+        Bus withBias =
+            b.koggeStoneAdd(diff, b.constBus(f.bias(), EB + 2)).sum;
+        expExt = b.subtract(withBias,
+                            b.zeroExtend(asBus(aLtB), EB + 2), false)
+                     .sum;
+        rem = b.zeroExtend(sa, MB + 3);
+        den = b.zeroExtend(ub.sig, MB + 2);
+        spec = {nanAny, infOut, zeroOut, invalid, dbz};
+        qAcc = {};
+    }
+
+    // ---- Row stages ----
+    unsigned done = 0;
+    while (done < qBits) {
+        pb.nextStage({{"sign", &resSign},
+                      {"exp_ext", &expExt},
+                      {"rem", &rem},
+                      {"den", &den},
+                      {"q_acc", &qAcc},
+                      {"spec", &spec}});
+        Builder &b = pb.b();
+        unsigned end = std::min(qBits, done + rowsPerStage);
+        for (; done < end; ++done) {
+            auto r = b.divRow(rem, den);
+            qAcc.push_back(r.qBit);
+            rem = r.nextRem;
+        }
+    }
+
+    pb.nextStage({{"sign", &resSign},
+                  {"exp_ext", &expExt},
+                  {"rem", &rem},
+                  {"q_acc", &qAcc},
+                  {"spec", &spec}});
+
+    // ---- Final stage: assemble significand, round, pack, specials ----
+    {
+        Builder &b = pb.b();
+        // qAcc[i] is quotient bit (qBits-1-i); the remainder OR is the
+        // sticky (shifting between rows only moves provably-zero MSBs).
+        NetId sticky = b.orTree(rem);
+        Bus sig(MB + 4);
+        sig[0] = sticky;
+        for (unsigned i = 0; i < qBits; ++i)
+            sig[1 + i] = qAcc[qBits - 1 - i];
+        RoundOut rp = roundPackGate(b, resSign[0], expExt, sig, f);
+        NetId nanAny = spec[0], infOut = spec[1], zeroOut = spec[2],
+              invalid = spec[3], dbz = spec[4];
+        Bus res = rp.packed;
+        res = b.mux2Bus(zeroOut, res, zeroBus(b, f, resSign[0]));
+        res = b.mux2Bus(infOut, res, infBus(b, f, resSign[0]));
+        res = b.mux2Bus(nanAny, res, qnanBus(b, f));
+        NetId valid =
+            b.inv(b.or2(nanAny, b.or2(infOut, zeroOut)));
+        Bus flags = {invalid, b.and2(dbz, b.inv(nanAny)),
+                     b.and2(rp.overflow, valid),
+                     b.and2(rp.underflow, valid),
+                     b.and2(rp.inexact, valid)};
+        pb.finish({{"result", res}, {"flags", flags}});
+    }
+    return pb.take();
+}
+
+// =====================================================================
+// I2F
+// =====================================================================
+
+std::vector<std::unique_ptr<Netlist>>
+buildI2F(const FpFmt &f, unsigned intBits)
+{
+    const unsigned MB = f.mb, EB = f.eb, N = intBits;
+    PipeBuilder pb(std::string("fpu-i2f.") + (MB == 52 ? "d" : "s"));
+
+    Bus v = pb.input("v", N);
+
+    // ---- Stage 1: sign/magnitude ----
+    Bus sign, mag, isZero;
+    {
+        Builder &b = pb.b();
+        NetId sgn = v[N - 1];
+        Bus neg = b.subtract(b.constBus(0, N), v, true).sum;
+        mag = b.mux2Bus(sgn, v, neg);
+        sign = asBus(sgn);
+        isZero = asBus(b.isZeroBus(v));
+    }
+    pb.nextStage(
+        {{"sign", &sign}, {"mag", &mag}, {"is_zero", &isZero}});
+
+    // ---- Stage 2: normalize ----
+    Bus shifted, expExt;
+    {
+        Builder &b = pb.b();
+        Bus lz = b.leadingZeroCount(mag);
+        Bus lzSh(lz.begin(), lz.begin() + shiftWidth(N));
+        shifted = b.shiftLeftLogical(mag, lzSh);
+        expExt = b.subtract(b.constBus(N - 1 + f.bias(), EB + 2),
+                            b.zeroExtend(lz, EB + 2), false)
+                     .sum;
+    }
+    pb.nextStage({{"sign", &sign},
+                  {"shifted", &shifted},
+                  {"exp_ext", &expExt},
+                  {"is_zero", &isZero}});
+
+    // ---- Stage 3: round and pack ----
+    {
+        Builder &b = pb.b();
+        const unsigned cut = N - 1 - (MB + 3);
+        Bus sig(shifted.begin() + cut, shifted.end());
+        Bus lowBits(shifted.begin(), shifted.begin() + cut);
+        NetId sticky = b.orTree(lowBits);
+        sig[0] = b.or2(sig[0], sticky);
+        RoundOut rp = roundPackGate(b, sign[0], expExt, sig, f);
+        Bus res = b.mux2Bus(isZero[0], rp.packed,
+                            zeroBus(b, f, b.c0()));
+        Bus flags = {b.c0(), b.c0(), b.c0(), b.c0(),
+                     b.and2(rp.inexact, b.inv(isZero[0]))};
+        pb.finish({{"result", res}, {"flags", flags}});
+    }
+    return pb.take();
+}
+
+// =====================================================================
+// F2I (round toward zero, saturating)
+// =====================================================================
+
+std::vector<std::unique_ptr<Netlist>>
+buildF2I(const FpFmt &f, unsigned intBits)
+{
+    const unsigned W = f.width(), MB = f.mb, EB = f.eb, N = intBits;
+    PipeBuilder pb(std::string("fpu-f2i.") + (MB == 52 ? "d" : "s"));
+
+    Bus inA = pb.input("a", W);
+
+    // ---- Stage 1: unpack, signed exponent ----
+    Bus sign, eS, sig, flagsIn;
+    {
+        Builder &b = pb.b();
+        Unpacked ua = unpackOperand(b, inA, f);
+        sign = asBus(ua.sign);
+        eS = b.subtract(extExp(b, ua.exp, f),
+                        b.constBus(f.bias(), EB + 2), false)
+                 .sum;
+        sig = ua.sig;
+        NetId manZero = b.isZeroBus(ua.manRaw);
+        flagsIn = {ua.isNaN, ua.isInf, ua.isZero, manZero};
+    }
+    pb.nextStage({{"sign", &sign},
+                  {"e_s", &eS},
+                  {"sig", &sig},
+                  {"flags_in", &flagsIn}});
+
+    // ---- Stage 2: shift into the integer field ----
+    Bus mag, st2;
+    {
+        Builder &b = pb.b();
+        NetId negE = eS[EB + 1];
+        NetId isNaN = flagsIn[0], isInf = flagsIn[1],
+              isZero = flagsIn[2], manZero = flagsIn[3];
+        Bus eLow(eS.begin(), eS.begin() + EB + 1);
+        NetId eEqTop =
+            b.equalBus(eS, b.constBus(N - 1, EB + 2));
+        NetId eGeTop = b.and2(
+            b.inv(negE),
+            b.geUnsigned(eLow, b.constBus(N - 1, EB + 1)));
+        NetId minCase =
+            b.and2(sign[0], b.and2(eEqTop, manZero));
+        NetId ovf = b.and2(eGeTop, b.inv(minCase));
+        // Shift left by e within a (MB+N)-bit field; garbage amounts
+        // only occur in overridden (overflow) cases.
+        const unsigned SW = shiftWidth(N);
+        Bus amt(SW);
+        for (unsigned i = 0; i < SW; ++i)
+            amt[i] = b.and2(eS[i], b.inv(negE));
+        Bus field = b.zeroExtend(sig, MB + N);
+        Bus shifted = b.shiftLeftLogical(field, amt);
+        mag = Bus(shifted.begin() + MB, shifted.end());
+        Bus droppedBits(shifted.begin(), shifted.begin() + MB);
+        NetId dropped = b.orTree(droppedBits);
+        st2 = {negE, isNaN, isInf, isZero, ovf, dropped};
+    }
+    pb.nextStage({{"sign", &sign}, {"mag", &mag}, {"st2", &st2}});
+
+    // ---- Stage 3: negate, saturate, flags ----
+    {
+        Builder &b = pb.b();
+        NetId negE = st2[0], isNaN = st2[1], isInf = st2[2],
+              isZero = st2[3], ovf = st2[4], dropped = st2[5];
+        Bus neg = b.subtract(b.constBus(0, N), mag, true).sum;
+        Bus res = b.mux2Bus(sign[0], mag, neg);
+        Bus maxC = b.constBus((1ULL << (N - 1)) - 1, N);
+        Bus minC = b.constBus(1ULL << (N - 1), N);
+        Bus satC = b.mux2Bus(sign[0], maxC, minC);
+        Bus zeroC = b.constBus(0, N);
+        res = b.mux2Bus(negE, res, zeroC);
+        res = b.mux2Bus(ovf, res, satC);
+        res = b.mux2Bus(isInf, res, satC);
+        res = b.mux2Bus(isZero, res, zeroC);
+        res = b.mux2Bus(isNaN, res, zeroC);
+        NetId invalid = b.or2(isNaN, b.or2(isInf, ovf));
+        NetId special = b.or2(invalid, isZero);
+        NetId inexact = b.and2(
+            b.inv(special),
+            b.or2(b.and2(negE, b.inv(isZero)),
+                  b.and2(dropped, b.inv(negE))));
+        Bus flags = {invalid, b.c0(), b.c0(), b.c0(), inexact};
+        pb.finish({{"result", res}, {"flags", flags}});
+    }
+    return pb.take();
+}
+
+} // namespace
+
+std::vector<std::unique_ptr<Netlist>>
+buildUnitCircuits(FpuUnitKind unit, const FpuConfig &cfg)
+{
+    switch (unit) {
+      case FpuUnitKind::AddSubD: return buildAddSub(kFmtD, cfg);
+      case FpuUnitKind::MulD: return buildMul(kFmtD, cfg);
+      case FpuUnitKind::DivD: return buildDiv(kFmtD, cfg);
+      case FpuUnitKind::I2FD: return buildI2F(kFmtD, 64);
+      case FpuUnitKind::F2ID: return buildF2I(kFmtD, 64);
+      case FpuUnitKind::AddSubS: return buildAddSub(kFmtS, cfg);
+      case FpuUnitKind::MulS: return buildMul(kFmtS, cfg);
+      case FpuUnitKind::DivS: return buildDiv(kFmtS, cfg);
+      case FpuUnitKind::I2FS: return buildI2F(kFmtS, 32);
+      case FpuUnitKind::F2IS: return buildF2I(kFmtS, 32);
+    }
+    panic("bad FpuUnitKind");
+}
+
+std::vector<std::unique_ptr<Netlist>>
+buildIntegerSideNetlists()
+{
+    std::vector<std::unique_ptr<Netlist>> out;
+
+    // Integer ALU: fast 64-bit adder plus logic ops behind a mux.
+    {
+        auto nl = std::make_unique<Netlist>("int-alu");
+        Builder b(*nl);
+        Bus a = nl->addInputBus("a", 64);
+        Bus c = nl->addInputBus("b", 64);
+        Bus sel = nl->addInputBus("sel", 2);
+        Bus sum = b.koggeStoneAdd(a, c).sum;
+        Bus land = b.and2Bus(a, c);
+        Bus lor = b.or2Bus(a, c);
+        Bus lxor = b.xor2Bus(a, c);
+        Bus m0 = b.mux2Bus(sel[0], sum, land);
+        Bus m1 = b.mux2Bus(sel[0], lor, lxor);
+        Bus res = b.mux2Bus(sel[1], m0, m1);
+        nl->addOutputBus("result", res);
+        out.push_back(std::move(nl));
+    }
+
+    // Load/store address generation: base + sign-extended offset.
+    {
+        auto nl = std::make_unique<Netlist>("lsu-agen");
+        Builder b(*nl);
+        Bus base = nl->addInputBus("base", 64);
+        Bus off = nl->addInputBus("off", 16);
+        Bus offExt = off;
+        while (offExt.size() < 64)
+            offExt.push_back(off[15]); // sign extension wires
+        Bus addr = b.koggeStoneAdd(base, offExt).sum;
+        nl->addOutputBus("addr", addr);
+        out.push_back(std::move(nl));
+    }
+
+    // Branch comparator.
+    {
+        auto nl = std::make_unique<Netlist>("branch-cmp");
+        Builder b(*nl);
+        Bus a = nl->addInputBus("a", 64);
+        Bus c = nl->addInputBus("b", 64);
+        NetId eq = b.equalBus(a, c);
+        NetId lt = b.lessUnsigned(a, c);
+        nl->addOutputBus("taken", {eq, lt});
+        out.push_back(std::move(nl));
+    }
+
+    // Decode: synthetic control logic over a 32-bit instruction word.
+    {
+        auto nl = std::make_unique<Netlist>("decode");
+        Builder b(*nl);
+        Bus insn = nl->addInputBus("insn", 32);
+        Bus opcode(insn.begin(), insn.begin() + 7);
+        Bus rd(insn.begin() + 7, insn.begin() + 12);
+        // One-hot destination decoder.
+        Bus onehot;
+        for (unsigned r = 0; r < 32; ++r) {
+            Bus terms;
+            for (unsigned i = 0; i < 5; ++i)
+                terms.push_back((r >> i) & 1 ? rd[i] : b.inv(rd[i]));
+            onehot.push_back(b.andTree(terms));
+        }
+        NetId isFp = b.and2(opcode[6], b.and2(opcode[4], opcode[0]));
+        NetId isMem = b.and2(b.inv(opcode[6]), opcode[5]);
+        NetId writes = b.or2(b.xorTree(opcode), b.orTree(rd));
+        nl->addOutputBus("onehot", onehot);
+        nl->addOutputBus("ctl", {isFp, isMem, writes});
+        out.push_back(std::move(nl));
+    }
+
+    // Writeback bypass: 4:1 result select.
+    {
+        auto nl = std::make_unique<Netlist>("bypass-mux");
+        Builder b(*nl);
+        Bus r0 = nl->addInputBus("r0", 64);
+        Bus r1 = nl->addInputBus("r1", 64);
+        Bus r2 = nl->addInputBus("r2", 64);
+        Bus r3 = nl->addInputBus("r3", 64);
+        Bus sel = nl->addInputBus("sel", 2);
+        Bus m0 = b.mux2Bus(sel[0], r0, r1);
+        Bus m1 = b.mux2Bus(sel[0], r2, r3);
+        Bus res = b.mux2Bus(sel[1], m0, m1);
+        nl->addOutputBus("out", res);
+        out.push_back(std::move(nl));
+    }
+
+    return out;
+}
+
+} // namespace tea::fpu

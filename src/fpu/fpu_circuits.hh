@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Gate-level generators for the pipelined FPU datapaths.
+ *
+ * Each of the 10 physical units (add/sub, mul, div, i2f, f2i x double/
+ * single precision) is generated as a chain of combinational stage
+ * netlists following the marocchino-style organization of Fig. 3:
+ * unpack/pre-normalize, align/prepare, mantissa arithmetic (multi-stage
+ * for the multiply array and the restoring divider), normalize, and
+ * round/pack. The datapaths implement exactly the semantics of
+ * src/softfloat (RNE, FTZ, canonical qNaN), which the equivalence tests
+ * verify bit-for-bit.
+ *
+ * Stage-depth parameters (FpuConfig) shape the slack profile of Fig. 4:
+ * the multiply array stage is the deepest (it sets the clock), the
+ * ripple mantissa adder of add/sub is close behind, the divider rows
+ * and conversions sit lower.
+ */
+
+#ifndef TEA_FPU_FPU_CIRCUITS_HH
+#define TEA_FPU_FPU_CIRCUITS_HH
+
+#include <memory>
+#include <vector>
+
+#include "circuit/netlist.hh"
+#include "fpu/fpu_types.hh"
+
+namespace tea::fpu {
+
+/** IEEE-754 format geometry. */
+struct FpFmt
+{
+    unsigned eb; ///< exponent bits
+    unsigned mb; ///< mantissa bits
+
+    unsigned width() const { return 1 + eb + mb; }
+    unsigned bias() const { return (1u << (eb - 1)) - 1; }
+    uint64_t expMax() const { return (1ULL << eb) - 1; }
+};
+
+constexpr FpFmt kFmtD{11, 52};
+constexpr FpFmt kFmtS{8, 23};
+
+/** Pipeline-shape knobs (defaults calibrated for the Fig. 4 profile). */
+struct FpuConfig
+{
+    unsigned mulRowsPerStageD = 45;
+    unsigned mulRowsPerStageS = 12;
+    unsigned divRowsPerStageD = 6;
+    unsigned divRowsPerStageS = 4;
+    /** Deep, data-dependent ripple mantissa adder in add/sub stage 3. */
+    bool rippleMantissaAdd = true;
+    /**
+     * Carry-select split of the mantissa adder: ripple over this many
+     * low bits, select over the rest (>= width means pure ripple).
+     * Tunes how close the add/sub worst path sits to the clock the
+     * multiplier array sets.
+     */
+    unsigned addsubSelectLowBitsD = 64;
+    unsigned addsubSelectLowBitsS = 32;
+    /** Base seed for per-instance process-variation jitter. */
+    uint64_t variationSeed = 20210907;
+};
+
+/**
+ * Build the stage netlists of one FPU unit.
+ *
+ * Input layout (stage 0):
+ *  - AddSub: a[W], b[W], is_sub[1]
+ *  - Mul/Div: a[W], b[W]
+ *  - I2F: v[N]  (N = 64 double / 32 single)
+ *  - F2I: a[W]
+ * Final stage outputs: result[R], flags[5] (invalid, divbyzero,
+ * overflow, underflow, inexact).
+ */
+std::vector<std::unique_ptr<circuit::Netlist>>
+buildUnitCircuits(FpuUnitKind unit, const FpuConfig &cfg);
+
+/**
+ * Representative non-FPU pipeline logic (integer ALU, address
+ * generation, branch compare, decode, bypass mux), used only for the
+ * Fig. 4 slack-distribution comparison: these paths are short and never
+ * fail at the studied voltage-reduction levels.
+ */
+std::vector<std::unique_ptr<circuit::Netlist>> buildIntegerSideNetlists();
+
+} // namespace tea::fpu
+
+#endif // TEA_FPU_FPU_CIRCUITS_HH

@@ -1,0 +1,92 @@
+#include "fpu/fpu_core.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace tea::fpu {
+
+FpuCore::FpuCore(const FpuConfig &cfg, const circuit::CellLibrary &lib)
+    : cfg_(cfg), lib_(lib)
+{
+    units_.reserve(kNumFpuUnits);
+    for (unsigned u = 0; u < kNumFpuUnits; ++u)
+        units_.push_back(std::make_unique<FpuUnit>(
+            static_cast<FpuUnitKind>(u), cfg_, lib_));
+
+    intSide_ = buildIntegerSideNetlists();
+    for (const auto &nl : intSide_) {
+        circuit::DelayAnnotation annot(*nl, lib_,
+                                       cfg_.variationSeed ^ 0xabcdULL);
+        intSta_.push_back(circuit::staAnalyze(*nl, annot));
+    }
+
+    for (const auto &u : units_)
+        clockPs_ = std::max(clockPs_, u->worstStagePathPs());
+    for (const auto &sta : intSta_)
+        clockPs_ = std::max(clockPs_, sta.criticalPathPs());
+    captureTimePs_ = clockPs_ - lib_.setupPs;
+}
+
+size_t
+FpuCore::addOperatingPoint(double delayScale, bool exactEngine)
+{
+    size_t idx = 0;
+    for (size_t u = 0; u < units_.size(); ++u) {
+        size_t i = units_[u]->addOperatingPoint(delayScale, exactEngine);
+        if (u == 0)
+            idx = i;
+        else
+            panic_if(i != idx, "operating point index skew");
+    }
+    return idx;
+}
+
+FpuCore::Exec
+FpuCore::execute(size_t point, FpuOp op, uint64_t a, uint64_t b)
+{
+    FpuUnit &u = unit(unitFor(op));
+    auto stage0 = u.packInputs(op, a, b);
+    return u.execute(point, stage0, captureTimePs_);
+}
+
+void
+FpuCore::reset(size_t point)
+{
+    for (auto &u : units_)
+        u->reset(point);
+}
+
+std::vector<UnitPathInfo>
+FpuCore::pathReport() const
+{
+    std::vector<UnitPathInfo> out;
+    for (const auto &u : units_) {
+        for (size_t s = 0; s < u->numStages(); ++s) {
+            for (const auto &ep : u->sta()[s].endpoints()) {
+                out.push_back(UnitPathInfo{
+                    u->stage(s).name(), true, ep.pathDelayPs});
+            }
+        }
+    }
+    for (size_t i = 0; i < intSide_.size(); ++i)
+        for (const auto &ep : intSta_[i].endpoints())
+            out.push_back(
+                UnitPathInfo{intSide_[i]->name(), false, ep.pathDelayPs});
+    std::sort(out.begin(), out.end(),
+              [](const UnitPathInfo &a, const UnitPathInfo &b) {
+                  return a.pathDelayPs > b.pathDelayPs;
+              });
+    return out;
+}
+
+size_t
+FpuCore::totalCells() const
+{
+    size_t n = 0;
+    for (const auto &u : units_)
+        n += u->totalCells();
+    return n;
+}
+
+} // namespace tea::fpu

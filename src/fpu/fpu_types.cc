@@ -1,0 +1,98 @@
+#include "fpu/fpu_types.hh"
+
+#include "util/logging.hh"
+
+namespace tea::fpu {
+
+const char *
+fpuOpName(FpuOp op)
+{
+    switch (op) {
+      case FpuOp::AddD: return "fp-add.d";
+      case FpuOp::SubD: return "fp-sub.d";
+      case FpuOp::MulD: return "fp-mul.d";
+      case FpuOp::DivD: return "fp-div.d";
+      case FpuOp::I2FD: return "i2f.d";
+      case FpuOp::F2ID: return "f2i.d";
+      case FpuOp::AddS: return "fp-add.s";
+      case FpuOp::SubS: return "fp-sub.s";
+      case FpuOp::MulS: return "fp-mul.s";
+      case FpuOp::DivS: return "fp-div.s";
+      case FpuOp::I2FS: return "i2f.s";
+      case FpuOp::F2IS: return "f2i.s";
+    }
+    return "?";
+}
+
+const char *
+fpuUnitName(FpuUnitKind unit)
+{
+    switch (unit) {
+      case FpuUnitKind::AddSubD: return "fpu-addsub.d";
+      case FpuUnitKind::MulD: return "fpu-mul.d";
+      case FpuUnitKind::DivD: return "fpu-div.d";
+      case FpuUnitKind::I2FD: return "fpu-i2f.d";
+      case FpuUnitKind::F2ID: return "fpu-f2i.d";
+      case FpuUnitKind::AddSubS: return "fpu-addsub.s";
+      case FpuUnitKind::MulS: return "fpu-mul.s";
+      case FpuUnitKind::DivS: return "fpu-div.s";
+      case FpuUnitKind::I2FS: return "fpu-i2f.s";
+      case FpuUnitKind::F2IS: return "fpu-f2i.s";
+    }
+    return "?";
+}
+
+FpuUnitKind
+unitFor(FpuOp op)
+{
+    switch (op) {
+      case FpuOp::AddD:
+      case FpuOp::SubD: return FpuUnitKind::AddSubD;
+      case FpuOp::MulD: return FpuUnitKind::MulD;
+      case FpuOp::DivD: return FpuUnitKind::DivD;
+      case FpuOp::I2FD: return FpuUnitKind::I2FD;
+      case FpuOp::F2ID: return FpuUnitKind::F2ID;
+      case FpuOp::AddS:
+      case FpuOp::SubS: return FpuUnitKind::AddSubS;
+      case FpuOp::MulS: return FpuUnitKind::MulS;
+      case FpuOp::DivS: return FpuUnitKind::DivS;
+      case FpuOp::I2FS: return FpuUnitKind::I2FS;
+      case FpuOp::F2IS: return FpuUnitKind::F2IS;
+    }
+    panic("bad FpuOp");
+}
+
+bool
+isDoubleOp(FpuOp op)
+{
+    switch (op) {
+      case FpuOp::AddD:
+      case FpuOp::SubD:
+      case FpuOp::MulD:
+      case FpuOp::DivD:
+      case FpuOp::I2FD:
+      case FpuOp::F2ID:
+        return true;
+      default:
+        return false;
+    }
+}
+
+unsigned
+resultWidth(FpuOp op)
+{
+    return isDoubleOp(op) ? 64 : 32;
+}
+
+FpuOp
+fpuOpFromName(const std::string &name)
+{
+    for (unsigned i = 0; i < kNumFpuOps; ++i) {
+        auto op = static_cast<FpuOp>(i);
+        if (name == fpuOpName(op))
+            return op;
+    }
+    fatal("unknown FPU op '%s'", name.c_str());
+}
+
+} // namespace tea::fpu

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The 12 floating-point instructions of the characterized FPU (6 double
+ * precision + 6 single precision, matching Section IV.B of the paper)
+ * and the hardware units implementing them.
+ */
+
+#ifndef TEA_FPU_FPU_TYPES_HH
+#define TEA_FPU_FPU_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tea::fpu {
+
+/** The 12 modelled FP instructions. */
+enum class FpuOp : uint8_t
+{
+    AddD,
+    SubD,
+    MulD,
+    DivD,
+    I2FD, ///< int64 -> double
+    F2ID, ///< double -> int64 (RTZ)
+    AddS,
+    SubS,
+    MulS,
+    DivS,
+    I2FS, ///< int32 -> float
+    F2IS, ///< float -> int32 (RTZ)
+};
+
+constexpr unsigned kNumFpuOps = 12;
+
+/** Physical pipeline units; Add and Sub share the add/sub datapath. */
+enum class FpuUnitKind : uint8_t
+{
+    AddSubD,
+    MulD,
+    DivD,
+    I2FD,
+    F2ID,
+    AddSubS,
+    MulS,
+    DivS,
+    I2FS,
+    F2IS,
+};
+
+constexpr unsigned kNumFpuUnits = 10;
+
+const char *fpuOpName(FpuOp op);
+const char *fpuUnitName(FpuUnitKind unit);
+
+/** Which unit executes the op. */
+FpuUnitKind unitFor(FpuOp op);
+
+/** True for the 6 double-precision ops. */
+bool isDoubleOp(FpuOp op);
+
+/** Result width in bits (64 for DP and F2ID/I2FD results, 32 for SP). */
+unsigned resultWidth(FpuOp op);
+
+/** Parse an op name; fatal() on unknown names. */
+FpuOp fpuOpFromName(const std::string &name);
+
+/** IEEE exception flag bit positions in the FPU "flags" output bus. */
+enum FpuFlagBit : unsigned
+{
+    kFlagInvalid = 0,
+    kFlagDivByZero = 1,
+    kFlagOverflow = 2,
+    kFlagUnderflow = 3,
+    kFlagInexact = 4,
+};
+
+} // namespace tea::fpu
+
+#endif // TEA_FPU_FPU_TYPES_HH

@@ -1,0 +1,172 @@
+#include "fpu/fpu_unit.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace tea::fpu {
+
+using circuit::DelayAnnotation;
+using circuit::DtaResult;
+using circuit::EventDrivenDta;
+using circuit::LevelizedDta;
+using circuit::Netlist;
+
+FpuUnit::FpuUnit(FpuUnitKind kind, const FpuConfig &cfg,
+                 const circuit::CellLibrary &lib)
+    : kind_(kind), stages_(buildUnitCircuits(kind, cfg))
+{
+    annots_.reserve(stages_.size());
+    sta_.reserve(stages_.size());
+    for (size_t s = 0; s < stages_.size(); ++s) {
+        uint64_t seed = cfg.variationSeed ^
+                        (static_cast<uint64_t>(kind) << 32) ^ s;
+        annots_.emplace_back(*stages_[s], lib, seed);
+        sta_.push_back(circuit::staAnalyze(*stages_[s], annots_.back()));
+    }
+    // Result bus is the first output bus of the final stage.
+    const auto &buses = stages_.back()->outputBuses();
+    panic_if(buses.size() < 2 || buses[0].name != "result" ||
+                 buses[1].name != "flags",
+             "unit '%s': unexpected final-stage output layout", name());
+    resultBits_ = static_cast<unsigned>(buses[0].nets.size());
+}
+
+size_t
+FpuUnit::totalCells() const
+{
+    size_t n = 0;
+    for (const auto &s : stages_)
+        n += s->numCells();
+    return n;
+}
+
+double
+FpuUnit::worstStagePathPs() const
+{
+    double worst = 0.0;
+    for (const auto &sta : sta_)
+        worst = std::max(worst, sta.criticalPathPs());
+    return worst;
+}
+
+size_t
+FpuUnit::addOperatingPoint(double delayScale, bool exactEngine)
+{
+    Point pt;
+    pt.scale = delayScale;
+    for (size_t s = 0; s < stages_.size(); ++s) {
+        if (exactEngine) {
+            pt.engines.push_back(std::make_unique<EventDrivenDta>(
+                *stages_[s], annots_[s], delayScale));
+        } else {
+            pt.engines.push_back(std::make_unique<LevelizedDta>(
+                *stages_[s], annots_[s], delayScale));
+        }
+    }
+    pt.prevIn.resize(stages_.size());
+    points_.push_back(std::move(pt));
+    return points_.size() - 1;
+}
+
+FpuUnit::Exec
+FpuUnit::execute(size_t point, const std::vector<bool> &stage0,
+                 double captureTimePs)
+{
+    panic_if(point >= points_.size(), "bad operating point %zu", point);
+    Point &pt = points_[point];
+
+    std::vector<bool> goldenIn = stage0;
+    std::vector<bool> faultyIn = stage0;
+    bool diverged = false;
+
+    Exec out{};
+    std::vector<bool> goldenOut, faultyOut;
+    for (size_t s = 0; s < stages_.size(); ++s) {
+        const std::vector<bool> &prev =
+            pt.primed ? pt.prevIn[s] : faultyIn;
+        DtaResult res = pt.engines[s]->run(prev, faultyIn, captureTimePs);
+        pt.prevIn[s] = faultyIn;
+        faultyOut = res.captured;
+        if (!diverged) {
+            goldenOut = res.settled;
+        } else {
+            auto vals = circuit::evaluate(*stages_[s], goldenIn);
+            goldenOut = circuit::flattenOutputs(*stages_[s], vals);
+        }
+        if (faultyOut != goldenOut)
+            diverged = true;
+        out.maxArrivalPs = std::max(out.maxArrivalPs, res.maxArrivalPs);
+        goldenIn = std::move(goldenOut);
+        faultyIn = std::move(faultyOut);
+    }
+    pt.primed = true;
+
+    // goldenIn/faultyIn now hold the final-stage flat outputs
+    // (result bits first, then the 5 flag bits).
+    auto extract = [&](const std::vector<bool> &flat, uint64_t &value,
+                       uint8_t &flags) {
+        value = 0;
+        for (unsigned i = 0; i < resultBits_; ++i)
+            if (flat[i])
+                value |= 1ULL << i;
+        flags = 0;
+        for (unsigned i = 0; i < 5; ++i)
+            if (flat[resultBits_ + i])
+                flags |= 1u << i;
+    };
+    extract(goldenIn, out.golden, out.goldenFlags);
+    extract(faultyIn, out.faulty, out.faultyFlags);
+    out.errorMask = out.golden ^ out.faulty;
+    out.timingError =
+        out.errorMask != 0 || out.goldenFlags != out.faultyFlags;
+    return out;
+}
+
+void
+FpuUnit::reset(size_t point)
+{
+    panic_if(point >= points_.size(), "bad operating point %zu", point);
+    Point &pt = points_[point];
+    pt.primed = false;
+    for (auto &p : pt.prevIn)
+        p.clear();
+}
+
+std::vector<bool>
+FpuUnit::packInputs(FpuOp op, uint64_t a, uint64_t b) const
+{
+    panic_if(unitFor(op) != kind_, "op %s does not run on unit %s",
+             fpuOpName(op), name());
+    const Netlist &s0 = *stages_.front();
+    std::vector<bool> in(s0.numInputs());
+    auto put = [&](size_t base, uint64_t v, unsigned width) {
+        for (unsigned i = 0; i < width; ++i)
+            in[base + i] = (v >> i) & 1;
+    };
+    unsigned w = isDoubleOp(op) ? 64 : 32;
+    switch (kind_) {
+      case FpuUnitKind::AddSubD:
+      case FpuUnitKind::AddSubS:
+        put(0, a, w);
+        put(w, b, w);
+        in[2 * w] = (op == FpuOp::SubD || op == FpuOp::SubS);
+        break;
+      case FpuUnitKind::MulD:
+      case FpuUnitKind::MulS:
+      case FpuUnitKind::DivD:
+      case FpuUnitKind::DivS:
+        put(0, a, w);
+        put(w, b, w);
+        break;
+      case FpuUnitKind::I2FD:
+      case FpuUnitKind::I2FS:
+      case FpuUnitKind::F2ID:
+      case FpuUnitKind::F2IS:
+        put(0, a, w);
+        break;
+    }
+    return in;
+}
+
+} // namespace tea::fpu

@@ -1,0 +1,69 @@
+#include "fpu/pipebuilder.hh"
+
+#include "util/logging.hh"
+
+namespace tea::fpu {
+
+PipeBuilder::PipeBuilder(std::string name) : name_(std::move(name))
+{
+    stages_.push_back(
+        std::make_unique<Netlist>(name_ + ".s0"));
+    builder_ = std::make_unique<Builder>(*stages_.back());
+}
+
+Bus
+PipeBuilder::input(const std::string &name, unsigned width)
+{
+    panic_if(stages_.size() != 1,
+             "primary inputs only allowed in stage 0 of '%s'",
+             name_.c_str());
+    return stages_.back()->addInputBus(name, width);
+}
+
+NetId
+PipeBuilder::inputBit(const std::string &name)
+{
+    panic_if(stages_.size() != 1,
+             "primary inputs only allowed in stage 0 of '%s'",
+             name_.c_str());
+    return stages_.back()->addInput(name);
+}
+
+void
+PipeBuilder::nextStage(std::vector<std::pair<std::string, Bus *>> carry)
+{
+    panic_if(finished_, "pipeline '%s' already finished", name_.c_str());
+    Netlist &cur = *stages_.back();
+    for (auto &[name, bus] : carry)
+        cur.addOutputBus(name, *bus);
+
+    auto next = std::make_unique<Netlist>(
+        name_ + ".s" + std::to_string(stages_.size()));
+    for (auto &[name, bus] : carry) {
+        Bus mapped = next->addInputBus(name,
+                                       static_cast<unsigned>(bus->size()));
+        *bus = mapped;
+    }
+    stages_.push_back(std::move(next));
+    builder_ = std::make_unique<Builder>(*stages_.back());
+}
+
+void
+PipeBuilder::finish(std::vector<std::pair<std::string, Bus>> outputs)
+{
+    panic_if(finished_, "pipeline '%s' already finished", name_.c_str());
+    Netlist &cur = *stages_.back();
+    for (auto &[name, bus] : outputs)
+        cur.addOutputBus(name, bus);
+    finished_ = true;
+}
+
+std::vector<std::unique_ptr<Netlist>>
+PipeBuilder::take()
+{
+    panic_if(!finished_, "pipeline '%s' not finished", name_.c_str());
+    builder_.reset();
+    return std::move(stages_);
+}
+
+} // namespace tea::fpu

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Multi-stage pipeline construction helper.
+ *
+ * An FPU operation is a chain of combinational Netlists separated by
+ * pipeline registers. PipeBuilder lets datapath code be written as one
+ * sequential function: local Bus variables flow across nextStage()
+ * calls, which register them (adding output buses to the finished stage
+ * and matching input buses to the new one) and remap the variables in
+ * place. The resulting stage netlists obey the contract the runtime
+ * model relies on: stage s+1's primary inputs are exactly stage s's
+ * flat outputs, in order.
+ */
+
+#ifndef TEA_FPU_PIPEBUILDER_HH
+#define TEA_FPU_PIPEBUILDER_HH
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "circuit/builders.hh"
+#include "circuit/netlist.hh"
+
+namespace tea::fpu {
+
+using circuit::Builder;
+using circuit::Bus;
+using circuit::NetId;
+using circuit::Netlist;
+
+class PipeBuilder
+{
+  public:
+    explicit PipeBuilder(std::string name);
+
+    /** Builder over the stage currently under construction. */
+    Builder &b() { return *builder_; }
+    Netlist &stage() { return *stages_.back(); }
+
+    /** Declare a primary-input bus (stage 0 only). */
+    Bus input(const std::string &name, unsigned width);
+    /** Declare a single-bit primary input (stage 0 only). */
+    NetId inputBit(const std::string &name);
+
+    /**
+     * Close the current stage, registering every listed bus, and start
+     * the next one. The Bus objects are remapped in place to the new
+     * stage's input nets; any net not carried through is dead.
+     */
+    void nextStage(std::vector<std::pair<std::string, Bus *>> carry);
+
+    /** Close the final stage, declaring its architectural outputs. */
+    void finish(std::vector<std::pair<std::string, Bus>> outputs);
+
+    /** Number of stages built so far. */
+    size_t numStages() const { return stages_.size(); }
+
+    /** Take ownership of the finished stage netlists. */
+    std::vector<std::unique_ptr<Netlist>> take();
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<Netlist>> stages_;
+    std::unique_ptr<Builder> builder_;
+    bool finished_ = false;
+};
+
+/** Wrap a single net as a one-bit bus (for carrying through stages). */
+inline Bus
+asBus(NetId n)
+{
+    return Bus{n};
+}
+
+} // namespace tea::fpu
+
+#endif // TEA_FPU_PIPEBUILDER_HH

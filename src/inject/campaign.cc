@@ -1,0 +1,152 @@
+#include "inject/campaign.hh"
+
+#include <cstring>
+
+#include "sim/func_sim.hh"
+#include "util/logging.hh"
+
+namespace tea::inject {
+
+using models::ErrorModel;
+using models::ProgramProfile;
+using sim::OooSim;
+
+const char *
+outcomeName(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::Masked: return "Masked";
+      case Outcome::SDC: return "SDC";
+      case Outcome::Crash: return "Crash";
+      case Outcome::Timeout: return "Timeout";
+    }
+    return "?";
+}
+
+double
+CampaignResult::errorRatio() const
+{
+    if (committedInstructions == 0)
+        return 0.0;
+    return static_cast<double>(injectedErrors) /
+           static_cast<double>(committedInstructions);
+}
+
+double
+CampaignResult::avm() const
+{
+    if (runs == 0)
+        return 0.0;
+    return static_cast<double>(sdc + crash + timeout) /
+           static_cast<double>(runs);
+}
+
+double
+CampaignResult::fraction(Outcome o) const
+{
+    if (runs == 0)
+        return 0.0;
+    uint64_t n = 0;
+    switch (o) {
+      case Outcome::Masked: n = masked; break;
+      case Outcome::SDC: n = sdc; break;
+      case Outcome::Crash: n = crash; break;
+      case Outcome::Timeout: n = timeout; break;
+    }
+    return static_cast<double>(n) / static_cast<double>(runs);
+}
+
+InjectionCampaign::InjectionCampaign(workloads::Workload workload,
+                                     sim::OooConfig cfg)
+    : workload_(std::move(workload)), cfg_(cfg)
+{
+    // Profile from a fast functional run...
+    sim::FuncSim fsim(workload_.program);
+    auto fres = fsim.run();
+    fatal_if(fres.status != sim::FuncSim::Status::Halted,
+             "workload '%s' golden run did not halt (%s)",
+             workload_.name.c_str(), sim::trapName(fres.trap));
+    profile_ = ProgramProfile::fromFuncSim(fsim, fres.instructions);
+
+    // ...and the timing/output reference from a golden detailed run.
+    OooSim osim(workload_.program, cfg_);
+    auto ores = osim.run(~0ULL);
+    fatal_if(ores.status != OooSim::Status::Halted,
+             "workload '%s' golden OoO run did not halt",
+             workload_.name.c_str());
+    goldenCycles_ = ores.cycles;
+    goldenSignature_ = outputSignature(osim.memory(), osim.console());
+}
+
+std::vector<uint8_t>
+InjectionCampaign::outputSignature(const sim::Memory &mem,
+                                   const sim::Console &console) const
+{
+    std::vector<uint8_t> sig;
+    for (const auto &sym : workload_.outputSymbols) {
+        auto block = mem.readBlock(workload_.program.symbol(sym),
+                                   workload_.program.symbolSize(sym));
+        sig.insert(sig.end(), block.begin(), block.end());
+    }
+    size_t off = sig.size();
+    sig.resize(off + console.size() * 8);
+    std::memcpy(sig.data() + off, console.data(), console.size() * 8);
+    return sig;
+}
+
+Outcome
+InjectionCampaign::runOne(const ErrorModel &model, Rng &rng,
+                          uint64_t *injectedOut)
+{
+    auto events = model.plan(profile_, rng);
+    OooSim sim(workload_.program, cfg_, sim::InjectionPlan(events));
+    auto res = sim.run(2 * goldenCycles_);
+    if (injectedOut)
+        *injectedOut = res.injectionsApplied;
+    switch (res.status) {
+      case OooSim::Status::Crashed:
+        return Outcome::Crash;
+      case OooSim::Status::CycleLimit:
+        return Outcome::Timeout;
+      case OooSim::Status::Halted:
+        break;
+    }
+    auto sig = outputSignature(sim.memory(), sim.console());
+    return sig == goldenSignature_ ? Outcome::Masked : Outcome::SDC;
+}
+
+CampaignResult
+InjectionCampaign::run(const ErrorModel &model, int runs, Rng &rng)
+{
+    CampaignResult out;
+    out.workload = workload_.name;
+    out.model = model.describe();
+    for (int i = 0; i < runs; ++i) {
+        auto events = model.plan(profile_, rng);
+        OooSim sim(workload_.program, cfg_, sim::InjectionPlan(events));
+        auto res = sim.run(2 * goldenCycles_);
+        ++out.runs;
+        out.injectedErrors += res.injectionsApplied;
+        out.committedInstructions += res.committed;
+        out.wrongPathInjections += res.injectionsOnWrongPath;
+        Outcome oc;
+        if (res.status == OooSim::Status::Crashed) {
+            oc = Outcome::Crash;
+        } else if (res.status == OooSim::Status::CycleLimit) {
+            oc = Outcome::Timeout;
+        } else {
+            auto sig = outputSignature(sim.memory(), sim.console());
+            oc = (sig == goldenSignature_) ? Outcome::Masked
+                                           : Outcome::SDC;
+        }
+        switch (oc) {
+          case Outcome::Masked: ++out.masked; break;
+          case Outcome::SDC: ++out.sdc; break;
+          case Outcome::Crash: ++out.crash; break;
+          case Outcome::Timeout: ++out.timeout; break;
+        }
+    }
+    return out;
+}
+
+} // namespace tea::inject

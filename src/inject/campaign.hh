@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Application-evaluation-phase injection campaigns (Section III.B).
+ *
+ * For a workload: run a golden OoO simulation once (reference cycles
+ * and outputs), then repeatedly plan injections with an error model,
+ * run the detailed OoO simulation with them, and classify each run as
+ * Masked / SDC / Crash / Timeout per the paper's definitions (timeout =
+ * 2x the error-free execution time). Aggregates outcome distributions
+ * (Fig. 9), injected-error ratios (Fig. 10), and the Application
+ * Vulnerability Metric (Eq. 4).
+ */
+
+#ifndef TEA_INJECT_CAMPAIGN_HH
+#define TEA_INJECT_CAMPAIGN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "models/error_models.hh"
+#include "sim/ooo_sim.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "workloads/workloads.hh"
+
+namespace tea::inject {
+
+/** Outcome of one injection run (paper Section IV.A taxonomy). */
+enum class Outcome
+{
+    Masked,
+    SDC,
+    Crash,
+    Timeout,
+};
+
+const char *outcomeName(Outcome outcome);
+
+/**
+ * Runs per campaign cell for a 3% error margin at 95% confidence
+ * (Leveugle et al., the paper's choice).
+ */
+constexpr int kStatisticalRuns = 1068;
+
+/** Aggregate results of a campaign cell (workload x model x VR). */
+struct CampaignResult
+{
+    std::string workload;
+    std::string model;
+    uint64_t runs = 0;
+    uint64_t masked = 0, sdc = 0, crash = 0, timeout = 0;
+    /** Injected errors across all runs (for the Fig. 10 ratio). */
+    uint64_t injectedErrors = 0;
+    /** Committed instructions across all runs. */
+    uint64_t committedInstructions = 0;
+    /** Injections landing on squashed (wrong-path) instructions. */
+    uint64_t wrongPathInjections = 0;
+
+    /** Error injection ratio (Eq. 2 over the campaign). */
+    double errorRatio() const;
+    /** Application Vulnerability Metric (Eq. 4). */
+    double avm() const;
+    double fraction(Outcome o) const;
+};
+
+/**
+ * Injection campaign driver for one workload. Prepares the golden
+ * reference lazily and owns the comparison of run outputs.
+ */
+class InjectionCampaign
+{
+  public:
+    InjectionCampaign(workloads::Workload workload,
+                      sim::OooConfig cfg = sim::OooConfig{});
+
+    /** Golden profile used by the models' planners. */
+    const models::ProgramProfile &profile() const { return profile_; }
+    /** Error-free cycle count (timeout threshold = 2x this). */
+    uint64_t goldenCycles() const { return goldenCycles_; }
+    uint64_t goldenInstructions() const
+    {
+        return profile_.totalInstructions;
+    }
+
+    /** Plan, inject, run, classify — one experiment. */
+    Outcome runOne(const models::ErrorModel &model, Rng &rng,
+                   uint64_t *injectedOut = nullptr);
+
+    /** Run a full campaign cell. */
+    CampaignResult run(const models::ErrorModel &model, int runs,
+                       Rng &rng);
+
+    const workloads::Workload &workload() const { return workload_; }
+
+  private:
+    /** Capture the checked output state of a finished simulation. */
+    std::vector<uint8_t> outputSignature(const sim::Memory &mem,
+                                         const sim::Console &console) const;
+
+    workloads::Workload workload_;
+    sim::OooConfig cfg_;
+    models::ProgramProfile profile_;
+    uint64_t goldenCycles_ = 0;
+    std::vector<uint8_t> goldenSignature_;
+};
+
+} // namespace tea::inject
+
+#endif // TEA_INJECT_CAMPAIGN_HH

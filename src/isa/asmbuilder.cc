@@ -1,0 +1,175 @@
+#include "isa/asmbuilder.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace tea::isa {
+
+AsmBuilder::AsmBuilder(std::string name) : name_(std::move(name))
+{
+    prog_.name = name_;
+}
+
+uint64_t
+AsmBuilder::addData(const std::string &name, std::vector<uint8_t> bytes)
+{
+    panic_if(built_, "AsmBuilder already built");
+    fatal_if(prog_.symbols.count(name), "duplicate data symbol '%s'",
+             name.c_str());
+    // Keep everything 8-byte aligned.
+    dataCursor_ = (dataCursor_ + 7) & ~7ULL;
+    uint64_t addr = dataCursor_;
+    prog_.symbols[name] = addr;
+    prog_.symbolSizes[name] = bytes.size();
+    dataCursor_ += bytes.size();
+    prog_.data.push_back(Program::DataSegment{addr, std::move(bytes)});
+    return addr;
+}
+
+uint64_t
+AsmBuilder::dataDoubles(const std::string &name,
+                        const std::vector<double> &values)
+{
+    std::vector<uint8_t> bytes(values.size() * 8);
+    std::memcpy(bytes.data(), values.data(), bytes.size());
+    return addData(name, std::move(bytes));
+}
+
+uint64_t
+AsmBuilder::dataI64(const std::string &name,
+                    const std::vector<int64_t> &values)
+{
+    std::vector<uint8_t> bytes(values.size() * 8);
+    std::memcpy(bytes.data(), values.data(), bytes.size());
+    return addData(name, std::move(bytes));
+}
+
+uint64_t
+AsmBuilder::dataI32(const std::string &name,
+                    const std::vector<int32_t> &values)
+{
+    std::vector<uint8_t> bytes(values.size() * 4);
+    std::memcpy(bytes.data(), values.data(), bytes.size());
+    return addData(name, std::move(bytes));
+}
+
+uint64_t
+AsmBuilder::dataBytes(const std::string &name,
+                      const std::vector<uint8_t> &bytes)
+{
+    return addData(name, bytes);
+}
+
+uint64_t
+AsmBuilder::dataSpace(const std::string &name, uint64_t bytes)
+{
+    return addData(name, std::vector<uint8_t>(bytes, 0));
+}
+
+AsmBuilder::Label
+AsmBuilder::newLabel()
+{
+    labelPos_.push_back(-1);
+    return labelPos_.size() - 1;
+}
+
+void
+AsmBuilder::bind(Label l)
+{
+    panic_if(l >= labelPos_.size(), "bad label");
+    panic_if(labelPos_[l] >= 0, "label bound twice");
+    labelPos_[l] = static_cast<int64_t>(code_.size());
+}
+
+AsmBuilder::Label
+AsmBuilder::here()
+{
+    Label l = newLabel();
+    bind(l);
+    return l;
+}
+
+void
+AsmBuilder::emit(Op op, uint8_t rd, uint8_t rs1, uint8_t rs2, int32_t imm)
+{
+    panic_if(built_, "AsmBuilder already built");
+    code_.push_back(Instruction{op, rd, rs1, rs2, imm});
+}
+
+void
+AsmBuilder::li(uint8_t rd, int64_t value)
+{
+    if (fitsImm19(value)) {
+        emit(Op::LIW, rd, 0, 0, static_cast<int32_t>(value));
+        return;
+    }
+    if (value < 0) {
+        li(rd, ~value);
+        xori(rd, rd, -1);
+        return;
+    }
+    // Positive wide constant: 13-bit chunks, MSB first.
+    int bitsNeeded = 64 - __builtin_clzll(static_cast<uint64_t>(value));
+    int chunks = (bitsNeeded + 12) / 13;
+    int top = (chunks - 1) * 13;
+    emit(Op::LIW, rd, 0, 0, static_cast<int32_t>(value >> top));
+    for (int c = chunks - 2; c >= 0; --c) {
+        slli(rd, rd, 13);
+        auto chunk = static_cast<int32_t>((value >> (c * 13)) & 0x1fff);
+        if (chunk)
+            ori(rd, rd, chunk);
+    }
+}
+
+void
+AsmBuilder::la(uint8_t rd, const std::string &symbol)
+{
+    li(rd, static_cast<int64_t>(prog_.symbol(symbol)));
+}
+
+void
+AsmBuilder::emitBranch(Op op, uint8_t rs1, uint8_t rs2, Label l)
+{
+    fixups_.push_back(Fixup{code_.size(), l});
+    emit(op, 0, rs1, rs2, 0);
+}
+
+void
+AsmBuilder::jal(uint8_t rd, Label l)
+{
+    fixups_.push_back(Fixup{code_.size(), l});
+    emit(Op::JAL, rd, 0, 0, 0);
+}
+
+Program
+AsmBuilder::build()
+{
+    panic_if(built_, "AsmBuilder already built");
+    for (const auto &fx : fixups_) {
+        int64_t pos = labelPos_[fx.label];
+        fatal_if(pos < 0, "unbound label %zu in '%s'", fx.label,
+                 name_.c_str());
+        int64_t off = pos - static_cast<int64_t>(fx.index);
+        Instruction &insn = code_[fx.index];
+        if (insn.op == Op::JAL)
+            fatal_if(!fitsImm19(off), "jump offset %lld overflows",
+                     static_cast<long long>(off));
+        else
+            fatal_if(!fitsImm14(off), "branch offset %lld overflows",
+                     static_cast<long long>(off));
+        insn.imm = static_cast<int32_t>(off);
+    }
+    // Round-trip every instruction through the binary encoding so the
+    // DSL cannot produce anything the decoder would reject.
+    for (auto &insn : code_) {
+        auto decoded = decode(encode(insn));
+        panic_if(!decoded, "encode/decode round trip failed");
+        insn = *decoded;
+    }
+    prog_.code = std::move(code_);
+    built_ = true;
+    return std::move(prog_);
+}
+
+} // namespace tea::isa

@@ -1,0 +1,339 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "isa/asmbuilder.hh"
+#include "util/logging.hh"
+
+namespace tea::isa {
+
+namespace {
+
+struct Token
+{
+    std::string text;
+};
+
+std::vector<std::string>
+tokenizeLine(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char ch : line) {
+        if (ch == '#' || ch == ';')
+            break;
+        if (std::isspace(static_cast<unsigned char>(ch)) || ch == ',' ||
+            ch == '(' || ch == ')') {
+            if (!cur.empty()) {
+                out.push_back(cur);
+                cur.clear();
+            }
+            continue;
+        }
+        cur.push_back(ch);
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+bool
+parseReg(const std::string &tok, char cls, uint8_t &reg)
+{
+    if (tok.size() < 2 || tok[0] != cls)
+        return false;
+    for (size_t i = 1; i < tok.size(); ++i)
+        if (!std::isdigit(static_cast<unsigned char>(tok[i])))
+            return false;
+    int v = std::stoi(tok.substr(1));
+    if (v < 0 || v > 31)
+        return false;
+    reg = static_cast<uint8_t>(v);
+    return true;
+}
+
+bool
+parseInt(const std::string &tok, int64_t &value)
+{
+    if (tok.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(tok.c_str(), &end, 0);
+    if (errno || end != tok.c_str() + tok.size())
+        return false;
+    value = v;
+    return true;
+}
+
+bool
+parseDouble(const std::string &tok, double &value)
+{
+    if (tok.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(tok.c_str(), &end);
+    if (errno || end != tok.c_str() + tok.size())
+        return false;
+    value = v;
+    return true;
+}
+
+/** The known ops by mnemonic. */
+const std::map<std::string, Op> &
+opTable()
+{
+    static std::map<std::string, Op> table = [] {
+        std::map<std::string, Op> t;
+        for (unsigned i = 0; i < kNumOps; ++i) {
+            auto op = static_cast<Op>(i);
+            t[opName(op)] = op;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source, const std::string &programName)
+{
+    AsmBuilder b(programName);
+    std::map<std::string, AsmBuilder::Label> labels;
+    auto getLabel = [&](const std::string &name) {
+        auto it = labels.find(name);
+        if (it != labels.end())
+            return it->second;
+        AsmBuilder::Label l = b.newLabel();
+        labels[name] = l;
+        return l;
+    };
+
+    // Pass 1: collect data directives so la/li can resolve addresses,
+    // and remember code lines.
+    std::istringstream in(source);
+    std::string line;
+    int lineNo = 0;
+    bool inData = false;
+    std::vector<std::pair<int, std::vector<std::string>>> codeLines;
+    std::string pendingDataLabel;
+
+    while (std::getline(in, line)) {
+        ++lineNo;
+        auto toks = tokenizeLine(line);
+        if (toks.empty())
+            continue;
+        // Label prefix?
+        while (!toks.empty() && toks[0].back() == ':') {
+            std::string name = toks[0].substr(0, toks[0].size() - 1);
+            if (inData)
+                pendingDataLabel = name;
+            else
+                codeLines.push_back(
+                    {lineNo, {std::string("label:") + name}});
+            toks.erase(toks.begin());
+        }
+        if (toks.empty())
+            continue;
+        const std::string &head = toks[0];
+        if (head == ".data") {
+            inData = true;
+            continue;
+        }
+        if (head == ".text") {
+            inData = false;
+            continue;
+        }
+        if (inData) {
+            fatal_if(pendingDataLabel.empty(),
+                     "line %d: data directive without a label", lineNo);
+            std::string name = pendingDataLabel;
+            pendingDataLabel.clear();
+            if (head == ".double") {
+                std::vector<double> vals;
+                for (size_t i = 1; i < toks.size(); ++i) {
+                    double v;
+                    fatal_if(!parseDouble(toks[i], v),
+                             "line %d: bad double '%s'", lineNo,
+                             toks[i].c_str());
+                    vals.push_back(v);
+                }
+                b.dataDoubles(name, vals);
+            } else if (head == ".i64") {
+                std::vector<int64_t> vals;
+                for (size_t i = 1; i < toks.size(); ++i) {
+                    int64_t v;
+                    fatal_if(!parseInt(toks[i], v),
+                             "line %d: bad integer '%s'", lineNo,
+                             toks[i].c_str());
+                    vals.push_back(v);
+                }
+                b.dataI64(name, vals);
+            } else if (head == ".i32") {
+                std::vector<int32_t> vals;
+                for (size_t i = 1; i < toks.size(); ++i) {
+                    int64_t v;
+                    fatal_if(!parseInt(toks[i], v),
+                             "line %d: bad integer '%s'", lineNo,
+                             toks[i].c_str());
+                    vals.push_back(static_cast<int32_t>(v));
+                }
+                b.dataI32(name, vals);
+            } else if (head == ".space") {
+                int64_t v;
+                fatal_if(toks.size() != 2 || !parseInt(toks[1], v) ||
+                             v < 0,
+                         "line %d: bad .space", lineNo);
+                b.dataSpace(name, static_cast<uint64_t>(v));
+            } else {
+                fatal("line %d: unknown data directive '%s'", lineNo,
+                      head.c_str());
+            }
+            continue;
+        }
+        codeLines.push_back({lineNo, toks});
+    }
+
+    // Pass 2: emit code.
+    auto reg = [&](const std::string &tok, char cls, int ln) {
+        uint8_t r;
+        fatal_if(!parseReg(tok, cls, r), "line %d: expected %c-register, got '%s'",
+                 ln, cls, tok.c_str());
+        return r;
+    };
+    auto imm = [&](const std::string &tok, int ln) {
+        int64_t v;
+        fatal_if(!parseInt(tok, v), "line %d: bad immediate '%s'", ln,
+                 tok.c_str());
+        return v;
+    };
+
+    for (auto &[ln, toks] : codeLines) {
+        const std::string &head = toks[0];
+        if (head.rfind("label:", 0) == 0) {
+            b.bind(getLabel(head.substr(6)));
+            continue;
+        }
+        // Pseudo-instructions first.
+        if (head == "li") {
+            fatal_if(toks.size() != 3, "line %d: li rd, imm", ln);
+            b.li(reg(toks[1], 'x', ln), imm(toks[2], ln));
+            continue;
+        }
+        if (head == "la") {
+            fatal_if(toks.size() != 3, "line %d: la rd, symbol", ln);
+            b.la(reg(toks[1], 'x', ln), toks[2]);
+            continue;
+        }
+        if (head == "mv") {
+            fatal_if(toks.size() != 3, "line %d: mv rd, rs", ln);
+            b.mv(reg(toks[1], 'x', ln), reg(toks[2], 'x', ln));
+            continue;
+        }
+        if (head == "j") {
+            fatal_if(toks.size() != 2, "line %d: j label", ln);
+            b.j(getLabel(toks[1]));
+            continue;
+        }
+        if (head == "call") {
+            fatal_if(toks.size() != 2, "line %d: call label", ln);
+            b.call(getLabel(toks[1]));
+            continue;
+        }
+        if (head == "ret") {
+            b.ret();
+            continue;
+        }
+        if (head == "print.int") {
+            b.printInt(reg(toks[1], 'x', ln));
+            continue;
+        }
+        if (head == "print.fp") {
+            b.printFp(reg(toks[1], 'f', ln));
+            continue;
+        }
+
+        auto it = opTable().find(head);
+        fatal_if(it == opTable().end(), "line %d: unknown mnemonic '%s'",
+                 ln, head.c_str());
+        Op op = it->second;
+
+        if (op == Op::HALT || op == Op::NOP) {
+            b.emit(op);
+        } else if (isBranch(op)) {
+            fatal_if(toks.size() != 4, "line %d: branch rs1, rs2, label",
+                     ln);
+            AsmBuilder::Label l = getLabel(toks[3]);
+            switch (op) {
+              case Op::BEQ: b.beq(reg(toks[1],'x',ln), reg(toks[2],'x',ln), l); break;
+              case Op::BNE: b.bne(reg(toks[1],'x',ln), reg(toks[2],'x',ln), l); break;
+              case Op::BLT: b.blt(reg(toks[1],'x',ln), reg(toks[2],'x',ln), l); break;
+              case Op::BGE: b.bge(reg(toks[1],'x',ln), reg(toks[2],'x',ln), l); break;
+              case Op::BLTU: b.bltu(reg(toks[1],'x',ln), reg(toks[2],'x',ln), l); break;
+              default: b.bgeu(reg(toks[1],'x',ln), reg(toks[2],'x',ln), l); break;
+            }
+        } else if (op == Op::JAL) {
+            fatal_if(toks.size() != 3, "line %d: jal rd, label", ln);
+            b.jal(reg(toks[1], 'x', ln), getLabel(toks[2]));
+        } else if (op == Op::JALR) {
+            fatal_if(toks.size() < 3, "line %d: jalr rd, rs1[, imm]", ln);
+            int64_t off = toks.size() > 3 ? imm(toks[3], ln) : 0;
+            b.jalr(reg(toks[1], 'x', ln), reg(toks[2], 'x', ln),
+                   static_cast<int32_t>(off));
+        } else if (isLoad(op) || isStore(op)) {
+            // mnemonics: ld xD, off(xB) -> tokens {op, xD, off, xB}
+            fatal_if(toks.size() != 4, "line %d: %s rd, off(base)", ln,
+                     head.c_str());
+            char cls = (op == Op::FLD || op == Op::FSD) ? 'f' : 'x';
+            uint8_t r = reg(toks[1], cls, ln);
+            auto off = static_cast<int32_t>(imm(toks[2], ln));
+            uint8_t base = reg(toks[3], 'x', ln);
+            b.emit(op, r, base, 0, off);
+        } else if (op == Op::LIW) {
+            b.emit(op, reg(toks[1], 'x', ln), 0, 0,
+                   static_cast<int32_t>(imm(toks[2], ln)));
+        } else if (op == Op::ECALL) {
+            fatal_if(toks.size() != 3, "line %d: ecall fn, reg", ln);
+            auto fn = static_cast<int32_t>(imm(toks[1], ln));
+            char cls = (fn == 2) ? 'f' : 'x';
+            b.emit(op, 0, reg(toks[2], cls, ln), 0, fn);
+        } else {
+            // Register-format and immediate-format ops.
+            bool isImmOp = false;
+            switch (op) {
+              case Op::ADDI: case Op::ANDI: case Op::ORI: case Op::XORI:
+              case Op::SLLI: case Op::SRLI: case Op::SRAI: case Op::SLTI:
+                isImmOp = true;
+                break;
+              default:
+                break;
+            }
+            char cd = writesFpReg(op) ? 'f' : 'x';
+            char c1 = readsFpRs1(op) ? 'f' : 'x';
+            if (isImmOp) {
+                fatal_if(toks.size() != 4, "line %d: %s rd, rs1, imm",
+                         ln, head.c_str());
+                b.emit(op, reg(toks[1], 'x', ln), reg(toks[2], 'x', ln),
+                       0, static_cast<int32_t>(imm(toks[3], ln)));
+            } else if (toks.size() == 4) {
+                char c2 = readsFpRs2(op) ? 'f' : 'x';
+                b.emit(op, reg(toks[1], cd, ln), reg(toks[2], c1, ln),
+                       reg(toks[3], c2, ln));
+            } else if (toks.size() == 3) {
+                b.emit(op, reg(toks[1], cd, ln), reg(toks[2], c1, ln));
+            } else {
+                fatal("line %d: bad operand count for '%s'", ln,
+                      head.c_str());
+            }
+        }
+    }
+    return b.build();
+}
+
+} // namespace tea::isa

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Two-pass text assembler for TRISC-64.
+ *
+ * Accepts the syntax the disassembler emits plus the usual conveniences
+ * (labels, `.data`/`.text` sections, `.double/.i64/.i32/.space`
+ * directives, and the li/la/mv/j/ret pseudo-instructions). Used by the
+ * examples and tests; the workloads use the AsmBuilder DSL directly.
+ */
+
+#ifndef TEA_ISA_ASSEMBLER_HH
+#define TEA_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace tea::isa {
+
+/** Assemble source text into a Program; fatal() with a line number on
+ * syntax errors. */
+Program assemble(const std::string &source,
+                 const std::string &programName = "asm");
+
+} // namespace tea::isa
+
+#endif // TEA_ISA_ASSEMBLER_HH

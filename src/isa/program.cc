@@ -1,0 +1,35 @@
+#include "isa/program.hh"
+
+#include "util/logging.hh"
+
+namespace tea::isa {
+
+uint64_t
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    fatal_if(it == symbols.end(), "program '%s' has no symbol '%s'",
+             this->name.c_str(), name.c_str());
+    return it->second;
+}
+
+uint64_t
+Program::symbolSize(const std::string &name) const
+{
+    auto it = symbolSizes.find(name);
+    fatal_if(it == symbolSizes.end(),
+             "program '%s' has no symbol size for '%s'",
+             this->name.c_str(), name.c_str());
+    return it->second;
+}
+
+uint64_t
+Program::dataEnd() const
+{
+    uint64_t end = kDataBase;
+    for (const auto &seg : data)
+        end = std::max(end, seg.addr + seg.bytes.size());
+    return end;
+}
+
+} // namespace tea::isa

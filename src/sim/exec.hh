@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Architectural execution semantics shared by the functional and the
+ * out-of-order simulators. One definition of every op's behaviour
+ * guarantees the two models can never drift apart.
+ */
+
+#ifndef TEA_SIM_EXEC_HH
+#define TEA_SIM_EXEC_HH
+
+#include <cstdint>
+
+#include "isa/isa.hh"
+#include "softfloat/softfloat.hh"
+
+namespace tea::sim {
+
+/** Result of executing a computational (non-memory, non-control) op. */
+struct ExecOut
+{
+    uint64_t value = 0;
+    bool fpSevere = false; ///< invalid/div-by-zero/overflow raised
+};
+
+/**
+ * Execute a computational op over operand values. For FP ops the
+ * operands are raw f-register bits (or the integer source for
+ * conversions); integer division follows RISC-V semantics (no trap).
+ */
+inline ExecOut
+execArith(const isa::Instruction &insn, uint64_t a, uint64_t b)
+{
+    using isa::Op;
+    namespace sf = tea::sf;
+    ExecOut out;
+    sf::Flags fl;
+    auto sa = static_cast<int64_t>(a);
+    auto sb = static_cast<int64_t>(b);
+    switch (insn.op) {
+      case Op::ADD: out.value = a + b; break;
+      case Op::SUB: out.value = a - b; break;
+      case Op::AND_: out.value = a & b; break;
+      case Op::OR_: out.value = a | b; break;
+      case Op::XOR_: out.value = a ^ b; break;
+      case Op::SLL: out.value = a << (b & 63); break;
+      case Op::SRL: out.value = a >> (b & 63); break;
+      case Op::SRA:
+        out.value = static_cast<uint64_t>(sa >> (b & 63));
+        break;
+      case Op::SLT: out.value = sa < sb; break;
+      case Op::SLTU: out.value = a < b; break;
+      case Op::MUL: out.value = a * b; break;
+      case Op::DIV:
+        if (b == 0)
+            out.value = ~0ULL;
+        else if (sa == INT64_MIN && sb == -1)
+            out.value = a;
+        else
+            out.value = static_cast<uint64_t>(sa / sb);
+        break;
+      case Op::DIVU: out.value = b ? a / b : ~0ULL; break;
+      case Op::REM:
+        if (b == 0)
+            out.value = a;
+        else if (sa == INT64_MIN && sb == -1)
+            out.value = 0;
+        else
+            out.value = static_cast<uint64_t>(sa % sb);
+        break;
+      case Op::REMU: out.value = b ? a % b : a; break;
+      case Op::ADDI: out.value = a + static_cast<uint64_t>(
+                                         static_cast<int64_t>(insn.imm));
+        break;
+      case Op::ANDI: out.value = a & static_cast<uint64_t>(
+                                         static_cast<int64_t>(insn.imm));
+        break;
+      case Op::ORI: out.value = a | static_cast<uint64_t>(
+                                        static_cast<int64_t>(insn.imm));
+        break;
+      case Op::XORI: out.value = a ^ static_cast<uint64_t>(
+                                         static_cast<int64_t>(insn.imm));
+        break;
+      case Op::SLLI: out.value = a << (insn.imm & 63); break;
+      case Op::SRLI: out.value = a >> (insn.imm & 63); break;
+      case Op::SRAI:
+        out.value = static_cast<uint64_t>(sa >> (insn.imm & 63));
+        break;
+      case Op::SLTI:
+        out.value = sa < static_cast<int64_t>(insn.imm);
+        break;
+      case Op::LIW:
+        out.value = static_cast<uint64_t>(static_cast<int64_t>(insn.imm));
+        break;
+      case Op::FADD_D: out.value = sf::add64(a, b, &fl); break;
+      case Op::FSUB_D: out.value = sf::sub64(a, b, &fl); break;
+      case Op::FMUL_D: out.value = sf::mul64(a, b, &fl); break;
+      case Op::FDIV_D: out.value = sf::div64(a, b, &fl); break;
+      case Op::FCVT_D_L:
+        out.value = sf::i2f64(static_cast<int64_t>(a), &fl);
+        break;
+      case Op::FCVT_L_D:
+        out.value = static_cast<uint64_t>(sf::f2i64(a, &fl));
+        break;
+      case Op::FADD_S:
+        out.value = sf::add32(static_cast<uint32_t>(a),
+                              static_cast<uint32_t>(b), &fl);
+        break;
+      case Op::FSUB_S:
+        out.value = sf::sub32(static_cast<uint32_t>(a),
+                              static_cast<uint32_t>(b), &fl);
+        break;
+      case Op::FMUL_S:
+        out.value = sf::mul32(static_cast<uint32_t>(a),
+                              static_cast<uint32_t>(b), &fl);
+        break;
+      case Op::FDIV_S:
+        out.value = sf::div32(static_cast<uint32_t>(a),
+                              static_cast<uint32_t>(b), &fl);
+        break;
+      case Op::FCVT_S_W:
+        out.value = sf::i2f32(static_cast<int32_t>(a), &fl);
+        break;
+      case Op::FCVT_W_S:
+        out.value = static_cast<uint64_t>(static_cast<int64_t>(
+            sf::f2i32(static_cast<uint32_t>(a), &fl)));
+        break;
+      case Op::FMV: out.value = a; break;
+      case Op::FNEG_D: out.value = a ^ (1ULL << 63); break;
+      case Op::FABS_D: out.value = a & ~(1ULL << 63); break;
+      case Op::FMV_X_D: out.value = a; break;
+      case Op::FMV_D_X: out.value = a; break;
+      case Op::FEQ_D: out.value = sf::eq64(a, b); break;
+      case Op::FLT_D: out.value = sf::lt64(a, b, &fl); break;
+      case Op::FLE_D: out.value = sf::le64(a, b, &fl); break;
+      default:
+        // Memory/control/system ops are handled by the pipelines.
+        break;
+    }
+    out.fpSevere = fl.severe();
+    return out;
+}
+
+/** Evaluate a conditional branch. */
+inline bool
+branchTaken(isa::Op op, uint64_t a, uint64_t b)
+{
+    using isa::Op;
+    auto sa = static_cast<int64_t>(a);
+    auto sb = static_cast<int64_t>(b);
+    switch (op) {
+      case Op::BEQ: return a == b;
+      case Op::BNE: return a != b;
+      case Op::BLT: return sa < sb;
+      case Op::BGE: return sa >= sb;
+      case Op::BLTU: return a < b;
+      case Op::BGEU: return a >= b;
+      default: return false;
+    }
+}
+
+/** Access size in bytes of a memory op. */
+inline unsigned
+memAccessSize(isa::Op op)
+{
+    using isa::Op;
+    return (op == Op::LW || op == Op::SW) ? 4 : 8;
+}
+
+} // namespace tea::sim
+
+#endif // TEA_SIM_EXEC_HH

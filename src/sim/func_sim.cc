@@ -1,0 +1,162 @@
+#include "sim/func_sim.hh"
+
+#include "sim/exec.hh"
+#include "util/logging.hh"
+
+namespace tea::sim {
+
+const char *
+trapName(TrapKind kind)
+{
+    switch (kind) {
+      case TrapKind::None: return "none";
+      case TrapKind::MemFault: return "mem-fault";
+      case TrapKind::Misaligned: return "misaligned";
+      case TrapKind::ProtectedAccess: return "protected-access";
+      case TrapKind::BadJump: return "bad-jump";
+      case TrapKind::IllegalInsn: return "illegal-insn";
+      case TrapKind::FpException: return "fp-exception";
+    }
+    return "?";
+}
+
+FuncSim::FuncSim(isa::Program prog, Config cfg)
+    : prog_(std::move(prog)), cfg_(cfg)
+{
+    mem_.loadProgram(prog_);
+    xreg_[2] = isa::kStackTop - 64; // sp
+}
+
+uint64_t
+FuncSim::fpArithCount() const
+{
+    uint64_t n = 0;
+    for (unsigned i = 0; i < isa::kNumOps; ++i)
+        if (isa::isFpArith(static_cast<isa::Op>(i)))
+            n += opCounts_[i];
+    return n;
+}
+
+FuncSim::Result
+FuncSim::run()
+{
+    using isa::Op;
+    const auto &code = prog_.code;
+    uint64_t idx = prog_.entryIndex;
+    uint64_t count = 0;
+
+    auto trapOut = [&](TrapKind kind) {
+        return Result{Status::Trapped, kind, count, idx};
+    };
+
+    while (count < cfg_.maxInstructions) {
+        if (idx >= code.size())
+            return trapOut(TrapKind::BadJump);
+        const isa::Instruction &insn = code[idx];
+        ++count;
+        ++opCounts_[static_cast<size_t>(insn.op)];
+        uint64_t next = idx + 1;
+
+        switch (insn.op) {
+          case Op::HALT:
+            return Result{Status::Halted, TrapKind::None, count, idx};
+          case Op::NOP:
+            break;
+          case Op::ECALL: {
+            if (insn.imm == static_cast<int>(isa::Syscall::PrintInt))
+                console_.push_back(xreg_[insn.rs1]);
+            else if (insn.imm == static_cast<int>(isa::Syscall::PrintFp))
+                console_.push_back(freg_[insn.rs1]);
+            break;
+          }
+          case Op::JAL:
+            xreg_[insn.rd] = (idx + 1) * 4 + isa::kCodeBase;
+            if (insn.rd == 0)
+                xreg_[0] = 0;
+            next = idx + static_cast<int64_t>(insn.imm);
+            break;
+          case Op::JALR: {
+            uint64_t target = xreg_[insn.rs1] +
+                              static_cast<int64_t>(insn.imm);
+            xreg_[insn.rd] = (idx + 1) * 4 + isa::kCodeBase;
+            xreg_[0] = 0;
+            if (target < isa::kCodeBase || (target & 3) ||
+                (target - isa::kCodeBase) / 4 >= code.size()) {
+                return trapOut(TrapKind::BadJump);
+            }
+            next = (target - isa::kCodeBase) / 4;
+            break;
+          }
+          case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
+          case Op::BLTU: case Op::BGEU:
+            if (branchTaken(insn.op, xreg_[insn.rs1], xreg_[insn.rs2]))
+                next = idx + static_cast<int64_t>(insn.imm);
+            break;
+          case Op::LD: case Op::LW: case Op::FLD: {
+            uint64_t addr = xreg_[insn.rs1] +
+                            static_cast<int64_t>(insn.imm);
+            unsigned size = memAccessSize(insn.op);
+            if (addr & (size - 1))
+                return trapOut(TrapKind::Misaligned);
+            if (addr < isa::kProtectedTop)
+                return trapOut(TrapKind::ProtectedAccess);
+            if (!mem_.isMapped(addr, size))
+                return trapOut(TrapKind::MemFault);
+            uint64_t v = mem_.read(addr, size);
+            if (insn.op == Op::LW)
+                v = static_cast<uint64_t>(
+                    static_cast<int64_t>(static_cast<int32_t>(v)));
+            if (insn.op == Op::FLD)
+                freg_[insn.rd] = v;
+            else
+                xreg_[insn.rd] = v;
+            break;
+          }
+          case Op::SD: case Op::SW: case Op::FSD: {
+            uint64_t addr = xreg_[insn.rs1] +
+                            static_cast<int64_t>(insn.imm);
+            unsigned size = memAccessSize(insn.op);
+            if (addr & (size - 1))
+                return trapOut(TrapKind::Misaligned);
+            if (addr < isa::kProtectedTop)
+                return trapOut(TrapKind::ProtectedAccess);
+            if (!mem_.isMapped(addr, size))
+                return trapOut(TrapKind::MemFault);
+            uint64_t data = (insn.op == Op::FSD) ? freg_[insn.rd]
+                                                 : xreg_[insn.rd];
+            mem_.write(addr, size, data);
+            break;
+          }
+          default: {
+            uint64_t a, b = 0;
+            if (isa::readsFpRs1(insn.op))
+                a = freg_[insn.rs1];
+            else
+                a = xreg_[insn.rs1];
+            if (isa::readsFpRs2(insn.op))
+                b = freg_[insn.rs2];
+            else if (isa::readsIntRs2(insn.op))
+                b = xreg_[insn.rs2];
+            if (fpTrace_ && isa::isFpArith(insn.op))
+                fpTrace_->push_back(
+                    FpTraceEntry{isa::fpuOpFor(insn.op), a, b});
+            ExecOut out = execArith(insn, a, b);
+            if (out.fpSevere && cfg_.trapOnSevereFp &&
+                isa::isFpArith(insn.op)) {
+                return trapOut(TrapKind::FpException);
+            }
+            if (isa::writesFpReg(insn.op)) {
+                freg_[insn.rd] = out.value;
+            } else if (isa::writesIntReg(insn.op)) {
+                xreg_[insn.rd] = out.value;
+                xreg_[0] = 0;
+            }
+            break;
+          }
+        }
+        idx = next;
+    }
+    return Result{Status::LimitReached, TrapKind::None, count, idx};
+}
+
+} // namespace tea::sim

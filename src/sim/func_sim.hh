@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fast functional simulator.
+ *
+ * Executes a program architecturally (no timing) for golden runs,
+ * dynamic instruction counting (Table II), and FP operand trace
+ * collection for the workload-aware error model. Semantics are shared
+ * with the OoO model through sim/exec.hh.
+ */
+
+#ifndef TEA_SIM_FUNC_SIM_HH
+#define TEA_SIM_FUNC_SIM_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "fpu/fpu_types.hh"
+#include "isa/program.hh"
+#include "sim/memory.hh"
+#include "sim/sim_types.hh"
+
+namespace tea::sim {
+
+/** One FP-arithmetic dynamic instance (for DTA operand replay). */
+struct FpTraceEntry
+{
+    fpu::FpuOp op;
+    uint64_t a;
+    uint64_t b;
+};
+
+class FuncSim
+{
+  public:
+    struct Config
+    {
+        bool trapOnSevereFp = true;
+        uint64_t maxInstructions = 2'000'000'000ULL;
+    };
+
+    FuncSim(isa::Program prog, Config cfg);
+    explicit FuncSim(isa::Program prog)
+        : FuncSim(std::move(prog), Config{})
+    {
+    }
+
+    enum class Status
+    {
+        Halted,
+        Trapped,
+        LimitReached,
+    };
+
+    struct Result
+    {
+        Status status;
+        TrapKind trap;
+        uint64_t instructions;
+        uint64_t pcIndex; ///< index of the last attempted instruction
+    };
+
+    /** Run to completion (or trap / instruction limit). */
+    Result run();
+
+    /** Optional FP operand trace sink (set before run()). */
+    void setFpTrace(std::vector<FpTraceEntry> *sink) { fpTrace_ = sink; }
+
+    const Memory &memory() const { return mem_; }
+    Memory &memory() { return mem_; }
+    const Console &console() const { return console_; }
+    uint64_t opCount(isa::Op op) const
+    {
+        return opCounts_[static_cast<size_t>(op)];
+    }
+    uint64_t fpArithCount() const;
+    uint64_t intRegValue(unsigned r) const { return xreg_[r]; }
+
+  private:
+    isa::Program prog_; ///< owned copy; callers may pass temporaries
+    Config cfg_;
+    Memory mem_;
+    std::array<uint64_t, 32> xreg_{};
+    std::array<uint64_t, 32> freg_{};
+    Console console_;
+    std::array<uint64_t, isa::kNumOps> opCounts_{};
+    std::vector<FpTraceEntry> *fpTrace_ = nullptr;
+};
+
+} // namespace tea::sim
+
+#endif // TEA_SIM_FUNC_SIM_HH

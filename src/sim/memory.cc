@@ -1,0 +1,92 @@
+#include "sim/memory.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace tea::sim {
+
+void
+Memory::mapRange(uint64_t base, uint64_t size)
+{
+    uint64_t first = base >> kPageBits;
+    uint64_t last = (base + size - 1) >> kPageBits;
+    for (uint64_t p = first; p <= last; ++p) {
+        auto &page = pages_[p];
+        if (!page)
+            page = std::make_unique<std::vector<uint8_t>>(kPageSize, 0);
+    }
+}
+
+bool
+Memory::isMapped(uint64_t addr, unsigned size) const
+{
+    uint64_t first = addr >> kPageBits;
+    uint64_t last = (addr + size - 1) >> kPageBits;
+    for (uint64_t p = first; p <= last; ++p)
+        if (!pages_.count(p))
+            return false;
+    return true;
+}
+
+uint8_t *
+Memory::pageFor(uint64_t addr)
+{
+    auto it = pages_.find(addr >> kPageBits);
+    panic_if(it == pages_.end(), "unchecked access to unmapped 0x%llx",
+             static_cast<unsigned long long>(addr));
+    return it->second->data();
+}
+
+const uint8_t *
+Memory::pageFor(uint64_t addr) const
+{
+    auto it = pages_.find(addr >> kPageBits);
+    panic_if(it == pages_.end(), "unchecked access to unmapped 0x%llx",
+             static_cast<unsigned long long>(addr));
+    return it->second->data();
+}
+
+uint64_t
+Memory::read(uint64_t addr, unsigned size) const
+{
+    // Accesses are aligned (the simulators trap misalignment first), so
+    // they never straddle a page.
+    const uint8_t *p = pageFor(addr) + (addr & (kPageSize - 1));
+    uint64_t v = 0;
+    std::memcpy(&v, p, size);
+    return v;
+}
+
+void
+Memory::write(uint64_t addr, unsigned size, uint64_t value)
+{
+    uint8_t *p = pageFor(addr) + (addr & (kPageSize - 1));
+    std::memcpy(p, &value, size);
+}
+
+std::vector<uint8_t>
+Memory::readBlock(uint64_t addr, uint64_t len) const
+{
+    std::vector<uint8_t> out(len, 0);
+    for (uint64_t i = 0; i < len; ++i) {
+        uint64_t a = addr + i;
+        auto it = pages_.find(a >> kPageBits);
+        if (it != pages_.end())
+            out[i] = (*it->second)[a & (kPageSize - 1)];
+    }
+    return out;
+}
+
+void
+Memory::loadProgram(const isa::Program &prog)
+{
+    for (const auto &seg : prog.data) {
+        mapRange(seg.addr, seg.bytes.size());
+        for (size_t i = 0; i < seg.bytes.size(); ++i)
+            write(seg.addr + i, 1, seg.bytes[i]);
+    }
+    mapRange(isa::kStackTop - isa::kStackSize, isa::kStackSize);
+}
+
+} // namespace tea::sim

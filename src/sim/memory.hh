@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Sparse paged memory image with explicit mapping (ECC-protected per
+ * the paper's assumption, so never a source of errors itself).
+ */
+
+#ifndef TEA_SIM_MEMORY_HH
+#define TEA_SIM_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace tea::sim {
+
+class Memory
+{
+  public:
+    static constexpr uint64_t kPageBits = 12;
+    static constexpr uint64_t kPageSize = 1ULL << kPageBits;
+
+    /** Map [base, base+size) zero-filled (page granularity). */
+    void mapRange(uint64_t base, uint64_t size);
+
+    /** True if [addr, addr+size) lies entirely in mapped pages. */
+    bool isMapped(uint64_t addr, unsigned size) const;
+
+    /** Raw little-endian access; the caller must have checked mapping. */
+    uint64_t read(uint64_t addr, unsigned size) const;
+    void write(uint64_t addr, unsigned size, uint64_t value);
+
+    /** Copy out a block (unmapped bytes read as 0). */
+    std::vector<uint8_t> readBlock(uint64_t addr, uint64_t len) const;
+
+    /** Map data segments and the stack for a program. */
+    void loadProgram(const isa::Program &prog);
+
+  private:
+    uint8_t *pageFor(uint64_t addr);
+    const uint8_t *pageFor(uint64_t addr) const;
+
+    std::unordered_map<uint64_t, std::unique_ptr<std::vector<uint8_t>>>
+        pages_;
+};
+
+} // namespace tea::sim
+
+#endif // TEA_SIM_MEMORY_HH

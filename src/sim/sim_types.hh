@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Shared simulator types: trap taxonomy and run status.
+ *
+ * The trap kinds realize the paper's Crash category: process crashes
+ * (memory faults, bad jumps, illegal instructions), kernel panics
+ * (stores into the protected low region), and floating-point
+ * exceptions.
+ */
+
+#ifndef TEA_SIM_SIM_TYPES_HH
+#define TEA_SIM_SIM_TYPES_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace tea::sim {
+
+enum class TrapKind : uint8_t
+{
+    None,
+    MemFault,        ///< access to unmapped memory (process crash)
+    Misaligned,      ///< misaligned access (process crash)
+    ProtectedAccess, ///< touch of the kernel region (kernel panic)
+    BadJump,         ///< control transfer outside the code segment
+    IllegalInsn,     ///< undecodable instruction
+    FpException,     ///< severe IEEE flag with FP traps enabled
+};
+
+const char *trapName(TrapKind kind);
+
+/** Values printed by the program (ECALL); part of the checked output. */
+using Console = std::vector<uint64_t>;
+
+} // namespace tea::sim
+
+#endif // TEA_SIM_SIM_TYPES_HH

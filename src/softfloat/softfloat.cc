@@ -1,0 +1,641 @@
+#include "softfloat/softfloat.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace tea::sf {
+
+void
+Flags::merge(const Flags &o)
+{
+    invalid |= o.invalid;
+    divByZero |= o.divByZero;
+    overflow |= o.overflow;
+    underflow |= o.underflow;
+    inexact |= o.inexact;
+}
+
+namespace {
+
+using u128 = unsigned __int128;
+
+enum class Cls { Zero, Normal, Inf, NaN };
+
+/**
+ * Format-parameterized IEEE-754 engine. EB/MB are the exponent and
+ * mantissa widths; values travel as raw bit patterns in the low
+ * 1+EB+MB bits of a uint64_t.
+ */
+template <unsigned EB, unsigned MB>
+struct Fp
+{
+    static constexpr unsigned totalBits = 1 + EB + MB;
+    static constexpr int bias = (1 << (EB - 1)) - 1;
+    static constexpr uint64_t expMax = (1ULL << EB) - 1;
+    static constexpr uint64_t qnan =
+        (expMax << MB) | (1ULL << (MB - 1));
+    static constexpr uint64_t sigOne = 1ULL << MB; // implicit leading 1
+
+    struct Unpacked
+    {
+        bool sign;
+        int exp;      // unbiased, valid for Normal
+        uint64_t sig; // [2^MB, 2^(MB+1)) for Normal
+        Cls cls;
+    };
+
+    static uint64_t
+    packRaw(bool sign, uint64_t biasedExp, uint64_t man)
+    {
+        return (static_cast<uint64_t>(sign) << (EB + MB)) |
+               (biasedExp << MB) | man;
+    }
+
+    static uint64_t zero(bool sign) { return packRaw(sign, 0, 0); }
+    static uint64_t inf(bool sign) { return packRaw(sign, expMax, 0); }
+
+    static Unpacked
+    unpack(uint64_t a)
+    {
+        Unpacked u;
+        u.sign = bit(a, EB + MB);
+        uint64_t e = bits(a, MB, EB);
+        uint64_t m = bits(a, 0, MB);
+        if (e == expMax) {
+            u.cls = m ? Cls::NaN : Cls::Inf;
+            u.exp = 0;
+            u.sig = 0;
+        } else if (e == 0) {
+            // FTZ/DAZ: subnormal inputs are treated as zero.
+            u.cls = Cls::Zero;
+            u.exp = 0;
+            u.sig = 0;
+        } else {
+            u.cls = Cls::Normal;
+            u.exp = static_cast<int>(e) - bias;
+            u.sig = sigOne | m;
+        }
+        return u;
+    }
+
+    /**
+     * Round and pack a normalized result.
+     *
+     * @param exp unbiased exponent of the implied-1 bit.
+     * @param sig significand with 3 guard bits: value in
+     *            [2^(MB+3), 2^(MB+4)); bit 0 is sticky.
+     */
+    static uint64_t
+    roundPack(bool sign, int exp, uint64_t sig, Flags &fl)
+    {
+        panic_if(sig < (sigOne << 3) || sig >= (sigOne << 4),
+                 "roundPack: unnormalized significand");
+        uint64_t grs = sig & 7;
+        uint64_t man = sig >> 3;
+        bool roundUp = (grs > 4) || (grs == 4 && (man & 1));
+        if (grs)
+            fl.inexact = true;
+        if (roundUp) {
+            ++man;
+            if (man == (sigOne << 1)) {
+                man >>= 1;
+                ++exp;
+            }
+        }
+        int biased = exp + bias;
+        if (biased >= static_cast<int>(expMax)) {
+            fl.overflow = true;
+            fl.inexact = true;
+            return inf(sign);
+        }
+        if (biased <= 0) {
+            // Result below the normal range: flush to zero.
+            fl.underflow = true;
+            fl.inexact = true;
+            return zero(sign);
+        }
+        return packRaw(sign, static_cast<uint64_t>(biased), man & ~sigOne);
+    }
+
+    /** Right-shift keeping a sticky bit in bit 0. */
+    static uint64_t
+    shiftRightSticky(uint64_t v, unsigned n)
+    {
+        if (n == 0)
+            return v;
+        if (n >= 64)
+            return v ? 1 : 0;
+        uint64_t sticky = (v & lowMask(n)) ? 1 : 0;
+        return (v >> n) | sticky;
+    }
+
+    static uint64_t
+    add(uint64_t a, uint64_t b, bool subtract, Flags &fl)
+    {
+        Unpacked ua = unpack(a);
+        Unpacked ub = unpack(b);
+        if (subtract)
+            ub.sign = !ub.sign;
+
+        if (ua.cls == Cls::NaN || ub.cls == Cls::NaN)
+            return qnan;
+        if (ua.cls == Cls::Inf && ub.cls == Cls::Inf) {
+            if (ua.sign != ub.sign) {
+                fl.invalid = true;
+                return qnan;
+            }
+            return inf(ua.sign);
+        }
+        if (ua.cls == Cls::Inf)
+            return inf(ua.sign);
+        if (ub.cls == Cls::Inf)
+            return inf(ub.sign);
+        if (ua.cls == Cls::Zero && ub.cls == Cls::Zero) {
+            // (+0)+(+0)=+0, (-0)+(-0)=-0, mixed -> +0 under RNE.
+            return zero(ua.sign && ub.sign);
+        }
+        if (ua.cls == Cls::Zero)
+            return packRaw(ub.sign, bits(b, MB, EB), bits(b, 0, MB));
+        if (ub.cls == Cls::Zero)
+            return packRaw(ua.sign, bits(a, MB, EB), bits(a, 0, MB));
+
+        // Both normal. Work with 3 guard bits of headroom.
+        uint64_t sa = ua.sig << 3;
+        uint64_t sb = ub.sig << 3;
+        int exp;
+        if (ua.exp >= ub.exp) {
+            exp = ua.exp;
+            sb = shiftRightSticky(sb, static_cast<unsigned>(ua.exp - ub.exp));
+        } else {
+            exp = ub.exp;
+            sa = shiftRightSticky(sa, static_cast<unsigned>(ub.exp - ua.exp));
+        }
+
+        bool sign;
+        uint64_t sig;
+        if (ua.sign == ub.sign) {
+            sign = ua.sign;
+            sig = sa + sb;
+            if (sig >= (sigOne << 4)) {
+                sig = shiftRightSticky(sig, 1);
+                ++exp;
+            }
+        } else {
+            if (sa == sb)
+                return zero(false); // exact cancellation -> +0 (RNE)
+            if (sa > sb) {
+                sign = ua.sign;
+                sig = sa - sb;
+            } else {
+                sign = ub.sign;
+                sig = sb - sa;
+            }
+            // Normalize left.
+            int lead = 63 - std::countl_zero(sig);
+            int want = static_cast<int>(MB) + 3;
+            if (lead > want) {
+                sig = shiftRightSticky(sig, static_cast<unsigned>(lead - want));
+                exp += lead - want;
+            } else if (lead < want) {
+                sig <<= (want - lead);
+                exp -= want - lead;
+            }
+        }
+        return roundPack(sign, exp, sig, fl);
+    }
+
+    static uint64_t
+    mul(uint64_t a, uint64_t b, Flags &fl)
+    {
+        Unpacked ua = unpack(a);
+        Unpacked ub = unpack(b);
+        bool sign = ua.sign ^ ub.sign;
+
+        if (ua.cls == Cls::NaN || ub.cls == Cls::NaN)
+            return qnan;
+        if ((ua.cls == Cls::Inf && ub.cls == Cls::Zero) ||
+            (ua.cls == Cls::Zero && ub.cls == Cls::Inf)) {
+            fl.invalid = true;
+            return qnan;
+        }
+        if (ua.cls == Cls::Inf || ub.cls == Cls::Inf)
+            return inf(sign);
+        if (ua.cls == Cls::Zero || ub.cls == Cls::Zero)
+            return zero(sign);
+
+        u128 prod = static_cast<u128>(ua.sig) * static_cast<u128>(ub.sig);
+        // prod in [2^(2MB), 2^(2MB+2)).
+        int exp = ua.exp + ub.exp;
+        unsigned topBit = 2 * MB;
+        if (prod >= (static_cast<u128>(1) << (2 * MB + 1))) {
+            ++exp;
+            ++topBit;
+        }
+        // Keep MB+4 bits (1 + MB mantissa + 3 guard); fold rest into sticky.
+        unsigned drop = topBit - (MB + 3);
+        uint64_t sig = static_cast<uint64_t>(prod >> drop);
+        if (prod & ((static_cast<u128>(1) << drop) - 1))
+            sig |= 1;
+        return roundPack(sign, exp, sig, fl);
+    }
+
+    static uint64_t
+    div(uint64_t a, uint64_t b, Flags &fl)
+    {
+        Unpacked ua = unpack(a);
+        Unpacked ub = unpack(b);
+        bool sign = ua.sign ^ ub.sign;
+
+        if (ua.cls == Cls::NaN || ub.cls == Cls::NaN)
+            return qnan;
+        if (ua.cls == Cls::Inf && ub.cls == Cls::Inf) {
+            fl.invalid = true;
+            return qnan;
+        }
+        if (ua.cls == Cls::Zero && ub.cls == Cls::Zero) {
+            fl.invalid = true;
+            return qnan;
+        }
+        if (ua.cls == Cls::Inf)
+            return inf(sign);
+        if (ub.cls == Cls::Inf)
+            return zero(sign);
+        if (ua.cls == Cls::Zero)
+            return zero(sign);
+        if (ub.cls == Cls::Zero) {
+            fl.divByZero = true;
+            return inf(sign);
+        }
+
+        int exp = ua.exp - ub.exp;
+        uint64_t sa = ua.sig;
+        if (sa < ub.sig) {
+            sa <<= 1;
+            --exp;
+        }
+        // Quotient with 2 fraction guard bits, then a sticky bit.
+        u128 num = static_cast<u128>(sa) << (MB + 2);
+        uint64_t q = static_cast<uint64_t>(num / ub.sig);
+        uint64_t r = static_cast<uint64_t>(num % ub.sig);
+        uint64_t sig = (q << 1) | (r ? 1 : 0);
+        return roundPack(sign, exp, sig, fl);
+    }
+
+    static uint64_t
+    i2f(int64_t v, Flags &fl)
+    {
+        if (v == 0)
+            return zero(false);
+        bool sign = v < 0;
+        uint64_t mag = sign ? (~static_cast<uint64_t>(v) + 1)
+                            : static_cast<uint64_t>(v);
+        int k = 63 - std::countl_zero(mag);
+        int exp = k;
+        // Align the leading 1 to bit MB+3 (mantissa plus 3 guard bits).
+        unsigned e = static_cast<unsigned>(k);
+        uint64_t sig;
+        if (e <= MB + 3)
+            sig = mag << (MB + 3 - e);
+        else
+            sig = shiftRightSticky(mag, e - (MB + 3));
+        return roundPack(sign, exp, sig, fl);
+    }
+
+    /** Max magnitude exponent for an N-bit signed integer target. */
+    static int64_t
+    f2i(uint64_t a, unsigned intBits, Flags &fl)
+    {
+        Unpacked ua = unpack(a);
+        int64_t maxVal =
+            static_cast<int64_t>((1ULL << (intBits - 1)) - 1);
+        int64_t minVal = -maxVal - 1;
+        if (ua.cls == Cls::NaN) {
+            fl.invalid = true;
+            return 0;
+        }
+        if (ua.cls == Cls::Inf) {
+            fl.invalid = true;
+            return ua.sign ? minVal : maxVal;
+        }
+        if (ua.cls == Cls::Zero)
+            return 0;
+        if (ua.exp < 0) {
+            fl.inexact = true;
+            return 0;
+        }
+        unsigned e = static_cast<unsigned>(ua.exp);
+        if (e >= intBits - 1) {
+            // Only -2^(intBits-1) is exactly representable at e==intBits-1.
+            if (ua.sign && e == intBits - 1 && ua.sig == sigOne)
+                return minVal;
+            fl.invalid = true;
+            return ua.sign ? minVal : maxVal;
+        }
+        uint64_t mag;
+        if (e >= MB) {
+            mag = ua.sig << (e - MB);
+        } else {
+            mag = ua.sig >> (MB - e);
+            if (ua.sig & lowMask(MB - e))
+                fl.inexact = true;
+        }
+        return ua.sign ? -static_cast<int64_t>(mag)
+                       : static_cast<int64_t>(mag);
+    }
+};
+
+using F64 = Fp<11, 52>;
+using F32 = Fp<8, 23>;
+
+} // namespace
+
+uint64_t
+add64(uint64_t a, uint64_t b, Flags *flags)
+{
+    Flags fl;
+    uint64_t r = F64::add(a, b, false, fl);
+    if (flags)
+        flags->merge(fl);
+    return r;
+}
+
+uint64_t
+sub64(uint64_t a, uint64_t b, Flags *flags)
+{
+    Flags fl;
+    uint64_t r = F64::add(a, b, true, fl);
+    if (flags)
+        flags->merge(fl);
+    return r;
+}
+
+uint64_t
+mul64(uint64_t a, uint64_t b, Flags *flags)
+{
+    Flags fl;
+    uint64_t r = F64::mul(a, b, fl);
+    if (flags)
+        flags->merge(fl);
+    return r;
+}
+
+uint64_t
+div64(uint64_t a, uint64_t b, Flags *flags)
+{
+    Flags fl;
+    uint64_t r = F64::div(a, b, fl);
+    if (flags)
+        flags->merge(fl);
+    return r;
+}
+
+uint64_t
+i2f64(int64_t v, Flags *flags)
+{
+    Flags fl;
+    uint64_t r = F64::i2f(v, fl);
+    if (flags)
+        flags->merge(fl);
+    return r;
+}
+
+int64_t
+f2i64(uint64_t a, Flags *flags)
+{
+    Flags fl;
+    int64_t r = F64::f2i(a, 64, fl);
+    if (flags)
+        flags->merge(fl);
+    return r;
+}
+
+uint32_t
+add32(uint32_t a, uint32_t b, Flags *flags)
+{
+    Flags fl;
+    auto r = static_cast<uint32_t>(F32::add(a, b, false, fl));
+    if (flags)
+        flags->merge(fl);
+    return r;
+}
+
+uint32_t
+sub32(uint32_t a, uint32_t b, Flags *flags)
+{
+    Flags fl;
+    auto r = static_cast<uint32_t>(F32::add(a, b, true, fl));
+    if (flags)
+        flags->merge(fl);
+    return r;
+}
+
+uint32_t
+mul32(uint32_t a, uint32_t b, Flags *flags)
+{
+    Flags fl;
+    auto r = static_cast<uint32_t>(F32::mul(a, b, fl));
+    if (flags)
+        flags->merge(fl);
+    return r;
+}
+
+uint32_t
+div32(uint32_t a, uint32_t b, Flags *flags)
+{
+    Flags fl;
+    auto r = static_cast<uint32_t>(F32::div(a, b, fl));
+    if (flags)
+        flags->merge(fl);
+    return r;
+}
+
+uint32_t
+i2f32(int32_t v, Flags *flags)
+{
+    Flags fl;
+    auto r = static_cast<uint32_t>(F32::i2f(v, fl));
+    if (flags)
+        flags->merge(fl);
+    return r;
+}
+
+int32_t
+f2i32(uint32_t a, Flags *flags)
+{
+    Flags fl;
+    auto r = static_cast<int32_t>(F32::f2i(a, 32, fl));
+    if (flags)
+        flags->merge(fl);
+    return r;
+}
+
+bool
+isNaN64(uint64_t a)
+{
+    return bits(a, 52, 11) == 0x7ff && bits(a, 0, 52) != 0;
+}
+
+bool
+isInf64(uint64_t a)
+{
+    return bits(a, 52, 11) == 0x7ff && bits(a, 0, 52) == 0;
+}
+
+bool
+isZero64(uint64_t a)
+{
+    // FTZ semantics: subnormals count as zero.
+    return bits(a, 52, 11) == 0;
+}
+
+bool
+isSubnormal64(uint64_t a)
+{
+    return bits(a, 52, 11) == 0 && bits(a, 0, 52) != 0;
+}
+
+bool
+isNaN32(uint32_t a)
+{
+    return bits(a, 23, 8) == 0xff && bits(a, 0, 23) != 0;
+}
+
+bool
+isInf32(uint32_t a)
+{
+    return bits(a, 23, 8) == 0xff && bits(a, 0, 23) == 0;
+}
+
+bool
+eq64(uint64_t a, uint64_t b, Flags *flags)
+{
+    (void)flags;
+    if (isNaN64(a) || isNaN64(b))
+        return false;
+    if (isZero64(a) && isZero64(b))
+        return true;
+    return a == b;
+}
+
+namespace {
+
+/** Total order key for non-NaN doubles: flips the negative range so the
+ * keys compare correctly as unsigned integers. */
+uint64_t
+orderKey64(uint64_t a)
+{
+    if (bit(a, 63))
+        return ~a;
+    return a | (1ULL << 63);
+}
+
+} // namespace
+
+bool
+lt64(uint64_t a, uint64_t b, Flags *flags)
+{
+    if (isNaN64(a) || isNaN64(b)) {
+        if (flags)
+            flags->invalid = true;
+        return false;
+    }
+    if (isZero64(a) && isZero64(b))
+        return false;
+    return orderKey64(a) < orderKey64(b);
+}
+
+bool
+le64(uint64_t a, uint64_t b, Flags *flags)
+{
+    if (isNaN64(a) || isNaN64(b)) {
+        if (flags)
+            flags->invalid = true;
+        return false;
+    }
+    if (isZero64(a) && isZero64(b))
+        return true;
+    return orderKey64(a) <= orderKey64(b);
+}
+
+uint64_t
+fromDouble(double d)
+{
+    uint64_t r;
+    std::memcpy(&r, &d, sizeof(r));
+    return r;
+}
+
+double
+toDouble(uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+uint32_t
+fromFloat(float f)
+{
+    uint32_t r;
+    std::memcpy(&r, &f, sizeof(r));
+    return r;
+}
+
+float
+toFloat(uint32_t bits)
+{
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return f;
+}
+
+uint32_t
+narrow64to32(uint64_t a, Flags *flags)
+{
+    Flags fl;
+    uint32_t r;
+    if (isNaN64(a)) {
+        r = qnan32;
+    } else if (isInf64(a)) {
+        r = static_cast<uint32_t>((bit(a, 63) ? 0x80000000u : 0u) |
+                                  0x7f800000u);
+    } else if (isZero64(a)) {
+        r = bit(a, 63) ? 0x80000000u : 0u;
+    } else {
+        bool sign = bit(a, 63);
+        int exp = static_cast<int>(bits(a, 52, 11)) - 1023;
+        uint64_t sig = (1ULL << 52) | bits(a, 0, 52);
+        // Reduce 52 -> 23 mantissa bits keeping 3 guard bits + sticky.
+        uint64_t sig32 = sig >> 26;
+        if (sig & lowMask(26))
+            sig32 |= 1;
+        // sig32 now has implied 1 at bit 26 == 23+3. Round/pack via F32.
+        r = static_cast<uint32_t>(
+            F32::roundPack(sign, exp, sig32, fl));
+    }
+    if (flags)
+        flags->merge(fl);
+    return r;
+}
+
+uint64_t
+widen32to64(uint32_t a)
+{
+    if (isNaN32(a))
+        return qnan64;
+    bool sign = bit(a, 31);
+    uint64_t s = static_cast<uint64_t>(sign) << 63;
+    if (isInf32(a))
+        return s | 0x7ff0000000000000ULL;
+    uint64_t e = bits(a, 23, 8);
+    uint64_t m = bits(a, 0, 23);
+    if (e == 0)
+        return s; // zero or subnormal (FTZ)
+    uint64_t exp = e - 127 + 1023;
+    return s | (exp << 52) | (m << 29);
+}
+
+} // namespace tea::sf

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Deterministic IEEE-754 soft-float reference model.
+ *
+ * This is the single definition of floating-point semantics in the
+ * framework: the functional/OoO simulators execute FP instructions with
+ * it, and the gate-level FPU (src/fpu) is tested bit-exact against it.
+ * Host floating point never enters the simulated pipeline, so goldens
+ * are identical on every machine.
+ *
+ * Semantics:
+ *  - round-to-nearest-even for add/sub/mul/div/i2f;
+ *  - round-toward-zero for f2i (matching C cast semantics);
+ *  - subnormals are flushed to (signed) zero on input and output
+ *    (FTZ + DAZ), mirroring the simplified denormal handling of the
+ *    marocchino FPU the paper characterizes;
+ *  - a single canonical quiet NaN (exp all-ones, mantissa MSB set) is
+ *    produced for every invalid operation.
+ */
+
+#ifndef TEA_SOFTFLOAT_SOFTFLOAT_HH
+#define TEA_SOFTFLOAT_SOFTFLOAT_HH
+
+#include <cstdint>
+
+namespace tea::sf {
+
+/** IEEE exception flags raised by an operation. */
+struct Flags
+{
+    bool invalid = false;
+    bool divByZero = false;
+    bool overflow = false;
+    bool underflow = false;
+    bool inexact = false;
+
+    /** True if any flag is raised. */
+    bool any() const
+    {
+        return invalid || divByZero || overflow || underflow || inexact;
+    }
+
+    /** True if a trap-worthy (per the crash taxonomy) flag is raised. */
+    bool severe() const { return invalid || divByZero || overflow; }
+
+    void merge(const Flags &o);
+};
+
+// ---------------------------------------------------------------------
+// Double precision (operands and results are raw IEEE-754 bit patterns).
+// ---------------------------------------------------------------------
+
+uint64_t add64(uint64_t a, uint64_t b, Flags *flags = nullptr);
+uint64_t sub64(uint64_t a, uint64_t b, Flags *flags = nullptr);
+uint64_t mul64(uint64_t a, uint64_t b, Flags *flags = nullptr);
+uint64_t div64(uint64_t a, uint64_t b, Flags *flags = nullptr);
+/** int64 -> double, RNE. */
+uint64_t i2f64(int64_t v, Flags *flags = nullptr);
+/** double -> int64, RTZ; saturates and raises invalid out of range. */
+int64_t f2i64(uint64_t a, Flags *flags = nullptr);
+
+// ---------------------------------------------------------------------
+// Single precision.
+// ---------------------------------------------------------------------
+
+uint32_t add32(uint32_t a, uint32_t b, Flags *flags = nullptr);
+uint32_t sub32(uint32_t a, uint32_t b, Flags *flags = nullptr);
+uint32_t mul32(uint32_t a, uint32_t b, Flags *flags = nullptr);
+uint32_t div32(uint32_t a, uint32_t b, Flags *flags = nullptr);
+/** int32 -> float, RNE. */
+uint32_t i2f32(int32_t v, Flags *flags = nullptr);
+/** float -> int32, RTZ; saturates and raises invalid out of range. */
+int32_t f2i32(uint32_t a, Flags *flags = nullptr);
+
+// ---------------------------------------------------------------------
+// Comparisons (quiet; NaN compares unordered -> false, raises invalid).
+// ---------------------------------------------------------------------
+
+bool eq64(uint64_t a, uint64_t b, Flags *flags = nullptr);
+bool lt64(uint64_t a, uint64_t b, Flags *flags = nullptr);
+bool le64(uint64_t a, uint64_t b, Flags *flags = nullptr);
+
+// ---------------------------------------------------------------------
+// Classification and conversion helpers.
+// ---------------------------------------------------------------------
+
+bool isNaN64(uint64_t a);
+bool isInf64(uint64_t a);
+bool isZero64(uint64_t a);
+bool isSubnormal64(uint64_t a);
+bool isNaN32(uint32_t a);
+bool isInf32(uint32_t a);
+
+/** The canonical quiet NaN patterns. */
+constexpr uint64_t qnan64 = 0x7ff8000000000000ULL;
+constexpr uint32_t qnan32 = 0x7fc00000u;
+
+/** Host-double <-> raw-bits conversion (for host-side test harnesses). */
+uint64_t fromDouble(double d);
+double toDouble(uint64_t bits);
+uint32_t fromFloat(float f);
+float toFloat(uint32_t bits);
+
+/** double bits -> float bits with RNE (used by SP store narrowing). */
+uint32_t narrow64to32(uint64_t a, Flags *flags = nullptr);
+/** float bits -> double bits (exact). */
+uint64_t widen32to64(uint32_t a);
+
+} // namespace tea::sf
+
+#endif // TEA_SOFTFLOAT_SOFTFLOAT_HH

@@ -1,0 +1,183 @@
+#include "timing/dta_campaign.hh"
+
+#include <algorithm>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace tea::timing {
+
+using fpu::FpuOp;
+
+void
+OpErrorStats::merge(const OpErrorStats &o)
+{
+    total += o.total;
+    faulty += o.faulty;
+    for (unsigned i = 0; i < 64; ++i)
+        bitErrors[i] += o.bitErrors[i];
+    maskPool.insert(maskPool.end(), o.maskPool.begin(),
+                    o.maskPool.end());
+}
+
+uint64_t
+CampaignStats::totalOps() const
+{
+    uint64_t n = 0;
+    for (const auto &s : perOp)
+        n += s.total;
+    return n;
+}
+
+uint64_t
+CampaignStats::totalFaulty() const
+{
+    uint64_t n = 0;
+    for (const auto &s : perOp)
+        n += s.faulty;
+    return n;
+}
+
+double
+CampaignStats::errorRatio() const
+{
+    uint64_t t = totalOps();
+    return t ? static_cast<double>(totalFaulty()) /
+                   static_cast<double>(t)
+             : 0.0;
+}
+
+std::vector<uint64_t>
+CampaignStats::flipCountHistogram(unsigned maxBits) const
+{
+    std::vector<uint64_t> hist(maxBits + 1, 0);
+    for (const auto &s : perOp) {
+        for (uint64_t mask : s.maskPool) {
+            auto n = static_cast<unsigned>(popcount(mask));
+            hist[std::min(n, maxBits)] += 1;
+        }
+    }
+    return hist;
+}
+
+DtaCampaign::DtaCampaign(fpu::FpuCore &core, size_t point)
+    : core_(core), point_(point)
+{
+}
+
+void
+DtaCampaign::execute(FpuOp op, uint64_t a, uint64_t b)
+{
+    auto res = core_.execute(point_, op, a, b);
+    OpErrorStats &s = stats_.of(op);
+    ++s.total;
+    if (res.errorMask != 0) {
+        ++s.faulty;
+        s.maskPool.push_back(res.errorMask);
+        uint64_t m = res.errorMask;
+        while (m) {
+            unsigned bit = static_cast<unsigned>(__builtin_ctzll(m));
+            ++s.bitErrors[bit];
+            m &= m - 1;
+        }
+    }
+}
+
+void
+randomOperands(FpuOp op, Rng &rng, uint64_t &a, uint64_t &b)
+{
+    auto rnd64 = [&]() {
+        uint64_t sign = rng.next() & (1ULL << 63);
+        uint64_t exp = 700 + rng.nextBounded(650);
+        uint64_t man = rng.next() & ((1ULL << 52) - 1);
+        return sign | (exp << 52) | man;
+    };
+    auto rnd32 = [&]() -> uint64_t {
+        uint32_t sign = static_cast<uint32_t>(rng.next()) & 0x80000000u;
+        uint32_t exp = 60 + static_cast<uint32_t>(rng.nextBounded(135));
+        uint32_t man = static_cast<uint32_t>(rng.next()) & 0x7fffffu;
+        return sign | (exp << 23) | man;
+    };
+    switch (op) {
+      case FpuOp::I2FD:
+        a = rng.next();
+        b = 0;
+        break;
+      case FpuOp::I2FS:
+        a = static_cast<uint32_t>(rng.next());
+        b = 0;
+        break;
+      case FpuOp::F2ID: {
+        // In-range magnitudes so conversions exercise the shifter.
+        uint64_t sign = rng.next() & (1ULL << 63);
+        uint64_t exp = 1000 + rng.nextBounded(80); // ~2^-23 .. 2^57
+        uint64_t man = rng.next() & ((1ULL << 52) - 1);
+        a = sign | (exp << 52) | man;
+        b = 0;
+        break;
+      }
+      case FpuOp::F2IS: {
+        uint32_t sign = static_cast<uint32_t>(rng.next()) & 0x80000000u;
+        uint32_t exp = 110 + static_cast<uint32_t>(rng.nextBounded(45));
+        uint32_t man = static_cast<uint32_t>(rng.next()) & 0x7fffffu;
+        a = sign | (exp << 23) | man;
+        b = 0;
+        break;
+      }
+      default:
+        if (fpu::isDoubleOp(op)) {
+            a = rnd64();
+            b = rnd64();
+        } else {
+            a = rnd32();
+            b = rnd32();
+        }
+        break;
+    }
+}
+
+CampaignStats
+runRandomCampaign(fpu::FpuCore &core, size_t point, uint64_t countPerOp,
+                  Rng &rng)
+{
+    DtaCampaign campaign(core, point);
+    for (unsigned o = 0; o < fpu::kNumFpuOps; ++o) {
+        auto op = static_cast<FpuOp>(o);
+        for (uint64_t i = 0; i < countPerOp; ++i) {
+            uint64_t a, b;
+            randomOperands(op, rng, a, b);
+            campaign.execute(op, a, b);
+        }
+    }
+    return campaign.stats();
+}
+
+CampaignStats
+runTraceCampaign(fpu::FpuCore &core, size_t point,
+                 const std::vector<sim::FpTraceEntry> &trace,
+                 uint64_t maxOps)
+{
+    DtaCampaign campaign(core, point);
+    if (trace.empty())
+        return campaign.stats();
+    if (trace.size() <= maxOps) {
+        for (const auto &e : trace)
+            campaign.execute(e.op, e.a, e.b);
+        return campaign.stats();
+    }
+    // Sample contiguous windows spread across the trace: contiguity
+    // preserves the operand-transition history the timing model needs.
+    const uint64_t kWindow = 256;
+    uint64_t windows = (maxOps + kWindow - 1) / kWindow;
+    uint64_t stride = trace.size() / windows;
+    uint64_t done = 0;
+    for (uint64_t w = 0; w < windows && done < maxOps; ++w) {
+        uint64_t begin = w * stride;
+        uint64_t end = std::min<uint64_t>(begin + kWindow, trace.size());
+        for (uint64_t i = begin; i < end && done < maxOps; ++i, ++done)
+            campaign.execute(trace[i].op, trace[i].a, trace[i].b);
+    }
+    return campaign.stats();
+}
+
+} // namespace tea::timing

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Model-development-phase DTA campaigns (Section III.A of the paper).
+ *
+ * A campaign streams operand pairs through the gate-level FPU at a
+ * reduced-voltage operating point and accumulates, per instruction
+ * type: the error ratio (Eq. 2), per-output-bit error ratios (BER), the
+ * pool of observed error bitmasks, and the flip-count distribution
+ * (Fig. 5). Streams come from uniform random operands (IA-model) or
+ * from an FP operand trace of the actual workload (WA-model).
+ */
+
+#ifndef TEA_TIMING_DTA_CAMPAIGN_HH
+#define TEA_TIMING_DTA_CAMPAIGN_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "fpu/fpu_core.hh"
+#include "sim/func_sim.hh"
+#include "util/rng.hh"
+
+namespace tea::timing {
+
+/** Per-instruction-type error statistics from one DTA campaign. */
+struct OpErrorStats
+{
+    uint64_t total = 0;
+    uint64_t faulty = 0;
+    std::array<uint64_t, 64> bitErrors{};
+    /** Observed non-zero error bitmasks (the model's sampling pool). */
+    std::vector<uint64_t> maskPool;
+
+    /** Error ratio per Eq. 2: faulty / total. */
+    double errorRatio() const
+    {
+        return total ? static_cast<double>(faulty) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+    /** Bit error ratio of one output bit position. */
+    double ber(unsigned bit) const
+    {
+        return total ? static_cast<double>(bitErrors[bit]) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+    void merge(const OpErrorStats &o);
+};
+
+/** Statistics for all 12 instruction types. */
+struct CampaignStats
+{
+    std::array<OpErrorStats, fpu::kNumFpuOps> perOp;
+
+    const OpErrorStats &of(fpu::FpuOp op) const
+    {
+        return perOp[static_cast<size_t>(op)];
+    }
+    OpErrorStats &of(fpu::FpuOp op)
+    {
+        return perOp[static_cast<size_t>(op)];
+    }
+    uint64_t totalOps() const;
+    uint64_t totalFaulty() const;
+    /** Aggregate error ratio across all types. */
+    double errorRatio() const;
+    /** Distribution of flipped-bit counts among faulty ops (Fig. 5). */
+    std::vector<uint64_t> flipCountHistogram(unsigned maxBits = 16) const;
+};
+
+/**
+ * Streams operations through one FpuCore operating point, accumulating
+ * stats. The FPU pipeline history persists across execute() calls, so
+ * the order of the stream matters — exactly the dynamic, data-dependent
+ * behaviour the paper models.
+ */
+class DtaCampaign
+{
+  public:
+    DtaCampaign(fpu::FpuCore &core, size_t point);
+
+    /** Run one op and record its (possibly empty) error mask. */
+    void execute(fpu::FpuOp op, uint64_t a, uint64_t b);
+
+    const CampaignStats &stats() const { return stats_; }
+
+  private:
+    fpu::FpuCore &core_;
+    size_t point_;
+    CampaignStats stats_;
+};
+
+/**
+ * Uniform random operand of paper-style characterization for an op:
+ * full-range significands with bounded exponents (so characterization
+ * exercises the arithmetic paths rather than the overflow specials).
+ */
+void randomOperands(fpu::FpuOp op, Rng &rng, uint64_t &a, uint64_t &b);
+
+/** IA-model characterization: `count` random-operand ops per type. */
+CampaignStats runRandomCampaign(fpu::FpuCore &core, size_t point,
+                                uint64_t countPerOp, Rng &rng);
+
+/**
+ * WA-model characterization: replay (a sample of) a workload's FP
+ * operand trace in program order. Samples up to maxOps entries evenly
+ * spaced across the trace.
+ */
+CampaignStats runTraceCampaign(fpu::FpuCore &core, size_t point,
+                               const std::vector<sim::FpTraceEntry> &trace,
+                               uint64_t maxOps);
+
+} // namespace tea::timing
+
+#endif // TEA_TIMING_DTA_CAMPAIGN_HH

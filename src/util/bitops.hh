@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the soft-float, circuit, and ISA
+ * layers.
+ */
+
+#ifndef TEA_UTIL_BITOPS_HH
+#define TEA_UTIL_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace tea {
+
+/** Extract bits [lo, lo+len) of value. */
+constexpr uint64_t
+bits(uint64_t value, unsigned lo, unsigned len)
+{
+    if (len >= 64)
+        return value >> lo;
+    return (value >> lo) & ((1ULL << len) - 1);
+}
+
+/** Extract a single bit. */
+constexpr bool
+bit(uint64_t value, unsigned pos)
+{
+    return (value >> pos) & 1ULL;
+}
+
+/** Insert bits [lo, lo+len) of field into value. */
+constexpr uint64_t
+insertBits(uint64_t value, unsigned lo, unsigned len, uint64_t field)
+{
+    uint64_t mask = (len >= 64) ? ~0ULL : ((1ULL << len) - 1);
+    return (value & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** Mask with the low n bits set (n may be 0..64). */
+constexpr uint64_t
+lowMask(unsigned n)
+{
+    return n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+}
+
+/** Sign-extend the low n bits of value. */
+constexpr int64_t
+sext(uint64_t value, unsigned n)
+{
+    if (n == 0 || n >= 64)
+        return static_cast<int64_t>(value);
+    uint64_t m = 1ULL << (n - 1);
+    value &= lowMask(n);
+    return static_cast<int64_t>((value ^ m) - m);
+}
+
+/** Population count. */
+constexpr int
+popcount(uint64_t value)
+{
+    return std::popcount(value);
+}
+
+/** Number of leading zeros in an n-bit value. */
+constexpr int
+clz(uint64_t value, unsigned width = 64)
+{
+    if (value == 0)
+        return static_cast<int>(width);
+    return std::countl_zero(value) - static_cast<int>(64 - width);
+}
+
+/** True if value is a power of two (and nonzero). */
+constexpr bool
+isPow2(uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+} // namespace tea
+
+#endif // TEA_UTIL_BITOPS_HH

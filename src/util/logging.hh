@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Logging and error-reporting primitives in the gem5 idiom.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger/core dump can capture the state.
+ * fatal()  — the user asked for something impossible (bad configuration,
+ *            invalid arguments); exits with status 1.
+ * warn()   — something is suspicious but execution can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef TEA_UTIL_LOGGING_HH
+#define TEA_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tea {
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Render a printf-style format string into a std::string. */
+std::string vformat(const char *fmt, va_list ap);
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Whether warn() output is suppressed (useful in noisy campaigns). */
+void setQuiet(bool quiet);
+bool quiet();
+
+} // namespace tea
+
+#define panic(...)                                                          \
+    ::tea::detail::panicImpl(__FILE__, __LINE__,                            \
+                             ::tea::detail::format(__VA_ARGS__))
+
+#define fatal(...)                                                          \
+    ::tea::detail::fatalImpl(__FILE__, __LINE__,                            \
+                             ::tea::detail::format(__VA_ARGS__))
+
+#define warn(...)                                                           \
+    ::tea::detail::warnImpl(__FILE__, __LINE__,                             \
+                            ::tea::detail::format(__VA_ARGS__))
+
+#define inform(...)                                                         \
+    ::tea::detail::informImpl(::tea::detail::format(__VA_ARGS__))
+
+/** panic() unless the condition holds. */
+#define panic_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond)                                                           \
+            panic(__VA_ARGS__);                                             \
+    } while (0)
+
+#define fatal_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond)                                                           \
+            fatal(__VA_ARGS__);                                             \
+    } while (0)
+
+#endif // TEA_UTIL_LOGGING_HH

@@ -1,0 +1,144 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace tea {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBounded(uint64_t bound)
+{
+    panic_if(bound == 0, "nextBounded(0) is undefined");
+    // Rejection sampling to remove modulo bias.
+    uint64_t threshold = -bound % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+int64_t
+Rng::nextRange(int64_t lo, int64_t hi)
+{
+    panic_if(lo > hi, "nextRange: lo > hi");
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(nextBounded(span));
+}
+
+double
+Rng::nextGaussian()
+{
+    double u1, u2;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 1e-300);
+    u2 = nextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+uint64_t
+Rng::nextPoisson(double lambda)
+{
+    if (lambda <= 0.0)
+        return 0;
+    // Inverse transform; fine for the modest lambdas planning uses.
+    double l = std::exp(-lambda);
+    double p = 1.0;
+    uint64_t k = 0;
+    do {
+        ++k;
+        p *= nextDouble();
+    } while (p > l && k < 100000);
+    return k - 1;
+}
+
+uint64_t
+Rng::nextBinomial(uint64_t n, double p)
+{
+    if (n == 0 || p <= 0.0)
+        return 0;
+    if (p >= 1.0)
+        return n;
+    if (n <= 64) {
+        uint64_t k = 0;
+        for (uint64_t i = 0; i < n; ++i)
+            k += nextBool(p);
+        return k;
+    }
+    double mean = static_cast<double>(n) * p;
+    if (mean < 30.0)
+        return std::min<uint64_t>(nextPoisson(mean), n);
+    double sigma = std::sqrt(mean * (1.0 - p));
+    double v = mean + sigma * nextGaussian();
+    if (v < 0.0)
+        return 0;
+    auto k = static_cast<uint64_t>(v + 0.5);
+    return std::min(k, n);
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xa5a5a5a5deadbeefULL);
+}
+
+} // namespace tea

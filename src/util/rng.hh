@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * All stochastic behaviour in the framework (operand sampling, injection
+ * site selection, process-variation jitter) flows through Rng so that
+ * campaigns are exactly reproducible from a seed.
+ */
+
+#ifndef TEA_UTIL_RNG_HH
+#define TEA_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace tea {
+
+/**
+ * xoshiro256** generator. Small, fast, and high quality; split() derives
+ * statistically independent child streams so parallel campaign arms do
+ * not share state.
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a single 64-bit value. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform in [0, bound) without modulo bias. */
+    uint64_t nextBounded(uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p. */
+    bool nextBool(double p);
+
+    /** Uniform in [lo, hi] inclusive. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** Standard normal via Box-Muller (uncached). */
+    double nextGaussian();
+
+    /**
+     * Binomial(n, p) sample. Exact Bernoulli looping for small n,
+     * Poisson inverse-transform for small means, normal approximation
+     * (clamped to [0, n]) otherwise — accurate enough for injection
+     * planning where p is small.
+     */
+    uint64_t nextBinomial(uint64_t n, double p);
+
+    /** Poisson(lambda) via inverse transform (lambda modest). */
+    uint64_t nextPoisson(double lambda);
+
+    /** Derive an independent child generator. */
+    Rng split();
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace tea
+
+#endif // TEA_UTIL_RNG_HH

@@ -1,0 +1,161 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace tea {
+
+void
+StreamingStats::sample(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+StreamingStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+StreamingStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+StreamingStats::merge(const StreamingStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    uint64_t n = n_ + other.n_;
+    double delta = other.mean_ - mean_;
+    double mean = mean_ + delta * static_cast<double>(other.n_) /
+                              static_cast<double>(n);
+    m2_ = m2_ + other.m2_ +
+          delta * delta * static_cast<double>(n_) *
+              static_cast<double>(other.n_) / static_cast<double>(n);
+    mean_ = mean;
+    n_ = n;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+StreamingStats::reset()
+{
+    *this = StreamingStats();
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    panic_if(buckets == 0, "Histogram needs at least one bucket");
+    panic_if(!(lo < hi), "Histogram range must be non-empty");
+}
+
+void
+Histogram::sample(double x, uint64_t weight)
+{
+    total_ += weight;
+    if (x < lo_) {
+        underflow_ += weight;
+        return;
+    }
+    if (x >= hi_) {
+        overflow_ += weight;
+        return;
+    }
+    auto idx = static_cast<size_t>((x - lo_) / (hi_ - lo_) *
+                                   static_cast<double>(counts_.size()));
+    idx = std::min(idx, counts_.size() - 1);
+    counts_[idx] += weight;
+}
+
+double
+Histogram::bucketLo(size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+}
+
+double
+Histogram::bucketHi(size_t i) const
+{
+    return bucketLo(i + 1);
+}
+
+double
+Histogram::fraction(size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_[i]) / static_cast<double>(total_);
+}
+
+std::string
+Histogram::render(const std::string &label, int barWidth) const
+{
+    std::ostringstream os;
+    os << label << " (n=" << total_ << ")\n";
+    uint64_t peak = 1;
+    for (auto c : counts_)
+        peak = std::max(peak, c);
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        int len = static_cast<int>(
+            static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+            barWidth);
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "[%10.4g, %10.4g) %8llu ",
+                      bucketLo(i), bucketHi(i),
+                      static_cast<unsigned long long>(counts_[i]));
+        os << buf << std::string(static_cast<size_t>(len), '#') << "\n";
+    }
+    if (underflow_)
+        os << "  underflow: " << underflow_ << "\n";
+    if (overflow_)
+        os << "  overflow:  " << overflow_ << "\n";
+    return os.str();
+}
+
+void
+CategoryCounter::add(const std::string &key, uint64_t n)
+{
+    counts_[key] += n;
+    total_ += n;
+}
+
+uint64_t
+CategoryCounter::get(const std::string &key) const
+{
+    auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+double
+CategoryCounter::fraction(const std::string &key) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(get(key)) / static_cast<double>(total_);
+}
+
+} // namespace tea

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Streaming statistics and histogramming used by DTA campaigns, BER
+ * extraction, and injection-outcome reporting.
+ */
+
+#ifndef TEA_UTIL_STATS_HH
+#define TEA_UTIL_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tea {
+
+/**
+ * Welford-style streaming mean/variance/min/max accumulator.
+ */
+class StreamingStats
+{
+  public:
+    void sample(double x);
+
+    uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+    /** Merge another accumulator into this one (parallel-combine rule). */
+    void merge(const StreamingStats &other);
+
+    void reset();
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-width linear histogram over [lo, hi); samples outside the range
+ * land in saturating under/overflow buckets.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, size_t buckets);
+
+    void sample(double x, uint64_t weight = 1);
+
+    size_t numBuckets() const { return counts_.size(); }
+    uint64_t bucketCount(size_t i) const { return counts_[i]; }
+    double bucketLo(size_t i) const;
+    double bucketHi(size_t i) const;
+    uint64_t underflow() const { return underflow_; }
+    uint64_t overflow() const { return overflow_; }
+    uint64_t total() const { return total_; }
+
+    /** Fraction of samples in bucket i (0 if empty histogram). */
+    double fraction(size_t i) const;
+
+    /** Render as a simple ASCII bar chart, one line per bucket. */
+    std::string render(const std::string &label, int barWidth = 50) const;
+
+  private:
+    double lo_, hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+};
+
+/**
+ * Counter keyed by string — used for outcome tallies (Masked/SDC/...).
+ */
+class CategoryCounter
+{
+  public:
+    void add(const std::string &key, uint64_t n = 1);
+    uint64_t get(const std::string &key) const;
+    uint64_t total() const { return total_; }
+    double fraction(const std::string &key) const;
+    const std::map<std::string, uint64_t> &counts() const { return counts_; }
+
+  private:
+    std::map<std::string, uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+} // namespace tea
+
+#endif // TEA_UTIL_STATS_HH

@@ -1,0 +1,101 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace tea {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    panic_if(headers_.empty(), "Table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    panic_if(row.size() != headers_.size(),
+             "Table row arity %zu != header arity %zu", row.size(),
+             headers_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::sci(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+    return buf;
+}
+
+std::string
+Table::pct(double v01, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v01 * 100.0);
+    return buf;
+}
+
+std::string
+Table::render(const std::string &title) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string line = "|";
+        for (size_t c = 0; c < row.size(); ++c) {
+            line += " " + row[c] +
+                    std::string(widths[c] - row[c].size(), ' ') + " |";
+        }
+        return line + "\n";
+    };
+
+    std::string rule = "+";
+    for (auto w : widths)
+        rule += std::string(w + 2, '-') + "+";
+    rule += "\n";
+
+    std::ostringstream os;
+    if (!title.empty())
+        os << title << "\n";
+    os << rule << renderRow(headers_) << rule;
+    for (const auto &row : rows_)
+        os << renderRow(row);
+    os << rule;
+    return os.str();
+}
+
+std::string
+Table::csv() const
+{
+    auto line = [](const std::vector<std::string> &row) {
+        std::string out;
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                out += ",";
+            out += row[c];
+        }
+        return out + "\n";
+    };
+    std::string out = line(headers_);
+    for (const auto &row : rows_)
+        out += line(row);
+    return out;
+}
+
+} // namespace tea

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Plain-text table rendering for the paper-style result printouts every
+ * bench binary emits (aligned columns, optional CSV).
+ */
+
+#ifndef TEA_UTIL_TABLE_HH
+#define TEA_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace tea {
+
+/**
+ * Accumulates rows of strings and renders them with aligned columns.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the header arity. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 3);
+    /** Scientific notation, e.g. 1.25e-03. */
+    static std::string sci(double v, int precision = 2);
+    /** Percent with one decimal, e.g. 12.5%. */
+    static std::string pct(double v01, int precision = 1);
+
+    /** Render with ASCII column alignment. */
+    std::string render(const std::string &title = "") const;
+
+    /** Render as CSV (headers + rows). */
+    std::string csv() const;
+
+    size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace tea
+
+#endif // TEA_UTIL_TABLE_HH

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * cg — conjugate-gradient solve of a dense symmetric positive-definite
+ * system (NAS CG class-S flavour: dominated by fp-mul/fp-add inner
+ * products, with per-iteration fp-div scalars). Classification:
+ * Verification checking (the program itself checks the final residual
+ * against a tolerance and prints PASS/FAIL plus the residual).
+ */
+
+#include "isa/asmbuilder.hh"
+#include "util/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace tea::workloads {
+
+using isa::AsmBuilder;
+
+Workload
+buildCg(uint64_t seed, int scale)
+{
+    const int N = 40 * scale;
+    const int kIters = 8;
+    Rng rng(seed ^ 0xc6ULL);
+
+    // SPD matrix: random symmetric + strong diagonal.
+    std::vector<double> A(static_cast<size_t>(N) * N, 0.0);
+    for (int i = 0; i < N; ++i) {
+        for (int j = 0; j <= i; ++j) {
+            double v = (rng.nextDouble() - 0.5) * 0.2;
+            A[static_cast<size_t>(i) * N + j] = v;
+            A[static_cast<size_t>(j) * N + i] = v;
+        }
+        A[static_cast<size_t>(i) * N + i] = 2.0 + rng.nextDouble();
+    }
+    std::vector<double> rhs(N);
+    for (int i = 0; i < N; ++i)
+        rhs[i] = (rng.nextDouble() - 0.5) * 4.0;
+
+    AsmBuilder b("cg");
+    b.dataDoubles("A", A);
+    b.dataDoubles("rhs", rhs);
+    b.dataSpace("x", static_cast<uint64_t>(N) * 8);
+    b.dataSpace("r", static_cast<uint64_t>(N) * 8);
+    b.dataSpace("p", static_cast<uint64_t>(N) * 8);
+    b.dataSpace("ap", static_cast<uint64_t>(N) * 8);
+    b.dataSpace("verify", 16);
+    b.dataDoubles("tol", {1e-8});
+
+    const int rowB = N * 8;
+
+    b.la(5, "A");
+    b.la(6, "rhs");
+    b.la(7, "x");
+    b.la(8, "r");
+    b.la(9, "p");
+    b.la(10, "ap");
+
+    // r = rhs; p = rhs; x = 0; rs_old (f20) = r.r
+    b.fmv_d_x(20, 0);
+    b.li(11, 0);
+    b.li(12, N);
+    auto initLoop = b.newLabel();
+    b.bind(initLoop);
+    {
+        b.slli(13, 11, 3);
+        b.add(14, 13, 6);
+        b.fld(1, 14, 0);
+        b.add(14, 13, 8);
+        b.fsd(1, 14, 0);
+        b.add(14, 13, 9);
+        b.fsd(1, 14, 0);
+        b.add(14, 13, 7);
+        b.sd(0, 14, 0);
+        b.fmul_d(2, 1, 1);
+        b.fadd_d(20, 20, 2);
+        b.addi(11, 11, 1);
+        b.blt(11, 12, initLoop);
+    }
+
+    b.li(21, kIters);
+    auto cgLoop = b.newLabel();
+    b.bind(cgLoop);
+    {
+        // ap = A * p ; pap (f21) = p . ap
+        b.fmv_d_x(21, 0);
+        b.li(11, 0); // row
+        b.mv(15, 5); // row ptr into A
+        auto rowLoop = b.newLabel();
+        b.bind(rowLoop);
+        {
+            b.fmv_d_x(1, 0); // acc
+            b.li(13, 0);     // col
+            b.mv(16, 9);     // p ptr
+            b.mv(17, 15);    // A ptr
+            auto colLoop = b.newLabel();
+            b.bind(colLoop);
+            {
+                b.fld(2, 17, 0);
+                b.fld(3, 16, 0);
+                b.fmul_d(2, 2, 3);
+                b.fadd_d(1, 1, 2);
+                b.addi(17, 17, 8);
+                b.addi(16, 16, 8);
+                b.addi(13, 13, 1);
+                b.blt(13, 12, colLoop);
+            }
+            b.slli(13, 11, 3);
+            b.add(14, 13, 10);
+            b.fsd(1, 14, 0); // ap[row]
+            b.add(14, 13, 9);
+            b.fld(3, 14, 0);
+            b.fmul_d(2, 1, 3);
+            b.fadd_d(21, 21, 2); // pap += p[row]*ap[row]
+            b.li(13, rowB);
+            b.add(15, 15, 13);
+            b.addi(11, 11, 1);
+            b.blt(11, 12, rowLoop);
+        }
+
+        // alpha (f22) = rs_old / pap
+        b.fdiv_d(22, 20, 21);
+
+        // x += alpha p ; r -= alpha ap ; rs_new (f23) = r.r
+        b.fmv_d_x(23, 0);
+        b.li(11, 0);
+        auto updLoop = b.newLabel();
+        b.bind(updLoop);
+        {
+            b.slli(13, 11, 3);
+            b.add(14, 13, 9);
+            b.fld(1, 14, 0); // p
+            b.add(14, 13, 10);
+            b.fld(2, 14, 0); // ap
+            b.add(14, 13, 7);
+            b.fld(3, 14, 0); // x
+            b.fmul_d(4, 22, 1);
+            b.fadd_d(3, 3, 4);
+            b.fsd(3, 14, 0);
+            b.add(14, 13, 8);
+            b.fld(3, 14, 0); // r
+            b.fmul_d(4, 22, 2);
+            b.fsub_d(3, 3, 4);
+            b.fsd(3, 14, 0);
+            b.fmul_d(4, 3, 3);
+            b.fadd_d(23, 23, 4);
+            b.addi(11, 11, 1);
+            b.blt(11, 12, updLoop);
+        }
+
+        // beta (f24) = rs_new / rs_old ; p = r + beta p
+        b.fdiv_d(24, 23, 20);
+        b.li(11, 0);
+        auto pLoop = b.newLabel();
+        b.bind(pLoop);
+        {
+            b.slli(13, 11, 3);
+            b.add(14, 13, 9);
+            b.fld(1, 14, 0);
+            b.fmul_d(1, 1, 24);
+            b.add(15, 13, 8);
+            b.fld(2, 15, 0);
+            b.fadd_d(1, 1, 2);
+            b.fsd(1, 14, 0);
+            b.addi(11, 11, 1);
+            b.blt(11, 12, pLoop);
+        }
+        b.fmv(20, 23); // rs_old = rs_new
+
+        b.addi(21, 21, -1);
+        b.bne(21, 0, cgLoop);
+    }
+
+    // Verification: PASS if rs_new < tol.
+    b.la(11, "tol");
+    b.fld(1, 11, 0);
+    b.flt_d(12, 23, 1);
+    b.la(11, "verify");
+    b.sd(12, 11, 0);
+    b.fsd(23, 11, 8);
+    b.printInt(12);
+    b.printFp(23);
+    b.halt();
+
+    Workload w;
+    w.name = "cg";
+    w.program = b.build();
+    w.inputDesc = "S (n=" + std::to_string(N) + ")";
+    w.classification = "Verification checking";
+    w.outputSymbols = {"verify", "x"};
+    return w;
+}
+
+} // namespace tea::workloads

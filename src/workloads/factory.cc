@@ -1,0 +1,37 @@
+#include "workloads/workloads.hh"
+
+#include "util/logging.hh"
+
+namespace tea::workloads {
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = {
+        "sobel", "cg", "k-means", "srad_v1", "hotspot", "is", "mg",
+    };
+    return names;
+}
+
+Workload
+buildWorkload(const std::string &name, uint64_t seed, int scale)
+{
+    fatal_if(scale < 1, "workload scale must be >= 1");
+    if (name == "sobel")
+        return buildSobel(seed, scale);
+    if (name == "cg")
+        return buildCg(seed, scale);
+    if (name == "k-means")
+        return buildKmeans(seed, scale);
+    if (name == "srad_v1")
+        return buildSrad(seed, scale);
+    if (name == "hotspot")
+        return buildHotspot(seed, scale);
+    if (name == "is")
+        return buildIs(seed, scale);
+    if (name == "mg")
+        return buildMg(seed, scale);
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace tea::workloads

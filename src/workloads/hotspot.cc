@@ -1,0 +1,181 @@
+/**
+ * @file
+ * hotspot — thermal simulation of a processor die: iterative stencil
+ * update of a temperature grid driven by a per-cell power map
+ * (add/mul dominated, like the Rodinia kernel). Classification: File
+ * Output (the final temperature grid).
+ */
+
+#include "isa/asmbuilder.hh"
+#include "util/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace tea::workloads {
+
+using isa::AsmBuilder;
+
+Workload
+buildHotspot(uint64_t seed, int scale)
+{
+    const int N = 24 * scale; // grid side
+    const int kIters = 4;
+    Rng rng(seed ^ 0x407507ULL);
+
+    std::vector<double> temp(static_cast<size_t>(N) * N);
+    std::vector<double> power(static_cast<size_t>(N) * N);
+    for (int y = 0; y < N; ++y) {
+        for (int x = 0; x < N; ++x) {
+            size_t i = static_cast<size_t>(y) * N + x;
+            temp[i] = 323.0 + 2.0 * rng.nextDouble();
+            // A few hot functional blocks.
+            bool hot = (x > N / 4 && x < N / 2 && y > N / 2);
+            power[i] = (hot ? 1.5 : 0.05) + 0.01 * rng.nextDouble();
+        }
+    }
+
+    AsmBuilder b("hotspot");
+    b.dataDoubles("temp", temp);
+    b.dataDoubles("power", power);
+    b.dataSpace("temp2", static_cast<uint64_t>(N) * N * 8);
+    // rx, ry, step*capInv, ambient coupling
+    b.dataDoubles("consts", {0.12, 0.09, 0.45, 0.0125, 345.0});
+
+    const int rowB = N * 8;
+
+    b.la(5, "consts");
+    b.fld(24, 5, 0);  // rx
+    b.fld(25, 5, 8);  // ry
+    b.fld(26, 5, 16); // step
+    b.fld(27, 5, 24); // amb coupling
+    b.fld(28, 5, 32); // ambient temp
+
+    b.la(5, "temp");
+    b.la(6, "temp2");
+    b.la(7, "power");
+
+    b.li(20, kIters);
+    auto iterLoop = b.newLabel();
+    b.bind(iterLoop);
+    {
+        b.li(10, 1); // y
+        b.li(11, N - 1);
+        auto yLoop = b.newLabel();
+        b.bind(yLoop);
+        {
+            b.li(13, rowB);
+            b.mul(14, 10, 13);
+            b.addi(14, 14, 8);
+            b.add(15, 5, 14); // src ptr
+            b.add(16, 6, 14); // dst ptr
+            b.add(17, 7, 14); // power ptr
+            b.li(12, 1);      // x
+            b.li(18, N - 1);
+            auto xLoop = b.newLabel();
+            b.bind(xLoop);
+            {
+                b.fld(1, 15, 0);      // t
+                b.fld(2, 15, -rowB);  // n
+                b.fld(3, 15, rowB);   // s
+                b.fld(4, 15, -8);     // w
+                b.fld(5, 15, 8);      // e
+                b.fld(6, 17, 0);      // p
+
+                b.fadd_d(7, 2, 3);    // n+s
+                b.fadd_d(8, 1, 1);    // 2t
+                b.fsub_d(7, 7, 8);    // n+s-2t
+                b.fmul_d(7, 7, 25);   // *ry
+                b.fadd_d(9, 4, 5);    // w+e
+                b.fsub_d(9, 9, 8);    // w+e-2t
+                b.fmul_d(9, 9, 24);   // *rx
+                b.fadd_d(7, 7, 9);
+                b.fsub_d(10, 28, 1);  // amb - t
+                b.fmul_d(10, 10, 27);
+                b.fadd_d(7, 7, 10);
+                b.fadd_d(7, 7, 6);    // + power
+                b.fmul_d(7, 7, 26);   // * step
+                b.fadd_d(7, 7, 1);    // t'
+                b.fsd(7, 16, 0);
+
+                b.addi(15, 15, 8);
+                b.addi(16, 16, 8);
+                b.addi(17, 17, 8);
+                b.addi(12, 12, 1);
+                b.blt(12, 18, xLoop);
+            }
+            b.addi(10, 10, 1);
+            b.blt(10, 11, yLoop);
+        }
+        // Copy borders (replication of the old grid's edges).
+        // Top and bottom rows, then left/right columns.
+        b.li(10, 0);
+        b.li(11, N);
+        b.li(19, (N - 1) * rowB); // byte offset of the bottom row
+        auto rowCopy = b.newLabel();
+        b.bind(rowCopy);
+        {
+            b.slli(13, 10, 3);
+            b.add(14, 5, 13);
+            b.add(15, 6, 13);
+            b.fld(1, 14, 0);
+            b.fsd(1, 15, 0);
+            b.add(14, 14, 19);
+            b.add(15, 15, 19);
+            b.fld(1, 14, 0);
+            b.fsd(1, 15, 0);
+            b.addi(10, 10, 1);
+            b.blt(10, 11, rowCopy);
+        }
+        b.li(10, 0);
+        auto colCopy = b.newLabel();
+        b.bind(colCopy);
+        {
+            b.li(13, rowB);
+            b.mul(14, 10, 13);
+            b.add(15, 5, 14);
+            b.add(16, 6, 14);
+            b.fld(1, 15, 0);
+            b.fsd(1, 16, 0);
+            b.fld(1, 15, rowB - 8);
+            b.fsd(1, 16, rowB - 8);
+            b.addi(10, 10, 1);
+            b.blt(10, 11, colCopy);
+        }
+        // Swap src/dst pointers.
+        b.mv(13, 5);
+        b.mv(5, 6);
+        b.mv(6, 13);
+        b.addi(20, 20, -1);
+        b.bne(20, 0, iterLoop);
+    }
+
+    // Final grid lives in the buffer x5 points to; copy it to temp2 if
+    // the iteration count is odd... kIters is even, so "temp" holds the
+    // result. Print a checksum of the hot region.
+    b.fmv_d_x(1, 0);
+    b.li(10, N / 2);
+    b.li(11, N - 1);
+    auto sumLoop = b.newLabel();
+    b.bind(sumLoop);
+    {
+        b.li(13, rowB);
+        b.mul(14, 10, 13);
+        b.add(14, 14, 5);
+        b.fld(2, 14, (N / 3) * 8);
+        b.fadd_d(1, 1, 2);
+        b.addi(10, 10, 1);
+        b.blt(10, 11, sumLoop);
+    }
+    b.printFp(1);
+    b.halt();
+
+    Workload w;
+    w.name = "hotspot";
+    w.program = b.build();
+    w.inputDesc = std::to_string(N) + " " + std::to_string(N) + " " +
+                  std::to_string(kIters);
+    w.classification = "File Output";
+    w.outputSymbols = {"temp", "temp2"};
+    return w;
+}
+
+} // namespace tea::workloads

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * is — NAS Integer Sort (class-S flavour): keys are generated on-core
+ * with the NAS `randlc` linear congruential generator, which performs
+ * exact 46-bit arithmetic in double precision (fp-mul plus f2i/i2f
+ * truncations — this is why IS shows FP timing errors in the paper
+ * despite being an "integer" benchmark). Keys are then bucket-sorted
+ * and the program performs partial verification (sortedness and key
+ * checksum). Classification: Verification checking.
+ */
+
+#include "isa/asmbuilder.hh"
+#include "workloads/workloads.hh"
+
+namespace tea::workloads {
+
+using isa::AsmBuilder;
+
+Workload
+buildIs(uint64_t seed, int scale)
+{
+    const int N = 512 * scale;
+    const int kMaxKey = 1024; // 2^10 buckets
+
+    AsmBuilder b("is");
+    b.dataSpace("keys", static_cast<uint64_t>(N) * 8);
+    b.dataSpace("sorted", static_cast<uint64_t>(N) * 8);
+    b.dataSpace("buckets", static_cast<uint64_t>(kMaxKey) * 8);
+    b.dataSpace("verify", 24);
+    // randlc constants: r23 = 2^-23, r46 = 2^-46, t23 = 2^23, t46 = 2^46,
+    // seed, a = 5^13, maxkey/4 as double.
+    b.dataDoubles("consts",
+                  {0x1.0p-23, 0x1.0p-46, 0x1.0p23, 0x1.0p46,
+                   314159265.0 + static_cast<double>(seed % 1000) * 2.0,
+                   1220703125.0, static_cast<double>(kMaxKey) / 4.0});
+
+    b.la(5, "keys");
+    b.la(6, "sorted");
+    b.la(7, "buckets");
+    b.la(8, "consts");
+    b.fld(20, 8, 0);  // r23
+    b.fld(21, 8, 8);  // r46
+    b.fld(22, 8, 16); // t23
+    b.fld(23, 8, 24); // t46
+    b.fld(24, 8, 32); // x (seed, state)
+    b.fld(25, 8, 40); // a
+    b.fld(26, 8, 48); // maxkey/4
+
+    // randlc subroutine: advances f24, leaves the uniform value in f19.
+    // Uses f1..f8 as temporaries. Clobbers x30 via truncation helper.
+    auto randlc = b.newLabel();
+    auto start = b.newLabel();
+    b.j(start);
+    b.bind(randlc);
+    {
+        auto trunc = [&](uint8_t dst, uint8_t src) {
+            // dst = floor-toward-zero(src) as a double (values here are
+            // non-negative, so RTZ == floor).
+            b.fcvt_l_d(30, src);
+            b.fcvt_d_l(dst, 30);
+        };
+        // Break a into a1*2^23 + a2.
+        b.fmul_d(1, 20, 25); // r23*a
+        trunc(2, 1);         // a1
+        b.fmul_d(3, 22, 2);  // t23*a1
+        b.fsub_d(3, 25, 3);  // a2
+        // Break x similarly.
+        b.fmul_d(1, 20, 24); // r23*x
+        trunc(4, 1);         // x1
+        b.fmul_d(5, 22, 4);
+        b.fsub_d(5, 24, 5); // x2
+        // t1 = a1*x2 + a2*x1 ; z = t1 - t23*trunc(r23*t1)
+        b.fmul_d(6, 2, 5);
+        b.fmul_d(7, 3, 4);
+        b.fadd_d(6, 6, 7);
+        b.fmul_d(1, 20, 6);
+        trunc(7, 1);
+        b.fmul_d(7, 22, 7);
+        b.fsub_d(6, 6, 7); // z
+        // t3 = t23*z + a2*x2 ; x = t3 - t46*trunc(r46*t3)
+        b.fmul_d(6, 22, 6);
+        b.fmul_d(7, 3, 5);
+        b.fadd_d(6, 6, 7);
+        b.fmul_d(1, 21, 6);
+        trunc(7, 1);
+        b.fmul_d(7, 23, 7);
+        b.fsub_d(24, 6, 7); // new x
+        b.fmul_d(19, 21, 24); // uniform in [0,1)
+        b.ret();
+    }
+
+    b.bind(start);
+    // Key generation: key[i] = int(maxkey/4 * (u1+u2+u3+u4)).
+    b.li(10, 0);
+    b.li(11, N);
+    b.mv(12, 5);
+    auto genLoop = b.newLabel();
+    b.bind(genLoop);
+    {
+        b.fmv_d_x(18, 0);
+        for (int k = 0; k < 4; ++k) {
+            b.call(randlc);
+            b.fadd_d(18, 18, 19);
+        }
+        b.fmul_d(18, 18, 26);
+        b.fcvt_l_d(13, 18); // key
+        b.sd(13, 12, 0);
+        b.addi(12, 12, 8);
+        b.addi(10, 10, 1);
+        b.blt(10, 11, genLoop);
+    }
+
+    // Bucket count.
+    b.li(10, 0);
+    b.li(11, N);
+    b.mv(12, 5);
+    auto cntLoop = b.newLabel();
+    b.bind(cntLoop);
+    {
+        b.ld(13, 12, 0);
+        b.slli(13, 13, 3);
+        b.add(13, 13, 7);
+        b.ld(14, 13, 0);
+        b.addi(14, 14, 1);
+        b.sd(14, 13, 0);
+        b.addi(12, 12, 8);
+        b.addi(10, 10, 1);
+        b.blt(10, 11, cntLoop);
+    }
+
+    // Emit sorted keys from the buckets.
+    b.li(10, 0);          // bucket
+    b.li(11, kMaxKey);
+    b.mv(12, 6);          // out ptr
+    b.mv(15, 7);          // bucket ptr
+    auto emitLoop = b.newLabel();
+    b.bind(emitLoop);
+    {
+        b.ld(13, 15, 0); // count
+        auto innerDone = b.newLabel();
+        auto inner = b.newLabel();
+        b.bind(inner);
+        b.beq(13, 0, innerDone);
+        b.sd(10, 12, 0);
+        b.addi(12, 12, 8);
+        b.addi(13, 13, -1);
+        b.j(inner);
+        b.bind(innerDone);
+        b.addi(15, 15, 8);
+        b.addi(10, 10, 1);
+        b.blt(10, 11, emitLoop);
+    }
+
+    // Partial verification: sortedness and checksum.
+    b.li(10, 1);  // ok flag
+    b.li(11, N - 1);
+    b.li(12, 0);
+    b.mv(13, 6);
+    b.li(16, 0); // checksum
+    auto verLoop = b.newLabel();
+    b.bind(verLoop);
+    {
+        b.ld(14, 13, 0);
+        b.ld(15, 13, 8);
+        b.add(16, 16, 14);
+        auto ok = b.newLabel();
+        b.bge(15, 14, ok);
+        b.li(10, 0);
+        b.bind(ok);
+        b.addi(13, 13, 8);
+        b.addi(12, 12, 1);
+        b.blt(12, 11, verLoop);
+    }
+    b.ld(14, 13, 0); // last key into the checksum
+    b.add(16, 16, 14);
+
+    b.la(17, "verify");
+    b.sd(10, 17, 0);
+    b.sd(16, 17, 8);
+    b.printInt(10);
+    b.printInt(16);
+    b.halt();
+
+    Workload w;
+    w.name = "is";
+    w.program = b.build();
+    w.inputDesc = "S (n=" + std::to_string(N) + ")";
+    w.classification = "Verification checking";
+    w.outputSymbols = {"verify", "sorted"};
+    return w;
+}
+
+} // namespace tea::workloads

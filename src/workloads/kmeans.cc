@@ -1,0 +1,189 @@
+/**
+ * @file
+ * k-means — Lloyd's clustering of 2-D points (distance computations are
+ * fp-mul/sub/add; centroid updates use integer-to-float conversion and
+ * fp-div). Classification: Clustering (the final assignment vector and
+ * centroids).
+ */
+
+#include "isa/asmbuilder.hh"
+#include "util/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace tea::workloads {
+
+using isa::AsmBuilder;
+
+Workload
+buildKmeans(uint64_t seed, int scale)
+{
+    const int N = 256 * scale;
+    const int K = 4;
+    const int kIters = 5;
+    Rng rng(seed ^ 0x3a6e5ULL);
+
+    // Points drawn around K true centers.
+    const double cx[K] = {2.0, 8.0, 2.5, 9.0};
+    const double cy[K] = {3.0, 1.5, 8.5, 7.5};
+    std::vector<double> pts(static_cast<size_t>(N) * 2);
+    for (int i = 0; i < N; ++i) {
+        int c = static_cast<int>(rng.nextBounded(K));
+        pts[2 * i] = cx[c] + (rng.nextDouble() - 0.5) * 2.0;
+        pts[2 * i + 1] = cy[c] + (rng.nextDouble() - 0.5) * 2.0;
+    }
+    // Initial centroids: the first K points.
+    std::vector<double> cent0(static_cast<size_t>(K) * 2);
+    for (int c = 0; c < K; ++c) {
+        cent0[2 * c] = pts[2 * c];
+        cent0[2 * c + 1] = pts[2 * c + 1];
+    }
+
+    AsmBuilder b("k-means");
+    b.dataDoubles("pts", pts);
+    b.dataDoubles("cent", cent0);
+    b.dataSpace("assign", static_cast<uint64_t>(N) * 8);
+    b.dataSpace("sums", K * 2 * 8);
+    b.dataSpace("counts", K * 8);
+    b.dataDoubles("big", {1e30});
+
+    b.la(5, "pts");
+    b.la(6, "cent");
+    b.la(7, "assign");
+    b.la(8, "sums");
+    b.la(9, "counts");
+    b.la(10, "big");
+    b.fld(30, 10, 0); // f30 = big
+
+    b.li(20, kIters);
+    auto iterLoop = b.newLabel();
+    b.bind(iterLoop);
+    {
+        // Zero sums and counts.
+        b.li(11, 0);
+        b.li(12, K);
+        auto zeroLoop = b.newLabel();
+        b.bind(zeroLoop);
+        {
+            b.slli(13, 11, 4);
+            b.add(13, 13, 8);
+            b.sd(0, 13, 0);
+            b.sd(0, 13, 8);
+            b.slli(13, 11, 3);
+            b.add(13, 13, 9);
+            b.sd(0, 13, 0);
+            b.addi(11, 11, 1);
+            b.blt(11, 12, zeroLoop);
+        }
+
+        // Assignment pass.
+        b.li(11, 0); // point index
+        b.li(12, N);
+        b.mv(14, 5); // point ptr
+        auto ptLoop = b.newLabel();
+        b.bind(ptLoop);
+        {
+            b.fld(1, 14, 0); // px
+            b.fld(2, 14, 8); // py
+            b.fmv(3, 30);    // best dist
+            b.li(15, 0);     // best cluster
+            b.li(16, 0);     // c
+            b.li(17, K);
+            b.mv(18, 6); // centroid ptr
+            auto cLoop = b.newLabel();
+            b.bind(cLoop);
+            {
+                b.fld(4, 18, 0);
+                b.fld(5, 18, 8);
+                b.fsub_d(6, 1, 4);
+                b.fsub_d(7, 2, 5);
+                b.fmul_d(6, 6, 6);
+                b.fmul_d(7, 7, 7);
+                b.fadd_d(6, 6, 7); // dist
+                auto notBetter = b.newLabel();
+                b.flt_d(19, 6, 3);
+                b.beq(19, 0, notBetter);
+                b.fmv(3, 6);
+                b.mv(15, 16);
+                b.bind(notBetter);
+                b.addi(18, 18, 16);
+                b.addi(16, 16, 1);
+                b.blt(16, 17, cLoop);
+            }
+            // assign[i] = best; sums[best] += p; counts[best]++
+            b.slli(13, 11, 3);
+            b.add(13, 13, 7);
+            b.sd(15, 13, 0);
+            b.slli(13, 15, 4);
+            b.add(13, 13, 8);
+            b.fld(4, 13, 0);
+            b.fadd_d(4, 4, 1);
+            b.fsd(4, 13, 0);
+            b.fld(4, 13, 8);
+            b.fadd_d(4, 4, 2);
+            b.fsd(4, 13, 8);
+            b.slli(13, 15, 3);
+            b.add(13, 13, 9);
+            b.ld(16, 13, 0);
+            b.addi(16, 16, 1);
+            b.sd(16, 13, 0);
+
+            b.addi(14, 14, 16);
+            b.addi(11, 11, 1);
+            b.blt(11, 12, ptLoop);
+        }
+
+        // Update pass: cent[c] = sums[c] / counts[c] (skip empty).
+        b.li(11, 0);
+        b.li(12, K);
+        auto upLoop = b.newLabel();
+        b.bind(upLoop);
+        {
+            b.slli(13, 11, 3);
+            b.add(13, 13, 9);
+            b.ld(16, 13, 0); // count
+            auto skip = b.newLabel();
+            b.beq(16, 0, skip);
+            b.fcvt_d_l(5, 16); // i2f
+            b.slli(13, 11, 4);
+            b.add(17, 13, 8); // &sums[c]
+            b.add(18, 13, 6); // &cent[c]
+            b.fld(3, 17, 0);
+            b.fdiv_d(3, 3, 5);
+            b.fsd(3, 18, 0);
+            b.fld(3, 17, 8);
+            b.fdiv_d(3, 3, 5);
+            b.fsd(3, 18, 8);
+            b.bind(skip);
+            b.addi(11, 11, 1);
+            b.blt(11, 12, upLoop);
+        }
+
+        b.addi(20, 20, -1);
+        b.bne(20, 0, iterLoop);
+    }
+
+    // Print the final centroids.
+    b.li(11, 0);
+    b.li(12, 2 * K);
+    auto prLoop = b.newLabel();
+    b.bind(prLoop);
+    {
+        b.slli(13, 11, 3);
+        b.add(13, 13, 6);
+        b.fld(1, 13, 0);
+        b.printFp(1);
+        b.addi(11, 11, 1);
+        b.blt(11, 12, prLoop);
+    }
+    b.halt();
+
+    Workload w;
+    w.name = "k-means";
+    w.program = b.build();
+    w.inputDesc = std::to_string(N) + " pts, k=" + std::to_string(K);
+    w.classification = "Clustering";
+    w.outputSymbols = {"assign", "cent"};
+    return w;
+}
+
+} // namespace tea::workloads

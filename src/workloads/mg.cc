@@ -1,0 +1,307 @@
+/**
+ * @file
+ * mg — geometric multigrid V-cycles for a 2-D Poisson problem (NAS MG
+ * flavour, reduced to 2-D): Gauss-Seidel smoothing, residual
+ * computation, injection restriction and prolongation over a 3-level
+ * hierarchy (33 -> 17 -> 9). The program verifies that two V-cycles
+ * shrink the residual norm. Classification: Verification checking.
+ */
+
+#include "isa/asmbuilder.hh"
+#include "util/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace tea::workloads {
+
+using isa::AsmBuilder;
+
+namespace {
+
+/** Grid sizes per level (finest first). */
+constexpr int kLevels = 3;
+
+struct LevelInfo
+{
+    int n;            ///< grid side
+    std::string u, f, r;
+};
+
+} // namespace
+
+Workload
+buildMg(uint64_t seed, int scale)
+{
+    // scale enlarges the finest grid: 33, 65, ...
+    const int n0 = 32 * scale + 1;
+    Rng rng(seed ^ 0x309fULL);
+
+    AsmBuilder b("mg");
+
+    LevelInfo lv[kLevels];
+    for (int k = 0; k < kLevels; ++k) {
+        lv[k].n = ((n0 - 1) >> k) + 1;
+        lv[k].u = "u" + std::to_string(k);
+        lv[k].f = "f" + std::to_string(k);
+        lv[k].r = "r" + std::to_string(k);
+    }
+
+    // Finest right-hand side: a few point sources.
+    {
+        std::vector<double> f0(static_cast<size_t>(lv[0].n) * lv[0].n,
+                               0.0);
+        for (int s = 0; s < 8; ++s) {
+            int x = 2 + static_cast<int>(rng.nextBounded(lv[0].n - 4));
+            int y = 2 + static_cast<int>(rng.nextBounded(lv[0].n - 4));
+            f0[static_cast<size_t>(y) * lv[0].n + x] =
+                (s % 2) ? 1.0 : -1.0;
+        }
+        b.dataDoubles(lv[0].f, f0);
+    }
+    for (int k = 0; k < kLevels; ++k) {
+        uint64_t cells = static_cast<uint64_t>(lv[k].n) * lv[k].n * 8;
+        b.dataSpace(lv[k].u, cells);
+        b.dataSpace(lv[k].r, cells);
+        if (k > 0)
+            b.dataSpace(lv[k].f, cells);
+    }
+    b.dataSpace("verify", 24);
+    // 0.25, h^2 per level (h doubles each level), 4.0
+    b.dataDoubles("consts", {0.25, 1.0, 4.0, 16.0, 4.0});
+
+    b.la(28, "consts");
+    b.fld(25, 28, 0); // 0.25
+    b.fld(26, 28, 32); // 4.0 (for the verification factor)
+
+    // ---- emission helpers (each uses x10..x19 and f1..f9) -----------
+    // Gauss-Seidel sweeps: u[i,j] = 0.25*(u_n+u_s+u_w+u_e + h2*f)
+    auto emitSmooth = [&](const LevelInfo &l, int h2ConstIdx,
+                          int sweeps) {
+        const int rowB = l.n * 8;
+        b.la(10, l.u);
+        b.la(11, l.f);
+        b.la(28, "consts");
+        b.fld(9, 28, 8 * (1 + h2ConstIdx)); // h^2
+        for (int s = 0; s < sweeps; ++s) {
+            b.li(12, 1); // y
+            b.li(13, l.n - 1);
+            auto yL = b.newLabel();
+            b.bind(yL);
+            {
+                b.li(14, rowB);
+                b.mul(15, 12, 14);
+                b.addi(15, 15, 8);
+                b.add(16, 15, 10); // &u[y][1]
+                b.add(17, 15, 11); // &f[y][1]
+                b.li(18, 1);
+                auto xL = b.newLabel();
+                b.bind(xL);
+                {
+                    b.fld(1, 16, -rowB);
+                    b.fld(2, 16, rowB);
+                    b.fld(3, 16, -8);
+                    b.fld(4, 16, 8);
+                    b.fld(5, 17, 0);
+                    b.fadd_d(1, 1, 2);
+                    b.fadd_d(1, 1, 3);
+                    b.fadd_d(1, 1, 4);
+                    b.fmul_d(5, 5, 9);
+                    b.fadd_d(1, 1, 5);
+                    b.fmul_d(1, 1, 25);
+                    b.fsd(1, 16, 0);
+                    b.addi(16, 16, 8);
+                    b.addi(17, 17, 8);
+                    b.addi(18, 18, 1);
+                    b.blt(18, 13, xL);
+                }
+                b.addi(12, 12, 1);
+                b.blt(12, 13, yL);
+            }
+        }
+    };
+
+    // Residual: r = f - (4u - nbrs)/h^2, interior only (borders stay 0).
+    auto emitResidual = [&](const LevelInfo &l, int h2ConstIdx) {
+        const int rowB = l.n * 8;
+        b.la(10, l.u);
+        b.la(11, l.f);
+        b.la(19, l.r);
+        b.la(28, "consts");
+        b.fld(9, 28, 8 * (1 + h2ConstIdx));
+        b.li(12, 1);
+        b.li(13, l.n - 1);
+        auto yL = b.newLabel();
+        b.bind(yL);
+        {
+            b.li(14, rowB);
+            b.mul(15, 12, 14);
+            b.addi(15, 15, 8);
+            b.add(16, 15, 10);
+            b.add(17, 15, 11);
+            b.add(14, 15, 19);
+            b.li(18, 1);
+            auto xL = b.newLabel();
+            b.bind(xL);
+            {
+                b.fld(1, 16, -rowB);
+                b.fld(2, 16, rowB);
+                b.fadd_d(1, 1, 2);
+                b.fld(2, 16, -8);
+                b.fadd_d(1, 1, 2);
+                b.fld(2, 16, 8);
+                b.fadd_d(1, 1, 2); // nbrs
+                b.fld(3, 16, 0);
+                b.fadd_d(4, 3, 3);
+                b.fadd_d(4, 4, 4); // 4u
+                b.fsub_d(1, 4, 1); // 4u - nbrs
+                b.fdiv_d(1, 1, 9); // /h^2
+                b.fld(5, 17, 0);
+                b.fsub_d(1, 5, 1);
+                b.fsd(1, 14, 0);
+                b.addi(16, 16, 8);
+                b.addi(17, 17, 8);
+                b.addi(14, 14, 8);
+                b.addi(18, 18, 1);
+                b.blt(18, 13, xL);
+            }
+            b.addi(12, 12, 1);
+            b.blt(12, 13, yL);
+        }
+    };
+
+    // Restriction by injection: fCoarse[I,J] = rFine[2I,2J]; also zeroes
+    // uCoarse.
+    auto emitRestrict = [&](const LevelInfo &fine,
+                            const LevelInfo &coarse) {
+        const int rowBF = fine.n * 8;
+        const int rowBC = coarse.n * 8;
+        b.la(10, fine.r);
+        b.la(11, coarse.f);
+        b.la(19, coarse.u);
+        b.li(12, 0); // J
+        b.li(13, coarse.n);
+        auto yL = b.newLabel();
+        b.bind(yL);
+        {
+            b.li(14, rowBC);
+            b.mul(15, 12, 14);
+            b.add(16, 15, 11); // coarse f row
+            b.add(17, 15, 19); // coarse u row
+            b.li(14, 2 * rowBF);
+            b.mul(15, 12, 14);
+            b.add(15, 15, 10); // fine r row (2J)
+            b.li(18, 0);
+            auto xL = b.newLabel();
+            b.bind(xL);
+            {
+                b.fld(1, 15, 0);
+                b.fsd(1, 16, 0);
+                b.sd(0, 17, 0);
+                b.addi(15, 15, 16);
+                b.addi(16, 16, 8);
+                b.addi(17, 17, 8);
+                b.addi(18, 18, 1);
+                b.blt(18, 13, xL);
+            }
+            b.addi(12, 12, 1);
+            b.blt(12, 13, yL);
+        }
+    };
+
+    // Prolongation by injection: uFine[2I,2J] += uCoarse[I,J].
+    auto emitProlong = [&](const LevelInfo &fine,
+                           const LevelInfo &coarse) {
+        const int rowBF = fine.n * 8;
+        const int rowBC = coarse.n * 8;
+        b.la(10, fine.u);
+        b.la(11, coarse.u);
+        b.li(12, 0);
+        b.li(13, coarse.n);
+        auto yL = b.newLabel();
+        b.bind(yL);
+        {
+            b.li(14, rowBC);
+            b.mul(15, 12, 14);
+            b.add(16, 15, 11);
+            b.li(14, 2 * rowBF);
+            b.mul(15, 12, 14);
+            b.add(15, 15, 10);
+            b.li(18, 0);
+            auto xL = b.newLabel();
+            b.bind(xL);
+            {
+                b.fld(1, 16, 0);
+                b.fld(2, 15, 0);
+                b.fadd_d(2, 2, 1);
+                b.fsd(2, 15, 0);
+                b.addi(15, 15, 16);
+                b.addi(16, 16, 8);
+                b.addi(18, 18, 1);
+                b.blt(18, 13, xL);
+            }
+            b.addi(12, 12, 1);
+            b.blt(12, 13, yL);
+        }
+    };
+
+    // Residual norm over the finest grid -> f-register 27.
+    auto emitNorm = [&]() {
+        emitResidual(lv[0], 0);
+        const auto &l = lv[0];
+        b.la(19, l.r);
+        b.fmv_d_x(27, 0);
+        b.li(12, 0);
+        b.li(13, l.n * l.n);
+        auto nL = b.newLabel();
+        b.bind(nL);
+        {
+            b.fld(1, 19, 0);
+            b.fmul_d(1, 1, 1);
+            b.fadd_d(27, 27, 1);
+            b.addi(19, 19, 8);
+            b.addi(12, 12, 1);
+            b.blt(12, 13, nL);
+        }
+    };
+
+    // ---- program -----------------------------------------------------
+    emitNorm();
+    b.fmv(24, 27); // norm0
+
+    for (int cycle = 0; cycle < 2; ++cycle) {
+        emitSmooth(lv[0], 0, 2);
+        emitResidual(lv[0], 0);
+        emitRestrict(lv[0], lv[1]);
+        emitSmooth(lv[1], 1, 2);
+        emitResidual(lv[1], 1);
+        emitRestrict(lv[1], lv[2]);
+        emitSmooth(lv[2], 2, 8);
+        emitProlong(lv[1], lv[2]);
+        emitSmooth(lv[1], 1, 2);
+        emitProlong(lv[0], lv[1]);
+        emitSmooth(lv[0], 0, 2);
+    }
+
+    emitNorm(); // norm1 in f27
+
+    // pass = (norm1 * 4 < norm0)
+    b.fmul_d(1, 27, 26);
+    b.flt_d(12, 1, 24);
+    b.la(13, "verify");
+    b.sd(12, 13, 0);
+    b.fsd(24, 13, 8);
+    b.fsd(27, 13, 16);
+    b.printInt(12);
+    b.printFp(24);
+    b.printFp(27);
+    b.halt();
+
+    Workload w;
+    w.name = "mg";
+    w.program = b.build();
+    w.inputDesc = "S (" + std::to_string(n0) + "^2, 3 levels)";
+    w.classification = "Verification checking";
+    w.outputSymbols = {"verify", "u0"};
+    return w;
+}
+
+} // namespace tea::workloads

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * sobel — 3x3 edge-detection filter over a grayscale image, with the
+ * gradient magnitude computed by a fixed-iteration Newton square root
+ * (mul/div/add heavy, like the open-source C implementation the paper
+ * uses). Classification: Image Output.
+ */
+
+#include "isa/asmbuilder.hh"
+#include "util/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace tea::workloads {
+
+using isa::AsmBuilder;
+
+Workload
+buildSobel(uint64_t seed, int scale)
+{
+    const int W = 24 * scale;
+    const int H = 24 * scale;
+    Rng rng(seed ^ 0x50be1ULL);
+
+    // Synthetic image: smooth gradient plus bright blobs and noise.
+    std::vector<double> img(static_cast<size_t>(W) * H);
+    for (int y = 0; y < H; ++y) {
+        for (int x = 0; x < W; ++x) {
+            double v = 0.25 + 0.5 * x / W + 0.2 * y / H;
+            if (((x / 6) + (y / 6)) % 2)
+                v += 0.35;
+            v += 0.05 * rng.nextDouble();
+            img[static_cast<size_t>(y) * W + x] = v;
+        }
+    }
+
+    AsmBuilder b("sobel");
+    b.dataDoubles("img", img);
+    b.dataSpace("out", static_cast<uint64_t>(W) * H * 8);
+    b.dataDoubles("consts", {0.5, 1e-12, 2.0, 0.0});
+
+    // f20 = 0.5, f21 = eps, f22 = 2.0, f23 = 0.0
+    b.la(5, "consts");
+    b.fld(20, 5, 0);
+    b.fld(21, 5, 8);
+    b.fld(22, 5, 16);
+    b.fld(23, 5, 24);
+
+    b.la(5, "img");
+    b.la(6, "out");
+    const int rowBytes = W * 8;
+
+    // y in [1, H-2]
+    b.li(10, 1); // y
+    b.li(12, H - 1);
+    auto yLoop = b.newLabel();
+    b.bind(yLoop);
+    {
+        // p = img + (y*W + 1)*8 ; q = out + same
+        b.li(13, rowBytes);
+        b.mul(14, 10, 13);
+        b.addi(14, 14, 8);
+        b.add(15, 5, 14); // p
+        b.add(16, 6, 14); // q
+        b.li(11, 1);      // x
+        b.li(17, W - 1);
+        auto xLoop = b.newLabel();
+        b.bind(xLoop);
+        {
+            // Neighbors around p: offsets in bytes.
+            const int N = -rowBytes, S = rowBytes;
+            b.fld(1, 15, N - 8);  // nw
+            b.fld(2, 15, N);      // n
+            b.fld(3, 15, N + 8);  // ne
+            b.fld(4, 15, -8);     // w
+            b.fld(5, 15, 8);      // e
+            b.fld(6, 15, S - 8);  // sw
+            b.fld(7, 15, S);      // s
+            b.fld(8, 15, S + 8);  // se
+
+            // gx = (ne + 2e + se) - (nw + 2w + sw)
+            b.fmul_d(9, 5, 22);
+            b.fadd_d(9, 9, 3);
+            b.fadd_d(9, 9, 8);
+            b.fmul_d(10 + 0, 4, 22); // f10 temp
+            b.fadd_d(10, 10, 1);
+            b.fadd_d(10, 10, 6);
+            b.fsub_d(9, 9, 10); // gx
+
+            // gy = (sw + 2s + se) - (nw + 2n + ne)
+            b.fmul_d(11, 7, 22);
+            b.fadd_d(11, 11, 6);
+            b.fadd_d(11, 11, 8);
+            b.fmul_d(12, 2, 22);
+            b.fadd_d(12, 12, 1);
+            b.fadd_d(12, 12, 3);
+            b.fsub_d(11, 11, 12); // gy
+
+            // v = gx*gx + gy*gy
+            b.fmul_d(13, 9, 9);
+            b.fmul_d(14, 11, 11);
+            b.fadd_d(13, 13, 14);
+
+            // mag = v < eps ? 0 : newton_sqrt(v)
+            auto small = b.newLabel();
+            auto store = b.newLabel();
+            b.flt_d(18, 13, 21);
+            b.bne(18, 0, small);
+            // 5 Newton iterations from s = v.
+            b.fmv(15, 13);
+            for (int it = 0; it < 5; ++it) {
+                b.fdiv_d(16, 13, 15);
+                b.fadd_d(15, 15, 16);
+                b.fmul_d(15, 15, 20);
+            }
+            b.j(store);
+            b.bind(small);
+            b.fmv(15, 23);
+            b.bind(store);
+            b.fsd(15, 16, 0);
+
+            b.addi(15, 15, 8);
+            b.addi(16, 16, 8);
+            b.addi(11, 11, 1);
+            b.blt(11, 17, xLoop);
+        }
+        b.addi(10, 10, 1);
+        b.blt(10, 12, yLoop);
+    }
+    // Checksum to the console: sum of the output border-inner diagonal.
+    b.la(7, "out");
+    b.fmv(1, 23);
+    b.li(8, std::min(W, H) - 1);
+    b.li(9, 1);
+    auto diag = b.newLabel();
+    b.bind(diag);
+    {
+        b.li(13, rowBytes + 8);
+        b.mul(14, 9, 13);
+        b.add(14, 14, 7);
+        b.fld(2, 14, 0);
+        b.fadd_d(1, 1, 2);
+        b.addi(9, 9, 1);
+        b.blt(9, 8, diag);
+    }
+    b.printFp(1);
+    b.halt();
+
+    Workload w;
+    w.name = "sobel";
+    w.program = b.build();
+    w.inputDesc = std::to_string(W) + " x " + std::to_string(H);
+    w.classification = "Image Output";
+    w.outputSymbols = {"out"};
+    return w;
+}
+
+} // namespace tea::workloads

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * srad_v1 — speckle-reducing anisotropic diffusion (Rodinia flavour):
+ * per-iteration global statistics, per-pixel diffusion coefficients
+ * with multiple fp-divs, and a second pass applying the divergence.
+ * The division-heavy inner loop makes this the fp-div workload of the
+ * suite. Classification: Image Output.
+ */
+
+#include "isa/asmbuilder.hh"
+#include "util/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace tea::workloads {
+
+using isa::AsmBuilder;
+
+Workload
+buildSrad(uint64_t seed, int scale)
+{
+    const int N = 16 * scale; // square image
+    const int kIters = 2;
+    Rng rng(seed ^ 0x52adULL);
+
+    // Positive speckled image (ultrasound-like).
+    std::vector<double> img(static_cast<size_t>(N) * N);
+    for (int y = 0; y < N; ++y) {
+        for (int x = 0; x < N; ++x) {
+            double base = 1.0 + 0.5 * ((x > N / 3 && y > N / 3) ? 1 : 0);
+            img[static_cast<size_t>(y) * N + x] =
+                base * (0.8 + 0.4 * rng.nextDouble());
+        }
+    }
+
+    AsmBuilder b("srad_v1");
+    const uint64_t cells = static_cast<uint64_t>(N) * N;
+    b.dataDoubles("J", img);
+    b.dataSpace("dN", cells * 8);
+    b.dataSpace("dS", cells * 8);
+    b.dataSpace("dW", cells * 8);
+    b.dataSpace("dE", cells * 8);
+    b.dataSpace("C", cells * 8);
+    // lambda*0.25, 1.0, count (as double), 1/16, 0.5
+    b.dataDoubles("consts",
+                  {0.125, 1.0, static_cast<double>((N - 2) * (N - 2)),
+                   0.0625, 0.5});
+
+    const int rowB = N * 8;
+
+    b.la(5, "J");
+    b.la(6, "dN");
+    b.la(7, "dS");
+    b.la(8, "dW");
+    b.la(9, "dE");
+    b.la(10, "C");
+    b.la(11, "consts");
+    b.fld(25, 11, 0);  // lambda/4
+    b.fld(26, 11, 8);  // 1.0
+    b.fld(27, 11, 16); // #interior cells
+    b.fld(28, 11, 24); // 1/16
+    b.fld(29, 11, 32); // 0.5
+
+    b.li(20, kIters);
+    auto iterLoop = b.newLabel();
+    b.bind(iterLoop);
+    {
+        // Pass 0: image statistics over the interior -> q0sqr (f24).
+        b.fmv_d_x(21, 0); // sum
+        b.fmv_d_x(22, 0); // sum of squares
+        b.li(12, 1);
+        b.li(13, N - 1);
+        auto sLoopY = b.newLabel();
+        b.bind(sLoopY);
+        {
+            b.li(14, rowB);
+            b.mul(15, 12, 14);
+            b.addi(15, 15, 8);
+            b.add(15, 15, 5);
+            b.li(16, 1);
+            auto sLoopX = b.newLabel();
+            b.bind(sLoopX);
+            {
+                b.fld(1, 15, 0);
+                b.fadd_d(21, 21, 1);
+                b.fmul_d(2, 1, 1);
+                b.fadd_d(22, 22, 2);
+                b.addi(15, 15, 8);
+                b.addi(16, 16, 1);
+                b.blt(16, 13, sLoopX);
+            }
+            b.addi(12, 12, 1);
+            b.blt(12, 13, sLoopY);
+        }
+        // mean = sum/n ; var = sum2/n - mean^2 ; q0sqr = var / mean^2
+        b.fdiv_d(1, 21, 27);  // mean
+        b.fdiv_d(2, 22, 27);  // E[x^2]
+        b.fmul_d(3, 1, 1);    // mean^2
+        b.fsub_d(2, 2, 3);    // var
+        b.fdiv_d(24, 2, 3);   // q0sqr
+
+        // Pass 1: gradients and diffusion coefficient per pixel.
+        b.li(12, 1);
+        auto p1Y = b.newLabel();
+        b.bind(p1Y);
+        {
+            b.li(14, rowB);
+            b.mul(15, 12, 14);
+            b.addi(15, 15, 8);
+            b.mv(19, 15);   // linear byte offset of (y,1)
+            b.add(15, 15, 5);
+            b.li(16, 1);
+            auto p1X = b.newLabel();
+            b.bind(p1X);
+            {
+                b.fld(1, 15, 0);      // Jc
+                b.fld(2, 15, -rowB);  // n
+                b.fld(3, 15, rowB);   // s
+                b.fld(4, 15, -8);     // w
+                b.fld(5, 15, 8);      // e
+                b.fsub_d(2, 2, 1);    // dN
+                b.fsub_d(3, 3, 1);    // dS
+                b.fsub_d(4, 4, 1);    // dW
+                b.fsub_d(5, 5, 1);    // dE
+
+                // G2 = (dN^2+dS^2+dW^2+dE^2) / Jc^2
+                b.fmul_d(6, 2, 2);
+                b.fmul_d(7, 3, 3);
+                b.fadd_d(6, 6, 7);
+                b.fmul_d(7, 4, 4);
+                b.fadd_d(6, 6, 7);
+                b.fmul_d(7, 5, 5);
+                b.fadd_d(6, 6, 7);
+                b.fmul_d(8, 1, 1);
+                b.fdiv_d(6, 6, 8); // G2
+
+                // L = (dN+dS+dW+dE) / Jc
+                b.fadd_d(7, 2, 3);
+                b.fadd_d(7, 7, 4);
+                b.fadd_d(7, 7, 5);
+                b.fdiv_d(7, 7, 1);
+
+                // num = 0.5*G2 - (1/16)*L^2 ; den = (1 + 0.25 L)^2
+                b.fmul_d(9, 6, 29);
+                b.fmul_d(10 + 0, 7, 7); // f10 = L^2
+                b.fmul_d(10, 10, 28);
+                b.fsub_d(9, 9, 10); // num
+                b.fmul_d(10, 7, 29);
+                b.fmul_d(10, 10, 29); // 0.25 L
+                b.fadd_d(10, 10, 26);
+                b.fmul_d(10, 10, 10); // den
+
+                // qsqr = num/den ; c = 1 / (1 + (qsqr-q0)/(q0*(1+q0)))
+                b.fdiv_d(9, 9, 10);
+                b.fsub_d(9, 9, 24);
+                b.fadd_d(10, 26, 24);
+                b.fmul_d(10, 10, 24);
+                b.fdiv_d(9, 9, 10);
+                b.fadd_d(9, 9, 26);
+                b.fdiv_d(9, 26, 9); // c
+
+                // clamp c to [0,1]
+                b.fmv_d_x(10, 0);
+                auto cNotNeg = b.newLabel();
+                b.fle_d(17, 10, 9);
+                b.bne(17, 0, cNotNeg);
+                b.fmv(9, 10);
+                b.bind(cNotNeg);
+                auto cNotBig = b.newLabel();
+                b.fle_d(17, 9, 26);
+                b.bne(17, 0, cNotBig);
+                b.fmv(9, 26);
+                b.bind(cNotBig);
+
+                // Store gradients and coefficient.
+                b.add(18, 19, 6 + 0); // &dN[idx]  (x6 = dN base)
+                b.fsd(2, 18, 0);
+                b.add(18, 19, 7 + 0);
+                b.fsd(3, 18, 0);
+                b.add(18, 19, 8 + 0);
+                b.fsd(4, 18, 0);
+                b.add(18, 19, 9 + 0);
+                b.fsd(5, 18, 0);
+                b.add(18, 19, 10 + 0);
+                b.fsd(9, 18, 0);
+
+                b.addi(15, 15, 8);
+                b.addi(19, 19, 8);
+                b.addi(16, 16, 1);
+                b.blt(16, 13, p1X);
+            }
+            b.addi(12, 12, 1);
+            b.blt(12, 13, p1Y);
+        }
+
+        // Pass 2: J += lambda/4 * (cN dN + cS dS + cW dW + cE dE)
+        // with cN = C[idx], cS = C[south], cW = C[idx], cE = C[east]
+        // (the Rodinia v1 one-sided scheme).
+        b.li(12, 1);
+        auto p2Y = b.newLabel();
+        b.bind(p2Y);
+        {
+            b.li(14, rowB);
+            b.mul(15, 12, 14);
+            b.addi(15, 15, 8);
+            b.mv(19, 15);
+            b.add(15, 15, 5);
+            b.li(16, 1);
+            auto p2X = b.newLabel();
+            b.bind(p2X);
+            {
+                b.add(18, 19, 10); // &C[idx]
+                b.fld(1, 18, 0);   // cC
+                b.fld(2, 18, rowB);// cS
+                b.fld(3, 18, 8);   // cE
+                b.add(18, 19, 6);
+                b.fld(4, 18, 0); // dN
+                b.add(18, 19, 7);
+                b.fld(5, 18, 0); // dS
+                b.add(18, 19, 8);
+                b.fld(6, 18, 0); // dW
+                b.add(18, 19, 9);
+                b.fld(7, 18, 0); // dE
+
+                b.fmul_d(8, 1, 4);  // cC*dN
+                b.fmul_d(9, 2, 5);  // cS*dS
+                b.fadd_d(8, 8, 9);
+                b.fmul_d(9, 1, 6);  // cC*dW
+                b.fadd_d(8, 8, 9);
+                b.fmul_d(9, 3, 7);  // cE*dE
+                b.fadd_d(8, 8, 9);
+                b.fmul_d(8, 8, 25); // * lambda/4
+                b.fld(9, 15, 0);
+                b.fadd_d(9, 9, 8);
+                b.fsd(9, 15, 0);
+
+                b.addi(15, 15, 8);
+                b.addi(19, 19, 8);
+                b.addi(16, 16, 1);
+                b.blt(16, 13, p2X);
+            }
+            b.addi(12, 12, 1);
+            b.blt(12, 13, p2Y);
+        }
+
+        b.addi(20, 20, -1);
+        b.bne(20, 0, iterLoop);
+    }
+
+    // Checksum of the processed image.
+    b.fmv_d_x(1, 0);
+    b.li(12, 0);
+    b.li(13, static_cast<int32_t>(cells));
+    b.mv(15, 5);
+    auto ckLoop = b.newLabel();
+    b.bind(ckLoop);
+    {
+        b.fld(2, 15, 0);
+        b.fadd_d(1, 1, 2);
+        b.addi(15, 15, 8);
+        b.addi(12, 12, 1);
+        b.blt(12, 13, ckLoop);
+    }
+    b.printFp(1);
+    b.halt();
+
+    Workload w;
+    w.name = "srad_v1";
+    w.program = b.build();
+    w.inputDesc = std::to_string(kIters) + " iters, " +
+                  std::to_string(N) + "x" + std::to_string(N);
+    w.classification = "Image Output";
+    w.outputSymbols = {"J"};
+    return w;
+}
+
+} // namespace tea::workloads

@@ -1,0 +1,458 @@
+/**
+ * Functional verification of the datapath builders against plain
+ * integer arithmetic, swept over random vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/builders.hh"
+#include "circuit/celllib.hh"
+#include "circuit/sta.hh"
+#include "circuit/netlist.hh"
+#include "util/bitops.hh"
+#include "util/rng.hh"
+
+using namespace tea::circuit;
+using tea::Rng;
+using tea::lowMask;
+
+namespace {
+
+/** Helper: evaluate a netlist whose inputs are two buses. */
+struct TwoBusHarness
+{
+    Netlist nl{"t"};
+    Builder b{nl};
+    Bus ia, ib;
+
+    TwoBusHarness(unsigned wa, unsigned wb)
+    {
+        ia = nl.addInputBus("a", wa);
+        ib = nl.addInputBus("b", wb);
+    }
+
+    std::vector<bool>
+    eval(uint64_t a, uint64_t bv)
+    {
+        std::vector<bool> in(nl.numInputs());
+        for (size_t i = 0; i < ia.size(); ++i)
+            in[ia[i]] = (a >> i) & 1;
+        for (size_t i = 0; i < ib.size(); ++i)
+            in[ib[i]] = (bv >> i) & 1;
+        return evaluate(nl, in);
+    }
+};
+
+} // namespace
+
+TEST(Builders, RippleAdder)
+{
+    TwoBusHarness h(16, 16);
+    auto add = h.b.rippleAdd(h.ia, h.ib);
+    Rng rng(1);
+    for (int t = 0; t < 500; ++t) {
+        uint64_t a = rng.next() & 0xffff;
+        uint64_t b = rng.next() & 0xffff;
+        auto v = h.eval(a, b);
+        EXPECT_EQ(busValue(v, add.sum), (a + b) & 0xffff);
+        EXPECT_EQ(v[add.carry], ((a + b) >> 16) & 1);
+    }
+}
+
+TEST(Builders, KoggeStoneMatchesRipple)
+{
+    TwoBusHarness h(24, 24);
+    auto ks = h.b.koggeStoneAdd(h.ia, h.ib);
+    auto rp = h.b.rippleAdd(h.ia, h.ib);
+    Rng rng(2);
+    for (int t = 0; t < 500; ++t) {
+        uint64_t a = rng.next() & lowMask(24);
+        uint64_t b = rng.next() & lowMask(24);
+        auto v = h.eval(a, b);
+        EXPECT_EQ(busValue(v, ks.sum), busValue(v, rp.sum));
+        EXPECT_EQ(v[ks.carry], v[rp.carry]);
+    }
+}
+
+TEST(Builders, KoggeStoneWithCarryIn)
+{
+    Netlist nl("t");
+    Builder b(nl);
+    Bus ia = nl.addInputBus("a", 12);
+    Bus ib = nl.addInputBus("b", 12);
+    NetId cin = nl.addInput("cin");
+    auto add = b.koggeStoneAdd(ia, ib, cin);
+    Rng rng(3);
+    for (int t = 0; t < 300; ++t) {
+        uint64_t a = rng.next() & lowMask(12);
+        uint64_t bv = rng.next() & lowMask(12);
+        bool ci = rng.next() & 1;
+        std::vector<bool> in(nl.numInputs());
+        for (size_t i = 0; i < 12; ++i) {
+            in[ia[i]] = (a >> i) & 1;
+            in[ib[i]] = (bv >> i) & 1;
+        }
+        in[cin] = ci;
+        auto v = evaluate(nl, in);
+        uint64_t expect = a + bv + ci;
+        EXPECT_EQ(busValue(v, add.sum), expect & lowMask(12));
+        EXPECT_EQ(v[add.carry], (expect >> 12) & 1);
+    }
+}
+
+TEST(Builders, Subtract)
+{
+    TwoBusHarness h(20, 20);
+    auto sub = h.b.subtract(h.ia, h.ib);
+    Rng rng(4);
+    for (int t = 0; t < 500; ++t) {
+        uint64_t a = rng.next() & lowMask(20);
+        uint64_t b = rng.next() & lowMask(20);
+        auto v = h.eval(a, b);
+        EXPECT_EQ(busValue(v, sub.sum), (a - b) & lowMask(20));
+        EXPECT_EQ(v[sub.carry], a >= b);
+    }
+}
+
+TEST(Builders, IncrementerAndNegate)
+{
+    Netlist nl("t");
+    Builder b(nl);
+    Bus ia = nl.addInputBus("a", 10);
+    NetId en = nl.addInput("en");
+    Bus inc = b.incrementer(ia, en);
+    Bus neg = b.negate(ia);
+    Rng rng(5);
+    for (int t = 0; t < 300; ++t) {
+        uint64_t a = rng.next() & lowMask(10);
+        bool e = rng.next() & 1;
+        std::vector<bool> in(nl.numInputs());
+        for (size_t i = 0; i < 10; ++i)
+            in[ia[i]] = (a >> i) & 1;
+        in[en] = e;
+        auto v = evaluate(nl, in);
+        EXPECT_EQ(busValue(v, inc), (a + e) & lowMask(10));
+        EXPECT_EQ(busValue(v, neg), (-a) & lowMask(10));
+    }
+}
+
+TEST(Builders, Comparisons)
+{
+    TwoBusHarness h(14, 14);
+    NetId eq = h.b.equalBus(h.ia, h.ib);
+    NetId lt = h.b.lessUnsigned(h.ia, h.ib);
+    NetId ge = h.b.geUnsigned(h.ia, h.ib);
+    NetId zero = h.b.isZeroBus(h.ia);
+    Rng rng(6);
+    for (int t = 0; t < 500; ++t) {
+        uint64_t a = rng.next() & lowMask(14);
+        uint64_t b = (t % 7 == 0) ? a : (rng.next() & lowMask(14));
+        if (t % 11 == 0)
+            a = 0;
+        auto v = h.eval(a, b);
+        EXPECT_EQ(v[eq], a == b);
+        EXPECT_EQ(v[lt], a < b);
+        EXPECT_EQ(v[ge], a >= b);
+        EXPECT_EQ(v[zero], a == 0);
+    }
+}
+
+TEST(Builders, ShiftRightLogical)
+{
+    Netlist nl("t");
+    Builder b(nl);
+    Bus ia = nl.addInputBus("a", 32);
+    Bus amt = nl.addInputBus("amt", 6);
+    Bus out = b.shiftRightLogical(ia, amt);
+    Rng rng(7);
+    for (int t = 0; t < 400; ++t) {
+        uint64_t a = rng.next() & lowMask(32);
+        uint64_t s = rng.nextBounded(64);
+        std::vector<bool> in(nl.numInputs());
+        for (size_t i = 0; i < 32; ++i)
+            in[ia[i]] = (a >> i) & 1;
+        for (size_t i = 0; i < 6; ++i)
+            in[amt[i]] = (s >> i) & 1;
+        auto v = evaluate(nl, in);
+        uint64_t expect = (s >= 32) ? 0 : (a >> s);
+        EXPECT_EQ(busValue(v, out), expect) << "a=" << a << " s=" << s;
+    }
+}
+
+TEST(Builders, ShiftRightSticky)
+{
+    Netlist nl("t");
+    Builder b(nl);
+    Bus ia = nl.addInputBus("a", 24);
+    Bus amt = nl.addInputBus("amt", 5);
+    auto sh = b.shiftRightSticky(ia, amt);
+    Rng rng(8);
+    for (int t = 0; t < 400; ++t) {
+        uint64_t a = rng.next() & lowMask(24);
+        uint64_t s = rng.nextBounded(32);
+        std::vector<bool> in(nl.numInputs());
+        for (size_t i = 0; i < 24; ++i)
+            in[ia[i]] = (a >> i) & 1;
+        for (size_t i = 0; i < 5; ++i)
+            in[amt[i]] = (s >> i) & 1;
+        auto v = evaluate(nl, in);
+        uint64_t expect = (s >= 24) ? 0 : (a >> s);
+        bool sticky = (s >= 24) ? (a != 0) : ((a & lowMask(s)) != 0);
+        EXPECT_EQ(busValue(v, sh.out), expect);
+        EXPECT_EQ(v[sh.sticky], sticky) << "a=" << a << " s=" << s;
+    }
+}
+
+TEST(Builders, ShiftLeftLogical)
+{
+    Netlist nl("t");
+    Builder b(nl);
+    Bus ia = nl.addInputBus("a", 20);
+    Bus amt = nl.addInputBus("amt", 5);
+    Bus out = b.shiftLeftLogical(ia, amt);
+    Rng rng(9);
+    for (int t = 0; t < 400; ++t) {
+        uint64_t a = rng.next() & lowMask(20);
+        uint64_t s = rng.nextBounded(32);
+        std::vector<bool> in(nl.numInputs());
+        for (size_t i = 0; i < 20; ++i)
+            in[ia[i]] = (a >> i) & 1;
+        for (size_t i = 0; i < 5; ++i)
+            in[amt[i]] = (s >> i) & 1;
+        auto v = evaluate(nl, in);
+        uint64_t expect = (s >= 20) ? 0 : ((a << s) & lowMask(20));
+        EXPECT_EQ(busValue(v, out), expect);
+    }
+}
+
+TEST(Builders, LeadingZeroCount)
+{
+    Netlist nl("t");
+    Builder b(nl);
+    Bus ia = nl.addInputBus("a", 53); // non-power-of-two on purpose
+    Bus out = b.leadingZeroCount(ia);
+    Rng rng(10);
+    auto check = [&](uint64_t a) {
+        std::vector<bool> in(nl.numInputs());
+        for (size_t i = 0; i < 53; ++i)
+            in[ia[i]] = (a >> i) & 1;
+        auto v = evaluate(nl, in);
+        int expect = tea::clz(a, 53);
+        EXPECT_EQ(busValue(v, out), static_cast<uint64_t>(expect))
+            << "a=" << a;
+    };
+    check(0);
+    check(1);
+    check(1ULL << 52);
+    check(lowMask(53));
+    for (int t = 0; t < 300; ++t) {
+        uint64_t a = rng.next() & lowMask(53);
+        // Mix in values with many leading zeros.
+        if (t % 3 == 0)
+            a >>= rng.nextBounded(53);
+        check(a);
+    }
+}
+
+TEST(Builders, ArrayMultiplier)
+{
+    TwoBusHarness h(16, 16);
+    Bus prod = h.b.arrayMultiplier(h.ia, h.ib);
+    ASSERT_EQ(prod.size(), 32u);
+    Rng rng(11);
+    for (int t = 0; t < 300; ++t) {
+        uint64_t a = rng.next() & 0xffff;
+        uint64_t b = rng.next() & 0xffff;
+        auto v = h.eval(a, b);
+        EXPECT_EQ(busValue(v, prod), a * b);
+    }
+}
+
+TEST(Builders, ArrayMultiplierAsymmetric)
+{
+    TwoBusHarness h(12, 7);
+    Bus prod = h.b.arrayMultiplier(h.ia, h.ib);
+    ASSERT_EQ(prod.size(), 19u);
+    Rng rng(12);
+    for (int t = 0; t < 300; ++t) {
+        uint64_t a = rng.next() & lowMask(12);
+        uint64_t b = rng.next() & lowMask(7);
+        auto v = h.eval(a, b);
+        EXPECT_EQ(busValue(v, prod), a * b);
+    }
+}
+
+TEST(Builders, RestoringDivider)
+{
+    // Fractional divider contract: num in [den, 2*den), q =
+    // floor(num * 2^(qBits-1) / den).
+    constexpr unsigned w = 12, qBits = 14;
+    TwoBusHarness h(w, w);
+    auto div = h.b.restoringDivider(h.ia, h.ib, qBits);
+    ASSERT_EQ(div.quotient.size(), qBits);
+    Rng rng(13);
+    for (int t = 0; t < 300; ++t) {
+        uint64_t den = (1ULL << (w - 1)) | (rng.next() & lowMask(w - 1));
+        uint64_t num = den + rng.nextBounded(den);
+        if (num >= (1ULL << w))
+            num = den; // keep within bus width
+        auto v = h.eval(num, den);
+        unsigned __int128 scaled =
+            static_cast<unsigned __int128>(num) << (qBits - 1);
+        uint64_t q = static_cast<uint64_t>(scaled / den);
+        uint64_t rem = static_cast<uint64_t>(scaled % den);
+        EXPECT_EQ(busValue(v, div.quotient), q)
+            << "num=" << num << " den=" << den;
+        EXPECT_EQ(v[div.sticky], rem != 0);
+    }
+}
+
+TEST(Builders, ConstBusAndTrees)
+{
+    Netlist nl("t");
+    Builder b(nl);
+    Bus in = nl.addInputBus("a", 8);
+    Bus k = b.constBus(0xA5, 8);
+    NetId at = b.andTree(in);
+    NetId ot = b.orTree(in);
+    NetId xt = b.xorTree(in);
+    Rng rng(14);
+    for (int t = 0; t < 200; ++t) {
+        uint64_t a = rng.next() & 0xff;
+        std::vector<bool> iv(nl.numInputs());
+        for (size_t i = 0; i < 8; ++i)
+            iv[in[i]] = (a >> i) & 1;
+        auto v = evaluate(nl, iv);
+        EXPECT_EQ(busValue(v, k), 0xA5u);
+        EXPECT_EQ(v[at], a == 0xff);
+        EXPECT_EQ(v[ot], a != 0);
+        EXPECT_EQ(v[xt], tea::popcount(a) % 2 == 1);
+    }
+}
+
+TEST(Builders, MuxBusAndMask)
+{
+    Netlist nl("t");
+    Builder b(nl);
+    Bus ia = nl.addInputBus("a", 8);
+    Bus ib = nl.addInputBus("b", 8);
+    NetId sel = nl.addInput("sel");
+    Bus mx = b.mux2Bus(sel, ia, ib);
+    Bus mk = b.maskBus(ia, sel);
+    Rng rng(15);
+    for (int t = 0; t < 200; ++t) {
+        uint64_t a = rng.next() & 0xff;
+        uint64_t bb = rng.next() & 0xff;
+        bool s = rng.next() & 1;
+        std::vector<bool> iv(nl.numInputs());
+        for (size_t i = 0; i < 8; ++i) {
+            iv[ia[i]] = (a >> i) & 1;
+            iv[ib[i]] = (bb >> i) & 1;
+        }
+        iv[sel] = s;
+        auto v = evaluate(nl, iv);
+        EXPECT_EQ(busValue(v, mx), s ? bb : a);
+        EXPECT_EQ(busValue(v, mk), s ? a : 0);
+    }
+}
+
+TEST(Builders, CarrySelectAddMatchesRipple)
+{
+    TwoBusHarness h(20, 20);
+    auto cs = h.b.carrySelectAdd(h.ia, h.ib, h.b.c0(), 8);
+    auto rp = h.b.rippleAdd(h.ia, h.ib);
+    Rng rng(31);
+    for (int t = 0; t < 400; ++t) {
+        uint64_t a = rng.next() & lowMask(20);
+        uint64_t b = rng.next() & lowMask(20);
+        auto v = h.eval(a, b);
+        EXPECT_EQ(busValue(v, cs.sum), busValue(v, rp.sum));
+        EXPECT_EQ(v[cs.carry], v[rp.carry]);
+    }
+}
+
+TEST(Builders, CarrySelectWithCarryIn)
+{
+    Netlist nl("t");
+    Builder b(nl);
+    Bus ia = nl.addInputBus("a", 16);
+    Bus ib = nl.addInputBus("b", 16);
+    NetId cin = nl.addInput("cin");
+    auto cs = b.carrySelectAdd(ia, ib, cin, 5);
+    Rng rng(32);
+    for (int t = 0; t < 300; ++t) {
+        uint64_t a = rng.next() & 0xffff;
+        uint64_t bv = rng.next() & 0xffff;
+        bool ci = rng.next() & 1;
+        std::vector<bool> in(nl.numInputs());
+        for (size_t i = 0; i < 16; ++i) {
+            in[ia[i]] = (a >> i) & 1;
+            in[ib[i]] = (bv >> i) & 1;
+        }
+        in[cin] = ci;
+        auto v = evaluate(nl, in);
+        uint64_t expect = a + bv + ci;
+        EXPECT_EQ(busValue(v, cs.sum), expect & 0xffff);
+        EXPECT_EQ(v[cs.carry], (expect >> 16) & 1);
+    }
+}
+
+TEST(Builders, CarrySelectDegeneratesToRipple)
+{
+    // lowBits >= width must still be correct (pure ripple).
+    TwoBusHarness h(8, 8);
+    auto cs = h.b.carrySelectAdd(h.ia, h.ib, h.b.c0(), 64);
+    Rng rng(33);
+    for (int t = 0; t < 200; ++t) {
+        uint64_t a = rng.next() & 0xff;
+        uint64_t b = rng.next() & 0xff;
+        auto v = h.eval(a, b);
+        EXPECT_EQ(busValue(v, cs.sum), (a + b) & 0xff);
+    }
+}
+
+TEST(Builders, FastIncrementerMatchesRipple)
+{
+    Netlist nl("t");
+    Builder b(nl);
+    Bus ia = nl.addInputBus("a", 24);
+    NetId en = nl.addInput("en");
+    Bus fast = b.fastIncrementer(ia, en);
+    Bus slow = b.incrementer(ia, en);
+    Rng rng(34);
+    auto check = [&](uint64_t a, bool e) {
+        std::vector<bool> in(nl.numInputs());
+        for (size_t i = 0; i < 24; ++i)
+            in[ia[i]] = (a >> i) & 1;
+        in[en] = e;
+        auto v = evaluate(nl, in);
+        EXPECT_EQ(busValue(v, fast), busValue(v, slow)) << a;
+        EXPECT_EQ(busValue(v, fast), (a + e) & lowMask(24)) << a;
+    };
+    check(lowMask(24), true); // full wraparound
+    check(0, true);
+    check(0, false);
+    for (int t = 0; t < 300; ++t)
+        check(rng.next() & lowMask(24), rng.next() & 1);
+}
+
+TEST(Builders, FastIncrementerShallowerThanRipple)
+{
+    Netlist nlf("f"), nlr("r");
+    {
+        Builder b(nlf);
+        Bus ia = nlf.addInputBus("a", 53);
+        NetId en = nlf.addInput("en");
+        nlf.addOutputBus("o", b.fastIncrementer(ia, en));
+    }
+    {
+        Builder b(nlr);
+        Bus ia = nlr.addInputBus("a", 53);
+        NetId en = nlr.addInput("en");
+        nlr.addOutputBus("o", b.incrementer(ia, en));
+    }
+    auto lib = CellLibrary::nangate45Like();
+    auto staf = staAnalyze(nlf, DelayAnnotation(nlf, lib, 1));
+    auto star = staAnalyze(nlr, DelayAnnotation(nlr, lib, 1));
+    EXPECT_LT(staf.criticalPathPs(), 0.5 * star.criticalPathPs());
+}

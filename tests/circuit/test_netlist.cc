@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "circuit/netlist.hh"
+
+using namespace tea::circuit;
+
+TEST(Netlist, InputsAndGates)
+{
+    Netlist nl("t");
+    NetId a = nl.addInput("a");
+    NetId b = nl.addInput("b");
+    NetId x = nl.addGate(CellKind::Xor2, a, b);
+    nl.addOutputBus("out", {x});
+    EXPECT_EQ(nl.numInputs(), 2u);
+    EXPECT_EQ(nl.numCells(), 3u);
+    EXPECT_EQ(nl.numOutputBits(), 1u);
+}
+
+TEST(Netlist, EvaluateBasicGates)
+{
+    Netlist nl("t");
+    NetId a = nl.addInput("a");
+    NetId b = nl.addInput("b");
+    NetId g_and = nl.addGate(CellKind::And2, a, b);
+    NetId g_or = nl.addGate(CellKind::Or2, a, b);
+    NetId g_xor = nl.addGate(CellKind::Xor2, a, b);
+    NetId g_nand = nl.addGate(CellKind::Nand2, a, b);
+    NetId g_nor = nl.addGate(CellKind::Nor2, a, b);
+    NetId g_xnor = nl.addGate(CellKind::Xnor2, a, b);
+    NetId g_not = nl.addGate(CellKind::Not, a);
+
+    for (int av = 0; av <= 1; ++av) {
+        for (int bv = 0; bv <= 1; ++bv) {
+            auto v = evaluate(nl, {av != 0, bv != 0});
+            EXPECT_EQ(v[g_and], av && bv);
+            EXPECT_EQ(v[g_or], av || bv);
+            EXPECT_EQ(v[g_xor], av != bv);
+            EXPECT_EQ(v[g_nand], !(av && bv));
+            EXPECT_EQ(v[g_nor], !(av || bv));
+            EXPECT_EQ(v[g_xnor], av == bv);
+            EXPECT_EQ(v[g_not], !av);
+        }
+    }
+}
+
+TEST(Netlist, MuxAndMajority)
+{
+    Netlist nl("t");
+    NetId s = nl.addInput("s");
+    NetId a = nl.addInput("a");
+    NetId b = nl.addInput("b");
+    NetId m = nl.addGate(CellKind::Mux2, s, a, b);
+    NetId mj = nl.addGate(CellKind::Maj3, s, a, b);
+    for (int sv = 0; sv <= 1; ++sv)
+        for (int av = 0; av <= 1; ++av)
+            for (int bv = 0; bv <= 1; ++bv) {
+                auto v = evaluate(nl, {sv != 0, av != 0, bv != 0});
+                EXPECT_EQ(v[m], sv ? (bv != 0) : (av != 0));
+                EXPECT_EQ(v[mj], (sv + av + bv) >= 2);
+            }
+}
+
+TEST(Netlist, BusValueRoundTrip)
+{
+    Netlist nl("t");
+    Bus in = nl.addInputBus("x", 16);
+    nl.addOutputBus("x", in);
+    std::vector<bool> values(nl.numCells());
+    setBusValue(values, in, 0xBEEF);
+    EXPECT_EQ(busValue(values, in), 0xBEEFu);
+}
+
+TEST(Netlist, FanoutsComputed)
+{
+    Netlist nl("t");
+    NetId a = nl.addInput("a");
+    NetId b = nl.addInput("b");
+    NetId g1 = nl.addGate(CellKind::And2, a, b);
+    NetId g2 = nl.addGate(CellKind::Or2, a, g1);
+    const auto &fo = nl.fanouts();
+    EXPECT_EQ(fo[a].size(), 2u);
+    EXPECT_EQ(fo[b].size(), 1u);
+    EXPECT_EQ(fo[g1].size(), 1u);
+    EXPECT_EQ(fo[g1][0], g2);
+}
+
+TEST(Netlist, TopologicalViolationPanics)
+{
+    Netlist nl("t");
+    NetId a = nl.addInput("a");
+    (void)a;
+    EXPECT_DEATH(nl.addGate(CellKind::Not, 5), "topological|fanin");
+}
+
+TEST(Netlist, KindCounts)
+{
+    Netlist nl("t");
+    NetId a = nl.addInput("a");
+    nl.addGate(CellKind::Not, a);
+    nl.addGate(CellKind::Not, a);
+    auto counts = nl.kindCounts();
+    EXPECT_EQ(counts[static_cast<size_t>(CellKind::Not)], 2u);
+    EXPECT_EQ(counts[static_cast<size_t>(CellKind::Input)], 1u);
+}

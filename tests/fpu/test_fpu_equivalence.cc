@@ -1,0 +1,265 @@
+/**
+ * Bit-exact equivalence of the gate-level FPU against the soft-float
+ * reference model at the nominal operating point (where, by
+ * construction, every path settles before capture).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fpu/fpu_core.hh"
+#include "softfloat/softfloat.hh"
+#include "util/rng.hh"
+
+using namespace tea;
+using namespace tea::fpu;
+
+namespace {
+
+/** Shared core: building the netlists once keeps the suite fast. */
+FpuCore &
+core()
+{
+    static FpuCore c;
+    static size_t nominal = c.addOperatingPoint(1.0);
+    (void)nominal;
+    return c;
+}
+
+constexpr size_t kNominal = 0;
+
+uint64_t
+randomDouble(Rng &rng)
+{
+    // Mostly normal values in a wide exponent range, with a sprinkle of
+    // specials.
+    switch (rng.nextBounded(16)) {
+      case 0: return 0;                          // +0
+      case 1: return 0x8000000000000000ULL;      // -0
+      case 2: return 0x7ff0000000000000ULL;      // +inf
+      case 3: return 0xfff0000000000000ULL;      // -inf
+      case 4: return sf::qnan64;                 // NaN
+      case 5: return rng.next() & 0x000fffffffffffffULL; // subnormal
+      default: {
+        uint64_t sign = rng.next() & (1ULL << 63);
+        uint64_t exp = 400 + rng.nextBounded(1250);
+        uint64_t man = rng.next() & ((1ULL << 52) - 1);
+        return sign | (exp << 52) | man;
+      }
+    }
+}
+
+uint32_t
+randomFloat(Rng &rng)
+{
+    switch (rng.nextBounded(16)) {
+      case 0: return 0;
+      case 1: return 0x80000000u;
+      case 2: return 0x7f800000u;
+      case 3: return 0xff800000u;
+      case 4: return sf::qnan32;
+      case 5: return static_cast<uint32_t>(rng.next()) & 0x007fffffu;
+      default: {
+        uint32_t sign = static_cast<uint32_t>(rng.next()) & 0x80000000u;
+        uint32_t exp = 30 + static_cast<uint32_t>(rng.nextBounded(196));
+        uint32_t man = static_cast<uint32_t>(rng.next()) & 0x7fffffu;
+        return sign | (exp << 23) | man;
+      }
+    }
+}
+
+uint8_t
+packFlags(const sf::Flags &f)
+{
+    return static_cast<uint8_t>(f.invalid) |
+           (static_cast<uint8_t>(f.divByZero) << 1) |
+           (static_cast<uint8_t>(f.overflow) << 2) |
+           (static_cast<uint8_t>(f.underflow) << 3) |
+           (static_cast<uint8_t>(f.inexact) << 4);
+}
+
+} // namespace
+
+TEST(FpuEquivalence, NominalHasNoTimingErrors)
+{
+    Rng rng(101);
+    for (int t = 0; t < 200; ++t) {
+        uint64_t a = randomDouble(rng), b = randomDouble(rng);
+        auto r = core().execute(kNominal, FpuOp::MulD, a, b);
+        EXPECT_FALSE(r.timingError);
+        EXPECT_EQ(r.golden, r.faulty);
+    }
+}
+
+struct BinOpCase
+{
+    FpuOp op;
+    uint64_t (*ref)(uint64_t, uint64_t, sf::Flags *);
+};
+
+class FpuBinOpD : public ::testing::TestWithParam<BinOpCase>
+{
+};
+
+TEST_P(FpuBinOpD, MatchesSoftFloat)
+{
+    auto [op, ref] = GetParam();
+    Rng rng(7000 + static_cast<int>(op));
+    for (int t = 0; t < 1500; ++t) {
+        uint64_t a = randomDouble(rng), b = randomDouble(rng);
+        sf::Flags fl;
+        uint64_t expect = ref(a, b, &fl);
+        auto r = core().execute(kNominal, op, a, b);
+        ASSERT_EQ(r.golden, expect)
+            << fpuOpName(op) << " a=0x" << std::hex << a << " b=0x" << b;
+        ASSERT_EQ(r.goldenFlags, packFlags(fl))
+            << fpuOpName(op) << " flags, a=0x" << std::hex << a << " b=0x"
+            << b;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBinOps, FpuBinOpD,
+    ::testing::Values(BinOpCase{FpuOp::AddD, sf::add64},
+                      BinOpCase{FpuOp::SubD, sf::sub64},
+                      BinOpCase{FpuOp::MulD, sf::mul64},
+                      BinOpCase{FpuOp::DivD, sf::div64}),
+    [](const auto &info) {
+        switch (info.param.op) {
+          case FpuOp::AddD: return "add";
+          case FpuOp::SubD: return "sub";
+          case FpuOp::MulD: return "mul";
+          default: return info.param.op == FpuOp::DivD ? "div" : "x";
+        }
+    });
+
+TEST(FpuEquivalence, I2FDMatchesSoftFloat)
+{
+    Rng rng(42);
+    for (int t = 0; t < 2000; ++t) {
+        int64_t v = static_cast<int64_t>(rng.next());
+        if (t % 3 == 0)
+            v = rng.nextRange(-100000, 100000);
+        if (t == 0)
+            v = 0;
+        if (t == 1)
+            v = INT64_MIN;
+        sf::Flags fl;
+        uint64_t expect = sf::i2f64(v, &fl);
+        auto r = core().execute(kNominal, FpuOp::I2FD,
+                                static_cast<uint64_t>(v));
+        ASSERT_EQ(r.golden, expect) << "v=" << v;
+        ASSERT_EQ(r.goldenFlags, packFlags(fl)) << "v=" << v;
+    }
+}
+
+TEST(FpuEquivalence, F2IDMatchesSoftFloat)
+{
+    Rng rng(43);
+    for (int t = 0; t < 2000; ++t) {
+        uint64_t a = randomDouble(rng);
+        if (t % 4 == 0) {
+            // Bias toward convertible magnitudes.
+            double mag = (rng.nextDouble() - 0.5) * 1e15;
+            a = sf::fromDouble(mag);
+        }
+        sf::Flags fl;
+        int64_t expect = sf::f2i64(a, &fl);
+        auto r = core().execute(kNominal, FpuOp::F2ID, a);
+        ASSERT_EQ(static_cast<int64_t>(r.golden), expect)
+            << "a=0x" << std::hex << a;
+        ASSERT_EQ(r.goldenFlags, packFlags(fl)) << "a=0x" << std::hex << a;
+    }
+}
+
+TEST(FpuEquivalence, SinglePrecisionBinOps)
+{
+    Rng rng(44);
+    struct Case
+    {
+        FpuOp op;
+        uint32_t (*ref)(uint32_t, uint32_t, sf::Flags *);
+    };
+    const Case cases[] = {
+        {FpuOp::AddS, sf::add32},
+        {FpuOp::SubS, sf::sub32},
+        {FpuOp::MulS, sf::mul32},
+        {FpuOp::DivS, sf::div32},
+    };
+    for (const auto &c : cases) {
+        for (int t = 0; t < 800; ++t) {
+            uint32_t a = randomFloat(rng), b = randomFloat(rng);
+            sf::Flags fl;
+            uint32_t expect = c.ref(a, b, &fl);
+            auto r = core().execute(kNominal, c.op, a, b);
+            ASSERT_EQ(r.golden, expect)
+                << fpuOpName(c.op) << " a=0x" << std::hex << a << " b=0x"
+                << b;
+            ASSERT_EQ(r.goldenFlags, packFlags(fl)) << fpuOpName(c.op);
+        }
+    }
+}
+
+TEST(FpuEquivalence, SinglePrecisionConversions)
+{
+    Rng rng(45);
+    for (int t = 0; t < 1500; ++t) {
+        auto v = static_cast<int32_t>(rng.next());
+        if (t % 3 == 0)
+            v = static_cast<int32_t>(rng.nextRange(-1000, 1000));
+        sf::Flags fl;
+        uint32_t expect = sf::i2f32(v, &fl);
+        auto r = core().execute(kNominal, FpuOp::I2FS,
+                                static_cast<uint32_t>(v));
+        ASSERT_EQ(r.golden, expect) << "v=" << v;
+        ASSERT_EQ(r.goldenFlags, packFlags(fl)) << "v=" << v;
+    }
+    for (int t = 0; t < 1500; ++t) {
+        uint32_t a = randomFloat(rng);
+        sf::Flags fl;
+        int32_t expect = sf::f2i32(a, &fl);
+        auto r = core().execute(kNominal, FpuOp::F2IS, a);
+        ASSERT_EQ(static_cast<int32_t>(static_cast<uint32_t>(r.golden)),
+                  expect)
+            << "a=0x" << std::hex << a;
+        ASSERT_EQ(r.goldenFlags, packFlags(fl)) << "a=0x" << std::hex << a;
+    }
+}
+
+TEST(FpuEquivalence, DirectedCornerCases)
+{
+    auto d = [](double v) { return sf::fromDouble(v); };
+    struct C
+    {
+        FpuOp op;
+        uint64_t a, b;
+    };
+    const C cases[] = {
+        {FpuOp::AddD, d(1.0), d(-1.0)},
+        {FpuOp::AddD, d(1.0), d(1e-300)},
+        {FpuOp::SubD, d(1.0), sf::fromDouble(1.0) + 1},
+        {FpuOp::AddD, d(1.7e308), d(1.7e308)},
+        {FpuOp::MulD, d(1e-200), d(1e-200)},
+        {FpuOp::MulD, d(1e200), d(1e200)},
+        {FpuOp::DivD, d(1.0), d(0.0)},
+        {FpuOp::DivD, d(0.0), d(0.0)},
+        {FpuOp::DivD, d(1.0), d(3.0)},
+        {FpuOp::AddD, 0x7ff0000000000000ULL, 0xfff0000000000000ULL},
+        {FpuOp::MulD, 0x7ff0000000000000ULL, 0},
+        {FpuOp::SubD, 0x8000000000000000ULL, 0},
+    };
+    for (const auto &c : cases) {
+        sf::Flags fl;
+        uint64_t expect;
+        switch (c.op) {
+          case FpuOp::AddD: expect = sf::add64(c.a, c.b, &fl); break;
+          case FpuOp::SubD: expect = sf::sub64(c.a, c.b, &fl); break;
+          case FpuOp::MulD: expect = sf::mul64(c.a, c.b, &fl); break;
+          default: expect = sf::div64(c.a, c.b, &fl); break;
+        }
+        auto r = core().execute(kNominal, c.op, c.a, c.b);
+        EXPECT_EQ(r.golden, expect)
+            << fpuOpName(c.op) << " a=0x" << std::hex << c.a << " b=0x"
+            << c.b;
+        EXPECT_EQ(r.goldenFlags, packFlags(fl)) << fpuOpName(c.op);
+    }
+}

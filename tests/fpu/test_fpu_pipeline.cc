@@ -1,0 +1,239 @@
+/**
+ * Pipeline-level behaviour of the gate FPU: stage I/O contracts, clock
+ * derivation, operating points, timing-error onset under voltage
+ * scaling, and the Fig. 4 path-report shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/celllib.hh"
+#include "fpu/fpu_core.hh"
+#include "softfloat/softfloat.hh"
+#include "util/rng.hh"
+
+using namespace tea;
+using namespace tea::fpu;
+
+namespace {
+
+FpuCore &
+core()
+{
+    static FpuCore c;
+    return c;
+}
+
+} // namespace
+
+TEST(FpuPipeline, StageIOContract)
+{
+    // Every stage's input count equals the previous stage's output
+    // count, for every unit.
+    for (unsigned u = 0; u < kNumFpuUnits; ++u) {
+        const FpuUnit &un = core().unit(static_cast<FpuUnitKind>(u));
+        for (size_t s = 1; s < un.numStages(); ++s) {
+            EXPECT_EQ(un.stage(s).numInputs(),
+                      un.stage(s - 1).numOutputBits())
+                << un.name() << " stage " << s;
+        }
+        // Final stage: result + 5 flags.
+        EXPECT_EQ(un.stage(un.numStages() - 1).numOutputBits(),
+                  un.resultBits() + 5u)
+            << un.name();
+    }
+}
+
+TEST(FpuPipeline, ClockSetByWorstStage)
+{
+    double worst = 0;
+    for (unsigned u = 0; u < kNumFpuUnits; ++u)
+        worst = std::max(
+            worst,
+            core().unit(static_cast<FpuUnitKind>(u)).worstStagePathPs());
+    EXPECT_DOUBLE_EQ(core().clockPs(), worst);
+    EXPECT_LT(core().captureTimePs(), core().clockPs());
+    // Same order of magnitude as the paper's 4.5 ns 45 nm FPU.
+    EXPECT_GT(core().clockPs(), 2000.0);
+    EXPECT_LT(core().clockPs(), 10000.0);
+}
+
+TEST(FpuPipeline, MultiplierArrayIsCritical)
+{
+    // The paper's Fig. 4: FPU arithmetic paths dominate; in our design
+    // the DP multiply array sets the clock.
+    EXPECT_DOUBLE_EQ(core().unit(FpuUnitKind::MulD).worstStagePathPs(),
+                     core().clockPs());
+}
+
+TEST(FpuPipeline, PathReportShape)
+{
+    auto report = core().pathReport();
+    ASSERT_GT(report.size(), 1000u);
+    // Sorted descending.
+    for (size_t i = 1; i < report.size(); ++i)
+        EXPECT_GE(report[i - 1].pathDelayPs, report[i].pathDelayPs);
+    // The 1000 longest paths are all FPU paths (Fig. 4's headline).
+    int fpuIn1000 = 0;
+    for (size_t i = 0; i < 1000; ++i)
+        fpuIn1000 += report[i].isFpu;
+    EXPECT_EQ(fpuIn1000, 1000);
+    // Integer-side paths exist and are comfortably short.
+    double worstInt = 0;
+    for (const auto &p : report)
+        if (!p.isFpu)
+            worstInt = std::max(worstInt, p.pathDelayPs);
+    EXPECT_GT(worstInt, 0.0);
+    EXPECT_LT(worstInt, 0.6 * core().clockPs());
+}
+
+TEST(FpuPipeline, ConversionUnitsHaveAmpleSlack)
+{
+    // Fig. 7: I2F/F2I never fail at the studied VR levels; their static
+    // paths sit far below the VR20 failure threshold.
+    circuit::VoltageModel vm;
+    double threshold = core().clockPs() / vm.delayFactorAtReduction(0.20);
+    EXPECT_LT(core().unit(FpuUnitKind::I2FD).worstStagePathPs(),
+              threshold);
+    EXPECT_LT(core().unit(FpuUnitKind::F2ID).worstStagePathPs(),
+              threshold);
+    // Single-precision ops (paper: no SP errors observed).
+    EXPECT_LT(core().unit(FpuUnitKind::AddSubS).worstStagePathPs(),
+              threshold);
+    EXPECT_LT(core().unit(FpuUnitKind::MulS).worstStagePathPs(),
+              threshold);
+    EXPECT_LT(core().unit(FpuUnitKind::DivS).worstStagePathPs(),
+              threshold);
+}
+
+TEST(FpuPipeline, TimingErrorsAppearUnderVoltageReduction)
+{
+    FpuCore c;
+    circuit::VoltageModel vm;
+    size_t nominal = c.addOperatingPoint(1.0);
+    size_t vr20 = c.addOperatingPoint(vm.delayFactorAtReduction(0.20));
+    Rng rng(5);
+    int nominalErrors = 0, vr20Errors = 0;
+    const int N = 600;
+    for (int t = 0; t < N; ++t) {
+        uint64_t sign = rng.next() & (1ULL << 63);
+        uint64_t exp = 700 + rng.nextBounded(600);
+        uint64_t man = rng.next() & ((1ULL << 52) - 1);
+        uint64_t a = sign | (exp << 52) | man;
+        exp = 700 + rng.nextBounded(600);
+        man = rng.next() & ((1ULL << 52) - 1);
+        uint64_t b = (rng.next() & (1ULL << 63)) | (exp << 52) | man;
+        auto rn = c.execute(nominal, FpuOp::MulD, a, b);
+        auto rv = c.execute(vr20, FpuOp::MulD, a, b);
+        nominalErrors += rn.timingError;
+        vr20Errors += rv.timingError;
+        // The golden (settled) result is voltage-independent.
+        EXPECT_EQ(rn.golden, rv.golden);
+    }
+    EXPECT_EQ(nominalErrors, 0);
+    EXPECT_GT(vr20Errors, 0);
+}
+
+TEST(FpuPipeline, ErrorsAreMultiBit)
+{
+    // Fig. 5: timing errors flip multiple bits in most cases.
+    FpuCore c;
+    circuit::VoltageModel vm;
+    size_t vr20 = c.addOperatingPoint(vm.delayFactorAtReduction(0.20));
+    Rng rng(6);
+    int faulty = 0, multiBit = 0;
+    for (int t = 0; t < 4000 && faulty < 25; ++t) {
+        uint64_t a = (rng.next() & (1ULL << 63)) |
+                     ((700 + rng.nextBounded(600)) << 52) |
+                     (rng.next() & ((1ULL << 52) - 1));
+        uint64_t b = (rng.next() & (1ULL << 63)) |
+                     ((700 + rng.nextBounded(600)) << 52) |
+                     (rng.next() & ((1ULL << 52) - 1));
+        auto r = c.execute(vr20, FpuOp::MulD, a, b);
+        if (r.errorMask != 0) {
+            ++faulty;
+            if (__builtin_popcountll(r.errorMask) > 1)
+                ++multiBit;
+        }
+    }
+    ASSERT_GT(faulty, 5);
+    EXPECT_GT(multiBit * 2, faulty); // majority multi-bit
+}
+
+TEST(FpuPipeline, HistoryDependence)
+{
+    // The same operation can pass or fail depending on the previous
+    // operation in the pipeline: reset changes outcomes.
+    FpuCore c;
+    circuit::VoltageModel vm;
+    size_t vr20 = c.addOperatingPoint(vm.delayFactorAtReduction(0.20));
+    Rng rng(7);
+    // Find an operand pair that errors after some predecessor.
+    uint64_t prevA = 0, prevB = 0, curA = 0, curB = 0;
+    bool found = false;
+    for (int t = 0; t < 5000 && !found; ++t) {
+        uint64_t a = (rng.next() & (1ULL << 63)) |
+                     ((700 + rng.nextBounded(600)) << 52) |
+                     (rng.next() & ((1ULL << 52) - 1));
+        uint64_t b = (rng.next() & (1ULL << 63)) |
+                     ((700 + rng.nextBounded(600)) << 52) |
+                     (rng.next() & ((1ULL << 52) - 1));
+        auto r = c.execute(vr20, FpuOp::MulD, a, b);
+        if (r.timingError && prevA) {
+            curA = a;
+            curB = b;
+            found = true;
+        } else {
+            prevA = a;
+            prevB = b;
+        }
+    }
+    ASSERT_TRUE(found);
+    // Replaying (prev -> cur) reproduces the error deterministically...
+    c.reset(vr20);
+    c.execute(vr20, FpuOp::MulD, prevA, prevB);
+    auto r1 = c.execute(vr20, FpuOp::MulD, curA, curB);
+    EXPECT_TRUE(r1.timingError);
+    // ...while cur with no transition (fresh pipeline) cannot fail.
+    c.reset(vr20);
+    auto r2 = c.execute(vr20, FpuOp::MulD, curA, curB);
+    EXPECT_FALSE(r2.timingError);
+}
+
+TEST(FpuPipeline, DeterministicAcrossInstances)
+{
+    FpuCore c1, c2;
+    circuit::VoltageModel vm;
+    size_t p1 = c1.addOperatingPoint(vm.delayFactorAtReduction(0.20));
+    size_t p2 = c2.addOperatingPoint(vm.delayFactorAtReduction(0.20));
+    Rng rng(8);
+    for (int t = 0; t < 100; ++t) {
+        uint64_t a = (rng.next() & (1ULL << 63)) |
+                     ((700 + rng.nextBounded(600)) << 52) |
+                     (rng.next() & ((1ULL << 52) - 1));
+        uint64_t b = (rng.next() & (1ULL << 63)) |
+                     ((700 + rng.nextBounded(600)) << 52) |
+                     (rng.next() & ((1ULL << 52) - 1));
+        auto r1 = c1.execute(p1, FpuOp::MulD, a, b);
+        auto r2 = c2.execute(p2, FpuOp::MulD, a, b);
+        EXPECT_EQ(r1.faulty, r2.faulty);
+        EXPECT_EQ(r1.errorMask, r2.errorMask);
+    }
+}
+
+TEST(FpuPipeline, ExactEngineAgreesOnSettledValues)
+{
+    FpuCore c;
+    size_t exact = c.addOperatingPoint(1.0, /*exactEngine=*/true);
+    Rng rng(9);
+    for (int t = 0; t < 30; ++t) {
+        uint64_t a = (rng.next() & (1ULL << 63)) |
+                     ((700 + rng.nextBounded(600)) << 52) |
+                     (rng.next() & ((1ULL << 52) - 1));
+        uint64_t b = (rng.next() & (1ULL << 63)) |
+                     ((700 + rng.nextBounded(600)) << 52) |
+                     (rng.next() & ((1ULL << 52) - 1));
+        auto r = c.execute(exact, FpuOp::AddD, a, b);
+        EXPECT_EQ(r.golden, sf::add64(a, b));
+        EXPECT_FALSE(r.timingError); // nominal voltage
+    }
+}

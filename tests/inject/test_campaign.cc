@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "inject/campaign.hh"
+#include "workloads/workloads.hh"
+
+using namespace tea;
+using namespace tea::inject;
+using namespace tea::models;
+using fpu::FpuOp;
+
+namespace {
+
+/** A tiny campaign fixture on the cheapest workload (sobel). */
+InjectionCampaign &
+campaign()
+{
+    static InjectionCampaign c(workloads::buildWorkload("sobel", 1));
+    return c;
+}
+
+timing::CampaignStats
+aggressiveStats()
+{
+    // A synthetic WA-style model with a high mul error rate and
+    // destructive masks — drives non-masked outcomes even in few runs.
+    timing::CampaignStats stats;
+    auto &mul = stats.of(FpuOp::MulD);
+    mul.total = 1000;
+    mul.faulty = 100; // 10% of muls fail
+    mul.maskPool = {0x7ff0000000000000ULL, 0x000fffff00000000ULL,
+                    0x4010000000000000ULL};
+    auto &div = stats.of(FpuOp::DivD);
+    div.total = 1000;
+    div.faulty = 50;
+    div.maskPool = {0x7ff8000000000000ULL, 0x3ff0000000000000ULL};
+    return stats;
+}
+
+} // namespace
+
+TEST(InjectionCampaign, GoldenPreparation)
+{
+    auto &c = campaign();
+    EXPECT_GT(c.goldenCycles(), 10000u);
+    EXPECT_GT(c.goldenInstructions(), 10000u);
+    EXPECT_GT(c.profile().instructionsWithDest, 0u);
+    EXPECT_GT(c.profile().fpOpCounts[static_cast<size_t>(FpuOp::MulD)],
+              100u);
+}
+
+TEST(InjectionCampaign, ZeroErrorModelIsAllMasked)
+{
+    // A WA model characterized with no observed errors injects nothing.
+    timing::CampaignStats empty;
+    WaModel model("none", empty);
+    Rng rng(1);
+    auto result = campaign().run(model, 5, rng);
+    EXPECT_EQ(result.masked, 5u);
+    EXPECT_EQ(result.injectedErrors, 0u);
+    EXPECT_EQ(result.avm(), 0.0);
+}
+
+TEST(InjectionCampaign, AggressiveModelProducesCorruption)
+{
+    WaModel model("hot", aggressiveStats());
+    Rng rng(2);
+    auto result = campaign().run(model, 10, rng);
+    EXPECT_EQ(result.runs, 10u);
+    EXPECT_GT(result.injectedErrors, 100u);
+    // With thousands of corrupted muls something must go visibly wrong.
+    EXPECT_GT(result.sdc + result.crash + result.timeout, 0u);
+    EXPECT_GT(result.avm(), 0.0);
+    EXPECT_GT(result.errorRatio(), 1e-4);
+}
+
+TEST(InjectionCampaign, DaModelInjectsAtItsRate)
+{
+    DaModel model(1e-3);
+    Rng rng(3);
+    auto result = campaign().run(model, 5, rng);
+    // Runs that crash early stop applying events, so the applied count
+    // per run is bounded by the plan but may fall below it.
+    double perRun = static_cast<double>(result.injectedErrors) /
+                    static_cast<double>(result.runs);
+    double expected = model.expectedErrors(campaign().profile());
+    EXPECT_GT(perRun, 0.0);
+    EXPECT_LE(perRun, 1.2 * expected);
+    // 25 random bit flips per run all over the machine: DA-model paints
+    // a grim picture (the paper's point — it is wildly pessimistic).
+    EXPECT_GT(result.avm(), 0.5);
+}
+
+TEST(InjectionCampaign, OutcomesAreDeterministicGivenSeed)
+{
+    WaModel model("hot", aggressiveStats());
+    Rng rng1(7), rng2(7);
+    auto o1 = campaign().runOne(model, rng1);
+    auto o2 = campaign().runOne(model, rng2);
+    EXPECT_EQ(o1, o2);
+}
+
+TEST(InjectionCampaign, ResultAccounting)
+{
+    CampaignResult r;
+    r.runs = 10;
+    r.masked = 4;
+    r.sdc = 3;
+    r.crash = 2;
+    r.timeout = 1;
+    r.injectedErrors = 50;
+    r.committedInstructions = 100000;
+    EXPECT_DOUBLE_EQ(r.avm(), 0.6);
+    EXPECT_DOUBLE_EQ(r.fraction(Outcome::Masked), 0.4);
+    EXPECT_DOUBLE_EQ(r.fraction(Outcome::SDC), 0.3);
+    EXPECT_DOUBLE_EQ(r.errorRatio(), 5e-4);
+}
+
+TEST(InjectionCampaign, OutcomeNames)
+{
+    EXPECT_STREQ(outcomeName(Outcome::Masked), "Masked");
+    EXPECT_STREQ(outcomeName(Outcome::SDC), "SDC");
+    EXPECT_STREQ(outcomeName(Outcome::Crash), "Crash");
+    EXPECT_STREQ(outcomeName(Outcome::Timeout), "Timeout");
+}

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "isa/asmbuilder.hh"
+#include "isa/assembler.hh"
+#include "sim/func_sim.hh"
+#include "softfloat/softfloat.hh"
+
+using namespace tea::isa;
+using tea::sim::FuncSim;
+
+TEST(AsmBuilder, LiSmall)
+{
+    AsmBuilder b("t");
+    b.li(5, 42);
+    b.printInt(5);
+    b.li(6, -7);
+    b.printInt(6);
+    b.halt();
+    Program p = b.build();
+    FuncSim sim(p);
+    auto r = sim.run();
+    EXPECT_EQ(r.status, FuncSim::Status::Halted);
+    ASSERT_EQ(sim.console().size(), 2u);
+    EXPECT_EQ(sim.console()[0], 42u);
+    EXPECT_EQ(static_cast<int64_t>(sim.console()[1]), -7);
+}
+
+TEST(AsmBuilder, LiWideConstants)
+{
+    const int64_t values[] = {
+        0x123456789abcdefLL, -0x123456789abcdefLL, INT64_MAX,
+        INT64_MIN,           1LL << 40,            -(1LL << 40),
+        262144,              -262145,              0,
+    };
+    AsmBuilder b("t");
+    for (int64_t v : values) {
+        b.li(7, v);
+        b.printInt(7);
+    }
+    b.halt();
+    Program p = b.build();
+    FuncSim sim(p);
+    auto r = sim.run();
+    ASSERT_EQ(r.status, FuncSim::Status::Halted);
+    ASSERT_EQ(sim.console().size(), std::size(values));
+    for (size_t i = 0; i < std::size(values); ++i)
+        EXPECT_EQ(static_cast<int64_t>(sim.console()[i]), values[i])
+            << i;
+}
+
+TEST(AsmBuilder, DataAndLoops)
+{
+    AsmBuilder b("t");
+    b.dataDoubles("vals", {1.5, 2.5, 3.0});
+    b.dataSpace("out", 8);
+    b.la(5, "vals");
+    b.li(6, 3);            // counter
+    b.fmv_d_x(1, 0);       // f1 = 0.0
+    auto loop = b.here();
+    b.fld(2, 5, 0);
+    b.fadd_d(1, 1, 2);
+    b.addi(5, 5, 8);
+    b.addi(6, 6, -1);
+    b.bne(6, 0, loop);
+    b.la(7, "out");
+    b.fsd(1, 7, 0);
+    b.printFp(1);
+    b.halt();
+    Program p = b.build();
+    FuncSim sim(p);
+    auto r = sim.run();
+    ASSERT_EQ(r.status, FuncSim::Status::Halted);
+    ASSERT_EQ(sim.console().size(), 1u);
+    EXPECT_EQ(sim.console()[0], tea::sf::fromDouble(7.0));
+    // The stored value is visible at the symbol address.
+    auto bytes = sim.memory().readBlock(p.symbol("out"), 8);
+    uint64_t v = 0;
+    memcpy(&v, bytes.data(), 8);
+    EXPECT_EQ(v, tea::sf::fromDouble(7.0));
+}
+
+TEST(AsmBuilder, CallRet)
+{
+    AsmBuilder b("t");
+    auto fn = b.newLabel();
+    auto start = b.newLabel();
+    b.j(start);
+    b.bind(fn);
+    b.addi(10, 10, 100);
+    b.ret();
+    b.bind(start);
+    b.li(10, 1);
+    b.call(fn);
+    b.printInt(10);
+    b.halt();
+    Program p = b.build();
+    FuncSim sim(p);
+    auto r = sim.run();
+    ASSERT_EQ(r.status, FuncSim::Status::Halted);
+    ASSERT_EQ(sim.console().size(), 1u);
+    EXPECT_EQ(sim.console()[0], 101u);
+}
+
+TEST(Assembler, EndToEnd)
+{
+    const char *src = R"(
+.data
+vals: .double 2.0, 8.0
+out:  .space 8
+.text
+main:
+    la x5, vals
+    fld f1, 0(x5)
+    fld f2, 8(x5)
+    fmul.d f3, f1, f2
+    la x6, out
+    fsd f3, 0(x6)
+    print.fp f3
+    li x9, 5
+loop:
+    addi x9, x9, -1
+    bne x9, x0, loop
+    print.int x9
+    halt
+)";
+    Program p = assemble(src, "e2e");
+    FuncSim sim(p);
+    auto r = sim.run();
+    ASSERT_EQ(r.status, FuncSim::Status::Halted);
+    ASSERT_EQ(sim.console().size(), 2u);
+    EXPECT_EQ(sim.console()[0], tea::sf::fromDouble(16.0));
+    EXPECT_EQ(sim.console()[1], 0u);
+}
+
+TEST(Assembler, CommentsAndWhitespace)
+{
+    const char *src = R"(
+# full line comment
+.text
+    li x3, 7   # trailing comment
+    print.int x3
+    halt
+)";
+    Program p = assemble(src);
+    FuncSim sim(p);
+    auto r = sim.run();
+    ASSERT_EQ(r.status, FuncSim::Status::Halted);
+    EXPECT_EQ(sim.console()[0], 7u);
+}
+
+TEST(Assembler, IntOpsSweep)
+{
+    const char *src = R"(
+.text
+    li x5, 100
+    li x6, 7
+    add x7, x5, x6
+    print.int x7
+    sub x7, x5, x6
+    print.int x7
+    mul x7, x5, x6
+    print.int x7
+    divu x7, x5, x6
+    print.int x7
+    remu x7, x5, x6
+    print.int x7
+    slli x7, x5, 3
+    print.int x7
+    halt
+)";
+    Program p = assemble(src);
+    FuncSim sim(p);
+    auto r = sim.run();
+    ASSERT_EQ(r.status, FuncSim::Status::Halted);
+    const uint64_t expect[] = {107, 93, 700, 14, 2, 800};
+    ASSERT_EQ(sim.console().size(), 6u);
+    for (size_t i = 0; i < 6; ++i)
+        EXPECT_EQ(sim.console()[i], expect[i]);
+}
+
+TEST(Assembler, RejectsUnknownMnemonic)
+{
+    EXPECT_EXIT(assemble(".text\n    bogus x1, x2, x3\n    halt\n"),
+                ::testing::ExitedWithCode(1), "unknown mnemonic");
+}
+
+TEST(Assembler, RejectsBadRegister)
+{
+    EXPECT_EXIT(assemble(".text\n    add x1, x2, x95\n    halt\n"),
+                ::testing::ExitedWithCode(1), "register");
+}
+
+TEST(Assembler, RejectsUnknownSymbol)
+{
+    EXPECT_EXIT(assemble(".text\n    la x1, nowhere\n    halt\n"),
+                ::testing::ExitedWithCode(1), "symbol");
+}
+
+TEST(Assembler, RejectsUnboundLabel)
+{
+    EXPECT_EXIT(assemble(".text\n    j nowhere\n    halt\n"),
+                ::testing::ExitedWithCode(1), "unbound label");
+}
+
+TEST(Assembler, RejectsDataWithoutLabel)
+{
+    EXPECT_EXIT(assemble(".data\n    .double 1.0\n"),
+                ::testing::ExitedWithCode(1), "without a label");
+}
+
+TEST(Assembler, AcceptsDisassemblerOutput)
+{
+    // disassemble() output for R/I-format ops round-trips through the
+    // assembler back to the identical instruction.
+    const Instruction cases[] = {
+        {Op::ADD, 5, 6, 7, 0},
+        {Op::MUL, 1, 2, 3, 0},
+        {Op::ADDI, 5, 6, 0, -42},
+        {Op::SLLI, 9, 9, 0, 13},
+        {Op::FADD_D, 1, 2, 3, 0},
+        {Op::FMUL_S, 30, 31, 0, 0},
+        {Op::FCVT_L_D, 4, 5, 0, 0},
+        {Op::LD, 10, 2, 0, 1024},
+        {Op::FSD, 31, 2, 0, -8},
+    };
+    for (const auto &insn : cases) {
+        std::string text = ".text\n    " + disassemble(insn) + "\n";
+        Program p = assemble(text);
+        ASSERT_EQ(p.code.size(), 1u) << text;
+        EXPECT_EQ(p.code[0].op, insn.op) << text;
+        EXPECT_EQ(p.code[0].rd, insn.rd) << text;
+        EXPECT_EQ(p.code[0].rs1, insn.rs1) << text;
+        EXPECT_EQ(p.code[0].imm, insn.imm) << text;
+    }
+}
+
+TEST(AsmBuilder, BranchOffsetOverflowIsFatal)
+{
+    AsmBuilder b("t");
+    auto far = b.newLabel();
+    b.beq(0, 0, far);
+    for (int i = 0; i < 9000; ++i)
+        b.nop();
+    b.bind(far);
+    b.halt();
+    EXPECT_EXIT(b.build(), ::testing::ExitedWithCode(1), "overflow");
+}
+
+TEST(AsmBuilder, DuplicateDataSymbolIsFatal)
+{
+    AsmBuilder b("t");
+    b.dataSpace("buf", 8);
+    EXPECT_EXIT(b.dataSpace("buf", 8), ::testing::ExitedWithCode(1),
+                "duplicate");
+}

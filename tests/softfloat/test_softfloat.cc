@@ -1,0 +1,266 @@
+/**
+ * Directed edge-case tests for the soft-float reference model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "softfloat/softfloat.hh"
+
+using namespace tea::sf;
+
+namespace {
+
+uint64_t
+d(double v)
+{
+    return fromDouble(v);
+}
+
+constexpr uint64_t plusInf = 0x7ff0000000000000ULL;
+constexpr uint64_t minusInf = 0xfff0000000000000ULL;
+constexpr uint64_t plusZero = 0x0000000000000000ULL;
+constexpr uint64_t minusZero = 0x8000000000000000ULL;
+
+} // namespace
+
+TEST(SoftFloatAdd, SimpleValues)
+{
+    EXPECT_EQ(add64(d(1.0), d(2.0)), d(3.0));
+    EXPECT_EQ(add64(d(0.1), d(0.2)), d(0.1 + 0.2));
+    EXPECT_EQ(add64(d(-5.5), d(5.5)), plusZero);
+    EXPECT_EQ(add64(d(1e300), d(1e280)), d(1e300 + 1e280));
+}
+
+TEST(SoftFloatAdd, ZeroRules)
+{
+    EXPECT_EQ(add64(plusZero, plusZero), plusZero);
+    EXPECT_EQ(add64(minusZero, minusZero), minusZero);
+    EXPECT_EQ(add64(plusZero, minusZero), plusZero);
+    EXPECT_EQ(add64(d(3.5), plusZero), d(3.5));
+    EXPECT_EQ(add64(minusZero, d(-3.5)), d(-3.5));
+}
+
+TEST(SoftFloatAdd, InfinityRules)
+{
+    EXPECT_EQ(add64(plusInf, d(1.0)), plusInf);
+    EXPECT_EQ(add64(minusInf, d(1e308)), minusInf);
+    EXPECT_EQ(add64(plusInf, plusInf), plusInf);
+
+    Flags fl;
+    EXPECT_TRUE(isNaN64(add64(plusInf, minusInf, &fl)));
+    EXPECT_TRUE(fl.invalid);
+}
+
+TEST(SoftFloatAdd, NaNPropagates)
+{
+    EXPECT_TRUE(isNaN64(add64(qnan64, d(1.0))));
+    EXPECT_TRUE(isNaN64(add64(d(1.0), qnan64)));
+}
+
+TEST(SoftFloatAdd, OverflowToInfinity)
+{
+    Flags fl;
+    uint64_t r = add64(d(1.7e308), d(1.7e308), &fl);
+    EXPECT_EQ(r, plusInf);
+    EXPECT_TRUE(fl.overflow);
+    EXPECT_TRUE(fl.inexact);
+}
+
+TEST(SoftFloatAdd, RoundToNearestEvenTie)
+{
+    // 1 + 2^-53 is an exact tie; RNE keeps the even mantissa (1.0).
+    uint64_t tiny = d(std::ldexp(1.0, -53));
+    EXPECT_EQ(add64(d(1.0), tiny), d(1.0));
+    // Next representable above 1.0 plus the same tiny ties up to even.
+    uint64_t onePlusUlp = d(1.0) + 1;
+    EXPECT_EQ(add64(onePlusUlp, tiny), d(1.0) + 2);
+}
+
+TEST(SoftFloatSub, Basics)
+{
+    EXPECT_EQ(sub64(d(3.0), d(2.0)), d(1.0));
+    EXPECT_EQ(sub64(d(2.0), d(3.0)), d(-1.0));
+    EXPECT_EQ(sub64(d(1.0), d(1.0)), plusZero);
+    EXPECT_EQ(sub64(d(0.3), d(0.1)), d(0.3 - 0.1));
+}
+
+TEST(SoftFloatSub, CatastrophicCancellation)
+{
+    double a = 1.0 + std::ldexp(1.0, -50);
+    EXPECT_EQ(sub64(d(a), d(1.0)), d(a - 1.0));
+}
+
+TEST(SoftFloatMul, SimpleValues)
+{
+    EXPECT_EQ(mul64(d(3.0), d(4.0)), d(12.0));
+    EXPECT_EQ(mul64(d(0.1), d(0.1)), d(0.1 * 0.1));
+    EXPECT_EQ(mul64(d(-2.0), d(8.0)), d(-16.0));
+    EXPECT_EQ(mul64(d(1.0), d(1.0)), d(1.0));
+}
+
+TEST(SoftFloatMul, SpecialRules)
+{
+    EXPECT_EQ(mul64(d(2.0), plusZero), plusZero);
+    EXPECT_EQ(mul64(d(-2.0), plusZero), minusZero);
+    EXPECT_EQ(mul64(plusInf, d(2.0)), plusInf);
+    EXPECT_EQ(mul64(minusInf, d(-2.0)), plusInf);
+
+    Flags fl;
+    EXPECT_TRUE(isNaN64(mul64(plusInf, plusZero, &fl)));
+    EXPECT_TRUE(fl.invalid);
+}
+
+TEST(SoftFloatMul, OverflowAndUnderflow)
+{
+    Flags fl;
+    EXPECT_EQ(mul64(d(1e200), d(1e200), &fl), plusInf);
+    EXPECT_TRUE(fl.overflow);
+
+    Flags fl2;
+    uint64_t r = mul64(d(1e-200), d(1e-200), &fl2);
+    EXPECT_EQ(r, plusZero); // FTZ
+    EXPECT_TRUE(fl2.underflow);
+}
+
+TEST(SoftFloatDiv, SimpleValues)
+{
+    EXPECT_EQ(div64(d(12.0), d(4.0)), d(3.0));
+    EXPECT_EQ(div64(d(1.0), d(3.0)), d(1.0 / 3.0));
+    EXPECT_EQ(div64(d(-7.0), d(2.0)), d(-3.5));
+    EXPECT_EQ(div64(d(1.0), d(10.0)), d(0.1));
+}
+
+TEST(SoftFloatDiv, SpecialRules)
+{
+    Flags fl;
+    uint64_t r = div64(d(1.0), plusZero, &fl);
+    EXPECT_EQ(r, plusInf);
+    EXPECT_TRUE(fl.divByZero);
+
+    Flags fl2;
+    EXPECT_TRUE(isNaN64(div64(plusZero, plusZero, &fl2)));
+    EXPECT_TRUE(fl2.invalid);
+
+    Flags fl3;
+    EXPECT_TRUE(isNaN64(div64(plusInf, plusInf, &fl3)));
+    EXPECT_TRUE(fl3.invalid);
+
+    EXPECT_EQ(div64(d(5.0), plusInf), plusZero);
+    EXPECT_EQ(div64(d(-5.0), plusInf), minusZero);
+}
+
+TEST(SoftFloatI2F, ExactSmallIntegers)
+{
+    EXPECT_EQ(i2f64(0), plusZero);
+    EXPECT_EQ(i2f64(1), d(1.0));
+    EXPECT_EQ(i2f64(-1), d(-1.0));
+    EXPECT_EQ(i2f64(123456789), d(123456789.0));
+    EXPECT_EQ(i2f64(-987654321), d(-987654321.0));
+}
+
+TEST(SoftFloatI2F, LargeIntegersRound)
+{
+    // 2^53 + 1 is not representable; rounds to 2^53 (even).
+    int64_t v = (1LL << 53) + 1;
+    EXPECT_EQ(i2f64(v), d(static_cast<double>(v)));
+    EXPECT_EQ(i2f64(INT64_MAX), d(static_cast<double>(INT64_MAX)));
+    EXPECT_EQ(i2f64(INT64_MIN), d(static_cast<double>(INT64_MIN)));
+}
+
+TEST(SoftFloatF2I, Truncation)
+{
+    EXPECT_EQ(f2i64(d(3.99)), 3);
+    EXPECT_EQ(f2i64(d(-3.99)), -3);
+    EXPECT_EQ(f2i64(d(0.5)), 0);
+    EXPECT_EQ(f2i64(d(-0.5)), 0);
+    EXPECT_EQ(f2i64(d(42.0)), 42);
+}
+
+TEST(SoftFloatF2I, SaturationAndInvalid)
+{
+    Flags fl;
+    EXPECT_EQ(f2i64(d(1e300), &fl), INT64_MAX);
+    EXPECT_TRUE(fl.invalid);
+
+    Flags fl2;
+    EXPECT_EQ(f2i64(d(-1e300), &fl2), INT64_MIN);
+    EXPECT_TRUE(fl2.invalid);
+
+    Flags fl3;
+    EXPECT_EQ(f2i64(qnan64, &fl3), 0);
+    EXPECT_TRUE(fl3.invalid);
+
+    // -2^63 is exactly representable.
+    Flags fl4;
+    EXPECT_EQ(f2i64(d(-9223372036854775808.0), &fl4), INT64_MIN);
+    EXPECT_FALSE(fl4.invalid);
+}
+
+TEST(SoftFloatFTZ, SubnormalInputsAreZero)
+{
+    uint64_t subn = 0x0000000000000001ULL; // smallest subnormal
+    EXPECT_EQ(add64(subn, subn), plusZero);
+    EXPECT_EQ(mul64(subn, d(1.0)), plusZero);
+    EXPECT_TRUE(isZero64(subn));
+    EXPECT_TRUE(isSubnormal64(subn));
+}
+
+TEST(SoftFloatCompare, Ordering)
+{
+    EXPECT_TRUE(lt64(d(1.0), d(2.0)));
+    EXPECT_FALSE(lt64(d(2.0), d(1.0)));
+    EXPECT_TRUE(lt64(d(-2.0), d(-1.0)));
+    EXPECT_TRUE(lt64(d(-1.0), d(1.0)));
+    EXPECT_TRUE(le64(d(1.0), d(1.0)));
+    EXPECT_TRUE(eq64(d(1.0), d(1.0)));
+    EXPECT_TRUE(eq64(plusZero, minusZero));
+    EXPECT_FALSE(lt64(plusZero, minusZero));
+    EXPECT_TRUE(le64(minusZero, plusZero));
+}
+
+TEST(SoftFloatCompare, NaNUnordered)
+{
+    EXPECT_FALSE(eq64(qnan64, qnan64));
+    Flags fl;
+    EXPECT_FALSE(lt64(qnan64, d(1.0), &fl));
+    EXPECT_TRUE(fl.invalid);
+}
+
+TEST(SoftFloatSP, Basics)
+{
+    auto f = [](float v) { return fromFloat(v); };
+    EXPECT_EQ(add32(f(1.5f), f(2.25f)), f(3.75f));
+    EXPECT_EQ(mul32(f(3.0f), f(7.0f)), f(21.0f));
+    EXPECT_EQ(div32(f(1.0f), f(3.0f)), f(1.0f / 3.0f));
+    EXPECT_EQ(sub32(f(1.0f), f(4.0f)), f(-3.0f));
+    EXPECT_EQ(i2f32(7), f(7.0f));
+    EXPECT_EQ(f2i32(f(-2.75f)), -2);
+}
+
+TEST(SoftFloatConvert, WidenNarrow)
+{
+    EXPECT_EQ(widen32to64(fromFloat(1.5f)), d(1.5));
+    EXPECT_EQ(narrow64to32(d(1.5)), fromFloat(1.5f));
+    EXPECT_EQ(narrow64to32(d(0.1)), fromFloat(0.1f));
+    EXPECT_EQ(widen32to64(fromFloat(-0.0f)), minusZero);
+    EXPECT_TRUE(isNaN32(narrow64to32(qnan64)));
+    Flags fl;
+    EXPECT_EQ(narrow64to32(d(1e100), &fl), fromFloat(HUGE_VALF));
+    EXPECT_TRUE(fl.overflow);
+}
+
+TEST(SoftFloatFlags, SevereClassification)
+{
+    Flags fl;
+    fl.inexact = true;
+    EXPECT_FALSE(fl.severe());
+    fl.overflow = true;
+    EXPECT_TRUE(fl.severe());
+
+    Flags a, b;
+    b.divByZero = true;
+    a.merge(b);
+    EXPECT_TRUE(a.divByZero);
+}

@@ -1,0 +1,218 @@
+/**
+ * Property-based comparison of the soft-float model against the host's
+ * IEEE-754 hardware (x86-64 SSE, round-to-nearest-even).
+ *
+ * The soft-float flushes subnormals, so trials whose host result (or
+ * inputs) are subnormal are skipped; operand exponents are drawn in a
+ * wide but safe range so nearly all trials are checked.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "softfloat/softfloat.hh"
+#include "util/rng.hh"
+
+using namespace tea::sf;
+using tea::Rng;
+
+namespace {
+
+/** Random normal double with exponent in roughly [-500, 500]. */
+uint64_t
+randomNormal64(Rng &rng)
+{
+    uint64_t sign = rng.next() & (1ULL << 63);
+    uint64_t exp = 523 + rng.nextBounded(1000); // biased, in [523, 1523)
+    uint64_t man = rng.next() & ((1ULL << 52) - 1);
+    return sign | (exp << 52) | man;
+}
+
+bool
+resultUsable(double r)
+{
+    return std::isfinite(r) && (r == 0.0 || std::fabs(r) >= 2.3e-308);
+}
+
+struct Op
+{
+    const char *name;
+    uint64_t (*soft)(uint64_t, uint64_t, Flags *);
+    double (*host)(double, double);
+};
+
+const Op kOps[] = {
+    {"add", add64, [](double a, double b) { return a + b; }},
+    {"sub", sub64, [](double a, double b) { return a - b; }},
+    {"mul", mul64, [](double a, double b) { return a * b; }},
+    {"div", div64, [](double a, double b) { return a / b; }},
+};
+
+} // namespace
+
+class SoftFloatRandom : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SoftFloatRandom, MatchesHostBitExact)
+{
+    const Op &op = kOps[GetParam()];
+    Rng rng(0xf00d + GetParam());
+    int checked = 0;
+    for (int i = 0; i < 20000; ++i) {
+        uint64_t a = randomNormal64(rng);
+        uint64_t b = randomNormal64(rng);
+        double hr = op.host(toDouble(a), toDouble(b));
+        if (!resultUsable(hr))
+            continue;
+        uint64_t sr = op.soft(a, b, nullptr);
+        ASSERT_EQ(sr, fromDouble(hr))
+            << op.name << "(" << toDouble(a) << ", " << toDouble(b) << ")";
+        ++checked;
+    }
+    // The skip filter must not have eaten the test.
+    EXPECT_GT(checked, 15000);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, SoftFloatRandom,
+                         ::testing::Values(0, 1, 2, 3),
+                         [](const auto &info) {
+                             return kOps[info.param].name;
+                         });
+
+TEST(SoftFloatRandomConvert, I2FMatchesHost)
+{
+    Rng rng(99);
+    for (int i = 0; i < 50000; ++i) {
+        auto v = static_cast<int64_t>(rng.next());
+        // Mix in small magnitudes too.
+        if (i % 3 == 0)
+            v = static_cast<int64_t>(rng.nextRange(-1000000, 1000000));
+        EXPECT_EQ(i2f64(v), fromDouble(static_cast<double>(v))) << v;
+    }
+}
+
+TEST(SoftFloatRandomConvert, F2IMatchesHostInRange)
+{
+    Rng rng(1234);
+    for (int i = 0; i < 50000; ++i) {
+        double v = (rng.nextDouble() - 0.5) * 1e12;
+        EXPECT_EQ(f2i64(fromDouble(v)), static_cast<int64_t>(v)) << v;
+    }
+}
+
+TEST(SoftFloatRandomSP, MatchesHostBitExact)
+{
+    Rng rng(0xbeef);
+    int checked = 0;
+    for (int i = 0; i < 20000; ++i) {
+        uint32_t sign = static_cast<uint32_t>(rng.next()) & 0x80000000u;
+        uint32_t exp = 40 + static_cast<uint32_t>(rng.nextBounded(175));
+        uint32_t man = static_cast<uint32_t>(rng.next()) & 0x7fffffu;
+        uint32_t a = sign | (exp << 23) | man;
+        sign = static_cast<uint32_t>(rng.next()) & 0x80000000u;
+        exp = 40 + static_cast<uint32_t>(rng.nextBounded(175));
+        man = static_cast<uint32_t>(rng.next()) & 0x7fffffu;
+        uint32_t b = sign | (exp << 23) | man;
+
+        float ha = toFloat(a), hb = toFloat(b);
+        float hadd = ha + hb, hmul = ha * hb;
+        if (std::isfinite(hadd) &&
+            (hadd == 0.0f || std::fabs(hadd) >= 1.2e-38f)) {
+            ASSERT_EQ(add32(a, b), fromFloat(hadd));
+            ++checked;
+        }
+        if (std::isfinite(hmul) &&
+            (hmul == 0.0f || std::fabs(hmul) >= 1.2e-38f)) {
+            ASSERT_EQ(mul32(a, b), fromFloat(hmul));
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 20000);
+}
+
+TEST(SoftFloatRandomRoundTrip, DivMulConsistency)
+{
+    // (a / b) * b should be within 1 ulp-ish of a — a sanity property that
+    // catches gross rounding errors without requiring host FP.
+    Rng rng(777);
+    for (int i = 0; i < 5000; ++i) {
+        double a = (rng.nextDouble() + 0.1) * 1000.0;
+        double b = (rng.nextDouble() + 0.1) * 10.0;
+        uint64_t q = div64(fromDouble(a), fromDouble(b));
+        uint64_t r = mul64(q, fromDouble(b));
+        double rel = std::fabs(toDouble(r) - a) / a;
+        EXPECT_LT(rel, 1e-15);
+    }
+}
+
+TEST(SoftFloatRandomSP, SubAndDivMatchHost)
+{
+    Rng rng(0xcafe);
+    int checked = 0;
+    for (int i = 0; i < 20000; ++i) {
+        uint32_t sign = static_cast<uint32_t>(rng.next()) & 0x80000000u;
+        uint32_t exp = 40 + static_cast<uint32_t>(rng.nextBounded(175));
+        uint32_t man = static_cast<uint32_t>(rng.next()) & 0x7fffffu;
+        uint32_t a = sign | (exp << 23) | man;
+        sign = static_cast<uint32_t>(rng.next()) & 0x80000000u;
+        exp = 40 + static_cast<uint32_t>(rng.nextBounded(175));
+        man = static_cast<uint32_t>(rng.next()) & 0x7fffffu;
+        uint32_t b = sign | (exp << 23) | man;
+        float ha = toFloat(a), hb = toFloat(b);
+        float hsub = ha - hb, hdiv = ha / hb;
+        if (std::isfinite(hsub) &&
+            (hsub == 0.0f || std::fabs(hsub) >= 1.2e-38f)) {
+            ASSERT_EQ(sub32(a, b), fromFloat(hsub));
+            ++checked;
+        }
+        if (std::isfinite(hdiv) &&
+            (hdiv == 0.0f || std::fabs(hdiv) >= 1.2e-38f)) {
+            ASSERT_EQ(div32(a, b), fromFloat(hdiv));
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 20000);
+}
+
+TEST(SoftFloatRandomConvert, NarrowMatchesHost)
+{
+    Rng rng(0xdada);
+    int checked = 0;
+    for (int i = 0; i < 30000; ++i) {
+        uint64_t sign = rng.next() & (1ULL << 63);
+        uint64_t exp = 895 + rng.nextBounded(256); // float-ish range
+        uint64_t man = rng.next() & ((1ULL << 52) - 1);
+        uint64_t a = sign | (exp << 52) | man;
+        auto hf = static_cast<float>(toDouble(a));
+        if (!std::isfinite(hf) ||
+            (hf != 0.0f && std::fabs(hf) < 1.2e-38f))
+            continue;
+        ASSERT_EQ(narrow64to32(a), fromFloat(hf)) << std::hex << a;
+        ++checked;
+    }
+    EXPECT_GT(checked, 25000);
+}
+
+TEST(SoftFloatRandomConvert, WidenMatchesHost)
+{
+    Rng rng(0xfefe);
+    for (int i = 0; i < 30000; ++i) {
+        uint32_t sign = static_cast<uint32_t>(rng.next()) & 0x80000000u;
+        uint32_t exp = 1 + static_cast<uint32_t>(rng.nextBounded(253));
+        uint32_t man = static_cast<uint32_t>(rng.next()) & 0x7fffffu;
+        uint32_t a = sign | (exp << 23) | man;
+        ASSERT_EQ(widen32to64(a),
+                  fromDouble(static_cast<double>(toFloat(a))));
+    }
+}
+
+TEST(SoftFloatRandomConvert, I2F32MatchesHost)
+{
+    Rng rng(0xabab);
+    for (int i = 0; i < 30000; ++i) {
+        auto v = static_cast<int32_t>(rng.next());
+        EXPECT_EQ(i2f32(v), fromFloat(static_cast<float>(v))) << v;
+    }
+}

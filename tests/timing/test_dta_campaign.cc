@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "circuit/celllib.hh"
+#include "timing/dta_campaign.hh"
+
+using namespace tea;
+using namespace tea::timing;
+using fpu::FpuOp;
+
+namespace {
+
+fpu::FpuCore &
+core()
+{
+    static fpu::FpuCore c;
+    return c;
+}
+
+size_t
+vr20Point()
+{
+    static size_t p = core().addOperatingPoint(
+        circuit::VoltageModel{}.delayFactorAtReduction(circuit::kVR20));
+    return p;
+}
+
+size_t
+nominalPoint()
+{
+    static size_t p = core().addOperatingPoint(1.0);
+    return p;
+}
+
+} // namespace
+
+TEST(DtaCampaign, NominalIsErrorFree)
+{
+    Rng rng(1);
+    DtaCampaign c(core(), nominalPoint());
+    for (int i = 0; i < 500; ++i) {
+        uint64_t a, b;
+        randomOperands(FpuOp::MulD, rng, a, b);
+        c.execute(FpuOp::MulD, a, b);
+    }
+    EXPECT_EQ(c.stats().of(FpuOp::MulD).total, 500u);
+    EXPECT_EQ(c.stats().of(FpuOp::MulD).faulty, 0u);
+    EXPECT_EQ(c.stats().errorRatio(), 0.0);
+}
+
+TEST(DtaCampaign, Vr20MulShowsErrors)
+{
+    Rng rng(2);
+    DtaCampaign c(core(), vr20Point());
+    for (int i = 0; i < 3000; ++i) {
+        uint64_t a, b;
+        randomOperands(FpuOp::MulD, rng, a, b);
+        c.execute(FpuOp::MulD, a, b);
+    }
+    const auto &s = c.stats().of(FpuOp::MulD);
+    EXPECT_GT(s.faulty, 0u);
+    EXPECT_EQ(s.maskPool.size(), s.faulty);
+    // Per-bit BERs sum to >= error ratio (multi-bit flips).
+    double berSum = 0;
+    for (unsigned b = 0; b < 64; ++b)
+        berSum += s.ber(b);
+    EXPECT_GE(berSum, s.errorRatio());
+}
+
+TEST(DtaCampaign, ConversionsErrorFreeAtVr20)
+{
+    // Fig. 7: I2F / F2I never fail at the studied levels.
+    Rng rng(3);
+    DtaCampaign c(core(), vr20Point());
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t a, b;
+        randomOperands(FpuOp::I2FD, rng, a, b);
+        c.execute(FpuOp::I2FD, a, b);
+        randomOperands(FpuOp::F2ID, rng, a, b);
+        c.execute(FpuOp::F2ID, a, b);
+    }
+    EXPECT_EQ(c.stats().of(FpuOp::I2FD).faulty, 0u);
+    EXPECT_EQ(c.stats().of(FpuOp::F2ID).faulty, 0u);
+}
+
+TEST(DtaCampaign, SinglePrecisionErrorFree)
+{
+    Rng rng(4);
+    DtaCampaign c(core(), vr20Point());
+    for (int i = 0; i < 800; ++i) {
+        for (FpuOp op : {FpuOp::AddS, FpuOp::SubS, FpuOp::MulS,
+                         FpuOp::DivS}) {
+            uint64_t a, b;
+            randomOperands(op, rng, a, b);
+            c.execute(op, a, b);
+        }
+    }
+    for (FpuOp op :
+         {FpuOp::AddS, FpuOp::SubS, FpuOp::MulS, FpuOp::DivS})
+        EXPECT_EQ(c.stats().of(op).faulty, 0u) << fpu::fpuOpName(op);
+}
+
+TEST(DtaCampaign, FlipCountHistogramMultiBit)
+{
+    // Fig. 5: timing errors mostly flip multiple bits.
+    Rng rng(5);
+    DtaCampaign c(core(), vr20Point());
+    for (int i = 0; i < 6000; ++i) {
+        uint64_t a, b;
+        randomOperands(FpuOp::MulD, rng, a, b);
+        c.execute(FpuOp::MulD, a, b);
+        randomOperands(FpuOp::DivD, rng, a, b);
+        c.execute(FpuOp::DivD, a, b);
+    }
+    auto hist = c.stats().flipCountHistogram(16);
+    uint64_t single = hist[1];
+    uint64_t multi = 0;
+    for (size_t i = 2; i < hist.size(); ++i)
+        multi += hist[i];
+    ASSERT_GT(single + multi, 20u);
+    EXPECT_GT(multi, single);
+}
+
+TEST(DtaCampaign, TraceCampaignSamplesEvenly)
+{
+    std::vector<sim::FpTraceEntry> trace;
+    Rng rng(6);
+    for (int i = 0; i < 10000; ++i) {
+        uint64_t a, b;
+        randomOperands(FpuOp::AddD, rng, a, b);
+        trace.push_back({FpuOp::AddD, a, b});
+    }
+    auto stats = runTraceCampaign(core(), nominalPoint(), trace, 2000);
+    EXPECT_GE(stats.of(FpuOp::AddD).total, 1900u);
+    EXPECT_LE(stats.of(FpuOp::AddD).total, 2100u);
+
+    // Short traces replay fully.
+    trace.resize(500);
+    auto stats2 = runTraceCampaign(core(), nominalPoint(), trace, 2000);
+    EXPECT_EQ(stats2.of(FpuOp::AddD).total, 500u);
+}
+
+TEST(DtaCampaign, StatsMergeAndAggregates)
+{
+    OpErrorStats a, b;
+    a.total = 10;
+    a.faulty = 2;
+    a.bitErrors[5] = 2;
+    a.maskPool = {0x20, 0x20};
+    b.total = 30;
+    b.faulty = 3;
+    b.bitErrors[5] = 1;
+    b.bitErrors[7] = 2;
+    b.maskPool = {0x80, 0xa0, 0x20};
+    a.merge(b);
+    EXPECT_EQ(a.total, 40u);
+    EXPECT_EQ(a.faulty, 5u);
+    EXPECT_EQ(a.bitErrors[5], 3u);
+    EXPECT_DOUBLE_EQ(a.errorRatio(), 5.0 / 40.0);
+    EXPECT_EQ(a.maskPool.size(), 5u);
+}

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "util/bitops.hh"
+
+using namespace tea;
+
+TEST(Bitops, BitsExtraction)
+{
+    EXPECT_EQ(bits(0xdeadbeefULL, 0, 8), 0xefULL);
+    EXPECT_EQ(bits(0xdeadbeefULL, 8, 8), 0xbeULL);
+    EXPECT_EQ(bits(0xdeadbeefULL, 16, 16), 0xdeadULL);
+    EXPECT_EQ(bits(~0ULL, 0, 64), ~0ULL);
+    EXPECT_EQ(bits(~0ULL, 1, 63), (~0ULL) >> 1);
+}
+
+TEST(Bitops, SingleBit)
+{
+    EXPECT_TRUE(bit(0x8000000000000000ULL, 63));
+    EXPECT_FALSE(bit(0x8000000000000000ULL, 62));
+    EXPECT_TRUE(bit(1, 0));
+}
+
+TEST(Bitops, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 4, 4, 0xf), 0xf0ULL);
+    EXPECT_EQ(insertBits(0xffULL, 0, 4, 0), 0xf0ULL);
+    EXPECT_EQ(insertBits(0x1234ULL, 4, 8, 0xab), 0x1ab4ULL);
+}
+
+TEST(Bitops, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0ULL);
+    EXPECT_EQ(lowMask(1), 1ULL);
+    EXPECT_EQ(lowMask(8), 0xffULL);
+    EXPECT_EQ(lowMask(64), ~0ULL);
+}
+
+TEST(Bitops, SignExtend)
+{
+    EXPECT_EQ(sext(0xff, 8), -1);
+    EXPECT_EQ(sext(0x7f, 8), 127);
+    EXPECT_EQ(sext(0x80, 8), -128);
+    EXPECT_EQ(sext(0xfff, 12), -1);
+    EXPECT_EQ(sext(0x800, 12), -2048);
+    EXPECT_EQ(sext(5, 32), 5);
+}
+
+TEST(Bitops, Clz)
+{
+    EXPECT_EQ(clz(0, 64), 64);
+    EXPECT_EQ(clz(1, 64), 63);
+    EXPECT_EQ(clz(0x8000000000000000ULL, 64), 0);
+    EXPECT_EQ(clz(0, 32), 32);
+    EXPECT_EQ(clz(1, 32), 31);
+    EXPECT_EQ(clz(0x80000000ULL, 32), 0);
+}
+
+TEST(Bitops, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(1024));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ULL << 63));
+}

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "util/stats.hh"
+
+using tea::CategoryCounter;
+using tea::Histogram;
+using tea::StreamingStats;
+
+TEST(StreamingStats, EmptyIsZero)
+{
+    StreamingStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStats, MeanAndVariance)
+{
+    StreamingStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.sample(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of this classic data set is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StreamingStats, MergeMatchesCombined)
+{
+    StreamingStats a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        double x = i * 0.37 - 3;
+        a.sample(x);
+        all.sample(x);
+    }
+    for (int i = 0; i < 31; ++i) {
+        double x = i * -1.1 + 8;
+        b.sample(x);
+        all.sample(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty)
+{
+    StreamingStats a, b;
+    a.sample(1.0);
+    a.sample(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Histogram, BucketBoundaries)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(0.0);
+    h.sample(9.9999);
+    h.sample(5.0);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+    EXPECT_EQ(h.bucketCount(5), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, UnderAndOverflow)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.sample(-0.5);
+    h.sample(1.0); // hi is exclusive
+    h.sample(100.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.sample(1.5, 10);
+    EXPECT_EQ(h.bucketCount(1), 10u);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 1.0);
+}
+
+TEST(Histogram, RenderContainsCounts)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.sample(0.5);
+    h.sample(1.5);
+    std::string out = h.render("test");
+    EXPECT_NE(out.find("test"), std::string::npos);
+    EXPECT_NE(out.find("#"), std::string::npos);
+}
+
+TEST(CategoryCounter, FractionsSumToOne)
+{
+    CategoryCounter c;
+    c.add("SDC", 3);
+    c.add("Masked", 5);
+    c.add("Crash", 2);
+    EXPECT_EQ(c.total(), 10u);
+    EXPECT_DOUBLE_EQ(c.fraction("SDC"), 0.3);
+    EXPECT_DOUBLE_EQ(c.fraction("Masked"), 0.5);
+    EXPECT_DOUBLE_EQ(c.fraction("Timeout"), 0.0);
+}
+
+TEST(CategoryCounter, EmptyFractionIsZero)
+{
+    CategoryCounter c;
+    EXPECT_DOUBLE_EQ(c.fraction("anything"), 0.0);
+}

@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include "util/table.hh"
+
+using tea::Table;
+
+TEST(Table, RenderAligned)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22222"});
+    std::string out = t.render("title");
+    EXPECT_NE(out.find("title"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22222"), std::string::npos);
+    // Every data line has the same width.
+    size_t firstLine = out.find('+');
+    size_t eol = out.find('\n', firstLine);
+    std::string rule = out.substr(firstLine, eol - firstLine);
+    EXPECT_GT(rule.size(), 10u);
+}
+
+TEST(Table, CsvFormat)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::sci(0.00125, 2), "1.25e-03");
+    EXPECT_EQ(Table::pct(0.125, 1), "12.5%");
+}
+
+TEST(Table, NumRows)
+{
+    Table t({"x"});
+    EXPECT_EQ(t.numRows(), 0u);
+    t.addRow({"1"});
+    EXPECT_EQ(t.numRows(), 1u);
+}
