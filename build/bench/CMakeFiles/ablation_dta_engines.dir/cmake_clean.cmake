@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dta_engines.dir/ablation_dta_engines.cc.o"
+  "CMakeFiles/ablation_dta_engines.dir/ablation_dta_engines.cc.o.d"
+  "ablation_dta_engines"
+  "ablation_dta_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dta_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avm_energy_analysis.dir/avm_energy_analysis.cc.o"
+  "CMakeFiles/avm_energy_analysis.dir/avm_energy_analysis.cc.o.d"
+  "avm_energy_analysis"
+  "avm_energy_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avm_energy_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_error_ratios.dir/fig10_error_ratios.cc.o"
+  "CMakeFiles/fig10_error_ratios.dir/fig10_error_ratios.cc.o.d"
+  "fig10_error_ratios"
+  "fig10_error_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_error_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

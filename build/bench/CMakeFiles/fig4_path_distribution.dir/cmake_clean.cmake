@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_path_distribution.dir/fig4_path_distribution.cc.o"
+  "CMakeFiles/fig4_path_distribution.dir/fig4_path_distribution.cc.o.d"
+  "fig4_path_distribution"
+  "fig4_path_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_path_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

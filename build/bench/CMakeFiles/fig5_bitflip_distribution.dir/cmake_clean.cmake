@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_bitflip_distribution.dir/fig5_bitflip_distribution.cc.o"
+  "CMakeFiles/fig5_bitflip_distribution.dir/fig5_bitflip_distribution.cc.o.d"
+  "fig5_bitflip_distribution"
+  "fig5_bitflip_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_bitflip_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

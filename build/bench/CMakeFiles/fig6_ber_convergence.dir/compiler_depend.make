@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_ber_convergence.
+# This may be replaced when dependencies are built.

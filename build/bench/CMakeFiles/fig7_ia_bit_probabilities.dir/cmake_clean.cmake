@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ia_bit_probabilities.dir/fig7_ia_bit_probabilities.cc.o"
+  "CMakeFiles/fig7_ia_bit_probabilities.dir/fig7_ia_bit_probabilities.cc.o.d"
+  "fig7_ia_bit_probabilities"
+  "fig7_ia_bit_probabilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ia_bit_probabilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

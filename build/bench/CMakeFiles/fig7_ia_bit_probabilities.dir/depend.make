@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_ia_bit_probabilities.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_wa_bit_probabilities.dir/fig8_wa_bit_probabilities.cc.o"
+  "CMakeFiles/fig8_wa_bit_probabilities.dir/fig8_wa_bit_probabilities.cc.o.d"
+  "fig8_wa_bit_probabilities"
+  "fig8_wa_bit_probabilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_wa_bit_probabilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

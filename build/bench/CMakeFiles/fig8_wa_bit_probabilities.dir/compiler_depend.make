@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8_wa_bit_probabilities.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_outcome_distributions.dir/fig9_outcome_distributions.cc.o"
+  "CMakeFiles/fig9_outcome_distributions.dir/fig9_outcome_distributions.cc.o.d"
+  "fig9_outcome_distributions"
+  "fig9_outcome_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_outcome_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_model_overview.dir/table1_model_overview.cc.o"
+  "CMakeFiles/table1_model_overview.dir/table1_model_overview.cc.o.d"
+  "table1_model_overview"
+  "table1_model_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_model_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpu_inspector.dir/fpu_inspector.cpp.o"
+  "CMakeFiles/fpu_inspector.dir/fpu_inspector.cpp.o.d"
+  "fpu_inspector"
+  "fpu_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpu_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/builders.cc" "src/circuit/CMakeFiles/tea_circuit.dir/builders.cc.o" "gcc" "src/circuit/CMakeFiles/tea_circuit.dir/builders.cc.o.d"
+  "/root/repo/src/circuit/celllib.cc" "src/circuit/CMakeFiles/tea_circuit.dir/celllib.cc.o" "gcc" "src/circuit/CMakeFiles/tea_circuit.dir/celllib.cc.o.d"
+  "/root/repo/src/circuit/dta.cc" "src/circuit/CMakeFiles/tea_circuit.dir/dta.cc.o" "gcc" "src/circuit/CMakeFiles/tea_circuit.dir/dta.cc.o.d"
+  "/root/repo/src/circuit/netlist.cc" "src/circuit/CMakeFiles/tea_circuit.dir/netlist.cc.o" "gcc" "src/circuit/CMakeFiles/tea_circuit.dir/netlist.cc.o.d"
+  "/root/repo/src/circuit/sta.cc" "src/circuit/CMakeFiles/tea_circuit.dir/sta.cc.o" "gcc" "src/circuit/CMakeFiles/tea_circuit.dir/sta.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

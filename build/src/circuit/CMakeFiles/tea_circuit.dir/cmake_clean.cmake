@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tea_circuit.dir/builders.cc.o"
+  "CMakeFiles/tea_circuit.dir/builders.cc.o.d"
+  "CMakeFiles/tea_circuit.dir/celllib.cc.o"
+  "CMakeFiles/tea_circuit.dir/celllib.cc.o.d"
+  "CMakeFiles/tea_circuit.dir/dta.cc.o"
+  "CMakeFiles/tea_circuit.dir/dta.cc.o.d"
+  "CMakeFiles/tea_circuit.dir/netlist.cc.o"
+  "CMakeFiles/tea_circuit.dir/netlist.cc.o.d"
+  "CMakeFiles/tea_circuit.dir/sta.cc.o"
+  "CMakeFiles/tea_circuit.dir/sta.cc.o.d"
+  "libtea_circuit.a"
+  "libtea_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tea_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtea_circuit.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tea_core.dir/energy.cc.o"
+  "CMakeFiles/tea_core.dir/energy.cc.o.d"
+  "CMakeFiles/tea_core.dir/results.cc.o"
+  "CMakeFiles/tea_core.dir/results.cc.o.d"
+  "CMakeFiles/tea_core.dir/toolflow.cc.o"
+  "CMakeFiles/tea_core.dir/toolflow.cc.o.d"
+  "libtea_core.a"
+  "libtea_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tea_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

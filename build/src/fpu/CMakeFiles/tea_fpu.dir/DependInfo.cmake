@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpu/fpu_circuits.cc" "src/fpu/CMakeFiles/tea_fpu.dir/fpu_circuits.cc.o" "gcc" "src/fpu/CMakeFiles/tea_fpu.dir/fpu_circuits.cc.o.d"
+  "/root/repo/src/fpu/fpu_core.cc" "src/fpu/CMakeFiles/tea_fpu.dir/fpu_core.cc.o" "gcc" "src/fpu/CMakeFiles/tea_fpu.dir/fpu_core.cc.o.d"
+  "/root/repo/src/fpu/fpu_types.cc" "src/fpu/CMakeFiles/tea_fpu.dir/fpu_types.cc.o" "gcc" "src/fpu/CMakeFiles/tea_fpu.dir/fpu_types.cc.o.d"
+  "/root/repo/src/fpu/fpu_unit.cc" "src/fpu/CMakeFiles/tea_fpu.dir/fpu_unit.cc.o" "gcc" "src/fpu/CMakeFiles/tea_fpu.dir/fpu_unit.cc.o.d"
+  "/root/repo/src/fpu/pipebuilder.cc" "src/fpu/CMakeFiles/tea_fpu.dir/pipebuilder.cc.o" "gcc" "src/fpu/CMakeFiles/tea_fpu.dir/pipebuilder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/tea_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/softfloat/CMakeFiles/tea_softfloat.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

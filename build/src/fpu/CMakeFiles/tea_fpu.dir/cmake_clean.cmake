@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tea_fpu.dir/fpu_circuits.cc.o"
+  "CMakeFiles/tea_fpu.dir/fpu_circuits.cc.o.d"
+  "CMakeFiles/tea_fpu.dir/fpu_core.cc.o"
+  "CMakeFiles/tea_fpu.dir/fpu_core.cc.o.d"
+  "CMakeFiles/tea_fpu.dir/fpu_types.cc.o"
+  "CMakeFiles/tea_fpu.dir/fpu_types.cc.o.d"
+  "CMakeFiles/tea_fpu.dir/fpu_unit.cc.o"
+  "CMakeFiles/tea_fpu.dir/fpu_unit.cc.o.d"
+  "CMakeFiles/tea_fpu.dir/pipebuilder.cc.o"
+  "CMakeFiles/tea_fpu.dir/pipebuilder.cc.o.d"
+  "libtea_fpu.a"
+  "libtea_fpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tea_fpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

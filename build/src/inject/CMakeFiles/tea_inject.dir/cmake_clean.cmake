@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tea_inject.dir/campaign.cc.o"
+  "CMakeFiles/tea_inject.dir/campaign.cc.o.d"
+  "libtea_inject.a"
+  "libtea_inject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tea_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

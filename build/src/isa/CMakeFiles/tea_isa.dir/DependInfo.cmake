@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/asmbuilder.cc" "src/isa/CMakeFiles/tea_isa.dir/asmbuilder.cc.o" "gcc" "src/isa/CMakeFiles/tea_isa.dir/asmbuilder.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/isa/CMakeFiles/tea_isa.dir/assembler.cc.o" "gcc" "src/isa/CMakeFiles/tea_isa.dir/assembler.cc.o.d"
+  "/root/repo/src/isa/isa.cc" "src/isa/CMakeFiles/tea_isa.dir/isa.cc.o" "gcc" "src/isa/CMakeFiles/tea_isa.dir/isa.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/isa/CMakeFiles/tea_isa.dir/program.cc.o" "gcc" "src/isa/CMakeFiles/tea_isa.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tea_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpu/CMakeFiles/tea_fpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/tea_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/softfloat/CMakeFiles/tea_softfloat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

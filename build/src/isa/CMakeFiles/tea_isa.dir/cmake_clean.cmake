@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tea_isa.dir/asmbuilder.cc.o"
+  "CMakeFiles/tea_isa.dir/asmbuilder.cc.o.d"
+  "CMakeFiles/tea_isa.dir/assembler.cc.o"
+  "CMakeFiles/tea_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/tea_isa.dir/isa.cc.o"
+  "CMakeFiles/tea_isa.dir/isa.cc.o.d"
+  "CMakeFiles/tea_isa.dir/program.cc.o"
+  "CMakeFiles/tea_isa.dir/program.cc.o.d"
+  "libtea_isa.a"
+  "libtea_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tea_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tea_models.dir/error_models.cc.o"
+  "CMakeFiles/tea_models.dir/error_models.cc.o.d"
+  "libtea_models.a"
+  "libtea_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tea_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tea_sim.dir/func_sim.cc.o"
+  "CMakeFiles/tea_sim.dir/func_sim.cc.o.d"
+  "CMakeFiles/tea_sim.dir/memory.cc.o"
+  "CMakeFiles/tea_sim.dir/memory.cc.o.d"
+  "CMakeFiles/tea_sim.dir/ooo_sim.cc.o"
+  "CMakeFiles/tea_sim.dir/ooo_sim.cc.o.d"
+  "libtea_sim.a"
+  "libtea_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tea_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tea_softfloat.dir/softfloat.cc.o"
+  "CMakeFiles/tea_softfloat.dir/softfloat.cc.o.d"
+  "libtea_softfloat.a"
+  "libtea_softfloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tea_softfloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

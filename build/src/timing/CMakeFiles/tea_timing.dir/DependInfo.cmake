@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/dta_campaign.cc" "src/timing/CMakeFiles/tea_timing.dir/dta_campaign.cc.o" "gcc" "src/timing/CMakeFiles/tea_timing.dir/dta_campaign.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fpu/CMakeFiles/tea_fpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tea_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/tea_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/softfloat/CMakeFiles/tea_softfloat.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

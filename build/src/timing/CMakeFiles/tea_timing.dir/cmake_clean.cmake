@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tea_timing.dir/dta_campaign.cc.o"
+  "CMakeFiles/tea_timing.dir/dta_campaign.cc.o.d"
+  "libtea_timing.a"
+  "libtea_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tea_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tea_util.dir/logging.cc.o"
+  "CMakeFiles/tea_util.dir/logging.cc.o.d"
+  "CMakeFiles/tea_util.dir/rng.cc.o"
+  "CMakeFiles/tea_util.dir/rng.cc.o.d"
+  "CMakeFiles/tea_util.dir/stats.cc.o"
+  "CMakeFiles/tea_util.dir/stats.cc.o.d"
+  "CMakeFiles/tea_util.dir/table.cc.o"
+  "CMakeFiles/tea_util.dir/table.cc.o.d"
+  "libtea_util.a"
+  "libtea_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tea_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

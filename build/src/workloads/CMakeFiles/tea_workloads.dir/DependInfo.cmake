@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cg.cc" "src/workloads/CMakeFiles/tea_workloads.dir/cg.cc.o" "gcc" "src/workloads/CMakeFiles/tea_workloads.dir/cg.cc.o.d"
+  "/root/repo/src/workloads/factory.cc" "src/workloads/CMakeFiles/tea_workloads.dir/factory.cc.o" "gcc" "src/workloads/CMakeFiles/tea_workloads.dir/factory.cc.o.d"
+  "/root/repo/src/workloads/hotspot.cc" "src/workloads/CMakeFiles/tea_workloads.dir/hotspot.cc.o" "gcc" "src/workloads/CMakeFiles/tea_workloads.dir/hotspot.cc.o.d"
+  "/root/repo/src/workloads/is.cc" "src/workloads/CMakeFiles/tea_workloads.dir/is.cc.o" "gcc" "src/workloads/CMakeFiles/tea_workloads.dir/is.cc.o.d"
+  "/root/repo/src/workloads/kmeans.cc" "src/workloads/CMakeFiles/tea_workloads.dir/kmeans.cc.o" "gcc" "src/workloads/CMakeFiles/tea_workloads.dir/kmeans.cc.o.d"
+  "/root/repo/src/workloads/mg.cc" "src/workloads/CMakeFiles/tea_workloads.dir/mg.cc.o" "gcc" "src/workloads/CMakeFiles/tea_workloads.dir/mg.cc.o.d"
+  "/root/repo/src/workloads/sobel.cc" "src/workloads/CMakeFiles/tea_workloads.dir/sobel.cc.o" "gcc" "src/workloads/CMakeFiles/tea_workloads.dir/sobel.cc.o.d"
+  "/root/repo/src/workloads/srad.cc" "src/workloads/CMakeFiles/tea_workloads.dir/srad.cc.o" "gcc" "src/workloads/CMakeFiles/tea_workloads.dir/srad.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/tea_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tea_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpu/CMakeFiles/tea_fpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/tea_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/softfloat/CMakeFiles/tea_softfloat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tea_workloads.dir/cg.cc.o"
+  "CMakeFiles/tea_workloads.dir/cg.cc.o.d"
+  "CMakeFiles/tea_workloads.dir/factory.cc.o"
+  "CMakeFiles/tea_workloads.dir/factory.cc.o.d"
+  "CMakeFiles/tea_workloads.dir/hotspot.cc.o"
+  "CMakeFiles/tea_workloads.dir/hotspot.cc.o.d"
+  "CMakeFiles/tea_workloads.dir/is.cc.o"
+  "CMakeFiles/tea_workloads.dir/is.cc.o.d"
+  "CMakeFiles/tea_workloads.dir/kmeans.cc.o"
+  "CMakeFiles/tea_workloads.dir/kmeans.cc.o.d"
+  "CMakeFiles/tea_workloads.dir/mg.cc.o"
+  "CMakeFiles/tea_workloads.dir/mg.cc.o.d"
+  "CMakeFiles/tea_workloads.dir/sobel.cc.o"
+  "CMakeFiles/tea_workloads.dir/sobel.cc.o.d"
+  "CMakeFiles/tea_workloads.dir/srad.cc.o"
+  "CMakeFiles/tea_workloads.dir/srad.cc.o.d"
+  "libtea_workloads.a"
+  "libtea_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tea_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/circuit/test_builders.cc" "tests/CMakeFiles/test_circuit.dir/circuit/test_builders.cc.o" "gcc" "tests/CMakeFiles/test_circuit.dir/circuit/test_builders.cc.o.d"
+  "/root/repo/tests/circuit/test_dta.cc" "tests/CMakeFiles/test_circuit.dir/circuit/test_dta.cc.o" "gcc" "tests/CMakeFiles/test_circuit.dir/circuit/test_dta.cc.o.d"
+  "/root/repo/tests/circuit/test_netlist.cc" "tests/CMakeFiles/test_circuit.dir/circuit/test_netlist.cc.o" "gcc" "tests/CMakeFiles/test_circuit.dir/circuit/test_netlist.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/tea_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

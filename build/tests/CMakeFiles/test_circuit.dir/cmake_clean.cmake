@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circuit.dir/circuit/test_builders.cc.o"
+  "CMakeFiles/test_circuit.dir/circuit/test_builders.cc.o.d"
+  "CMakeFiles/test_circuit.dir/circuit/test_dta.cc.o"
+  "CMakeFiles/test_circuit.dir/circuit/test_dta.cc.o.d"
+  "CMakeFiles/test_circuit.dir/circuit/test_netlist.cc.o"
+  "CMakeFiles/test_circuit.dir/circuit/test_netlist.cc.o.d"
+  "test_circuit"
+  "test_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fpu/test_fpu_equivalence.cc" "tests/CMakeFiles/test_fpu.dir/fpu/test_fpu_equivalence.cc.o" "gcc" "tests/CMakeFiles/test_fpu.dir/fpu/test_fpu_equivalence.cc.o.d"
+  "/root/repo/tests/fpu/test_fpu_pipeline.cc" "tests/CMakeFiles/test_fpu.dir/fpu/test_fpu_pipeline.cc.o" "gcc" "tests/CMakeFiles/test_fpu.dir/fpu/test_fpu_pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fpu/CMakeFiles/tea_fpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/tea_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/softfloat/CMakeFiles/tea_softfloat.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpu.dir/fpu/test_fpu_equivalence.cc.o"
+  "CMakeFiles/test_fpu.dir/fpu/test_fpu_equivalence.cc.o.d"
+  "CMakeFiles/test_fpu.dir/fpu/test_fpu_pipeline.cc.o"
+  "CMakeFiles/test_fpu.dir/fpu/test_fpu_pipeline.cc.o.d"
+  "test_fpu"
+  "test_fpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/softfloat/test_softfloat.cc" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_softfloat.cc.o" "gcc" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_softfloat.cc.o.d"
+  "/root/repo/tests/softfloat/test_softfloat_random.cc" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_softfloat_random.cc.o" "gcc" "tests/CMakeFiles/test_softfloat.dir/softfloat/test_softfloat_random.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/softfloat/CMakeFiles/tea_softfloat.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tea_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_softfloat.dir/softfloat/test_softfloat.cc.o"
+  "CMakeFiles/test_softfloat.dir/softfloat/test_softfloat.cc.o.d"
+  "CMakeFiles/test_softfloat.dir/softfloat/test_softfloat_random.cc.o"
+  "CMakeFiles/test_softfloat.dir/softfloat/test_softfloat_random.cc.o.d"
+  "test_softfloat"
+  "test_softfloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_softfloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_util "/root/repo/build/tests/test_util")
+set_tests_properties(test_util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;tea_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_softfloat "/root/repo/build/tests/test_softfloat")
+set_tests_properties(test_softfloat PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;18;tea_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_fpu "/root/repo/build/tests/test_fpu")
+set_tests_properties(test_fpu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;24;tea_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_isa "/root/repo/build/tests/test_isa")
+set_tests_properties(test_isa PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;30;tea_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;36;tea_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_circuit "/root/repo/build/tests/test_circuit")
+set_tests_properties(test_circuit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;42;tea_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_workloads "/root/repo/build/tests/test_workloads")
+set_tests_properties(test_workloads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;49;tea_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_timing "/root/repo/build/tests/test_timing")
+set_tests_properties(test_timing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;54;tea_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_models "/root/repo/build/tests/test_models")
+set_tests_properties(test_models PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;59;tea_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_inject "/root/repo/build/tests/test_inject")
+set_tests_properties(test_inject PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;64;tea_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;69;tea_add_test;/root/repo/tests/CMakeLists.txt;0;")
