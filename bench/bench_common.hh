@@ -6,8 +6,11 @@
 #ifndef TEA_BENCH_BENCH_COMMON_HH
 #define TEA_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+
+#include "util/threadpool.hh"
 
 namespace tea::bench {
 
@@ -17,9 +20,36 @@ banner(const std::string &what, const std::string &paperRef)
     std::printf("==============================================================\n");
     std::printf("%s\n", what.c_str());
     std::printf("reproduces: %s\n", paperRef.c_str());
-    std::printf("(scale via REPRO_RUNS=<n> / REPRO_FULL=1; seed via REPRO_SEED)\n");
+    std::printf("(scale via REPRO_RUNS=<n> / REPRO_FULL=1; seed via REPRO_SEED;\n");
+    std::printf(" worker threads via REPRO_THREADS, default hardware: %u)\n",
+                ThreadPool::defaultThreads());
     std::printf("==============================================================\n\n");
 }
+
+/** Wall-clock stopwatch for the campaign throughput printouts. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    double seconds() const
+    {
+        auto dt = std::chrono::steady_clock::now() - start_;
+        return std::chrono::duration<double>(dt).count();
+    }
+
+    /** "ran N <what> in S s (R what/s)" on one line. */
+    void report(const char *what, uint64_t n) const
+    {
+        double s = seconds();
+        std::printf("wall-clock: %llu %s in %.2f s (%.0f %s/s)\n",
+                    static_cast<unsigned long long>(n), what, s,
+                    s > 0 ? static_cast<double>(n) / s : 0.0, what);
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
 
 } // namespace tea::bench
 

@@ -24,7 +24,9 @@ main()
 
     Toolflow tf;
     for (double vr : tf.options().vrLevels) {
+        bench::WallTimer timer;
         const auto &stats = tf.iaStats(vr);
+        timer.report("characterization ops", stats.totalOps());
         std::printf("---- VR%.0f ----\n", vr * 100);
         Table t({"Instruction", "ER", "max BER", "S", "E(max)",
                  "M[51:40]", "M[39:20]", "M[19:0]"});

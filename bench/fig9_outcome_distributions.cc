@@ -23,9 +23,15 @@ main()
     bench::banner("Injection outcome distributions", "Fig. 9");
 
     Toolflow tf;
-    std::printf("runs per cell: %d (paper: %d)\n\n",
-                tf.options().runsPerCell, inject::kStatisticalRuns);
+    std::printf("runs per cell: %d (paper: %d); threads: %u\n\n",
+                tf.options().runsPerCell, inject::kStatisticalRuns,
+                tf.pool().numThreads());
+    bench::WallTimer timer;
     EvaluationGrid grid = runEvaluationGrid(tf);
+    uint64_t totalRuns = 0;
+    for (const auto &cell : grid.cells)
+        totalRuns += cell.result.runs;
+    timer.report("injection runs", totalRuns);
 
     for (double vr : tf.options().vrLevels) {
         std::printf("---- VR%.0f ----\n", vr * 100);

@@ -2,18 +2,35 @@
  * Micro-performance benchmarks (google-benchmark) of the framework's
  * hot paths: soft-float arithmetic, levelized netlist evaluation, the
  * two DTA engines, gate-level FPU execution, and the two simulators.
+ *
+ * `microbench --thread-sweep` instead runs the parallel campaign
+ * engine at each thread count in REPRO_THREADS (comma-separated,
+ * default "1,2,4") and prints a throughput table — ops/sec for the
+ * random DTA campaign, runs/sec for the injection campaign, and the
+ * speedup over the first (baseline) entry. Campaign results are
+ * bit-identical across the sweep; the sweep asserts that too.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "circuit/builders.hh"
+#include "circuit/celllib.hh"
 #include "circuit/dta.hh"
 #include "fpu/fpu_core.hh"
+#include "inject/campaign.hh"
 #include "sim/func_sim.hh"
 #include "sim/ooo_sim.hh"
 #include "softfloat/softfloat.hh"
 #include "timing/dta_campaign.hh"
 #include "util/rng.hh"
+#include "util/table.hh"
+#include "util/threadpool.hh"
 #include "workloads/workloads.hh"
 
 using namespace tea;
@@ -167,4 +184,149 @@ BM_OooSimSobel(benchmark::State &state)
 }
 BENCHMARK(BM_OooSimSobel);
 
-BENCHMARK_MAIN();
+namespace {
+
+std::vector<unsigned>
+sweepThreadCounts()
+{
+    std::vector<unsigned> counts;
+    const char *env = std::getenv("REPRO_THREADS");
+    std::string spec = env ? env : "1,2,4";
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        long n = std::strtol(spec.substr(pos, comma - pos).c_str(),
+                             nullptr, 10);
+        if (n > 0)
+            counts.push_back(static_cast<unsigned>(n));
+        pos = comma + 1;
+    }
+    if (counts.empty())
+        counts = {1, 2, 4};
+    return counts;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+timing::CampaignStats
+aggressiveWaStats()
+{
+    timing::CampaignStats stats;
+    auto &mul = stats.of(fpu::FpuOp::MulD);
+    mul.total = 1000;
+    mul.faulty = 100;
+    mul.maskPool = {0x7ff0000000000000ULL, 0x000fffff00000000ULL,
+                    0x4010000000000000ULL};
+    return stats;
+}
+
+/**
+ * Thread sweep of the two campaign layers. Wall-clock includes only
+ * campaign execution; the gate-level FPU, its per-worker operating
+ * points, and the golden injection reference are built up front.
+ */
+int
+runThreadSweep()
+{
+    auto counts = sweepThreadCounts();
+    unsigned maxThreads = 1;
+    for (unsigned c : counts)
+        maxThreads = std::max(maxThreads, c);
+
+    const uint64_t dtaOpsPerType = [] {
+        const char *runs = std::getenv("REPRO_RUNS");
+        long n = runs ? std::strtol(runs, nullptr, 10) : 0;
+        return n > 0 ? static_cast<uint64_t>(n) : 400;
+    }();
+    const int injectionRuns = 16;
+
+    std::printf("parallel campaign engine thread sweep\n");
+    std::printf("(REPRO_THREADS=<a,b,c,...> selects the sweep; "
+                "hardware threads: %u)\n\n",
+                std::thread::hardware_concurrency());
+
+    std::printf("building gate-level FPU + golden reference...\n");
+    fpu::FpuCore core;
+    size_t point = core.addOperatingPoint(
+        circuit::VoltageModel{}.delayFactorAtReduction(circuit::kVR20));
+    core.workerPoints(point, maxThreads); // pre-build replica points
+    inject::InjectionCampaign campaign(
+        workloads::buildWorkload("sobel", 1));
+    models::WaModel model("hot", aggressiveWaStats());
+
+    const uint64_t dtaOps = dtaOpsPerType * fpu::kNumFpuOps;
+    Table table({"threads", "DTA ops/s", "DTA s", "DTA speedup",
+                 "inject runs/s", "inject s", "inject speedup"});
+    double dtaBase = 0, injBase = 0;
+    uint64_t refFaulty = 0, refSdc = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        ThreadPool pool(counts[i]);
+
+        auto t0 = std::chrono::steady_clock::now();
+        Rng dtaRng(1);
+        auto stats = timing::runRandomCampaign(core, point,
+                                               dtaOpsPerType, dtaRng,
+                                               &pool);
+        double dtaSec = secondsSince(t0);
+
+        t0 = std::chrono::steady_clock::now();
+        Rng injRng(2);
+        auto result = campaign.run(model, injectionRuns, injRng, &pool);
+        double injSec = secondsSince(t0);
+
+        // The determinism guarantee, checked while we are at it.
+        if (i == 0) {
+            refFaulty = stats.totalFaulty();
+            refSdc = result.sdc;
+        } else if (stats.totalFaulty() != refFaulty ||
+                   result.sdc != refSdc) {
+            std::printf("FAIL: results differ across thread counts\n");
+            return 1;
+        }
+
+        if (i == 0) {
+            dtaBase = dtaSec;
+            injBase = injSec;
+        }
+        table.addRow({std::to_string(counts[i]),
+                      Table::num(dtaSec > 0 ? dtaOps / dtaSec : 0, 0),
+                      Table::num(dtaSec, 2),
+                      Table::num(dtaSec > 0 ? dtaBase / dtaSec : 0, 2),
+                      Table::num(injSec > 0 ? injectionRuns / injSec : 0,
+                                 2),
+                      Table::num(injSec, 2),
+                      Table::num(injSec > 0 ? injBase / injSec : 0, 2)});
+    }
+    std::printf("\n%s\n", table.render("campaign throughput").c_str());
+    std::printf("DTA cell: %llu random ops (%llu/type); injection "
+                "cell: %d runs of sobel under an aggressive WA model\n",
+                static_cast<unsigned long long>(dtaOps),
+                static_cast<unsigned long long>(dtaOpsPerType),
+                injectionRuns);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--thread-sweep") == 0)
+            return runThreadSweep();
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -89,7 +89,9 @@ runEvaluationGrid(Toolflow &tf, bool useCache)
     std::string cachePath;
     if (useCache && !opt.cacheDir.empty()) {
         char buf[96];
-        std::snprintf(buf, sizeof(buf), "%s/grid_r%d_s%llu_x%d.csv",
+        // "_p1" = parallel-campaign algorithm revision (see
+        // Toolflow::cachePath); older grids used different Rng streams.
+        std::snprintf(buf, sizeof(buf), "%s/grid_r%d_s%llu_x%d_p1.csv",
                       opt.cacheDir.c_str(), opt.runsPerCell,
                       static_cast<unsigned long long>(opt.seed),
                       opt.workloadScale);
@@ -129,8 +131,8 @@ runEvaluationGrid(Toolflow &tf, bool useCache)
                 cell.workload = name;
                 cell.model = mr.kind;
                 cell.vrFrac = vr;
-                cell.result =
-                    campaign.run(*mr.model, opt.runsPerCell, cellRng);
+                cell.result = campaign.run(*mr.model, opt.runsPerCell,
+                                           cellRng, &tf.pool());
                 grid.cells.push_back(std::move(cell));
             }
         }

@@ -28,11 +28,14 @@ optionsFromEnv()
         opt.seed = std::strtoull(seed, nullptr, 0);
     if (const char *cache = std::getenv("REPRO_CACHE"))
         opt.cacheDir = cache;
+    opt.threads = ThreadPool::defaultThreads();
     return opt;
 }
 
 Toolflow::Toolflow(ToolflowOptions opt)
-    : opt_(std::move(opt)), core_(std::make_unique<fpu::FpuCore>())
+    : opt_(std::move(opt)),
+      pool_(std::make_unique<ThreadPool>(opt_.threads)),
+      core_(std::make_unique<fpu::FpuCore>())
 {
     if (!opt_.cacheDir.empty()) {
         std::error_code ec;
@@ -63,8 +66,11 @@ Toolflow::cachePath(const std::string &tag, double vrFrac) const
 {
     if (opt_.cacheDir.empty())
         return "";
+    // "p1" names the sharded-campaign algorithm revision: shard
+    // geometry and per-shard Rng forking changed the (deterministic)
+    // statistics, so pre-sharding cache files must not be picked up.
     char buf[64];
-    std::snprintf(buf, sizeof(buf), "_vr%02d_s%llu.stats",
+    std::snprintf(buf, sizeof(buf), "_vr%02d_s%llu_p1.stats",
                   static_cast<int>(vrFrac * 100 + 0.5),
                   static_cast<unsigned long long>(opt_.seed));
     return opt_.cacheDir + "/" + tag + buf;
@@ -103,11 +109,14 @@ Toolflow::iaStats(double vrFrac)
                   static_cast<unsigned long long>(opt_.iaCountPerOp));
     return characterize(tag, vrFrac, [&](size_t point) {
         Rng rng(opt_.seed ^ 0x1a1a1aULL);
-        inform("IA characterization at VR%.0f (%llu ops/type)...",
+        inform("IA characterization at VR%.0f (%llu ops/type, "
+               "%u threads)...",
                vrFrac * 100,
-               static_cast<unsigned long long>(opt_.iaCountPerOp));
+               static_cast<unsigned long long>(opt_.iaCountPerOp),
+               pool_->numThreads());
         return timing::runRandomCampaign(*core_, point,
-                                         opt_.iaCountPerOp, rng);
+                                         opt_.iaCountPerOp, rng,
+                                         pool_.get());
     });
 }
 
@@ -118,10 +127,10 @@ Toolflow::waStats(const std::string &workload, double vrFrac)
     std::snprintf(tag, sizeof(tag), "wa_%s_n%llu", workload.c_str(),
                   static_cast<unsigned long long>(opt_.waMaxOps));
     return characterize(tag, vrFrac, [&](size_t point) {
-        inform("WA characterization of %s at VR%.0f...",
-               workload.c_str(), vrFrac * 100);
+        inform("WA characterization of %s at VR%.0f (%u threads)...",
+               workload.c_str(), vrFrac * 100, pool_->numThreads());
         return timing::runTraceCampaign(*core_, point, trace(workload),
-                                        opt_.waMaxOps);
+                                        opt_.waMaxOps, pool_.get());
     });
 }
 
@@ -146,7 +155,8 @@ Toolflow::daErrorRatio(double vrFrac)
                 opt_.daSampleOps / workloads::workloadNames().size();
             for (const auto &name : workloads::workloadNames()) {
                 auto s = timing::runTraceCampaign(*core_, point,
-                                                  trace(name), per);
+                                                  trace(name), per,
+                                                  pool_.get());
                 for (unsigned o = 0; o < fpu::kNumFpuOps; ++o)
                     merged.perOp[o].merge(s.perOp[o]);
             }

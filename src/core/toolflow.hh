@@ -21,6 +21,7 @@
 #include "inject/campaign.hh"
 #include "models/error_models.hh"
 #include "timing/dta_campaign.hh"
+#include "util/threadpool.hh"
 #include "workloads/workloads.hh"
 
 namespace tea::core {
@@ -41,9 +42,17 @@ struct ToolflowOptions
     int workloadScale = 1;
     /** Directory for characterization caches ("" disables caching). */
     std::string cacheDir = "tea_cache";
+    /**
+     * Worker threads for sharded campaigns (0 = REPRO_THREADS env or
+     * hardware concurrency). Results are bit-identical for any value.
+     */
+    unsigned threads = 0;
 };
 
-/** Read REPRO_RUNS / REPRO_FULL / REPRO_SEED / REPRO_CACHE overrides. */
+/**
+ * Read REPRO_RUNS / REPRO_FULL / REPRO_SEED / REPRO_CACHE /
+ * REPRO_THREADS overrides.
+ */
 ToolflowOptions optionsFromEnv();
 
 class Toolflow
@@ -55,6 +64,8 @@ class Toolflow
     const ToolflowOptions &options() const { return opt_; }
     fpu::FpuCore &fpuCore() { return *core_; }
     const circuit::VoltageModel &voltageModel() const { return vm_; }
+    /** Worker pool shared by every campaign this toolflow runs. */
+    ThreadPool &pool() { return *pool_; }
 
     /** Operating-point index for a VR fraction (created on demand). */
     size_t pointFor(double vrFrac);
@@ -84,6 +95,7 @@ class Toolflow
 
     ToolflowOptions opt_;
     circuit::VoltageModel vm_;
+    std::unique_ptr<ThreadPool> pool_;
     std::unique_ptr<fpu::FpuCore> core_;
     std::map<int, size_t> points_; ///< key: VR percent x 100
     std::map<std::string, timing::CampaignStats> statsCache_;

@@ -42,6 +42,24 @@ FpuCore::addOperatingPoint(double delayScale, bool exactEngine)
     return idx;
 }
 
+std::vector<size_t>
+FpuCore::workerPoints(size_t point, unsigned count)
+{
+    if (count == 0)
+        count = 1;
+    auto &pool = replicas_[point];
+    double scale = units_.front()->pointScale(point);
+    bool exact = units_.front()->pointExact(point);
+    while (1 + pool.size() < count)
+        pool.push_back(addOperatingPoint(scale, exact));
+    std::vector<size_t> out;
+    out.reserve(count);
+    out.push_back(point);
+    out.insert(out.end(), pool.begin(),
+               pool.begin() + std::min<size_t>(count - 1, pool.size()));
+    return out;
+}
+
 FpuCore::Exec
 FpuCore::execute(size_t point, FpuOp op, uint64_t a, uint64_t b)
 {

@@ -8,6 +8,7 @@
 #ifndef TEA_FPU_FPU_CORE_HH
 #define TEA_FPU_FPU_CORE_HH
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -55,6 +56,18 @@ class FpuCore
      */
     size_t addOperatingPoint(double delayScale, bool exactEngine = false);
 
+    /**
+     * `count` operating points equivalent to `point` (same delay scale
+     * and engine kind) for concurrent per-worker execution: element 0
+     * is `point` itself, the rest are replicas sharing the immutable
+     * netlists/annotations but owning their own DTA engines and
+     * pipeline history. execute() on distinct points is thread-safe
+     * (see FpuUnit::execute). Replicas are cached, so repeated
+     * campaigns reuse them; callers must reset() a point before use
+     * since its pipeline history is whatever the previous shard left.
+     */
+    std::vector<size_t> workerPoints(size_t point, unsigned count);
+
     using Exec = FpuUnit::Exec;
 
     /**
@@ -83,6 +96,7 @@ class FpuCore
     FpuConfig cfg_;
     circuit::CellLibrary lib_;
     std::vector<std::unique_ptr<FpuUnit>> units_;
+    std::map<size_t, std::vector<size_t>> replicas_; ///< base point -> clones
     std::vector<std::unique_ptr<circuit::Netlist>> intSide_;
     std::vector<circuit::StaResult> intSta_;
     double clockPs_ = 0.0;

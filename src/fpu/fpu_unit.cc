@@ -55,6 +55,7 @@ FpuUnit::addOperatingPoint(double delayScale, bool exactEngine)
 {
     Point pt;
     pt.scale = delayScale;
+    pt.exact = exactEngine;
     for (size_t s = 0; s < stages_.size(); ++s) {
         if (exactEngine) {
             pt.engines.push_back(std::make_unique<EventDrivenDta>(
@@ -67,6 +68,20 @@ FpuUnit::addOperatingPoint(double delayScale, bool exactEngine)
     pt.prevIn.resize(stages_.size());
     points_.push_back(std::move(pt));
     return points_.size() - 1;
+}
+
+double
+FpuUnit::pointScale(size_t point) const
+{
+    panic_if(point >= points_.size(), "bad operating point %zu", point);
+    return points_[point].scale;
+}
+
+bool
+FpuUnit::pointExact(size_t point) const
+{
+    panic_if(point >= points_.size(), "bad operating point %zu", point);
+    return points_[point].exact;
 }
 
 FpuUnit::Exec

@@ -56,6 +56,11 @@ class FpuUnit
 
     size_t numOperatingPoints() const { return points_.size(); }
 
+    /** Delay scale an operating point was registered with. */
+    double pointScale(size_t point) const;
+    /** Whether an operating point uses the exact event-driven engine. */
+    bool pointExact(size_t point) const;
+
     /** Outcome of one operation at one operating point. */
     struct Exec
     {
@@ -72,6 +77,15 @@ class FpuUnit
      * Execute one operation. stage0 must match the unit's input layout
      * (see buildUnitCircuits). The unit's pipeline history at this
      * operating point advances.
+     *
+     * Concurrency: netlists, annotations, and STA results are immutable
+     * after construction, and execute() only mutates the addressed
+     * Point (its DTA engines and pipeline history). Concurrent
+     * execute() calls are therefore safe iff they target *distinct*
+     * operating points — the contract the parallel campaign shards
+     * rely on (one replica point per worker; see
+     * FpuCore::workerPoints). Registering points concurrently with
+     * execution is not safe.
      */
     Exec execute(size_t point, const std::vector<bool> &stage0,
                  double captureTimePs);
@@ -94,6 +108,7 @@ class FpuUnit
     struct Point
     {
         double scale;
+        bool exact;
         std::vector<std::unique_ptr<circuit::DtaEngine>> engines;
         std::vector<std::vector<bool>> prevIn; ///< per stage
         bool primed = false;

@@ -94,52 +94,64 @@ InjectionCampaign::outputSignature(const sim::Memory &mem,
     return sig;
 }
 
-Outcome
-InjectionCampaign::runOne(const ErrorModel &model, Rng &rng,
-                          uint64_t *injectedOut)
+InjectionCampaign::RunRecord
+InjectionCampaign::executeOne(const ErrorModel &model, Rng &rng) const
 {
     auto events = model.plan(profile_, rng);
     OooSim sim(workload_.program, cfg_, sim::InjectionPlan(events));
     auto res = sim.run(2 * goldenCycles_);
-    if (injectedOut)
-        *injectedOut = res.injectionsApplied;
+    RunRecord rec;
+    rec.injected = res.injectionsApplied;
+    rec.committed = res.committed;
+    rec.wrongPath = res.injectionsOnWrongPath;
     switch (res.status) {
       case OooSim::Status::Crashed:
-        return Outcome::Crash;
-      case OooSim::Status::CycleLimit:
-        return Outcome::Timeout;
-      case OooSim::Status::Halted:
+        rec.outcome = Outcome::Crash;
         break;
+      case OooSim::Status::CycleLimit:
+        rec.outcome = Outcome::Timeout;
+        break;
+      case OooSim::Status::Halted: {
+        auto sig = outputSignature(sim.memory(), sim.console());
+        rec.outcome = (sig == goldenSignature_) ? Outcome::Masked
+                                                : Outcome::SDC;
+        break;
+      }
     }
-    auto sig = outputSignature(sim.memory(), sim.console());
-    return sig == goldenSignature_ ? Outcome::Masked : Outcome::SDC;
+    return rec;
+}
+
+Outcome
+InjectionCampaign::runOne(const ErrorModel &model, Rng &rng,
+                          uint64_t *injectedOut) const
+{
+    RunRecord rec = executeOne(model, rng);
+    if (injectedOut)
+        *injectedOut = rec.injected;
+    return rec.outcome;
 }
 
 CampaignResult
-InjectionCampaign::run(const ErrorModel &model, int runs, Rng &rng)
+InjectionCampaign::run(const ErrorModel &model, int runs, Rng &rng,
+                       ThreadPool *pool) const
 {
+    ThreadPool &tp = pool ? *pool : ThreadPool::global();
+    Rng base = rng.split();
+    std::vector<RunRecord> records(runs > 0 ? runs : 0);
+    tp.parallelFor(0, records.size(), [&](uint64_t i, unsigned) {
+        Rng runRng = base.fork(i);
+        records[i] = executeOne(model, runRng);
+    });
+
     CampaignResult out;
     out.workload = workload_.name;
     out.model = model.describe();
-    for (int i = 0; i < runs; ++i) {
-        auto events = model.plan(profile_, rng);
-        OooSim sim(workload_.program, cfg_, sim::InjectionPlan(events));
-        auto res = sim.run(2 * goldenCycles_);
+    for (const RunRecord &rec : records) {
         ++out.runs;
-        out.injectedErrors += res.injectionsApplied;
-        out.committedInstructions += res.committed;
-        out.wrongPathInjections += res.injectionsOnWrongPath;
-        Outcome oc;
-        if (res.status == OooSim::Status::Crashed) {
-            oc = Outcome::Crash;
-        } else if (res.status == OooSim::Status::CycleLimit) {
-            oc = Outcome::Timeout;
-        } else {
-            auto sig = outputSignature(sim.memory(), sim.console());
-            oc = (sig == goldenSignature_) ? Outcome::Masked
-                                           : Outcome::SDC;
-        }
-        switch (oc) {
+        out.injectedErrors += rec.injected;
+        out.committedInstructions += rec.committed;
+        out.wrongPathInjections += rec.wrongPath;
+        switch (rec.outcome) {
           case Outcome::Masked: ++out.masked; break;
           case Outcome::SDC: ++out.sdc; break;
           case Outcome::Crash: ++out.crash; break;

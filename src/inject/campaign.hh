@@ -22,6 +22,7 @@
 #include "sim/ooo_sim.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
+#include "util/threadpool.hh"
 #include "workloads/workloads.hh"
 
 namespace tea::inject {
@@ -83,13 +84,34 @@ class InjectionCampaign
         return profile_.totalInstructions;
     }
 
-    /** Plan, inject, run, classify — one experiment. */
-    Outcome runOne(const models::ErrorModel &model, Rng &rng,
-                   uint64_t *injectedOut = nullptr);
+    /** Everything one injection run produces. */
+    struct RunRecord
+    {
+        Outcome outcome = Outcome::Masked;
+        uint64_t injected = 0;
+        uint64_t committed = 0;
+        uint64_t wrongPath = 0;
+    };
 
-    /** Run a full campaign cell. */
+    /**
+     * Plan, inject, run, classify — one experiment. The single place
+     * outcomes are classified; const and therefore safe to call
+     * concurrently as long as each caller owns its Rng.
+     */
+    RunRecord executeOne(const models::ErrorModel &model, Rng &rng) const;
+
+    /** Convenience wrapper around executeOne returning the outcome. */
+    Outcome runOne(const models::ErrorModel &model, Rng &rng,
+                   uint64_t *injectedOut = nullptr) const;
+
+    /**
+     * Run a full campaign cell. Runs are dispatched as independent
+     * tasks on `pool` (the global pool when null); run i draws its
+     * injection plan from rng.fork(i), so the aggregate is
+     * bit-identical for any thread count.
+     */
     CampaignResult run(const models::ErrorModel &model, int runs,
-                       Rng &rng);
+                       Rng &rng, ThreadPool *pool = nullptr) const;
 
     const workloads::Workload &workload() const { return workload_; }
 

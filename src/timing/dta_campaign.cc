@@ -1,6 +1,7 @@
 #include "timing/dta_campaign.hh"
 
 #include <algorithm>
+#include <functional>
 
 #include "util/bitops.hh"
 #include "util/logging.hh"
@@ -136,48 +137,109 @@ randomOperands(FpuOp op, Rng &rng, uint64_t &a, uint64_t &b)
     }
 }
 
+namespace {
+
+/**
+ * Run `shards` tasks across the pool, each on its worker's private
+ * operating-point replica with pipeline history cleared at entry, and
+ * merge the per-shard statistics in shard order. Everything a shard
+ * computes depends only on its index, which is what keeps results
+ * bit-identical across thread counts.
+ */
+CampaignStats
+runSharded(fpu::FpuCore &core, size_t point, size_t shards,
+           ThreadPool *pool,
+           const std::function<void(size_t, DtaCampaign &)> &body)
+{
+    ThreadPool &tp = pool ? *pool : ThreadPool::global();
+    auto points = core.workerPoints(point, tp.numThreads());
+    std::vector<CampaignStats> parts(shards);
+    tp.parallelFor(0, shards, [&](uint64_t s, unsigned worker) {
+        size_t pt = points[worker];
+        core.reset(pt);
+        DtaCampaign campaign(core, pt);
+        body(s, campaign);
+        parts[s] = campaign.takeStats();
+    });
+    CampaignStats merged;
+    for (auto &part : parts)
+        for (unsigned o = 0; o < fpu::kNumFpuOps; ++o)
+            merged.perOp[o].merge(part.perOp[o]);
+    return merged;
+}
+
+} // namespace
+
 CampaignStats
 runRandomCampaign(fpu::FpuCore &core, size_t point, uint64_t countPerOp,
-                  Rng &rng)
+                  Rng &rng, ThreadPool *pool)
 {
-    DtaCampaign campaign(core, point);
-    for (unsigned o = 0; o < fpu::kNumFpuOps; ++o) {
-        auto op = static_cast<FpuOp>(o);
-        for (uint64_t i = 0; i < countPerOp; ++i) {
-            uint64_t a, b;
-            randomOperands(op, rng, a, b);
-            campaign.execute(op, a, b);
-        }
-    }
-    return campaign.stats();
+    // Fixed shard geometry: ceil(countPerOp / kDtaShardOps) shards per
+    // op type, laid out op-major so shard index <-> (op, chunk) is a
+    // pure function of countPerOp.
+    uint64_t shardsPerOp =
+        std::max<uint64_t>(1, (countPerOp + kDtaShardOps - 1) /
+                                  kDtaShardOps);
+    Rng base = rng.split();
+    return runSharded(
+        core, point, fpu::kNumFpuOps * shardsPerOp, pool,
+        [&](size_t s, DtaCampaign &campaign) {
+            auto op = static_cast<FpuOp>(s / shardsPerOp);
+            uint64_t chunk = s % shardsPerOp;
+            uint64_t begin = chunk * kDtaShardOps;
+            uint64_t end = std::min(begin + kDtaShardOps, countPerOp);
+            Rng shardRng = base.fork(s);
+            for (uint64_t i = begin; i < end; ++i) {
+                uint64_t a, b;
+                randomOperands(op, shardRng, a, b);
+                campaign.execute(op, a, b);
+            }
+        });
 }
 
 CampaignStats
 runTraceCampaign(fpu::FpuCore &core, size_t point,
                  const std::vector<sim::FpTraceEntry> &trace,
-                 uint64_t maxOps)
+                 uint64_t maxOps, ThreadPool *pool)
 {
-    DtaCampaign campaign(core, point);
     if (trace.empty())
-        return campaign.stats();
+        return CampaignStats{};
+    // Contiguous windows spread across the trace. Window placement
+    // depends only on (trace size, maxOps): short traces replay fully
+    // in consecutive windows; long ones sample kWindow-sized windows at
+    // an even stride, clipped so at most maxOps ops run in total.
+    const uint64_t kWindow = kDtaShardOps;
+    struct Window
+    {
+        uint64_t begin;
+        uint64_t count;
+    };
+    std::vector<Window> windows;
     if (trace.size() <= maxOps) {
-        for (const auto &e : trace)
-            campaign.execute(e.op, e.a, e.b);
-        return campaign.stats();
+        for (uint64_t begin = 0; begin < trace.size(); begin += kWindow)
+            windows.push_back(
+                {begin, std::min<uint64_t>(kWindow,
+                                           trace.size() - begin)});
+    } else {
+        uint64_t n = (maxOps + kWindow - 1) / kWindow;
+        uint64_t stride = trace.size() / n;
+        uint64_t budget = maxOps;
+        for (uint64_t w = 0; w < n && budget > 0; ++w) {
+            uint64_t begin = w * stride;
+            uint64_t len = std::min<uint64_t>(
+                {kWindow, trace.size() - begin, budget});
+            windows.push_back({begin, len});
+            budget -= len;
+        }
     }
-    // Sample contiguous windows spread across the trace: contiguity
-    // preserves the operand-transition history the timing model needs.
-    const uint64_t kWindow = 256;
-    uint64_t windows = (maxOps + kWindow - 1) / kWindow;
-    uint64_t stride = trace.size() / windows;
-    uint64_t done = 0;
-    for (uint64_t w = 0; w < windows && done < maxOps; ++w) {
-        uint64_t begin = w * stride;
-        uint64_t end = std::min<uint64_t>(begin + kWindow, trace.size());
-        for (uint64_t i = begin; i < end && done < maxOps; ++i, ++done)
-            campaign.execute(trace[i].op, trace[i].a, trace[i].b);
-    }
-    return campaign.stats();
+    return runSharded(core, point, windows.size(), pool,
+                      [&](size_t s, DtaCampaign &campaign) {
+                          const Window &w = windows[s];
+                          for (uint64_t i = 0; i < w.count; ++i) {
+                              const auto &e = trace[w.begin + i];
+                              campaign.execute(e.op, e.a, e.b);
+                          }
+                      });
 }
 
 } // namespace tea::timing

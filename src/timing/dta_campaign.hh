@@ -20,6 +20,7 @@
 #include "fpu/fpu_core.hh"
 #include "sim/func_sim.hh"
 #include "util/rng.hh"
+#include "util/threadpool.hh"
 
 namespace tea::timing {
 
@@ -85,6 +86,8 @@ class DtaCampaign
     void execute(fpu::FpuOp op, uint64_t a, uint64_t b);
 
     const CampaignStats &stats() const { return stats_; }
+    /** Move the accumulated stats out (shard merge path). */
+    CampaignStats takeStats() { return std::move(stats_); }
 
   private:
     fpu::FpuCore &core_;
@@ -99,18 +102,39 @@ class DtaCampaign
  */
 void randomOperands(fpu::FpuOp op, Rng &rng, uint64_t &a, uint64_t &b);
 
-/** IA-model characterization: `count` random-operand ops per type. */
+/**
+ * Ops per DTA shard. Characterization work is cut into fixed shards of
+ * this size *before* any of it runs, so the shard geometry — and with
+ * it every shard's forked Rng stream and clean-history starting state —
+ * is a function of the campaign parameters only, never of the thread
+ * count. That is what makes campaign results bit-identical from 1 to N
+ * threads.
+ */
+constexpr uint64_t kDtaShardOps = 512;
+
+/**
+ * IA-model characterization: `count` random-operand ops per type.
+ * Sharded across `pool` (the global pool when null); each shard runs
+ * on its worker's private operating-point replica with pipeline
+ * history reset at the shard boundary, operands drawn from
+ * rng.fork(shardIndex), and shards merged in index order.
+ */
 CampaignStats runRandomCampaign(fpu::FpuCore &core, size_t point,
-                                uint64_t countPerOp, Rng &rng);
+                                uint64_t countPerOp, Rng &rng,
+                                ThreadPool *pool = nullptr);
 
 /**
  * WA-model characterization: replay (a sample of) a workload's FP
- * operand trace in program order. Samples up to maxOps entries evenly
- * spaced across the trace.
+ * operand trace in program order. Samples up to maxOps entries as
+ * contiguous windows evenly spaced across the trace (contiguity
+ * preserves the operand-transition history the timing model needs).
+ * Windows are independent shards: each starts from clean pipeline
+ * history, so results are thread-count-invariant.
  */
 CampaignStats runTraceCampaign(fpu::FpuCore &core, size_t point,
                                const std::vector<sim::FpTraceEntry> &trace,
-                               uint64_t maxOps);
+                               uint64_t maxOps,
+                               ThreadPool *pool = nullptr);
 
 } // namespace tea::timing
 

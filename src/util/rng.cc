@@ -141,4 +141,19 @@ Rng::split()
     return Rng(next() ^ 0xa5a5a5a5deadbeefULL);
 }
 
+Rng
+Rng::fork(uint64_t streamId) const
+{
+    // Hash the state snapshot together with the stream id through
+    // splitmix64; the Rng(seed) constructor then expands the digest
+    // into a full xoshiro state. Distinct ids give distinct digests,
+    // and none of this touches s_, so the parent stream is unchanged.
+    uint64_t x = s_[0] ^ rotl(s_[1], 17) ^ rotl(s_[2], 31) ^
+                 rotl(s_[3], 47);
+    uint64_t digest = splitmix64(x);
+    x ^= streamId + 0x9e3779b97f4a7c15ULL;
+    digest ^= rotl(splitmix64(x), 23);
+    return Rng(digest);
+}
+
 } // namespace tea

@@ -54,8 +54,17 @@ class Rng
     /** Poisson(lambda) via inverse transform (lambda modest). */
     uint64_t nextPoisson(double lambda);
 
-    /** Derive an independent child generator. */
+    /** Derive an independent child generator, advancing this one. */
     Rng split();
+
+    /**
+     * Derive the independent substream with the given id, WITHOUT
+     * advancing this generator: fork(i) is a pure function of the
+     * current state and i (splitmix64 over {state, streamId}). Parallel
+     * campaigns seed task i from fork(i) so results are bit-identical
+     * for any thread count and task execution order.
+     */
+    Rng fork(uint64_t streamId) const;
 
   private:
     uint64_t s_[4];
