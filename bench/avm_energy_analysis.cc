@@ -30,6 +30,12 @@ main()
 
     Toolflow tf;
     EvaluationGrid grid = runEvaluationGrid(tf);
+    if (grid.interrupted) {
+        std::printf("(interrupted with %zu completed cell(s); rerun "
+                    "with REPRO_RESUME=1 to finish the grid)\n",
+                    grid.cells.size());
+        return 130;
+    }
     circuit::VoltageModel vm;
 
     // ---- AVM table -----------------------------------------------------

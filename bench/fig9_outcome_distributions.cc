@@ -55,6 +55,14 @@ main()
         std::printf("%s\n", t.render().c_str());
     }
 
+    if (grid.interrupted) {
+        std::printf("(interrupted — the tables above cover the %zu "
+                    "completed cell(s); rerun with REPRO_RESUME=1 to "
+                    "finish)\n",
+                    grid.cells.size());
+        return 130;
+    }
+
     // The paper's cg/hotspot/k-means observations.
     auto masked = [&](const char *wl, ModelKind mk, double vr) {
         const auto *r = grid.find(wl, mk, vr);

@@ -13,9 +13,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -28,6 +30,7 @@
 #include "sim/ooo_sim.hh"
 #include "softfloat/softfloat.hh"
 #include "timing/dta_campaign.hh"
+#include "util/logging.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
 #include "util/threadpool.hh"
@@ -314,6 +317,92 @@ runThreadSweep()
     return 0;
 }
 
+/**
+ * Wraps an inner model and throws from plan() on a deterministic
+ * fraction of calls, exercising the containment/retry machinery.
+ */
+class FaultyModel final : public models::ErrorModel
+{
+  public:
+    FaultyModel(const models::ErrorModel &inner, unsigned faultPercent)
+        : inner_(inner), faultPercent_(faultPercent)
+    {
+    }
+
+    models::ModelKind kind() const override { return inner_.kind(); }
+    std::string describe() const override
+    {
+        return inner_.describe() + "+faults";
+    }
+    std::vector<sim::InjectionEvent>
+    plan(const models::ProgramProfile &profile, Rng &rng) const override
+    {
+        unsigned c = calls_.fetch_add(1);
+        if (faultPercent_ && (c * faultPercent_) % 100 >=
+                                 (100 - faultPercent_))
+            throw std::runtime_error("synthetic model fault");
+        return inner_.plan(profile, rng);
+    }
+    double
+    expectedErrors(const models::ProgramProfile &profile) const override
+    {
+        return inner_.expectedErrors(profile);
+    }
+
+  private:
+    const models::ErrorModel &inner_;
+    unsigned faultPercent_;
+    mutable std::atomic<unsigned> calls_{0};
+};
+
+/**
+ * Containment-overhead stress: the sobel campaign under a model that
+ * throws on 0%, 25% and 50% of plan() calls. Measures how much
+ * throughput run-level containment costs when faults are absent and
+ * how gracefully it degrades when they are common.
+ */
+int
+runFaultStress()
+{
+    const int runs = 48;
+    std::printf("run-level containment stress (sobel, %d runs, "
+                "%u threads)\n\n",
+                runs, ThreadPool::defaultThreads());
+    setQuiet(true); // the 50% row would drown the table in warns
+    inject::InjectionCampaign campaign(
+        workloads::buildWorkload("sobel", 1));
+    models::WaModel inner("hot", aggressiveWaStats());
+
+    Table table({"fault rate", "runs/s", "s", "enginefault", "retries",
+                 "overhead"});
+    double baseSec = 0;
+    for (unsigned pct : {0u, 25u, 50u}) {
+        FaultyModel model(inner, pct);
+        ThreadPool pool(ThreadPool::defaultThreads());
+        inject::InjectionCampaign::RunOptions opts;
+        opts.pool = &pool;
+        auto t0 = std::chrono::steady_clock::now();
+        Rng rng(2);
+        auto result = campaign.run(model, runs, rng, opts);
+        double sec = secondsSince(t0);
+        if (pct == 0)
+            baseSec = sec;
+        char pctBuf[16];
+        std::snprintf(pctBuf, sizeof(pctBuf), "%u%%", pct);
+        table.addRow(
+            {pctBuf, Table::num(sec > 0 ? runs / sec : 0, 2),
+             Table::num(sec, 2), std::to_string(result.engineFault),
+             std::to_string(result.retries),
+             Table::num(baseSec > 0 ? sec / baseSec : 0, 2)});
+    }
+    setQuiet(false);
+    std::printf("%s\n", table.render("containment overhead").c_str());
+    std::printf("overhead = wall-clock vs the fault-free row; "
+                "enginefault counts runs dropped after %d attempts\n",
+                inject::kDefaultRunAttempts);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -322,6 +411,8 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--thread-sweep") == 0)
             return runThreadSweep();
+        if (std::strcmp(argv[i], "--fault-stress") == 0)
+            return runFaultStress();
     }
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

@@ -1,0 +1,167 @@
+#include "core/journal.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <vector>
+
+#include "util/crc32.hh"
+#include "util/logging.hh"
+
+namespace tea::core {
+
+namespace {
+
+constexpr const char *kJournalMagic = "tea-journal-v1";
+
+std::string
+headerLine(const std::string &identity)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " c%08x ",
+                  crc32(identity.data(), identity.size()));
+    return kJournalMagic + std::string(buf) + identity;
+}
+
+std::string
+recordLine(uint64_t idx, const ShardJournal::RunRecord &rec)
+{
+    char buf[160];
+    int n = std::snprintf(
+        buf, sizeof(buf), "r %llu %d %llu %llu %llu %u %d",
+        static_cast<unsigned long long>(idx),
+        static_cast<int>(rec.outcome),
+        static_cast<unsigned long long>(rec.injected),
+        static_cast<unsigned long long>(rec.committed),
+        static_cast<unsigned long long>(rec.wrongPath), rec.attempts,
+        static_cast<int>(rec.fault));
+    std::snprintf(buf + n, sizeof(buf) - n, " c%08x",
+                  crc32(buf, static_cast<size_t>(n)));
+    return buf;
+}
+
+/** Parse one "r ... c<crc>" line; false on any damage. */
+bool
+parseRecordLine(const std::string &line, uint64_t &idx,
+                ShardJournal::RunRecord &rec)
+{
+    size_t cpos = line.rfind(" c");
+    if (cpos == std::string::npos || line.size() - cpos != 10)
+        return false;
+    uint32_t storedCrc = 0;
+    if (std::sscanf(line.c_str() + cpos + 2, "%8x", &storedCrc) != 1)
+        return false;
+    if (crc32(line.data(), cpos) != storedCrc)
+        return false;
+    unsigned long long i, inj, com, wp;
+    int outcome, fault;
+    unsigned attempts;
+    if (std::sscanf(line.c_str(), "r %llu %d %llu %llu %llu %u %d", &i,
+                    &outcome, &inj, &com, &wp, &attempts, &fault) != 7)
+        return false;
+    if (outcome < 0 ||
+        outcome > static_cast<int>(inject::Outcome::EngineFault))
+        return false;
+    idx = i;
+    rec.outcome = static_cast<inject::Outcome>(outcome);
+    rec.injected = inj;
+    rec.committed = com;
+    rec.wrongPath = wp;
+    rec.attempts = attempts;
+    rec.fault = static_cast<ErrorCode>(fault);
+    return true;
+}
+
+} // namespace
+
+ShardJournal::ShardJournal(std::string path) : path_(std::move(path)) {}
+
+size_t
+ShardJournal::open(const std::string &identity, bool resume)
+{
+    records_.clear();
+    if (out_.is_open())
+        out_.close();
+
+    std::string header = headerLine(identity);
+    std::vector<std::string> validLines;
+    bool damaged = false;
+    if (resume) {
+        std::ifstream in(path_);
+        if (in) {
+            std::string line;
+            if (std::getline(in, line) && line == header) {
+                while (std::getline(in, line)) {
+                    uint64_t idx;
+                    RunRecord rec;
+                    if (!parseRecordLine(line, idx, rec)) {
+                        damaged = true;
+                        break; // torn tail: keep the valid prefix
+                    }
+                    validLines.push_back(line);
+                    records_[idx] = rec;
+                }
+            } else if (!line.empty()) {
+                warn("journal '%s' belongs to a different campaign; "
+                     "starting fresh",
+                     path_.c_str());
+            }
+        }
+    }
+
+    if (records_.empty() || damaged) {
+        // Rewrite: fresh header plus whatever prefix survived. This
+        // atomically drops the torn tail so the next open is clean.
+        std::ofstream rw(path_, std::ios::trunc);
+        if (!rw) {
+            warn("cannot write journal '%s'; resume disabled for this "
+                 "cell",
+                 path_.c_str());
+            return records_.size();
+        }
+        rw << header << "\n";
+        for (const auto &l : validLines)
+            rw << l << "\n";
+        if (damaged)
+            warn("journal '%s' had a corrupt tail; kept %zu valid "
+                 "record(s)",
+                 path_.c_str(), validLines.size());
+    }
+    out_.open(path_, std::ios::app);
+    if (!out_)
+        warn("cannot append to journal '%s'", path_.c_str());
+    return records_.size();
+}
+
+bool
+ShardJournal::tryReplay(uint64_t idx, RunRecord &rec) const
+{
+    auto it = records_.find(idx);
+    if (it == records_.end())
+        return false;
+    rec = it->second;
+    return true;
+}
+
+void
+ShardJournal::append(uint64_t idx, const RunRecord &rec)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!out_.is_open())
+        return;
+    out_ << recordLine(idx, rec) << "\n";
+    out_.flush();
+}
+
+void
+ShardJournal::remove()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (out_.is_open())
+        out_.close();
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+    records_.clear();
+}
+
+} // namespace tea::core

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Append-only checkpoint journal for injection-campaign cells.
+ *
+ * Each completed run is journaled as one CRC-guarded text line as it
+ * finishes on a worker thread. If the campaign is interrupted
+ * (SIGINT/SIGTERM, crash, power loss), a resumed invocation with the
+ * same identity replays the journaled records verbatim and executes
+ * only the missing runs — and because run i's randomness is a pure
+ * function of the campaign RNG and i, the resumed aggregate is
+ * bit-identical to an uninterrupted campaign at any thread count.
+ *
+ * Torn tails are expected: the journal validates each line's CRC on
+ * open and truncates the file back to its longest valid prefix, so a
+ * write cut mid-line costs exactly one run, not the whole journal.
+ */
+
+#ifndef TEA_CORE_JOURNAL_HH
+#define TEA_CORE_JOURNAL_HH
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "inject/campaign.hh"
+
+namespace tea::core {
+
+class ShardJournal
+{
+  public:
+    using RunRecord = inject::InjectionCampaign::RunRecord;
+
+    explicit ShardJournal(std::string path);
+
+    /**
+     * Open the journal. With resume set, an existing file whose header
+     * identity matches is replayed (corrupt tail truncated); any
+     * mismatch — different identity, bad header, no resume requested —
+     * starts a fresh journal. Returns the number of replayable records.
+     *
+     * The identity string must encode everything the records depend on
+     * (workload, model, VR, seed, run count...), so a journal can never
+     * leak records into a differently-configured campaign.
+     */
+    size_t open(const std::string &identity, bool resume);
+
+    /** Fill `rec` from the journal if run `idx` already completed. */
+    bool tryReplay(uint64_t idx, RunRecord &rec) const;
+
+    /**
+     * Durably append one completed run. Thread-safe; flushed per
+     * append so an interrupt loses at most the in-flight line.
+     */
+    void append(uint64_t idx, const RunRecord &rec);
+
+    /** Close and delete the journal file (campaign completed). */
+    void remove();
+
+    const std::string &path() const { return path_; }
+    size_t replayable() const { return records_.size(); }
+
+  private:
+    std::string path_;
+    std::ofstream out_;
+    std::mutex mutex_;
+    std::unordered_map<uint64_t, RunRecord> records_;
+};
+
+} // namespace tea::core
+
+#endif // TEA_CORE_JOURNAL_HH

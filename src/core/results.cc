@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
+#include "core/journal.hh"
 #include "util/logging.hh"
 
 namespace tea::core {
@@ -29,12 +31,13 @@ saveGrid(const std::string &path, const EvaluationGrid &grid)
     std::ofstream out(path);
     fatal_if(!out, "cannot write '%s'", path.c_str());
     out << "workload,model,vr,runs,masked,sdc,crash,timeout,"
-           "injected,committed,wrongpath\n";
+           "enginefault,retries,injected,committed,wrongpath\n";
     for (const auto &c : grid.cells) {
         out << c.workload << "," << static_cast<int>(c.model) << ","
             << c.vrFrac << "," << c.result.runs << "," << c.result.masked
             << "," << c.result.sdc << "," << c.result.crash << ","
-            << c.result.timeout << "," << c.result.injectedErrors << ","
+            << c.result.timeout << "," << c.result.engineFault << ","
+            << c.result.retries << "," << c.result.injectedErrors << ","
             << c.result.committedInstructions << ","
             << c.result.wrongPathInjections << "\n";
     }
@@ -69,6 +72,8 @@ loadGrid(const std::string &path)
             !field(cell.result.runs) || !field(cell.result.masked) ||
             !field(cell.result.sdc) || !field(cell.result.crash) ||
             !field(cell.result.timeout) ||
+            !field(cell.result.engineFault) ||
+            !field(cell.result.retries) ||
             !field(cell.result.injectedErrors) ||
             !field(cell.result.committedInstructions) ||
             !field(cell.result.wrongPathInjections))
@@ -82,6 +87,44 @@ loadGrid(const std::string &path)
                               : std::make_optional(std::move(grid));
 }
 
+namespace {
+
+/** Journal file path for one grid cell (unique per configuration). */
+std::string
+cellJournalPath(const ToolflowOptions &opt, const std::string &workload,
+                ModelKind kind, double vr)
+{
+    char buf[80];
+    std::snprintf(buf, sizeof(buf), "_m%d_vr%02d_s%llu_x%d_p2.jnl",
+                  static_cast<int>(kind),
+                  static_cast<int>(vr * 100 + 0.5),
+                  static_cast<unsigned long long>(opt.seed),
+                  opt.workloadScale);
+    return opt.cacheDir + "/" +
+           Toolflow::cacheTag(
+               "jnl", workload,
+               static_cast<uint64_t>(opt.runsPerCell)) +
+           buf;
+}
+
+/** Everything a cell's journaled records depend on, for the header. */
+std::string
+cellIdentity(const ToolflowOptions &opt, const std::string &workload,
+             const models::ErrorModel &model, double vr)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "workload=%s model=%s vr=%.4f runs=%d seed=%llu "
+                  "scale=%d",
+                  workload.c_str(), model.describe().c_str(), vr,
+                  opt.runsPerCell,
+                  static_cast<unsigned long long>(opt.seed),
+                  opt.workloadScale);
+    return buf;
+}
+
+} // namespace
+
 EvaluationGrid
 runEvaluationGrid(Toolflow &tf, bool useCache)
 {
@@ -89,9 +132,9 @@ runEvaluationGrid(Toolflow &tf, bool useCache)
     std::string cachePath;
     if (useCache && !opt.cacheDir.empty()) {
         char buf[96];
-        // "_p1" = parallel-campaign algorithm revision (see
-        // Toolflow::cachePath); older grids used different Rng streams.
-        std::snprintf(buf, sizeof(buf), "%s/grid_r%d_s%llu_x%d_p1.csv",
+        // "_p2" = grid-file revision: p2 added the enginefault/retries
+        // columns, so older grids fail the header check by name.
+        std::snprintf(buf, sizeof(buf), "%s/grid_r%d_s%llu_x%d_p2.csv",
                       opt.cacheDir.c_str(), opt.runsPerCell,
                       static_cast<unsigned long long>(opt.seed),
                       opt.workloadScale);
@@ -102,11 +145,18 @@ runEvaluationGrid(Toolflow &tf, bool useCache)
         }
     }
 
+    const CancelToken &cancel = CancelToken::processWide();
+    std::vector<std::unique_ptr<ShardJournal>> journals;
     EvaluationGrid grid;
+    bool interrupted = false;
     Rng rng(opt.seed ^ 0xe1a1ULL);
     for (const auto &name : workloads::workloadNames()) {
+        if (interrupted)
+            break;
         auto &campaign = tf.campaign(name);
         for (double vr : opt.vrLevels) {
+            if (interrupted)
+                break;
             struct ModelRun
             {
                 ModelKind kind;
@@ -127,18 +177,88 @@ runEvaluationGrid(Toolflow &tf, bool useCache)
                        name.c_str(), models::modelKindName(mr.kind),
                        vr * 100, opt.runsPerCell);
                 Rng cellRng = rng.split();
+
+                inject::InjectionCampaign::RunOptions ro;
+                ro.pool = &tf.pool();
+                ro.cancel = &cancel;
+                ro.runDeadlineMs = opt.runDeadlineMs;
+                ro.maxAttempts = opt.maxRunAttempts;
+                ShardJournal *journal = nullptr;
+                if (!opt.cacheDir.empty()) {
+                    journals.push_back(std::make_unique<ShardJournal>(
+                        cellJournalPath(opt, name, mr.kind, vr)));
+                    journal = journals.back().get();
+                    size_t replayable = journal->open(
+                        cellIdentity(opt, name, *mr.model, vr),
+                        opt.resume);
+                    if (replayable > 0)
+                        inform("resuming %s %s VR%.0f: %zu/%d runs "
+                               "journaled",
+                               name.c_str(),
+                               models::modelKindName(mr.kind), vr * 100,
+                               replayable, opt.runsPerCell);
+                    ro.replay =
+                        [journal](uint64_t i,
+                                  inject::InjectionCampaign::RunRecord
+                                      &rec) {
+                            return journal->tryReplay(i, rec);
+                        };
+                    ro.onComplete =
+                        [journal](uint64_t i,
+                                  const inject::InjectionCampaign::
+                                      RunRecord &rec) {
+                            journal->append(i, rec);
+                        };
+                }
+
                 CampaignCell cell;
                 cell.workload = name;
                 cell.model = mr.kind;
                 cell.vrFrac = vr;
                 cell.result = campaign.run(*mr.model, opt.runsPerCell,
-                                           cellRng, &tf.pool());
+                                           cellRng, ro);
+                if (cell.result.interrupted) {
+                    // Partial cell: its completed runs are safely in
+                    // the journal; the aggregate is not comparable and
+                    // is reported, not recorded.
+                    inform("interrupted during %s %s VR%.0f after "
+                           "%llu/%d runs (masked=%llu sdc=%llu "
+                           "crash=%llu timeout=%llu enginefault=%llu)",
+                           name.c_str(),
+                           models::modelKindName(mr.kind), vr * 100,
+                           static_cast<unsigned long long>(
+                               cell.result.runs),
+                           opt.runsPerCell,
+                           static_cast<unsigned long long>(
+                               cell.result.masked),
+                           static_cast<unsigned long long>(
+                               cell.result.sdc),
+                           static_cast<unsigned long long>(
+                               cell.result.crash),
+                           static_cast<unsigned long long>(
+                               cell.result.timeout),
+                           static_cast<unsigned long long>(
+                               cell.result.engineFault));
+                    interrupted = true;
+                    break;
+                }
                 grid.cells.push_back(std::move(cell));
             }
         }
     }
+    if (interrupted) {
+        grid.interrupted = true;
+        inform("evaluation grid interrupted with %zu cell(s) complete; "
+               "rerun with REPRO_RESUME=1 to pick up where it stopped",
+               grid.cells.size());
+        return grid;
+    }
     if (!cachePath.empty())
         saveGrid(cachePath, grid);
+    // The grid is durably cached (or caching is off and the journals
+    // have no future): the per-cell journals have served their purpose.
+    for (auto &j : journals)
+        j->remove();
     return grid;
 }
 

@@ -28,6 +28,12 @@ struct CampaignCell
 struct EvaluationGrid
 {
     std::vector<CampaignCell> cells;
+    /**
+     * True when a cooperative cancellation stopped the grid early.
+     * The cells present are complete and exact; the rest were left in
+     * their journals for a REPRO_RESUME=1 rerun.
+     */
+    bool interrupted = false;
 
     const inject::CampaignResult *find(const std::string &workload,
                                        models::ModelKind model,

@@ -1,22 +1,76 @@
 #include "core/toolflow.hh"
 
+#include <cerrno>
 #include <cstdlib>
 #include <filesystem>
 #include <functional>
 
 #include "sim/func_sim.hh"
+#include "util/crc32.hh"
 #include "util/logging.hh"
 
 namespace tea::core {
 
 using timing::CampaignStats;
 
+namespace {
+
+/**
+ * Strict environment-integer parse: the whole value must be one
+ * integer (base 0: decimal/hex/octal). Garbage or overflow keeps the
+ * default with a warn, so a typo degrades to the documented default
+ * instead of silently running a different experiment.
+ */
+bool
+parseEnvI64(const char *name, const char *value, int64_t &out)
+{
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(value, &end, 0);
+    if (end == value || *end != '\0' || errno == ERANGE) {
+        warn("ignoring malformed %s='%s'", name, value);
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+bool
+parseEnvU64(const char *name, const char *value, uint64_t &out)
+{
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(value, &end, 0);
+    if (end == value || *end != '\0' || errno == ERANGE ||
+        value[0] == '-') {
+        warn("ignoring malformed %s='%s'", name, value);
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+} // namespace
+
 ToolflowOptions
 optionsFromEnv()
 {
     ToolflowOptions opt;
-    if (const char *runs = std::getenv("REPRO_RUNS"))
-        opt.runsPerCell = std::max(1, std::atoi(runs));
+    if (const char *runs = std::getenv("REPRO_RUNS")) {
+        int64_t v;
+        if (parseEnvI64("REPRO_RUNS", runs, v)) {
+            if (v < 1) {
+                warn("clamping REPRO_RUNS=%lld to 1",
+                     static_cast<long long>(v));
+                v = 1;
+            } else if (v > 1000000) {
+                warn("clamping REPRO_RUNS=%lld to 1000000",
+                     static_cast<long long>(v));
+                v = 1000000;
+            }
+            opt.runsPerCell = static_cast<int>(v);
+        }
+    }
     if (const char *full = std::getenv("REPRO_FULL");
         full && full[0] == '1') {
         opt.runsPerCell = inject::kStatisticalRuns;
@@ -24,10 +78,27 @@ optionsFromEnv()
         opt.waMaxOps = 100000;
         opt.daSampleOps = 100000;
     }
-    if (const char *seed = std::getenv("REPRO_SEED"))
-        opt.seed = std::strtoull(seed, nullptr, 0);
+    if (const char *seed = std::getenv("REPRO_SEED")) {
+        uint64_t v;
+        if (parseEnvU64("REPRO_SEED", seed, v))
+            opt.seed = v;
+    }
     if (const char *cache = std::getenv("REPRO_CACHE"))
         opt.cacheDir = cache;
+    if (const char *resume = std::getenv("REPRO_RESUME"))
+        opt.resume = resume[0] == '1';
+    if (const char *dl = std::getenv("REPRO_RUN_DEADLINE_MS")) {
+        int64_t v;
+        if (parseEnvI64("REPRO_RUN_DEADLINE_MS", dl, v)) {
+            if (v < 0) {
+                warn("clamping REPRO_RUN_DEADLINE_MS=%lld to 0 "
+                     "(disabled)",
+                     static_cast<long long>(v));
+                v = 0;
+            }
+            opt.runDeadlineMs = v;
+        }
+    }
     opt.threads = ThreadPool::defaultThreads();
     return opt;
 }
@@ -37,6 +108,10 @@ Toolflow::Toolflow(ToolflowOptions opt)
       pool_(std::make_unique<ThreadPool>(opt_.threads)),
       core_(std::make_unique<fpu::FpuCore>())
 {
+    // First SIGINT/SIGTERM flips the process-wide cancel token; the
+    // campaigns poll it cooperatively, flush their journals, and the
+    // drivers print partial results instead of dying mid-write.
+    installShutdownHandlers();
     if (!opt_.cacheDir.empty()) {
         std::error_code ec;
         std::filesystem::create_directories(opt_.cacheDir, ec);
@@ -62,18 +137,65 @@ Toolflow::pointFor(double vrFrac)
 }
 
 std::string
+Toolflow::cacheTag(const char *prefix, const std::string &name,
+                   uint64_t n)
+{
+    // Sanitize: the name lands in a filename, so anything outside
+    // [A-Za-z0-9._-] becomes '_'.
+    std::string safe;
+    safe.reserve(name.size());
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                  c == '-';
+        safe.push_back(ok ? c : '_');
+    }
+    // Long names are shortened to a readable prefix plus a CRC of the
+    // *original* string: bounded length, and no two distinct names map
+    // to the same tag the way plain truncation would.
+    constexpr size_t kMaxName = 32;
+    if (safe.size() > kMaxName) {
+        char suffix[16];
+        std::snprintf(suffix, sizeof(suffix), "~%08x",
+                      crc32(name.data(), name.size()));
+        safe = safe.substr(0, kMaxName - 9) + suffix;
+    }
+    char count[32];
+    std::snprintf(count, sizeof(count), "_n%llu",
+                  static_cast<unsigned long long>(n));
+    return std::string(prefix) + "_" + safe + count;
+}
+
+std::string
 Toolflow::cachePath(const std::string &tag, double vrFrac) const
 {
     if (opt_.cacheDir.empty())
         return "";
-    // "p1" names the sharded-campaign algorithm revision: shard
-    // geometry and per-shard Rng forking changed the (deterministic)
-    // statistics, so pre-sharding cache files must not be picked up.
+    // "p2" names the cache-file revision: p1 was the sharded-campaign
+    // statistics without an integrity envelope; p2 adds the CRC-guarded
+    // format, so stale p1 files are ignored by name instead of being
+    // spuriously quarantined as corrupt.
     char buf[64];
-    std::snprintf(buf, sizeof(buf), "_vr%02d_s%llu_p1.stats",
+    std::snprintf(buf, sizeof(buf), "_vr%02d_s%llu_p2.stats",
                   static_cast<int>(vrFrac * 100 + 0.5),
                   static_cast<unsigned long long>(opt_.seed));
     return opt_.cacheDir + "/" + tag + buf;
+}
+
+void
+Toolflow::quarantineCache(const std::string &path)
+{
+    std::string bad = path + ".bad";
+    std::error_code ec;
+    std::filesystem::rename(path, bad, ec);
+    if (ec) {
+        warn("corrupt cache '%s' could not be quarantined (%s); "
+             "regenerating over it",
+             path.c_str(), ec.message().c_str());
+    } else {
+        warn("corrupt cache '%s' quarantined to '%s'; regenerating",
+             path.c_str(), bad.c_str());
+    }
 }
 
 const CampaignStats &
@@ -90,23 +212,45 @@ Toolflow::characterize(
 
     std::string path = cachePath(tag, vrFrac);
     CampaignStats stats;
-    if (!path.empty() && models::loadCampaignStats(path, stats)) {
-        inform("loaded cached characterization %s", path.c_str());
-        return statsCache_.emplace(key, std::move(stats)).first->second;
+    if (!path.empty()) {
+        switch (models::loadCampaignStats(path, stats)) {
+          case models::CacheLoad::Loaded:
+            inform("loaded cached characterization %s", path.c_str());
+            return statsCache_.emplace(key, std::move(stats))
+                .first->second;
+          case models::CacheLoad::Missing:
+            break; // cold cache: the quiet, normal case
+          case models::CacheLoad::Corrupt:
+            quarantineCache(path);
+            stats = CampaignStats{};
+            break;
+        }
     }
     size_t point = pointFor(vrFrac);
     stats = run(point);
-    if (!path.empty())
+    if (stats.interrupted) {
+        // Partial statistics must never feed models or caches.
+        inform("characterization '%s' interrupted; partial statistics "
+               "discarded — rerun to characterize fully",
+               key.c_str());
+        std::exit(130);
+    }
+    if (stats.engineFaults > 0) {
+        warn("characterization '%s' degraded (%llu shard(s) dropped "
+             "after repeated faults); statistics kept for this run but "
+             "not cached",
+             key.c_str(),
+             static_cast<unsigned long long>(stats.engineFaults));
+    } else if (!path.empty()) {
         models::saveCampaignStats(path, stats);
+    }
     return statsCache_.emplace(key, std::move(stats)).first->second;
 }
 
 const CampaignStats &
 Toolflow::iaStats(double vrFrac)
 {
-    char tag[64];
-    std::snprintf(tag, sizeof(tag), "ia_n%llu",
-                  static_cast<unsigned long long>(opt_.iaCountPerOp));
+    std::string tag = cacheTag("ia", "rnd", opt_.iaCountPerOp);
     return characterize(tag, vrFrac, [&](size_t point) {
         Rng rng(opt_.seed ^ 0x1a1a1aULL);
         inform("IA characterization at VR%.0f (%llu ops/type, "
@@ -116,21 +260,21 @@ Toolflow::iaStats(double vrFrac)
                pool_->numThreads());
         return timing::runRandomCampaign(*core_, point,
                                          opt_.iaCountPerOp, rng,
-                                         pool_.get());
+                                         pool_.get(),
+                                         &cancelWatchdog_);
     });
 }
 
 const CampaignStats &
 Toolflow::waStats(const std::string &workload, double vrFrac)
 {
-    char tag[96];
-    std::snprintf(tag, sizeof(tag), "wa_%s_n%llu", workload.c_str(),
-                  static_cast<unsigned long long>(opt_.waMaxOps));
+    std::string tag = cacheTag("wa", workload, opt_.waMaxOps);
     return characterize(tag, vrFrac, [&](size_t point) {
         inform("WA characterization of %s at VR%.0f (%u threads)...",
                workload.c_str(), vrFrac * 100, pool_->numThreads());
         return timing::runTraceCampaign(*core_, point, trace(workload),
-                                        opt_.waMaxOps, pool_.get());
+                                        opt_.waMaxOps, pool_.get(),
+                                        &cancelWatchdog_);
     });
 }
 
@@ -144,9 +288,7 @@ Toolflow::daErrorRatio(double vrFrac)
     // Monte-Carlo over instructions randomly extracted from all
     // benchmarks (paper Section IV.C.1) — realized as an even trace
     // sample per workload.
-    char tag[64];
-    std::snprintf(tag, sizeof(tag), "da_n%llu",
-                  static_cast<unsigned long long>(opt_.daSampleOps));
+    std::string tag = cacheTag("da", "all", opt_.daSampleOps);
     const CampaignStats &stats =
         characterize(tag, vrFrac, [&](size_t point) {
             inform("DA calibration at VR%.0f...", vrFrac * 100);
@@ -156,9 +298,17 @@ Toolflow::daErrorRatio(double vrFrac)
             for (const auto &name : workloads::workloadNames()) {
                 auto s = timing::runTraceCampaign(*core_, point,
                                                   trace(name), per,
-                                                  pool_.get());
+                                                  pool_.get(),
+                                                  &cancelWatchdog_);
                 for (unsigned o = 0; o < fpu::kNumFpuOps; ++o)
                     merged.perOp[o].merge(s.perOp[o]);
+                // Degradation and interruption are properties of the
+                // merged calibration too.
+                merged.engineFaults += s.engineFaults;
+                if (s.interrupted) {
+                    merged.interrupted = true;
+                    break;
+                }
             }
             return merged;
         });

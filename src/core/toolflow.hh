@@ -22,6 +22,7 @@
 #include "models/error_models.hh"
 #include "timing/dta_campaign.hh"
 #include "util/threadpool.hh"
+#include "util/watchdog.hh"
 #include "workloads/workloads.hh"
 
 namespace tea::core {
@@ -47,11 +48,25 @@ struct ToolflowOptions
      * hardware concurrency). Results are bit-identical for any value.
      */
     unsigned threads = 0;
+    /**
+     * Resume interrupted campaigns from their shard journals instead
+     * of starting over (REPRO_RESUME=1). Replayed runs are
+     * bit-identical to fresh execution, so a resumed grid matches an
+     * uninterrupted one exactly.
+     */
+    bool resume = false;
+    /** Per-injection-run wall-clock deadline in ms (<= 0 disables). */
+    int64_t runDeadlineMs = 0;
+    /** Containment attempts per injection run before EngineFault. */
+    int maxRunAttempts = inject::kDefaultRunAttempts;
 };
 
 /**
  * Read REPRO_RUNS / REPRO_FULL / REPRO_SEED / REPRO_CACHE /
- * REPRO_THREADS overrides.
+ * REPRO_THREADS / REPRO_RESUME / REPRO_RUN_DEADLINE_MS overrides.
+ * Malformed values are rejected with a warn and the default kept;
+ * out-of-range values are clamped — a typo in the environment can
+ * slow a reproduction down but never crash or silently skew it.
  */
 ToolflowOptions optionsFromEnv();
 
@@ -66,6 +81,18 @@ class Toolflow
     const circuit::VoltageModel &voltageModel() const { return vm_; }
     /** Worker pool shared by every campaign this toolflow runs. */
     ThreadPool &pool() { return *pool_; }
+    /** Process-wide cancellation watchdog (SIGINT/SIGTERM). */
+    const Watchdog &cancelWatchdog() const { return cancelWatchdog_; }
+
+    /**
+     * Build a filesystem-safe cache/journal tag "<prefix>_<name>_n<n>".
+     * Hostile characters in `name` are replaced, and long names are
+     * shortened to a prefix plus an 8-hex CRC-32 of the original, so
+     * tags never exceed a bounded length and two distinct long names
+     * cannot silently collide the way a truncating snprintf would.
+     */
+    static std::string cacheTag(const char *prefix,
+                                const std::string &name, uint64_t n);
 
     /** Operating-point index for a VR fraction (created on demand). */
     size_t pointFor(double vrFrac);
@@ -89,12 +116,16 @@ class Toolflow
 
   private:
     std::string cachePath(const std::string &tag, double vrFrac) const;
+    /** Move a damaged cache file aside to `<path>.bad`. */
+    static void quarantineCache(const std::string &path);
     const timing::CampaignStats &
     characterize(const std::string &tag, double vrFrac,
                  const std::function<timing::CampaignStats(size_t)> &run);
 
     ToolflowOptions opt_;
     circuit::VoltageModel vm_;
+    /** Cancellation-only watchdog passed into every DTA campaign. */
+    Watchdog cancelWatchdog_{&CancelToken::processWide(), 0};
     std::unique_ptr<ThreadPool> pool_;
     std::unique_ptr<fpu::FpuCore> core_;
     std::map<int, size_t> points_; ///< key: VR percent x 100

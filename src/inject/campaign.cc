@@ -19,6 +19,7 @@ outcomeName(Outcome outcome)
       case Outcome::SDC: return "SDC";
       case Outcome::Crash: return "Crash";
       case Outcome::Timeout: return "Timeout";
+      case Outcome::EngineFault: return "EngineFault";
     }
     return "?";
 }
@@ -35,16 +36,20 @@ CampaignResult::errorRatio() const
 double
 CampaignResult::avm() const
 {
-    if (runs == 0)
+    if (classified() == 0)
         return 0.0;
     return static_cast<double>(sdc + crash + timeout) /
-           static_cast<double>(runs);
+           static_cast<double>(classified());
 }
 
 double
 CampaignResult::fraction(Outcome o) const
 {
-    if (runs == 0)
+    if (o == Outcome::EngineFault)
+        return runs ? static_cast<double>(engineFault) /
+                          static_cast<double>(runs)
+                    : 0.0;
+    if (classified() == 0)
         return 0.0;
     uint64_t n = 0;
     switch (o) {
@@ -52,30 +57,67 @@ CampaignResult::fraction(Outcome o) const
       case Outcome::SDC: n = sdc; break;
       case Outcome::Crash: n = crash; break;
       case Outcome::Timeout: n = timeout; break;
+      case Outcome::EngineFault: break; // handled above
     }
-    return static_cast<double>(n) / static_cast<double>(runs);
+    return static_cast<double>(n) / static_cast<double>(classified());
+}
+
+InjectionCampaign::InjectionCampaign(Unprepared,
+                                     workloads::Workload workload,
+                                     sim::OooConfig cfg)
+    : workload_(std::move(workload)), cfg_(cfg)
+{
 }
 
 InjectionCampaign::InjectionCampaign(workloads::Workload workload,
                                      sim::OooConfig cfg)
-    : workload_(std::move(workload)), cfg_(cfg)
+    : InjectionCampaign(Unprepared{}, std::move(workload), cfg)
 {
-    // Profile from a fast functional run...
-    sim::FuncSim fsim(workload_.program);
-    auto fres = fsim.run();
-    fatal_if(fres.status != sim::FuncSim::Status::Halted,
-             "workload '%s' golden run did not halt (%s)",
-             workload_.name.c_str(), sim::trapName(fres.trap));
-    profile_ = ProgramProfile::fromFuncSim(fsim, fres.instructions);
+    Error err = prepare();
+    fatal_if(!err.ok(), "%s", err.describe().c_str());
+}
 
-    // ...and the timing/output reference from a golden detailed run.
-    OooSim osim(workload_.program, cfg_);
-    auto ores = osim.run(~0ULL);
-    fatal_if(ores.status != OooSim::Status::Halted,
-             "workload '%s' golden OoO run did not halt",
-             workload_.name.c_str());
-    goldenCycles_ = ores.cycles;
-    goldenSignature_ = outputSignature(osim.memory(), osim.console());
+Expected<std::unique_ptr<InjectionCampaign>>
+InjectionCampaign::create(workloads::Workload workload,
+                          sim::OooConfig cfg)
+{
+    std::unique_ptr<InjectionCampaign> c(
+        new InjectionCampaign(Unprepared{}, std::move(workload), cfg));
+    Error err = c->prepare();
+    if (!err.ok())
+        return err;
+    return c;
+}
+
+Error
+InjectionCampaign::prepare()
+{
+    try {
+        // Profile from a fast functional run...
+        sim::FuncSim fsim(workload_.program);
+        auto fres = fsim.run();
+        if (fres.status != sim::FuncSim::Status::Halted)
+            return makeError(ErrorCode::GoldenRunFailed,
+                             "workload '%s' golden run did not halt (%s)",
+                             workload_.name.c_str(),
+                             sim::trapName(fres.trap));
+        profile_ = ProgramProfile::fromFuncSim(fsim, fres.instructions);
+
+        // ...and the timing/output reference from a golden detailed run.
+        OooSim osim(workload_.program, cfg_);
+        auto ores = osim.run(~0ULL);
+        if (ores.status != OooSim::Status::Halted)
+            return makeError(ErrorCode::GoldenRunFailed,
+                             "workload '%s' golden OoO run did not halt",
+                             workload_.name.c_str());
+        goldenCycles_ = ores.cycles;
+        goldenSignature_ = outputSignature(osim.memory(), osim.console());
+    } catch (const std::exception &e) {
+        return makeError(ErrorCode::EngineFault,
+                         "workload '%s' golden preparation faulted: %s",
+                         workload_.name.c_str(), e.what());
+    }
+    return {};
 }
 
 std::vector<uint8_t>
@@ -95,11 +137,12 @@ InjectionCampaign::outputSignature(const sim::Memory &mem,
 }
 
 InjectionCampaign::RunRecord
-InjectionCampaign::executeOne(const ErrorModel &model, Rng &rng) const
+InjectionCampaign::executeOne(const ErrorModel &model, Rng &rng,
+                              const Watchdog *watchdog) const
 {
     auto events = model.plan(profile_, rng);
     OooSim sim(workload_.program, cfg_, sim::InjectionPlan(events));
-    auto res = sim.run(2 * goldenCycles_);
+    auto res = sim.run(2 * goldenCycles_, watchdog);
     RunRecord rec;
     rec.injected = res.injectionsApplied;
     rec.committed = res.committed;
@@ -111,12 +154,66 @@ InjectionCampaign::executeOne(const ErrorModel &model, Rng &rng) const
       case OooSim::Status::CycleLimit:
         rec.outcome = Outcome::Timeout;
         break;
+      case OooSim::Status::Interrupted:
+        // Infrastructure cut the run off: a deadline overrun is an
+        // EngineFault record; a cancellation means the run never
+        // finished and must not be recorded at all.
+        rec.outcome = Outcome::EngineFault;
+        rec.fault = res.stop == Watchdog::Stop::Deadline
+                        ? ErrorCode::RunDeadline
+                        : ErrorCode::Cancelled;
+        break;
       case OooSim::Status::Halted: {
         auto sig = outputSignature(sim.memory(), sim.console());
         rec.outcome = (sig == goldenSignature_) ? Outcome::Masked
                                                 : Outcome::SDC;
         break;
       }
+    }
+    return rec;
+}
+
+InjectionCampaign::RunRecord
+InjectionCampaign::executeOneContained(const ErrorModel &model,
+                                       const Rng &base, uint64_t run,
+                                       const RunOptions &opts) const
+{
+    int maxAttempts = std::max(1, opts.maxAttempts);
+    std::string lastFault;
+    for (int attempt = 0; attempt < maxAttempts; ++attempt) {
+        // Attempt 0 draws from the canonical fork(run) substream so
+        // contained and plain executions are bit-identical; retries
+        // re-fork deterministically so a poisoned draw is not simply
+        // replayed.
+        Rng rng = attempt == 0 ? base.fork(run)
+                               : base.fork(run).fork(attempt);
+        Watchdog watchdog(opts.cancel, opts.runDeadlineMs);
+        try {
+            RunRecord rec = executeOne(model, rng, &watchdog);
+            rec.attempts = attempt + 1;
+            // Deadline cutoffs are deterministic-in-kind (the run is
+            // pathologically slow); retrying would spend another full
+            // deadline for the same verdict.
+            return rec;
+        } catch (const std::exception &e) {
+            lastFault = e.what();
+        } catch (...) {
+            lastFault = "non-standard exception";
+        }
+        if (opts.cancel && opts.cancel->cancelled())
+            break;
+    }
+    RunRecord rec;
+    rec.outcome = Outcome::EngineFault;
+    rec.attempts = maxAttempts;
+    if (opts.cancel && opts.cancel->cancelled()) {
+        rec.fault = ErrorCode::Cancelled;
+    } else {
+        rec.fault = ErrorCode::EngineFault;
+        warn("run %llu of '%s' faulted %d time(s); recording "
+             "EngineFault (last: %s)",
+             static_cast<unsigned long long>(run),
+             workload_.name.c_str(), maxAttempts, lastFault.c_str());
     }
     return rec;
 }
@@ -135,19 +232,53 @@ CampaignResult
 InjectionCampaign::run(const ErrorModel &model, int runs, Rng &rng,
                        ThreadPool *pool) const
 {
-    ThreadPool &tp = pool ? *pool : ThreadPool::global();
+    RunOptions opts;
+    opts.pool = pool;
+    return run(model, runs, rng, opts);
+}
+
+CampaignResult
+InjectionCampaign::run(const ErrorModel &model, int runs, Rng &rng,
+                       const RunOptions &opts) const
+{
+    ThreadPool &tp = opts.pool ? *opts.pool : ThreadPool::global();
     Rng base = rng.split();
-    std::vector<RunRecord> records(runs > 0 ? runs : 0);
-    tp.parallelFor(0, records.size(), [&](uint64_t i, unsigned) {
-        Rng runRng = base.fork(i);
-        records[i] = executeOne(model, runRng);
+    size_t n = runs > 0 ? static_cast<size_t>(runs) : 0;
+    std::vector<RunRecord> records(n);
+    std::vector<uint8_t> done(n, 0);
+    tp.parallelFor(0, n, [&](uint64_t i, unsigned) {
+        if (opts.cancel && opts.cancel->cancelled())
+            return;
+        if (opts.replay && opts.replay(i, records[i])) {
+            done[i] = 1;
+            return;
+        }
+        RunRecord rec = executeOneContained(model, base, i, opts);
+        if (rec.fault == ErrorCode::Cancelled)
+            return; // shutdown mid-run: leave it for the resume
+        records[i] = rec;
+        done[i] = 1;
+        if (opts.onComplete)
+            opts.onComplete(i, records[i]);
     });
 
     CampaignResult out;
     out.workload = workload_.name;
     out.model = model.describe();
-    for (const RunRecord &rec : records) {
+    for (size_t i = 0; i < n; ++i) {
+        if (!done[i]) {
+            out.interrupted = true;
+            continue;
+        }
+        const RunRecord &rec = records[i];
         ++out.runs;
+        out.retries += rec.attempts - 1;
+        if (rec.outcome == Outcome::EngineFault) {
+            // Infrastructure failure: excluded from AVM and from the
+            // injection/commit accounting (its counters are partial).
+            ++out.engineFault;
+            continue;
+        }
         out.injectedErrors += rec.injected;
         out.committedInstructions += rec.committed;
         out.wrongPathInjections += rec.wrongPath;
@@ -156,6 +287,7 @@ InjectionCampaign::run(const ErrorModel &model, int runs, Rng &rng,
           case Outcome::SDC: ++out.sdc; break;
           case Outcome::Crash: ++out.crash; break;
           case Outcome::Timeout: ++out.timeout; break;
+          case Outcome::EngineFault: break; // handled above
         }
     }
     return out;

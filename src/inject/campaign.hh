@@ -9,31 +9,50 @@
  * 2x the error-free execution time). Aggregates outcome distributions
  * (Fig. 9), injected-error ratios (Fig. 10), and the Application
  * Vulnerability Metric (Eq. 4).
+ *
+ * Fault containment: the campaign also classifies its *own* failures.
+ * An exception escaping one run (a bug in an error model, a transient
+ * engine fault) is caught and the run retried with a deterministically
+ * re-forked RNG substream; if containment is exhausted the run is
+ * recorded as EngineFault — a fifth, infrastructure-level outcome that
+ * is never counted into AVM or the paper's outcome fractions. Runs cut
+ * off by a wall-clock watchdog deadline are EngineFaults too; runs
+ * abandoned by a cooperative cancellation (SIGINT/SIGTERM) are simply
+ * not recorded, so statistics never depend on wall-clock behaviour.
  */
 
 #ifndef TEA_INJECT_CAMPAIGN_HH
 #define TEA_INJECT_CAMPAIGN_HH
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "models/error_models.hh"
 #include "sim/ooo_sim.hh"
+#include "util/errors.hh"
+#include "util/expected.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 #include "util/threadpool.hh"
+#include "util/watchdog.hh"
 #include "workloads/workloads.hh"
 
 namespace tea::inject {
 
-/** Outcome of one injection run (paper Section IV.A taxonomy). */
+/**
+ * Outcome of one injection run: the paper's Section IV.A taxonomy plus
+ * EngineFault for failures of the injection infrastructure itself.
+ */
 enum class Outcome
 {
     Masked,
     SDC,
     Crash,
     Timeout,
+    EngineFault,
 };
 
 const char *outcomeName(Outcome outcome);
@@ -44,24 +63,40 @@ const char *outcomeName(Outcome outcome);
  */
 constexpr int kStatisticalRuns = 1068;
 
+/** Containment attempts per run before it is recorded EngineFault. */
+constexpr int kDefaultRunAttempts = 3;
+
 /** Aggregate results of a campaign cell (workload x model x VR). */
 struct CampaignResult
 {
     std::string workload;
     std::string model;
+    /** Recorded runs, including EngineFaults. */
     uint64_t runs = 0;
     uint64_t masked = 0, sdc = 0, crash = 0, timeout = 0;
-    /** Injected errors across all runs (for the Fig. 10 ratio). */
+    /** Runs lost to infrastructure faults (excluded from AVM). */
+    uint64_t engineFault = 0;
+    /** Containment retries that were needed across all runs. */
+    uint64_t retries = 0;
+    /** True if a cancellation stopped the campaign before all runs. */
+    bool interrupted = false;
+    /** Injected errors across all classified runs (Fig. 10 ratio). */
     uint64_t injectedErrors = 0;
-    /** Committed instructions across all runs. */
+    /** Committed instructions across all classified runs. */
     uint64_t committedInstructions = 0;
     /** Injections landing on squashed (wrong-path) instructions. */
     uint64_t wrongPathInjections = 0;
 
+    /** Runs that produced one of the paper's four outcomes. */
+    uint64_t classified() const { return runs - engineFault; }
     /** Error injection ratio (Eq. 2 over the campaign). */
     double errorRatio() const;
-    /** Application Vulnerability Metric (Eq. 4). */
+    /** AVM (Eq. 4) over classified runs; EngineFaults never count. */
     double avm() const;
+    /**
+     * Fraction of an outcome: the paper outcomes over classified runs,
+     * EngineFault over all recorded runs.
+     */
     double fraction(Outcome o) const;
 };
 
@@ -72,6 +107,18 @@ struct CampaignResult
 class InjectionCampaign
 {
   public:
+    /**
+     * Build and prepare a campaign; a workload whose golden run does
+     * not halt is a recoverable GoldenRunFailed error instead of a
+     * process abort, so one broken workload degrades one cell.
+     */
+    static Expected<std::unique_ptr<InjectionCampaign>>
+    create(workloads::Workload workload, sim::OooConfig cfg = {});
+
+    /**
+     * Convenience constructor for known-good workloads: same
+     * preparation, but a golden-run failure is fatal().
+     */
     InjectionCampaign(workloads::Workload workload,
                       sim::OooConfig cfg = sim::OooConfig{});
 
@@ -91,14 +138,56 @@ class InjectionCampaign
         uint64_t injected = 0;
         uint64_t committed = 0;
         uint64_t wrongPath = 0;
+        /** Execution attempts this record took (1 = no retry). */
+        uint32_t attempts = 1;
+        /** Why outcome == EngineFault (None otherwise). */
+        ErrorCode fault = ErrorCode::None;
+    };
+
+    /** Durability and containment knobs for run(). */
+    struct RunOptions
+    {
+        /** Worker pool (the global pool when null). */
+        ThreadPool *pool = nullptr;
+        /** Cooperative shutdown flag polled per run and in-sim. */
+        const CancelToken *cancel = nullptr;
+        /** Per-run wall-clock deadline in ms (<= 0 disables). */
+        int64_t runDeadlineMs = 0;
+        /** Containment attempts per run (>= 1). */
+        int maxAttempts = kDefaultRunAttempts;
+        /**
+         * Journal replay hook: return true and fill the record if run
+         * i already completed in a previous (interrupted) campaign.
+         * Replayed runs execute nothing, which is what makes resume
+         * bit-identical to an uninterrupted run.
+         */
+        std::function<bool(uint64_t, RunRecord &)> replay;
+        /**
+         * Called from worker threads as each freshly-executed run
+         * completes (journal append point). Not called for replays.
+         */
+        std::function<void(uint64_t, const RunRecord &)> onComplete;
     };
 
     /**
      * Plan, inject, run, classify — one experiment. The single place
      * outcomes are classified; const and therefore safe to call
-     * concurrently as long as each caller owns its Rng.
+     * concurrently as long as each caller owns its Rng. May throw if
+     * the model or engine faults — executeOneContained() wraps it.
      */
-    RunRecord executeOne(const models::ErrorModel &model, Rng &rng) const;
+    RunRecord executeOne(const models::ErrorModel &model, Rng &rng,
+                         const Watchdog *watchdog = nullptr) const;
+
+    /**
+     * executeOne with run-level containment: attempt `run`'s execution
+     * up to opts.maxAttempts times (attempt 0 on the canonical
+     * base.fork(run) substream, retries on deterministic re-forks),
+     * returning an EngineFault record when containment is exhausted —
+     * never throwing, never aborting.
+     */
+    RunRecord executeOneContained(const models::ErrorModel &model,
+                                  const Rng &base, uint64_t run,
+                                  const RunOptions &opts) const;
 
     /** Convenience wrapper around executeOne returning the outcome. */
     Outcome runOne(const models::ErrorModel &model, Rng &rng,
@@ -106,16 +195,30 @@ class InjectionCampaign
 
     /**
      * Run a full campaign cell. Runs are dispatched as independent
-     * tasks on `pool` (the global pool when null); run i draws its
-     * injection plan from rng.fork(i), so the aggregate is
-     * bit-identical for any thread count.
+     * tasks on the pool; run i draws its injection plan from
+     * rng.fork(i), so the aggregate is bit-identical for any thread
+     * count — and, with the replay/onComplete hooks wired to a
+     * journal, across interrupt/resume cycles too.
      */
+    CampaignResult run(const models::ErrorModel &model, int runs,
+                       Rng &rng, const RunOptions &opts) const;
+
+    /** Back-compat overload: pool only, no containment hooks. */
     CampaignResult run(const models::ErrorModel &model, int runs,
                        Rng &rng, ThreadPool *pool = nullptr) const;
 
     const workloads::Workload &workload() const { return workload_; }
 
   private:
+    struct Unprepared
+    {
+    };
+    InjectionCampaign(Unprepared, workloads::Workload workload,
+                      sim::OooConfig cfg);
+
+    /** Golden functional + detailed runs; the recoverable ctor body. */
+    Error prepare();
+
     /** Capture the checked output state of a finished simulation. */
     std::vector<uint8_t> outputSignature(const sim::Memory &mem,
                                          const sim::Console &console) const;

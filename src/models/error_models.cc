@@ -4,8 +4,11 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <set>
+#include <sstream>
 
+#include "util/crc32.hh"
 #include "util/logging.hh"
 
 namespace tea::models {
@@ -157,17 +160,17 @@ StatisticalModel::plan(const ProgramProfile &profile, Rng &rng) const
 // ---------------------------------------------------------------------
 
 namespace {
-constexpr size_t kMaxStoredMasks = 4096;
-constexpr const char *kMagic = "tea-campaign-stats-v1";
-} // namespace
 
-void
-saveCampaignStats(const std::string &path,
-                  const timing::CampaignStats &stats)
+constexpr size_t kMaxStoredMasks = 4096;
+// v2 adds the CRC-guarded envelope; v1 files (no CRC) are treated as
+// Corrupt if ever encountered, but the cache revision suffix in the
+// path keeps them from being opened in the first place.
+constexpr const char *kMagic = "tea-campaign-stats-v2";
+
+std::string
+renderStatsBody(const timing::CampaignStats &stats)
 {
-    std::ofstream out(path);
-    fatal_if(!out, "cannot write '%s'", path.c_str());
-    out << kMagic << "\n";
+    std::ostringstream out;
     for (unsigned o = 0; o < fpu::kNumFpuOps; ++o) {
         const auto &s = stats.perOp[o];
         out << fpu::fpuOpName(static_cast<FpuOp>(o)) << " " << s.total
@@ -182,18 +185,12 @@ saveCampaignStats(const std::string &path,
         if (nMasks == 0)
             out << "\n";
     }
+    return out.str();
 }
 
 bool
-loadCampaignStats(const std::string &path, timing::CampaignStats &stats)
+parseStatsBody(std::istream &in, timing::CampaignStats &stats)
 {
-    std::ifstream in(path);
-    if (!in)
-        return false;
-    std::string magic;
-    std::getline(in, magic);
-    if (magic != kMagic)
-        return false;
     for (unsigned o = 0; o < fpu::kNumFpuOps; ++o) {
         auto &s = stats.perOp[o];
         std::string name;
@@ -213,6 +210,58 @@ loadCampaignStats(const std::string &path, timing::CampaignStats &stats)
                 return false;
     }
     return true;
+}
+
+} // namespace
+
+bool
+saveCampaignStats(const std::string &path,
+                  const timing::CampaignStats &stats)
+{
+    std::string body = renderStatsBody(stats);
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write campaign stats cache '%s'", path.c_str());
+        return false;
+    }
+    char crcLine[48];
+    std::snprintf(crcLine, sizeof(crcLine), "crc %08x %zu\n",
+                  crc32(body.data(), body.size()), body.size());
+    out << kMagic << "\n" << crcLine << body;
+    out.flush();
+    if (!out) {
+        warn("short write of campaign stats cache '%s'", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+CacheLoad
+loadCampaignStats(const std::string &path, timing::CampaignStats &stats)
+{
+    std::ifstream in(path);
+    if (!in)
+        return CacheLoad::Missing;
+    std::string magic;
+    std::getline(in, magic);
+    if (magic != kMagic)
+        return CacheLoad::Corrupt;
+    std::string tag;
+    uint32_t storedCrc = 0;
+    size_t storedLen = 0;
+    if (!(in >> tag >> std::hex >> storedCrc >> std::dec >> storedLen) ||
+        tag != "crc")
+        return CacheLoad::Corrupt;
+    in.ignore(1); // the newline after the crc line
+    std::string body((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (body.size() != storedLen ||
+        crc32(body.data(), body.size()) != storedCrc)
+        return CacheLoad::Corrupt;
+    std::istringstream bodyIn(body);
+    if (!parseStatsBody(bodyIn, stats))
+        return CacheLoad::Corrupt;
+    return CacheLoad::Loaded;
 }
 
 } // namespace tea::models

@@ -143,15 +143,30 @@ class WaModel final : public StatisticalModel
 
 // ---------------------------------------------------------------------
 // Campaign-statistics caching (model development is expensive; benches
-// share characterizations through these files).
+// share characterizations through these files). The file format is
+// integrity-checked: a versioned magic line plus a CRC-32 over the
+// whole body, so a torn write or bit rot is detected as Corrupt rather
+// than silently parsed into wrong statistics.
 // ---------------------------------------------------------------------
 
-/** Save campaign statistics as a small text file. */
-void saveCampaignStats(const std::string &path,
+/** What loadCampaignStats found at the path. */
+enum class CacheLoad
+{
+    Loaded,  ///< Intact file, stats filled in.
+    Missing, ///< No file — the quiet cold-cache case.
+    Corrupt, ///< File exists but fails magic/CRC/parse checks.
+};
+
+/**
+ * Save campaign statistics as a CRC-guarded text file. An I/O failure
+ * is a warn (the campaign results still stand; only caching is lost),
+ * and the function returns false.
+ */
+bool saveCampaignStats(const std::string &path,
                        const timing::CampaignStats &stats);
-/** Load them back; returns false if the file is absent/corrupt. */
-bool loadCampaignStats(const std::string &path,
-                       timing::CampaignStats &stats);
+/** Load them back, distinguishing a cold cache from a damaged one. */
+CacheLoad loadCampaignStats(const std::string &path,
+                            timing::CampaignStats &stats);
 
 } // namespace tea::models
 

@@ -736,14 +736,27 @@ OooSim::~OooSim()
 }
 
 OooSim::Result
-OooSim::run(uint64_t maxCycles)
+OooSim::run(uint64_t maxCycles, const Watchdog *watchdog)
 {
     Impl &s = *impl_;
     Result res{};
     res.status = Status::CycleLimit;
     res.trap = TrapKind::None;
 
+    // ~4k cycles between polls keeps the steady_clock read off the
+    // per-cycle path while still bounding a hung run to milliseconds
+    // of overshoot.
+    constexpr uint64_t kPollMask = 0xFFF;
+
     while (s.cycles < maxCycles) {
+        if (watchdog && (s.cycles & kPollMask) == 0) {
+            Watchdog::Stop stop = watchdog->poll();
+            if (stop != Watchdog::Stop::None) {
+                res.status = Status::Interrupted;
+                res.stop = stop;
+                break;
+            }
+        }
         ++s.cycles;
         TrapKind trap = TrapKind::None;
         auto outcome = s.commit(trap);

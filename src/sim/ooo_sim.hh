@@ -23,6 +23,7 @@
 #include "isa/program.hh"
 #include "sim/memory.hh"
 #include "sim/sim_types.hh"
+#include "util/watchdog.hh"
 
 namespace tea::sim {
 
@@ -115,12 +116,16 @@ class OooSim
         Halted,
         Crashed,
         CycleLimit,
+        /** Cut off by the watchdog (cancellation or wall-clock). */
+        Interrupted,
     };
 
     struct Result
     {
         Status status;
         TrapKind trap;
+        /** Why the run was Interrupted (None otherwise). */
+        Watchdog::Stop stop = Watchdog::Stop::None;
         uint64_t cycles;
         uint64_t committed;
         uint64_t executed;
@@ -132,7 +137,12 @@ class OooSim
         uint64_t squashedInstructions;
     };
 
-    Result run(uint64_t maxCycles);
+    /**
+     * Simulate until halt, crash, the cycle limit, or — when a
+     * watchdog is given — a cooperative stop (polled every few
+     * thousand cycles, so a hung run never freezes a worker thread).
+     */
+    Result run(uint64_t maxCycles, const Watchdog *watchdog = nullptr);
 
     const Memory &memory() const { return mem_; }
     const Console &console() const { return console_; }

@@ -145,34 +145,72 @@ namespace {
  * merge the per-shard statistics in shard order. Everything a shard
  * computes depends only on its index, which is what keeps results
  * bit-identical across thread counts.
+ *
+ * Containment: an exception escaping a shard body is caught, the shard
+ * is retried (clean history, attempt-salted randomness for bodies that
+ * draw any) up to kDtaShardAttempts times, and then dropped with
+ * engineFaults bumped — one bad shard degrades the statistics instead
+ * of aborting the campaign. A watchdog stop abandons unfinished shards
+ * and flags the merged result interrupted.
  */
 CampaignStats
 runSharded(fpu::FpuCore &core, size_t point, size_t shards,
-           ThreadPool *pool,
-           const std::function<void(size_t, DtaCampaign &)> &body)
+           ThreadPool *pool, const Watchdog *watchdog,
+           const std::function<void(size_t, unsigned, DtaCampaign &)> &body)
 {
     ThreadPool &tp = pool ? *pool : ThreadPool::global();
     auto points = core.workerPoints(point, tp.numThreads());
     std::vector<CampaignStats> parts(shards);
+    std::vector<uint8_t> done(shards, 0);
     tp.parallelFor(0, shards, [&](uint64_t s, unsigned worker) {
+        if (watchdog && watchdog->poll() != Watchdog::Stop::None)
+            return;
         size_t pt = points[worker];
-        core.reset(pt);
-        DtaCampaign campaign(core, pt);
-        body(s, campaign);
-        parts[s] = campaign.takeStats();
+        for (unsigned attempt = 0; attempt < kDtaShardAttempts;
+             ++attempt) {
+            try {
+                core.reset(pt);
+                DtaCampaign campaign(core, pt);
+                body(s, attempt, campaign);
+                if (watchdog &&
+                    watchdog->poll() != Watchdog::Stop::None)
+                    return; // body bailed early; stats are partial
+                parts[s] = campaign.takeStats();
+                done[s] = 1;
+                return;
+            } catch (const std::exception &e) {
+                warn("DTA shard %llu attempt %u faulted: %s",
+                     static_cast<unsigned long long>(s), attempt + 1,
+                     e.what());
+            } catch (...) {
+                warn("DTA shard %llu attempt %u faulted "
+                     "(non-standard exception)",
+                     static_cast<unsigned long long>(s), attempt + 1);
+            }
+        }
+        done[s] = 2; // containment exhausted: drop the shard
     });
     CampaignStats merged;
-    for (auto &part : parts)
-        for (unsigned o = 0; o < fpu::kNumFpuOps; ++o)
-            merged.perOp[o].merge(part.perOp[o]);
+    for (size_t s = 0; s < shards; ++s) {
+        if (done[s] == 0)
+            merged.interrupted = true;
+        else if (done[s] == 2)
+            ++merged.engineFaults;
+        else
+            for (unsigned o = 0; o < fpu::kNumFpuOps; ++o)
+                merged.perOp[o].merge(parts[s].perOp[o]);
+    }
     return merged;
 }
+
+/** Poll cadence inside shard bodies (gate-level ops are slow). */
+constexpr uint64_t kOpPollMask = 0x3F;
 
 } // namespace
 
 CampaignStats
 runRandomCampaign(fpu::FpuCore &core, size_t point, uint64_t countPerOp,
-                  Rng &rng, ThreadPool *pool)
+                  Rng &rng, ThreadPool *pool, const Watchdog *watchdog)
 {
     // Fixed shard geometry: ceil(countPerOp / kDtaShardOps) shards per
     // op type, laid out op-major so shard index <-> (op, chunk) is a
@@ -182,14 +220,20 @@ runRandomCampaign(fpu::FpuCore &core, size_t point, uint64_t countPerOp,
                                   kDtaShardOps);
     Rng base = rng.split();
     return runSharded(
-        core, point, fpu::kNumFpuOps * shardsPerOp, pool,
-        [&](size_t s, DtaCampaign &campaign) {
+        core, point, fpu::kNumFpuOps * shardsPerOp, pool, watchdog,
+        [&](size_t s, unsigned attempt, DtaCampaign &campaign) {
             auto op = static_cast<FpuOp>(s / shardsPerOp);
             uint64_t chunk = s % shardsPerOp;
             uint64_t begin = chunk * kDtaShardOps;
             uint64_t end = std::min(begin + kDtaShardOps, countPerOp);
-            Rng shardRng = base.fork(s);
+            // Attempt 0 uses the canonical substream; retries re-fork
+            // deterministically off it.
+            Rng shardRng = attempt == 0 ? base.fork(s)
+                                        : base.fork(s).fork(attempt);
             for (uint64_t i = begin; i < end; ++i) {
+                if (watchdog && (i & kOpPollMask) == 0 &&
+                    watchdog->poll() != Watchdog::Stop::None)
+                    return;
                 uint64_t a, b;
                 randomOperands(op, shardRng, a, b);
                 campaign.execute(op, a, b);
@@ -200,7 +244,8 @@ runRandomCampaign(fpu::FpuCore &core, size_t point, uint64_t countPerOp,
 CampaignStats
 runTraceCampaign(fpu::FpuCore &core, size_t point,
                  const std::vector<sim::FpTraceEntry> &trace,
-                 uint64_t maxOps, ThreadPool *pool)
+                 uint64_t maxOps, ThreadPool *pool,
+                 const Watchdog *watchdog)
 {
     if (trace.empty())
         return CampaignStats{};
@@ -232,10 +277,14 @@ runTraceCampaign(fpu::FpuCore &core, size_t point,
             budget -= len;
         }
     }
-    return runSharded(core, point, windows.size(), pool,
-                      [&](size_t s, DtaCampaign &campaign) {
+    return runSharded(core, point, windows.size(), pool, watchdog,
+                      [&](size_t s, unsigned, DtaCampaign &campaign) {
                           const Window &w = windows[s];
                           for (uint64_t i = 0; i < w.count; ++i) {
+                              if (watchdog && (i & kOpPollMask) == 0 &&
+                                  watchdog->poll() !=
+                                      Watchdog::Stop::None)
+                                  return;
                               const auto &e = trace[w.begin + i];
                               campaign.execute(e.op, e.a, e.b);
                           }

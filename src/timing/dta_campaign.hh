@@ -21,6 +21,7 @@
 #include "sim/func_sim.hh"
 #include "util/rng.hh"
 #include "util/threadpool.hh"
+#include "util/watchdog.hh"
 
 namespace tea::timing {
 
@@ -54,6 +55,18 @@ struct OpErrorStats
 struct CampaignStats
 {
     std::array<OpErrorStats, fpu::kNumFpuOps> perOp;
+
+    /**
+     * Shards dropped after repeated internal faults. A non-zero count
+     * marks the statistics as degraded; the toolflow refuses to cache
+     * them so the next invocation re-characterizes.
+     */
+    uint64_t engineFaults = 0;
+    /**
+     * True when a cooperative cancellation cut the campaign short.
+     * Interrupted statistics are partial and must never be cached.
+     */
+    bool interrupted = false;
 
     const OpErrorStats &of(fpu::FpuOp op) const
     {
@@ -113,15 +126,25 @@ void randomOperands(fpu::FpuOp op, Rng &rng, uint64_t &a, uint64_t &b);
 constexpr uint64_t kDtaShardOps = 512;
 
 /**
+ * Containment attempts per DTA shard: a shard whose execution throws
+ * is retried once (transient faults) and then dropped, bumping
+ * CampaignStats::engineFaults, instead of aborting the campaign.
+ */
+constexpr unsigned kDtaShardAttempts = 2;
+
+/**
  * IA-model characterization: `count` random-operand ops per type.
  * Sharded across `pool` (the global pool when null); each shard runs
  * on its worker's private operating-point replica with pipeline
  * history reset at the shard boundary, operands drawn from
- * rng.fork(shardIndex), and shards merged in index order.
+ * rng.fork(shardIndex), and shards merged in index order. A watchdog,
+ * when given, is polled between operations so SIGINT/SIGTERM stop the
+ * characterization promptly (the result is then flagged interrupted).
  */
 CampaignStats runRandomCampaign(fpu::FpuCore &core, size_t point,
                                 uint64_t countPerOp, Rng &rng,
-                                ThreadPool *pool = nullptr);
+                                ThreadPool *pool = nullptr,
+                                const Watchdog *watchdog = nullptr);
 
 /**
  * WA-model characterization: replay (a sample of) a workload's FP
@@ -134,7 +157,8 @@ CampaignStats runRandomCampaign(fpu::FpuCore &core, size_t point,
 CampaignStats runTraceCampaign(fpu::FpuCore &core, size_t point,
                                const std::vector<sim::FpTraceEntry> &trace,
                                uint64_t maxOps,
-                               ThreadPool *pool = nullptr);
+                               ThreadPool *pool = nullptr,
+                               const Watchdog *watchdog = nullptr);
 
 } // namespace tea::timing
 

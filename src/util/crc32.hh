@@ -1,0 +1,53 @@
+/**
+ * @file
+ * IEEE CRC-32 (the zlib/PNG polynomial, reflected 0xEDB88320).
+ *
+ * Guards the durability layer's on-disk artifacts: characterization
+ * caches and campaign journals carry a CRC so that truncated or
+ * bit-rotted files are detected and quarantined instead of silently
+ * poisoning every model built from them.
+ */
+
+#ifndef TEA_UTIL_CRC32_HH
+#define TEA_UTIL_CRC32_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace tea {
+
+/**
+ * CRC-32 of a byte range. `seed` chains blocks: crc32(b, crc32(a))
+ * equals crc32(a ++ b), so streamed producers need no buffering.
+ */
+inline uint32_t
+crc32(const void *data, size_t len, uint32_t seed = 0)
+{
+    static const std::array<uint32_t, 256> table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    uint32_t crc = ~seed;
+    const auto *p = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+    return ~crc;
+}
+
+inline uint32_t
+crc32(std::string_view s, uint32_t seed = 0)
+{
+    return crc32(s.data(), s.size(), seed);
+}
+
+} // namespace tea
+
+#endif // TEA_UTIL_CRC32_HH

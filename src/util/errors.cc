@@ -1,0 +1,52 @@
+#include "util/errors.hh"
+
+#include <cstdarg>
+
+#include "util/logging.hh"
+
+namespace tea {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::None: return "None";
+      case ErrorCode::GoldenRunFailed: return "GoldenRunFailed";
+      case ErrorCode::EngineFault: return "EngineFault";
+      case ErrorCode::RunDeadline: return "RunDeadline";
+      case ErrorCode::Cancelled: return "Cancelled";
+      case ErrorCode::CacheCorrupt: return "CacheCorrupt";
+      case ErrorCode::JournalMismatch: return "JournalMismatch";
+      case ErrorCode::BadConfig: return "BadConfig";
+      case ErrorCode::IoError: return "IoError";
+    }
+    return "?";
+}
+
+std::string
+Error::describe() const
+{
+    std::string out = errorCodeName(code);
+    if (!message.empty()) {
+        out += ": ";
+        out += message;
+    }
+    return out;
+}
+
+Error
+makeError(ErrorCode code, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    Error err{code, detail::vformat(fmt, ap)};
+    va_end(ap);
+    return err;
+}
+
+TeaException::TeaException(Error err)
+    : err_(std::move(err)), what_(err_.describe())
+{
+}
+
+} // namespace tea

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Error taxonomy for recoverable failures.
+ *
+ * The logging layer's fatal()/panic() are for unrecoverable states; a
+ * long-running campaign, however, must survive the failure of one run,
+ * one shard, or one cache file. Recoverable conditions are therefore
+ * values — an ErrorCode plus a message — carried either in an
+ * Expected<T> (util/expected.hh) across constructor-factory and loader
+ * boundaries, or in a TeaException across code that must throw.
+ *
+ * The taxonomy deliberately separates *infrastructure* failures (an
+ * engine fault, a wall-clock deadline, a corrupt cache) from the
+ * paper's modeled outcomes (Masked/SDC/Crash/Timeout): an injection
+ * framework has to classify its own failures too, and must never count
+ * them into the Application Vulnerability Metric.
+ */
+
+#ifndef TEA_UTIL_ERRORS_HH
+#define TEA_UTIL_ERRORS_HH
+
+#include <exception>
+#include <string>
+
+namespace tea {
+
+enum class ErrorCode
+{
+    None,
+    /** A campaign golden reference run did not halt cleanly. */
+    GoldenRunFailed,
+    /** An unexpected exception escaped a run or DTA shard. */
+    EngineFault,
+    /** The per-run wall-clock watchdog cut the run off. */
+    RunDeadline,
+    /** Cooperative shutdown (SIGINT/SIGTERM) stopped the work. */
+    Cancelled,
+    /** An on-disk cache/journal failed its integrity check. */
+    CacheCorrupt,
+    /** A journal's identity header does not match the campaign. */
+    JournalMismatch,
+    /** Malformed configuration (environment overrides, options). */
+    BadConfig,
+    /** Filesystem-level failure (open/write/rename). */
+    IoError,
+};
+
+const char *errorCodeName(ErrorCode code);
+
+/** A recoverable failure as a value: code + human-readable context. */
+struct Error
+{
+    ErrorCode code = ErrorCode::None;
+    std::string message;
+
+    bool ok() const { return code == ErrorCode::None; }
+    /** "EngineFault: <message>" for logs. */
+    std::string describe() const;
+};
+
+/** printf-style Error construction. */
+Error makeError(ErrorCode code, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Exception carrying an Error across code that must throw. */
+class TeaException : public std::exception
+{
+  public:
+    explicit TeaException(Error err);
+
+    const char *what() const noexcept override { return what_.c_str(); }
+    const Error &error() const { return err_; }
+
+  private:
+    Error err_;
+    std::string what_;
+};
+
+} // namespace tea
+
+#endif // TEA_UTIL_ERRORS_HH

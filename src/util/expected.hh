@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Expected<T>: a value or a recoverable Error (util/errors.hh).
+ *
+ * The containment layer's alternative to fatal(): constructor
+ * factories, cache loaders and journal openers return Expected so that
+ * a failure in one campaign cell degrades that cell instead of
+ * aborting the whole process. Accessing the wrong alternative is a
+ * programming error and panics.
+ */
+
+#ifndef TEA_UTIL_EXPECTED_HH
+#define TEA_UTIL_EXPECTED_HH
+
+#include <utility>
+#include <variant>
+
+#include "util/errors.hh"
+#include "util/logging.hh"
+
+namespace tea {
+
+template <typename T>
+class Expected
+{
+  public:
+    Expected(T value) : v_(std::move(value)) {}
+    Expected(Error error) : v_(std::move(error))
+    {
+        panic_if(std::get<Error>(v_).ok(),
+                 "Expected constructed from a non-error Error");
+    }
+
+    bool ok() const { return std::holds_alternative<T>(v_); }
+    explicit operator bool() const { return ok(); }
+
+    const T &value() const &
+    {
+        panic_if(!ok(), "Expected::value() on error: %s",
+                 std::get<Error>(v_).describe().c_str());
+        return std::get<T>(v_);
+    }
+    T &value() &
+    {
+        panic_if(!ok(), "Expected::value() on error: %s",
+                 std::get<Error>(v_).describe().c_str());
+        return std::get<T>(v_);
+    }
+    /** Move the value out (factory-return idiom). */
+    T take()
+    {
+        panic_if(!ok(), "Expected::take() on error: %s",
+                 std::get<Error>(v_).describe().c_str());
+        return std::move(std::get<T>(v_));
+    }
+
+    const Error &error() const
+    {
+        panic_if(ok(), "Expected::error() on a value");
+        return std::get<Error>(v_);
+    }
+
+  private:
+    std::variant<T, Error> v_;
+};
+
+/** Expected<void>: success, or a recoverable Error. */
+template <>
+class Expected<void>
+{
+  public:
+    Expected() = default;
+    Expected(Error error) : err_(std::move(error))
+    {
+        panic_if(err_.ok(), "Expected constructed from a non-error Error");
+    }
+
+    bool ok() const { return err_.ok(); }
+    explicit operator bool() const { return ok(); }
+
+    const Error &error() const
+    {
+        panic_if(ok(), "Expected::error() on a value");
+        return err_;
+    }
+
+  private:
+    Error err_;
+};
+
+} // namespace tea
+
+#endif // TEA_UTIL_EXPECTED_HH

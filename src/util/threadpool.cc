@@ -1,6 +1,7 @@
 #include "util/threadpool.hh"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 
@@ -120,11 +121,23 @@ ThreadPool::defaultThreads()
 {
     if (const char *env = std::getenv("REPRO_THREADS")) {
         // Accept "4" or a sweep list "1,2,4": the first entry governs.
-        long n = std::strtol(env, nullptr, 10);
-        if (n > 0)
+        // The field must be a clean integer ending at '\0' or ',' —
+        // "4abc" is a typo, not 4 threads.
+        errno = 0;
+        char *end = nullptr;
+        long n = std::strtol(env, &end, 10);
+        bool clean = end != env && (*end == '\0' || *end == ',') &&
+                     errno != ERANGE;
+        if (clean && n > 0) {
+            constexpr long kMaxThreads = 1024;
+            if (n > kMaxThreads) {
+                warn("clamping REPRO_THREADS=%ld to %ld", n,
+                     kMaxThreads);
+                n = kMaxThreads;
+            }
             return static_cast<unsigned>(n);
-        if (n != 0 || env[0] != '\0')
-            warn("ignoring invalid REPRO_THREADS='%s'", env);
+        }
+        warn("ignoring invalid REPRO_THREADS='%s'", env);
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;

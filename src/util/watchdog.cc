@@ -1,0 +1,38 @@
+#include "util/watchdog.hh"
+
+#include <csignal>
+#include <mutex>
+
+namespace tea {
+
+CancelToken &
+CancelToken::processWide()
+{
+    static CancelToken token;
+    return token;
+}
+
+namespace {
+
+extern "C" void
+shutdownHandler(int)
+{
+    // Only the lock-free atomic store; everything else (journal flush,
+    // partial-result printing) happens on the campaign threads when
+    // they next poll.
+    CancelToken::processWide().cancel();
+}
+
+} // namespace
+
+void
+installShutdownHandlers()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        std::signal(SIGINT, shutdownHandler);
+        std::signal(SIGTERM, shutdownHandler);
+    });
+}
+
+} // namespace tea

@@ -154,7 +154,7 @@ TEST(Models, SaveLoadRoundTrip)
     std::string path = "/tmp/tea_test_stats.txt";
     saveCampaignStats(path, stats);
     timing::CampaignStats loaded;
-    ASSERT_TRUE(loadCampaignStats(path, loaded));
+    ASSERT_EQ(loadCampaignStats(path, loaded), CacheLoad::Loaded);
     for (unsigned o = 0; o < fpu::kNumFpuOps; ++o) {
         EXPECT_EQ(loaded.perOp[o].total, stats.perOp[o].total);
         EXPECT_EQ(loaded.perOp[o].faulty, stats.perOp[o].faulty);
@@ -175,8 +175,9 @@ TEST(Models, LoadRejectsCorrupt)
         fclose(f);
     }
     timing::CampaignStats stats;
-    EXPECT_FALSE(loadCampaignStats(path, stats));
-    EXPECT_FALSE(loadCampaignStats("/nonexistent/nope", stats));
+    EXPECT_EQ(loadCampaignStats(path, stats), CacheLoad::Corrupt);
+    EXPECT_EQ(loadCampaignStats("/nonexistent/nope", stats),
+              CacheLoad::Missing);
     std::remove(path.c_str());
 }
 
