@@ -22,8 +22,9 @@ using namespace tea;
 using namespace tea::fpu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initObs(argc, argv);
     bench::banner("DTA engine ablation: exact vs levelized",
                   "DESIGN.md ablation (methodology validation)");
 

@@ -23,8 +23,9 @@ using namespace tea::core;
 using models::ModelKind;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initObs(argc, argv);
     bench::banner("Application Vulnerability Metric & energy guidance",
                   "Section V.C (incl. Eq. 4)");
 

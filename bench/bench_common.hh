@@ -8,8 +8,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 
+#include "obs/obs.hh"
 #include "util/threadpool.hh"
 
 namespace tea::bench {
@@ -21,9 +23,38 @@ banner(const std::string &what, const std::string &paperRef)
     std::printf("%s\n", what.c_str());
     std::printf("reproduces: %s\n", paperRef.c_str());
     std::printf("(scale via REPRO_RUNS=<n> / REPRO_FULL=1; seed via REPRO_SEED;\n");
-    std::printf(" worker threads via REPRO_THREADS, default hardware: %u)\n",
+    std::printf(" worker threads via REPRO_THREADS, default hardware: %u;\n",
                 ThreadPool::defaultThreads());
+    std::printf(" observability via REPRO_METRICS/REPRO_TRACE or --metrics/--trace)\n");
     std::printf("==============================================================\n\n");
+}
+
+/**
+ * Arm the observability exporters: consume `--metrics <path>` and
+ * `--trace <path>` from argv (removing them so the binary's own flag
+ * parsing never sees them), then fall back to REPRO_METRICS /
+ * REPRO_TRACE. Call first thing in every bench/example main.
+ */
+inline void
+initObs(int &argc, char **argv)
+{
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        bool metrics = !std::strcmp(argv[i], "--metrics");
+        bool trace = !std::strcmp(argv[i], "--trace");
+        if ((metrics || trace) && i + 1 < argc) {
+            if (metrics)
+                obs::setMetricsPath(argv[i + 1]);
+            else
+                obs::setTracePath(argv[i + 1]);
+            ++i;
+            continue;
+        }
+        argv[w++] = argv[i];
+    }
+    argc = w;
+    argv[argc] = nullptr;
+    obs::configureFromEnv();
 }
 
 /** Wall-clock stopwatch for the campaign throughput printouts. */

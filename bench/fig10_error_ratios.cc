@@ -20,8 +20,9 @@ using namespace tea;
 using namespace tea::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initObs(argc, argv);
     bench::banner("Error injection ratios per model", "Fig. 10");
 
     Toolflow tf;

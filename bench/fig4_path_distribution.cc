@@ -15,8 +15,9 @@ using namespace tea;
 using namespace tea::fpu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initObs(argc, argv);
     bench::banner("Longest-path distribution across pipeline units",
                   "Fig. 4 (plus the Section IV.B clock derivation)");
 

@@ -13,8 +13,9 @@ using namespace tea;
 using namespace tea::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initObs(argc, argv);
     bench::banner("Bit flips per faulty instruction output",
                   "Fig. 5");
 

@@ -40,8 +40,9 @@ averageAbsError(const timing::OpErrorStats &full,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initObs(argc, argv);
     bench::banner("BER convergence vs. number of fp-mul instructions",
                   "Fig. 6 (is program, fp-mul, VR20)");
 

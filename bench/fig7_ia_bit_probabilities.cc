@@ -17,8 +17,9 @@ using namespace tea::core;
 using fpu::FpuOp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initObs(argc, argv);
     bench::banner("IA-model per-instruction bit error probabilities",
                   "Fig. 7");
 

@@ -15,8 +15,9 @@ using namespace tea::core;
 using fpu::FpuOp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initObs(argc, argv);
     bench::banner(
         "WA-model per-benchmark bit error probabilities",
         "Fig. 8 (plus the mantissa-vs-exponent observation)");

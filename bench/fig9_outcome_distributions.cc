@@ -18,8 +18,9 @@ using namespace tea::core;
 using models::ModelKind;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initObs(argc, argv);
     bench::banner("Injection outcome distributions", "Fig. 9");
 
     Toolflow tf;

@@ -30,6 +30,7 @@
 #include "sim/ooo_sim.hh"
 #include "softfloat/softfloat.hh"
 #include "timing/dta_campaign.hh"
+#include "bench_common.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
@@ -408,6 +409,7 @@ runFaultStress()
 int
 main(int argc, char **argv)
 {
+    tea::bench::initObs(argc, argv);
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--thread-sweep") == 0)
             return runThreadSweep();

@@ -10,8 +10,9 @@
 using namespace tea;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initObs(argc, argv);
     bench::banner("Error injection model overview",
                   "Table I (IISWC'21 paper)");
 

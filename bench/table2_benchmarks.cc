@@ -7,14 +7,16 @@
 
 #include "bench_common.hh"
 #include "sim/func_sim.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 #include "workloads/workloads.hh"
 
 using namespace tea;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initObs(argc, argv);
     bench::banner("Benchmark inputs, sizes and classification criteria",
                   "Table II");
 
@@ -25,7 +27,7 @@ main()
         sim::FuncSim sim(w.program);
         auto r = sim.run();
         if (r.status != sim::FuncSim::Status::Halted) {
-            std::fprintf(stderr, "%s did not halt!\n", name.c_str());
+            logWarn("%s did not halt!", name.c_str());
             return 1;
         }
         t.addRow({w.name, w.inputDesc, std::to_string(r.instructions),

@@ -12,6 +12,7 @@
 
 #include "circuit/celllib.hh"
 #include "fpu/fpu_core.hh"
+#include "obs/obs.hh"
 #include "softfloat/softfloat.hh"
 #include "timing/dta_campaign.hh"
 #include "util/rng.hh"
@@ -23,6 +24,7 @@ using namespace tea::fpu;
 int
 main(int argc, char **argv)
 {
+    obs::configureFromEnv(); // REPRO_METRICS / REPRO_TRACE
     double vrFrac = (argc > 1 ? std::atof(argv[1]) : 20.0) / 100.0;
 
     FpuCore core;

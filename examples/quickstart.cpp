@@ -14,6 +14,7 @@
 #include "circuit/celllib.hh"
 #include "fpu/fpu_core.hh"
 #include "isa/assembler.hh"
+#include "obs/obs.hh"
 #include "sim/func_sim.hh"
 #include "sim/ooo_sim.hh"
 #include "softfloat/softfloat.hh"
@@ -56,6 +57,7 @@ loop:
 int
 main()
 {
+    obs::configureFromEnv(); // REPRO_METRICS / REPRO_TRACE
     std::printf("== 1. Assemble ==\n");
     isa::Program prog = isa::assemble(kProgram, "quickstart");
     std::printf("assembled %zu instructions, %zu data segments\n\n",

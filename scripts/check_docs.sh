@@ -1,0 +1,42 @@
+#!/bin/sh
+# Docs-drift check (wired into ctest as check_docs): every REPRO_*
+# environment variable referenced anywhere in src/bench/examples and
+# every metric family registered in src/obs/obs.hh must be documented
+# in BOTH README.md and docs/OBSERVABILITY.md. Adding a knob or a
+# metric without documenting it fails the test suite.
+#
+# Usage: scripts/check_docs.sh [repo-root]
+set -u
+
+root=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+cd "$root" || exit 2
+
+fail=0
+
+# ---- REPRO_* environment variables ---------------------------------
+# README's "Environment variables" table is the canonical reference.
+vars=$(grep -rhoE 'REPRO_[A-Z_]+' src bench examples | sort -u)
+[ -n "$vars" ] || { echo "check_docs: found no REPRO_ variables — wrong root?"; exit 2; }
+for v in $vars; do
+    if ! grep -q "$v" README.md; then
+        echo "check_docs: $v is used in the code but missing from README.md"
+        fail=1
+    fi
+done
+
+# ---- metric families registered in the catalog ---------------------
+# docs/OBSERVABILITY.md's catalog table must name every family.
+metrics=$(grep -rhoE '"tea_[a-z0-9_]+"' src/obs/obs.hh | tr -d '"' | sort -u)
+[ -n "$metrics" ] || { echo "check_docs: found no metric names in src/obs/obs.hh"; exit 2; }
+for m in $metrics; do
+    if ! grep -q "$m" docs/OBSERVABILITY.md; then
+        echo "check_docs: metric $m is registered but missing from docs/OBSERVABILITY.md"
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_docs: FAILED — update README.md / docs/OBSERVABILITY.md"
+    exit 1
+fi
+echo "check_docs: OK ($(echo "$vars" | wc -l | tr -d ' ') REPRO_ vars, $(echo "$metrics" | wc -l | tr -d ' ') metrics documented)"

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
 #include "util/crc32.hh"
 #include "util/logging.hh"
 
@@ -151,6 +153,10 @@ ShardJournal::append(uint64_t idx, const RunRecord &rec)
         return;
     out_ << recordLine(idx, rec) << "\n";
     out_.flush();
+    obs::Registry::global()
+        .counter(obs::metric::kJournalAppends, "",
+                 "run records appended to shard journals")
+        .inc(1);
 }
 
 void

@@ -6,6 +6,10 @@
 #include <sstream>
 
 #include "core/journal.hh"
+#include "obs/manifest.hh"
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace tea::core {
@@ -107,6 +111,24 @@ cellJournalPath(const ToolflowOptions &opt, const std::string &workload,
            buf;
 }
 
+/** Manifest file path for one grid cell (mirrors cellJournalPath). */
+std::string
+cellManifestPath(const ToolflowOptions &opt, const std::string &workload,
+                 ModelKind kind, double vr)
+{
+    char buf[80];
+    std::snprintf(buf, sizeof(buf), "_m%d_vr%02d_s%llu_x%d.json",
+                  static_cast<int>(kind),
+                  static_cast<int>(vr * 100 + 0.5),
+                  static_cast<unsigned long long>(opt.seed),
+                  opt.workloadScale);
+    return opt.cacheDir + "/" +
+           Toolflow::cacheTag(
+               "mft", workload,
+               static_cast<uint64_t>(opt.runsPerCell)) +
+           buf;
+}
+
 /** Everything a cell's journaled records depend on, for the header. */
 std::string
 cellIdentity(const ToolflowOptions &opt, const std::string &workload,
@@ -146,6 +168,7 @@ runEvaluationGrid(Toolflow &tf, bool useCache)
     }
 
     const CancelToken &cancel = CancelToken::processWide();
+    obs::Span gridSpan("toolflow.grid", "toolflow");
     std::vector<std::unique_ptr<ShardJournal>> journals;
     EvaluationGrid grid;
     bool interrupted = false;
@@ -184,11 +207,12 @@ runEvaluationGrid(Toolflow &tf, bool useCache)
                 ro.runDeadlineMs = opt.runDeadlineMs;
                 ro.maxAttempts = opt.maxRunAttempts;
                 ShardJournal *journal = nullptr;
+                size_t replayable = 0;
                 if (!opt.cacheDir.empty()) {
                     journals.push_back(std::make_unique<ShardJournal>(
                         cellJournalPath(opt, name, mr.kind, vr)));
                     journal = journals.back().get();
-                    size_t replayable = journal->open(
+                    replayable = journal->open(
                         cellIdentity(opt, name, *mr.model, vr),
                         opt.resume);
                     if (replayable > 0)
@@ -215,8 +239,56 @@ runEvaluationGrid(Toolflow &tf, bool useCache)
                 cell.workload = name;
                 cell.model = mr.kind;
                 cell.vrFrac = vr;
-                cell.result = campaign.run(*mr.model, opt.runsPerCell,
-                                           cellRng, ro);
+                {
+                    obs::Span cellSpan(
+                        name + "/" + models::modelKindName(mr.kind),
+                        "grid",
+                        static_cast<int64_t>(vr * 100 + 0.5));
+                    cell.result = campaign.run(*mr.model,
+                                               opt.runsPerCell,
+                                               cellRng, ro);
+                }
+                obs::Registry::global()
+                    .counter(obs::metric::kCampaignCells, "",
+                             "evaluation-grid cells executed")
+                    .inc(1);
+                if (!opt.cacheDir.empty()) {
+                    obs::RunManifest m;
+                    m.workload = name;
+                    m.model = models::modelKindName(mr.kind);
+                    m.modelDetail = mr.model->describe();
+                    m.vrFrac = vr;
+                    m.seed = opt.seed;
+                    m.runsPerCell = opt.runsPerCell;
+                    m.workloadScale = opt.workloadScale;
+                    m.threads = tf.pool().numThreads();
+                    m.identity = cellIdentity(opt, name, *mr.model, vr);
+                    m.journalPath =
+                        cellJournalPath(opt, name, mr.kind, vr);
+                    m.gridCsvPath = cachePath;
+                    m.runs = cell.result.runs;
+                    m.masked = cell.result.masked;
+                    m.sdc = cell.result.sdc;
+                    m.crash = cell.result.crash;
+                    m.timeout = cell.result.timeout;
+                    m.engineFault = cell.result.engineFault;
+                    m.retries = cell.result.retries;
+                    m.replayedRuns = replayable;
+                    m.injectedErrors = cell.result.injectedErrors;
+                    m.committedInstructions =
+                        cell.result.committedInstructions;
+                    m.interrupted = cell.result.interrupted;
+                    std::string mpath =
+                        cellManifestPath(opt, name, mr.kind, vr);
+                    if (obs::writeRunManifest(mpath, std::move(m)))
+                        obs::Registry::global()
+                            .counter(obs::metric::kManifestsWritten, "",
+                                     "per-cell run manifests written")
+                            .inc(1);
+                    else
+                        logWarn("cannot write run manifest '%s'",
+                                mpath.c_str());
+                }
                 if (cell.result.interrupted) {
                     // Partial cell: its completed runs are safely in
                     // the journal; the aggregate is not comparable and

@@ -5,6 +5,9 @@
 #include <filesystem>
 #include <functional>
 
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
+#include "obs/trace.hh"
 #include "sim/func_sim.hh"
 #include "util/crc32.hh"
 #include "util/logging.hh"
@@ -112,6 +115,9 @@ Toolflow::Toolflow(ToolflowOptions opt)
     // campaigns poll it cooperatively, flush their journals, and the
     // drivers print partial results instead of dying mid-write.
     installShutdownHandlers();
+    // Arm REPRO_TRACE / REPRO_METRICS (idempotent; bench mains may
+    // already have armed them from --trace/--metrics flags).
+    obs::configureFromEnv();
     if (!opt_.cacheDir.empty()) {
         std::error_code ec;
         std::filesystem::create_directories(opt_.cacheDir, ec);
@@ -210,23 +216,35 @@ Toolflow::characterize(
     if (it != statsCache_.end())
         return it->second;
 
+    obs::Registry &reg = obs::Registry::global();
     std::string path = cachePath(tag, vrFrac);
     CampaignStats stats;
     if (!path.empty()) {
         switch (models::loadCampaignStats(path, stats)) {
           case models::CacheLoad::Loaded:
             inform("loaded cached characterization %s", path.c_str());
+            reg.counter(obs::metric::kCacheHits, "",
+                        "characterizations served from the stats cache")
+                .inc(1);
             return statsCache_.emplace(key, std::move(stats))
                 .first->second;
           case models::CacheLoad::Missing:
+            reg.counter(obs::metric::kCacheMisses, "",
+                        "characterizations recomputed on a cold cache")
+                .inc(1);
             break; // cold cache: the quiet, normal case
           case models::CacheLoad::Corrupt:
+            reg.counter(obs::metric::kCacheCorrupt, "",
+                        "cache files quarantined after failing "
+                        "integrity checks")
+                .inc(1);
             quarantineCache(path);
             stats = CampaignStats{};
             break;
         }
     }
     size_t point = pointFor(vrFrac);
+    obs::Span span("toolflow.characterize", "toolflow");
     stats = run(point);
     if (stats.interrupted) {
         // Partial statistics must never feed models or caches.

@@ -1,7 +1,11 @@
 #include "inject/campaign.hh"
 
+#include <chrono>
 #include <cstring>
 
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
+#include "obs/trace.hh"
 #include "sim/func_sim.hh"
 #include "util/logging.hh"
 
@@ -246,16 +250,41 @@ InjectionCampaign::run(const ErrorModel &model, int runs, Rng &rng,
     size_t n = runs > 0 ? static_cast<size_t>(runs) : 0;
     std::vector<RunRecord> records(n);
     std::vector<uint8_t> done(n, 0);
+
+    // Observation only: counters/histograms never feed back into run
+    // scheduling, RNG streams, or the ordered aggregation below.
+    obs::Registry &reg = obs::Registry::global();
+    obs::Counter mReplays = reg.counter(
+        obs::metric::kInjectReplays, "",
+        "injection runs satisfied from a journal instead of simulated");
+    obs::Counter mCancelled = reg.counter(
+        obs::metric::kWatchdogCancelled, "",
+        "runs abandoned because a cancellation was requested");
+    obs::Histogram mRunMs = reg.histogram(
+        obs::metric::kInjectRunMs, obs::latencyBucketsMs(), "",
+        "wall time of one contained injection run");
+
+    obs::Span campaignSpan("inject.campaign", "inject",
+                           static_cast<int64_t>(n));
     tp.parallelFor(0, n, [&](uint64_t i, unsigned) {
         if (opts.cancel && opts.cancel->cancelled())
             return;
         if (opts.replay && opts.replay(i, records[i])) {
             done[i] = 1;
+            mReplays.inc(1);
             return;
         }
+        obs::Span runSpan("inject.run", "inject",
+                          static_cast<int64_t>(i));
+        auto t0 = std::chrono::steady_clock::now();
         RunRecord rec = executeOneContained(model, base, i, opts);
-        if (rec.fault == ErrorCode::Cancelled)
+        mRunMs.observe(std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count());
+        if (rec.fault == ErrorCode::Cancelled) {
+            mCancelled.inc(1);
             return; // shutdown mid-run: leave it for the resume
+        }
         records[i] = rec;
         done[i] = 1;
         if (opts.onComplete)
@@ -273,6 +302,10 @@ InjectionCampaign::run(const ErrorModel &model, int runs, Rng &rng,
         const RunRecord &rec = records[i];
         ++out.runs;
         out.retries += rec.attempts - 1;
+        if (rec.fault == ErrorCode::RunDeadline)
+            reg.counter(obs::metric::kWatchdogDeadline, "",
+                        "runs cut off by the per-run deadline")
+                .inc(1);
         if (rec.outcome == Outcome::EngineFault) {
             // Infrastructure failure: excluded from AVM and from the
             // injection/commit accounting (its counters are partial).
@@ -290,6 +323,24 @@ InjectionCampaign::run(const ErrorModel &model, int runs, Rng &rng,
           case Outcome::EngineFault: break; // handled above
         }
     }
+    reg.counter(obs::metric::kInjectRuns, "",
+                "classified injection runs (replayed or simulated)")
+        .inc(out.runs);
+    reg.counter(obs::metric::kInjectRetries, "",
+                "extra attempts spent containing faulted runs")
+        .inc(out.retries);
+    const char *help = "injection outcomes by classification";
+    reg.counter(obs::metric::kInjectOutcomes, "outcome=\"Masked\"", help)
+        .inc(out.masked);
+    reg.counter(obs::metric::kInjectOutcomes, "outcome=\"SDC\"", help)
+        .inc(out.sdc);
+    reg.counter(obs::metric::kInjectOutcomes, "outcome=\"Crash\"", help)
+        .inc(out.crash);
+    reg.counter(obs::metric::kInjectOutcomes, "outcome=\"Timeout\"", help)
+        .inc(out.timeout);
+    reg.counter(obs::metric::kInjectOutcomes, "outcome=\"EngineFault\"",
+                help)
+        .inc(out.engineFault);
     return out;
 }
 

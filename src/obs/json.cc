@@ -1,0 +1,379 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace tea::obs::json {
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : object_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+std::string
+quote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(static_cast<char>(c));
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+namespace {
+
+void
+newlineIndent(std::string &out, int indent, int depth)
+{
+    if (indent < 0)
+        return;
+    out.push_back('\n');
+    out.append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+} // namespace
+
+void
+Value::dumpTo(std::string &out, int indent, int depth) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Int: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(int_));
+        out += buf;
+        break;
+      }
+      case Kind::Double: {
+        if (!std::isfinite(double_)) {
+            out += "null"; // JSON has no Inf/NaN
+            break;
+        }
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", double_);
+        out += buf;
+        break;
+      }
+      case Kind::String:
+        out += quote(string_);
+        break;
+      case Kind::Array: {
+        out.push_back('[');
+        for (size_t i = 0; i < array_.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            newlineIndent(out, indent, depth + 1);
+            array_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!array_.empty())
+            newlineIndent(out, indent, depth);
+        out.push_back(']');
+        break;
+      }
+      case Kind::Object: {
+        out.push_back('{');
+        for (size_t i = 0; i < object_.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            newlineIndent(out, indent, depth + 1);
+            out += quote(object_[i].first);
+            out.push_back(':');
+            if (indent >= 0)
+                out.push_back(' ');
+            object_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (!object_.empty())
+            newlineIndent(out, indent, depth);
+        out.push_back('}');
+        break;
+      }
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+struct Parser
+{
+    const char *p;
+    const char *end;
+
+    void skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r'))
+            ++p;
+    }
+
+    bool literal(const char *lit)
+    {
+        size_t n = std::strlen(lit);
+        if (static_cast<size_t>(end - p) < n ||
+            std::strncmp(p, lit, n) != 0)
+            return false;
+        p += n;
+        return true;
+    }
+
+    bool parseString(std::string &out)
+    {
+        if (p >= end || *p != '"')
+            return false;
+        ++p;
+        out.clear();
+        while (p < end && *p != '"') {
+            char c = *p++;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (p >= end)
+                return false;
+            char e = *p++;
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (end - p < 4)
+                    return false;
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = *p++;
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return false;
+                }
+                // Minimal UTF-8 encode (no surrogate-pair handling —
+                // obs output never emits any).
+                if (cp < 0x80) {
+                    out.push_back(static_cast<char>(cp));
+                } else if (cp < 0x800) {
+                    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (cp & 0x3F)));
+                } else {
+                    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+                    out.push_back(
+                        static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (cp & 0x3F)));
+                }
+                break;
+              }
+              default:
+                return false;
+            }
+        }
+        if (p >= end)
+            return false;
+        ++p; // closing quote
+        return true;
+    }
+
+    bool parseValue(Value &out)
+    {
+        skipWs();
+        if (p >= end)
+            return false;
+        switch (*p) {
+          case 'n':
+            if (!literal("null"))
+                return false;
+            out = Value();
+            return true;
+          case 't':
+            if (!literal("true"))
+                return false;
+            out = Value(true);
+            return true;
+          case 'f':
+            if (!literal("false"))
+                return false;
+            out = Value(false);
+            return true;
+          case '"': {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Value(std::move(s));
+            return true;
+          }
+          case '[': {
+            ++p;
+            Array a;
+            skipWs();
+            if (p < end && *p == ']') {
+                ++p;
+                out = Value(std::move(a));
+                return true;
+            }
+            for (;;) {
+                Value v;
+                if (!parseValue(v))
+                    return false;
+                a.push_back(std::move(v));
+                skipWs();
+                if (p >= end)
+                    return false;
+                if (*p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (*p == ']') {
+                    ++p;
+                    out = Value(std::move(a));
+                    return true;
+                }
+                return false;
+            }
+          }
+          case '{': {
+            ++p;
+            Object o;
+            skipWs();
+            if (p < end && *p == '}') {
+                ++p;
+                out = Value(std::move(o));
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (p >= end || *p != ':')
+                    return false;
+                ++p;
+                Value v;
+                if (!parseValue(v))
+                    return false;
+                o.emplace_back(std::move(key), std::move(v));
+                skipWs();
+                if (p >= end)
+                    return false;
+                if (*p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (*p == '}') {
+                    ++p;
+                    out = Value(std::move(o));
+                    return true;
+                }
+                return false;
+            }
+          }
+          default: {
+            // Number: [-]int[.frac][e...]
+            const char *start = p;
+            if (*p == '-')
+                ++p;
+            bool digits = false;
+            while (p < end && std::isdigit(static_cast<unsigned char>(*p))) {
+                ++p;
+                digits = true;
+            }
+            if (!digits)
+                return false;
+            bool isDouble = false;
+            if (p < end && *p == '.') {
+                isDouble = true;
+                ++p;
+                if (p >= end ||
+                    !std::isdigit(static_cast<unsigned char>(*p)))
+                    return false;
+                while (p < end &&
+                       std::isdigit(static_cast<unsigned char>(*p)))
+                    ++p;
+            }
+            if (p < end && (*p == 'e' || *p == 'E')) {
+                isDouble = true;
+                ++p;
+                if (p < end && (*p == '+' || *p == '-'))
+                    ++p;
+                if (p >= end ||
+                    !std::isdigit(static_cast<unsigned char>(*p)))
+                    return false;
+                while (p < end &&
+                       std::isdigit(static_cast<unsigned char>(*p)))
+                    ++p;
+            }
+            std::string tok(start, p);
+            if (isDouble)
+                out = Value(std::strtod(tok.c_str(), nullptr));
+            else
+                out = Value(static_cast<int64_t>(
+                    std::strtoll(tok.c_str(), nullptr, 10)));
+            return true;
+          }
+        }
+    }
+};
+
+} // namespace
+
+std::optional<Value>
+parse(const std::string &text)
+{
+    Parser parser{text.data(), text.data() + text.size()};
+    Value v;
+    if (!parser.parseValue(v))
+        return std::nullopt;
+    parser.skipWs();
+    if (parser.p != parser.end)
+        return std::nullopt; // trailing garbage
+    return v;
+}
+
+} // namespace tea::obs::json

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Minimal JSON value model for the observability layer.
+ *
+ * Everything obs emits (metric exports, run manifests, trace files) is
+ * JSON, and the tests must be able to re-read those artifacts to prove
+ * round-trips and well-formedness without an external dependency. This
+ * is a deliberately small implementation: ordered objects (so emitted
+ * files diff stably), UTF-8 passed through verbatim, numbers as double
+ * or int64, no comments, no trailing commas.
+ */
+
+#ifndef TEA_OBS_JSON_HH
+#define TEA_OBS_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tea::obs::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/** Insertion-ordered object: emitted files diff stably. */
+using Object = std::vector<std::pair<std::string, Value>>;
+
+class Value
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Int,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    Value() : kind_(Kind::Null) {}
+    Value(std::nullptr_t) : kind_(Kind::Null) {}
+    Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Value(int64_t i) : kind_(Kind::Int), int_(i) {}
+    Value(int i) : kind_(Kind::Int), int_(i) {}
+    Value(uint64_t u) : kind_(Kind::Int), int_(static_cast<int64_t>(u)) {}
+    Value(double d) : kind_(Kind::Double), double_(d) {}
+    Value(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+    Value(const char *s) : kind_(Kind::String), string_(s) {}
+    Value(Array a) : kind_(Kind::Array), array_(std::move(a)) {}
+    Value(Object o) : kind_(Kind::Object), object_(std::move(o)) {}
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Double;
+    }
+
+    bool asBool() const { return bool_; }
+    int64_t asInt() const
+    {
+        return kind_ == Kind::Double ? static_cast<int64_t>(double_)
+                                     : int_;
+    }
+    double asDouble() const
+    {
+        return kind_ == Kind::Int ? static_cast<double>(int_) : double_;
+    }
+    const std::string &asString() const { return string_; }
+    const Array &asArray() const { return array_; }
+    const Object &asObject() const { return object_; }
+    Array &asArray() { return array_; }
+    Object &asObject() { return object_; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Value *find(const std::string &key) const;
+
+    /** Append a member (object kinds only; asserts nothing, trusts use). */
+    void set(std::string key, Value v)
+    {
+        object_.emplace_back(std::move(key), std::move(v));
+    }
+
+    /** Serialize. indent < 0 emits compact one-line JSON. */
+    std::string dump(int indent = -1) const;
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    Array array_;
+    Object object_;
+};
+
+/** Escape a string into a JSON string literal (with quotes). */
+std::string quote(const std::string &s);
+
+/**
+ * Parse a complete JSON document. Returns nullopt on any syntax error
+ * (including trailing garbage) — used by tests to prove emitted
+ * artifacts are well-formed.
+ */
+std::optional<Value> parse(const std::string &text);
+
+} // namespace tea::obs::json
+
+#endif // TEA_OBS_JSON_HH

@@ -1,0 +1,146 @@
+#include "obs/manifest.hh"
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
+
+namespace tea::obs {
+
+namespace {
+constexpr const char *kSchema = "tea-manifest-v1";
+} // namespace
+
+std::string
+isoTimestamp()
+{
+    std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+json::Value
+RunManifest::toJson() const
+{
+    json::Object o;
+    o.emplace_back("schema", kSchema);
+    o.emplace_back("workload", workload);
+    o.emplace_back("model", model);
+    o.emplace_back("modelDetail", modelDetail);
+    o.emplace_back("vr", vrFrac);
+    o.emplace_back("seed", seed);
+    o.emplace_back("runsPerCell", runsPerCell);
+    o.emplace_back("workloadScale", workloadScale);
+    o.emplace_back("threads", static_cast<uint64_t>(threads));
+    o.emplace_back("identity", identity);
+    o.emplace_back("git", gitDescribe);
+    o.emplace_back("journal", journalPath);
+    o.emplace_back("gridCsv", gridCsvPath);
+    o.emplace_back("written", wallTime);
+    json::Object outcome;
+    outcome.emplace_back("runs", runs);
+    outcome.emplace_back("masked", masked);
+    outcome.emplace_back("sdc", sdc);
+    outcome.emplace_back("crash", crash);
+    outcome.emplace_back("timeout", timeout);
+    outcome.emplace_back("engineFault", engineFault);
+    outcome.emplace_back("retries", retries);
+    outcome.emplace_back("replayedRuns", replayedRuns);
+    outcome.emplace_back("injectedErrors", injectedErrors);
+    outcome.emplace_back("committedInstructions",
+                         committedInstructions);
+    outcome.emplace_back("interrupted", interrupted);
+    o.emplace_back("outcome", std::move(outcome));
+    o.emplace_back("metrics", metrics);
+    return json::Value(std::move(o));
+}
+
+std::optional<RunManifest>
+RunManifest::fromJson(const json::Value &v)
+{
+    const json::Value *schema = v.find("schema");
+    if (!schema || schema->asString() != kSchema)
+        return std::nullopt;
+    RunManifest m;
+    auto str = [&](const char *key, std::string &dst) {
+        if (const json::Value *f = v.find(key))
+            dst = f->asString();
+    };
+    str("workload", m.workload);
+    str("model", m.model);
+    str("modelDetail", m.modelDetail);
+    str("identity", m.identity);
+    str("git", m.gitDescribe);
+    str("journal", m.journalPath);
+    str("gridCsv", m.gridCsvPath);
+    str("written", m.wallTime);
+    if (const json::Value *f = v.find("vr"))
+        m.vrFrac = f->asDouble();
+    if (const json::Value *f = v.find("seed"))
+        m.seed = static_cast<uint64_t>(f->asInt());
+    if (const json::Value *f = v.find("runsPerCell"))
+        m.runsPerCell = static_cast<int>(f->asInt());
+    if (const json::Value *f = v.find("workloadScale"))
+        m.workloadScale = static_cast<int>(f->asInt());
+    if (const json::Value *f = v.find("threads"))
+        m.threads = static_cast<unsigned>(f->asInt());
+    if (const json::Value *outcome = v.find("outcome")) {
+        auto u64 = [&](const char *key, uint64_t &dst) {
+            if (const json::Value *f = outcome->find(key))
+                dst = static_cast<uint64_t>(f->asInt());
+        };
+        u64("runs", m.runs);
+        u64("masked", m.masked);
+        u64("sdc", m.sdc);
+        u64("crash", m.crash);
+        u64("timeout", m.timeout);
+        u64("engineFault", m.engineFault);
+        u64("retries", m.retries);
+        u64("replayedRuns", m.replayedRuns);
+        u64("injectedErrors", m.injectedErrors);
+        u64("committedInstructions", m.committedInstructions);
+        if (const json::Value *f = outcome->find("interrupted"))
+            m.interrupted = f->asBool();
+    }
+    if (const json::Value *f = v.find("metrics"))
+        m.metrics = *f;
+    return m;
+}
+
+bool
+writeRunManifest(const std::string &path, RunManifest m)
+{
+    if (m.gitDescribe.empty())
+        m.gitDescribe = gitDescribe();
+    if (m.wallTime.empty())
+        m.wallTime = isoTimestamp();
+    if (m.metrics.isNull())
+        m.metrics = Registry::global().snapshot();
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << m.toJson().dump(2) << "\n";
+    return static_cast<bool>(out);
+}
+
+std::optional<RunManifest>
+readRunManifest(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto parsed = json::parse(text.str());
+    if (!parsed)
+        return std::nullopt;
+    return RunManifest::fromJson(*parsed);
+}
+
+} // namespace tea::obs

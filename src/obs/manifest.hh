@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Per-campaign run manifests.
+ *
+ * A manifest is one small JSON file written next to a campaign's cache
+ * artifacts, capturing *exactly how they were produced*: workload,
+ * model, VR level, seed, run count, thread count, git revision, the
+ * journal identity string, outcome counts, and a snapshot of the
+ * process metrics at write time. Any cached grid CSV can then be
+ * audited back to its producing configuration without re-running
+ * anything — the property the undervolted-SRAM fault-injection
+ * literature calls out as the difference between a credible campaign
+ * and a pile of numbers.
+ *
+ * Schema ("tea-manifest-v1") is documented in docs/OBSERVABILITY.md;
+ * the round-trip is enforced by tests/obs/test_observability.cc.
+ */
+
+#ifndef TEA_OBS_MANIFEST_HH
+#define TEA_OBS_MANIFEST_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "obs/json.hh"
+
+namespace tea::obs {
+
+struct RunManifest
+{
+    // ---- identity -------------------------------------------------
+    std::string workload;
+    std::string model;        ///< model kind name (DA/IA/WA)
+    std::string modelDetail;  ///< ErrorModel::describe()
+    double vrFrac = 0.0;
+    uint64_t seed = 0;
+    int runsPerCell = 0;
+    int workloadScale = 1;
+    unsigned threads = 0;
+    std::string identity;     ///< the journal identity string
+    // ---- provenance -----------------------------------------------
+    std::string gitDescribe;
+    std::string journalPath;
+    std::string gridCsvPath;
+    std::string wallTime;     ///< ISO-8601 UTC; obs output only
+    // ---- outcome --------------------------------------------------
+    uint64_t runs = 0;
+    uint64_t masked = 0, sdc = 0, crash = 0, timeout = 0;
+    uint64_t engineFault = 0;
+    uint64_t retries = 0;
+    uint64_t replayedRuns = 0;
+    uint64_t injectedErrors = 0;
+    uint64_t committedInstructions = 0;
+    bool interrupted = false;
+    // ---- metrics snapshot (filled by writeRunManifest) ------------
+    json::Value metrics;
+
+    json::Value toJson() const;
+    /** Parse a manifest back; nullopt on schema mismatch. */
+    static std::optional<RunManifest> fromJson(const json::Value &v);
+};
+
+/**
+ * Serialize `m` (with the current metric registry snapshot and wall
+ * time attached) to `path`. Returns false on I/O failure.
+ */
+bool writeRunManifest(const std::string &path, RunManifest m);
+
+/** Read + parse a manifest file. */
+std::optional<RunManifest> readRunManifest(const std::string &path);
+
+/** Current wall-clock as "YYYY-MM-DDTHH:MM:SSZ" (UTC). */
+std::string isoTimestamp();
+
+} // namespace tea::obs
+
+#endif // TEA_OBS_MANIFEST_HH

@@ -1,0 +1,287 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace tea::obs {
+
+namespace detail {
+
+unsigned
+shardIndex()
+{
+    // One atomic round-robin assignment per thread: spreads workers
+    // evenly across shards regardless of thread-id hashing quality.
+    static std::atomic<unsigned> next{0};
+    thread_local unsigned mine =
+        next.fetch_add(1, std::memory_order_relaxed) %
+        kCounterShards;
+    return mine;
+}
+
+void
+HistogramData::observe(double v)
+{
+    // Branchless-ish linear scan: bucket lists are short (~14) and the
+    // call rate is per-run/per-shard, not per-op.
+    size_t i = 0;
+    while (i < bounds.size() && v > bounds[i])
+        ++i;
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+    count.fetch_add(1, std::memory_order_relaxed);
+    double micro = v * 1e6;
+    if (micro > 0)
+        sumMicro.fetch_add(static_cast<uint64_t>(micro),
+                           std::memory_order_relaxed);
+}
+
+void
+HistogramData::reset()
+{
+    for (auto &c : counts)
+        c.store(0, std::memory_order_relaxed);
+    count.store(0, std::memory_order_relaxed);
+    sumMicro.store(0, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+const std::vector<double> &
+latencyBucketsMs()
+{
+    static const std::vector<double> buckets = {
+        0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000,
+        10000};
+    return buckets;
+}
+
+Registry &
+Registry::global()
+{
+    static Registry *registry = new Registry(); // never destroyed:
+    // atexit exporters may run after static destructors would.
+    return *registry;
+}
+
+Registry::Entry *
+Registry::findOrCreate(Kind kind, const std::string &name,
+                       const std::string &label,
+                       const std::string &help)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &e : entries_)
+        if (e->name == name && e->label == label)
+            return e.get();
+    auto e = std::make_unique<Entry>();
+    e->kind = kind;
+    e->name = name;
+    e->label = label;
+    e->help = help;
+    entries_.push_back(std::move(e));
+    return entries_.back().get();
+}
+
+Counter
+Registry::counter(const std::string &name, const std::string &label,
+                  const std::string &help)
+{
+    Entry *e = findOrCreate(Kind::Counter, name, label, help);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!e->counter)
+            e->counter = std::make_unique<detail::CounterData>();
+    }
+    return Counter(e->counter.get());
+}
+
+Gauge
+Registry::gauge(const std::string &name, const std::string &label,
+                const std::string &help)
+{
+    Entry *e = findOrCreate(Kind::Gauge, name, label, help);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!e->gauge)
+            e->gauge = std::make_unique<detail::GaugeData>();
+    }
+    return Gauge(e->gauge.get());
+}
+
+Histogram
+Registry::histogram(const std::string &name, std::vector<double> bounds,
+                    const std::string &label, const std::string &help)
+{
+    Entry *e = findOrCreate(Kind::Histogram, name, label, help);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!e->histogram) {
+            auto h = std::make_unique<detail::HistogramData>();
+            std::sort(bounds.begin(), bounds.end());
+            h->bounds = std::move(bounds);
+            h->counts =
+                std::vector<std::atomic<uint64_t>>(h->bounds.size() + 1);
+            e->histogram = std::move(h);
+        }
+    }
+    return Histogram(e->histogram.get());
+}
+
+json::Value
+Registry::snapshot() const
+{
+    json::Array metrics;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &e : entries_) {
+        json::Object m;
+        m.emplace_back("name", e->name);
+        if (!e->label.empty())
+            m.emplace_back("label", e->label);
+        switch (e->kind) {
+          case Kind::Counter:
+            m.emplace_back("kind", "counter");
+            m.emplace_back("value",
+                           e->counter ? e->counter->total() : 0);
+            break;
+          case Kind::Gauge:
+            m.emplace_back("kind", "gauge");
+            m.emplace_back(
+                "value",
+                e->gauge ? e->gauge->value.load(
+                               std::memory_order_relaxed)
+                         : int64_t{0});
+            break;
+          case Kind::Histogram: {
+            m.emplace_back("kind", "histogram");
+            json::Array bounds, counts;
+            if (e->histogram) {
+                for (double b : e->histogram->bounds)
+                    bounds.emplace_back(b);
+                for (const auto &c : e->histogram->counts)
+                    counts.emplace_back(
+                        c.load(std::memory_order_relaxed));
+                m.emplace_back(
+                    "count", e->histogram->count.load(
+                                 std::memory_order_relaxed));
+                m.emplace_back(
+                    "sum", static_cast<double>(
+                               e->histogram->sumMicro.load(
+                                   std::memory_order_relaxed)) /
+                               1e6);
+            }
+            m.emplace_back("bounds", std::move(bounds));
+            m.emplace_back("counts", std::move(counts));
+            break;
+          }
+        }
+        metrics.emplace_back(json::Object(std::move(m)));
+    }
+    json::Object root;
+    root.emplace_back("schema", "tea-metrics-v1");
+    root.emplace_back("metrics", std::move(metrics));
+    return json::Value(std::move(root));
+}
+
+std::string
+Registry::renderPrometheus() const
+{
+    std::string out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string lastHeader;
+    auto header = [&](const Entry &e, const char *type) {
+        if (e.name == lastHeader)
+            return; // one HELP/TYPE per family
+        lastHeader = e.name;
+        if (!e.help.empty())
+            out += "# HELP " + e.name + " " + e.help + "\n";
+        out += "# TYPE " + e.name + " " + std::string(type) + "\n";
+    };
+    auto series = [&](const Entry &e, const std::string &value) {
+        out += e.name;
+        if (!e.label.empty())
+            out += "{" + e.label + "}";
+        out += " " + value + "\n";
+    };
+    char buf[64];
+    for (const auto &e : entries_) {
+        switch (e->kind) {
+          case Kind::Counter:
+            header(*e, "counter");
+            std::snprintf(buf, sizeof(buf), "%llu",
+                          static_cast<unsigned long long>(
+                              e->counter ? e->counter->total() : 0));
+            series(*e, buf);
+            break;
+          case Kind::Gauge:
+            header(*e, "gauge");
+            std::snprintf(
+                buf, sizeof(buf), "%lld",
+                static_cast<long long>(
+                    e->gauge ? e->gauge->value.load(
+                                   std::memory_order_relaxed)
+                             : 0));
+            series(*e, buf);
+            break;
+          case Kind::Histogram: {
+            header(*e, "histogram");
+            if (!e->histogram)
+                break;
+            uint64_t cumulative = 0;
+            for (size_t i = 0; i < e->histogram->counts.size(); ++i) {
+                cumulative += e->histogram->counts[i].load(
+                    std::memory_order_relaxed);
+                std::string le;
+                if (i < e->histogram->bounds.size()) {
+                    std::snprintf(buf, sizeof(buf), "le=\"%g\"",
+                                  e->histogram->bounds[i]);
+                    le = buf;
+                } else {
+                    le = "le=\"+Inf\"";
+                }
+                std::snprintf(buf, sizeof(buf), "%llu",
+                              static_cast<unsigned long long>(
+                                  cumulative));
+                // _bucket series carry the le label.
+                std::string name = e->name;
+                out += name + "_bucket";
+                std::string labels = e->label;
+                labels += (labels.empty() ? "" : ",") + le;
+                out += "{" + labels + "} " + buf + "\n";
+            }
+            std::snprintf(
+                buf, sizeof(buf), "%.6f",
+                static_cast<double>(e->histogram->sumMicro.load(
+                    std::memory_order_relaxed)) /
+                    1e6);
+            out += e->name + "_sum" +
+                   (e->label.empty() ? "" : "{" + e->label + "}") +
+                   " " + buf + "\n";
+            std::snprintf(buf, sizeof(buf), "%llu",
+                          static_cast<unsigned long long>(
+                              e->histogram->count.load(
+                                  std::memory_order_relaxed)));
+            out += e->name + "_count" +
+                   (e->label.empty() ? "" : "{" + e->label + "}") +
+                   " " + buf + "\n";
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &e : entries_) {
+        if (e->counter)
+            e->counter->reset();
+        if (e->gauge)
+            e->gauge->value.store(0, std::memory_order_relaxed);
+        if (e->histogram)
+            e->histogram->reset();
+    }
+}
+
+} // namespace tea::obs

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Lock-sharded metrics registry: counters, gauges, fixed-bucket
+ * histograms.
+ *
+ * Design constraints, in order:
+ *
+ *  1. **Near-free on the hot path.** A handle (Counter/Gauge/Histogram)
+ *     is one pointer into registry-owned storage; incrementing is a
+ *     relaxed atomic add with no allocation, no lock, no branch on
+ *     export state. Counter cells are sharded across cache lines and
+ *     each thread picks a home shard once, so concurrent workers do
+ *     not bounce one cache line.
+ *  2. **Deterministic-safe.** Metrics never touch RNG streams, never
+ *     reorder merges, and never feed back into campaign control flow.
+ *     They are observation only; campaign outputs are bit-identical
+ *     with metrics on or off (tests/obs enforces this).
+ *  3. **Registration is rare and locked.** counter()/gauge()/
+ *     histogram() take the registry mutex, deduplicate by
+ *     (name, label), and hand back a stable handle. Call sites cache
+ *     handles in function-local statics.
+ *
+ * Export renders a snapshot as JSON or Prometheus text exposition
+ * format (see obs.hh for the REPRO_METRICS wiring).
+ */
+
+#ifndef TEA_OBS_METRICS_HH
+#define TEA_OBS_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace tea::obs {
+
+/** Counter shards; a power of two, each on its own cache line. */
+constexpr unsigned kCounterShards = 16;
+
+namespace detail {
+
+struct alignas(64) ShardCell
+{
+    std::atomic<uint64_t> value{0};
+};
+
+/** This thread's home shard in [0, kCounterShards). */
+unsigned shardIndex();
+
+struct CounterData
+{
+    std::array<ShardCell, kCounterShards> shards;
+
+    void add(uint64_t n)
+    {
+        shards[shardIndex()].value.fetch_add(n,
+                                             std::memory_order_relaxed);
+    }
+    uint64_t total() const
+    {
+        uint64_t sum = 0;
+        for (const auto &s : shards)
+            sum += s.value.load(std::memory_order_relaxed);
+        return sum;
+    }
+    void reset()
+    {
+        for (auto &s : shards)
+            s.value.store(0, std::memory_order_relaxed);
+    }
+};
+
+struct GaugeData
+{
+    std::atomic<int64_t> value{0};
+};
+
+struct HistogramData
+{
+    /** Inclusive upper bounds; one extra overflow bucket follows. */
+    std::vector<double> bounds;
+    std::vector<std::atomic<uint64_t>> counts; // bounds.size() + 1
+    std::atomic<uint64_t> count{0};
+    /** Sum in micro-units (value * 1e6), enough for wall-clock ms. */
+    std::atomic<uint64_t> sumMicro{0};
+
+    void observe(double v);
+    void reset();
+};
+
+} // namespace detail
+
+/** Monotonic counter handle. Copyable, trivially cheap. */
+class Counter
+{
+  public:
+    Counter() = default;
+    void inc(uint64_t n = 1) const
+    {
+        if (d_)
+            d_->add(n);
+    }
+    uint64_t value() const { return d_ ? d_->total() : 0; }
+
+  private:
+    friend class Registry;
+    explicit Counter(detail::CounterData *d) : d_(d) {}
+    detail::CounterData *d_ = nullptr;
+};
+
+/** Last-value gauge handle. */
+class Gauge
+{
+  public:
+    Gauge() = default;
+    void set(int64_t v) const
+    {
+        if (d_)
+            d_->value.store(v, std::memory_order_relaxed);
+    }
+    int64_t value() const
+    {
+        return d_ ? d_->value.load(std::memory_order_relaxed) : 0;
+    }
+
+  private:
+    friend class Registry;
+    explicit Gauge(detail::GaugeData *d) : d_(d) {}
+    detail::GaugeData *d_ = nullptr;
+};
+
+/** Fixed-bucket histogram handle. */
+class Histogram
+{
+  public:
+    Histogram() = default;
+    void observe(double v) const
+    {
+        if (d_)
+            d_->observe(v);
+    }
+    uint64_t count() const
+    {
+        return d_ ? d_->count.load(std::memory_order_relaxed) : 0;
+    }
+    /** Count in bucket i (i == bounds.size() is the overflow bucket). */
+    uint64_t bucketCount(size_t i) const
+    {
+        return d_ && i < d_->counts.size()
+                   ? d_->counts[i].load(std::memory_order_relaxed)
+                   : 0;
+    }
+    double sum() const
+    {
+        return d_ ? static_cast<double>(d_->sumMicro.load(
+                        std::memory_order_relaxed)) /
+                        1e6
+                  : 0.0;
+    }
+
+  private:
+    friend class Registry;
+    explicit Histogram(detail::HistogramData *d) : d_(d) {}
+    detail::HistogramData *d_ = nullptr;
+};
+
+/** Default bucket bounds for per-run / per-shard wall-clock ms. */
+const std::vector<double> &latencyBucketsMs();
+
+/**
+ * The process-wide metric registry. Metrics are identified by
+ * (name, label): `name` is the Prometheus-style family name
+ * (`tea_..._total`), `label` an optional single `key="value"` pair so
+ * one family can carry e.g. per-outcome counters.
+ */
+class Registry
+{
+  public:
+    static Registry &global();
+
+    Counter counter(const std::string &name,
+                    const std::string &label = "",
+                    const std::string &help = "");
+    Gauge gauge(const std::string &name, const std::string &label = "",
+                const std::string &help = "");
+    Histogram histogram(const std::string &name,
+                        std::vector<double> bounds,
+                        const std::string &label = "",
+                        const std::string &help = "");
+
+    /** Snapshot every metric as a JSON object (see OBSERVABILITY.md). */
+    json::Value snapshot() const;
+    /** Prometheus text exposition format. */
+    std::string renderPrometheus() const;
+
+    /** Zero every metric value; handles stay valid (tests). */
+    void reset();
+
+  private:
+    enum class Kind
+    {
+        Counter,
+        Gauge,
+        Histogram,
+    };
+
+    struct Entry
+    {
+        Kind kind;
+        std::string name;
+        std::string label;
+        std::string help;
+        std::unique_ptr<detail::CounterData> counter;
+        std::unique_ptr<detail::GaugeData> gauge;
+        std::unique_ptr<detail::HistogramData> histogram;
+    };
+
+    Entry *findOrCreate(Kind kind, const std::string &name,
+                        const std::string &label,
+                        const std::string &help);
+
+    mutable std::mutex mutex_; ///< registration + snapshot only
+    std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+} // namespace tea::obs
+
+#endif // TEA_OBS_METRICS_HH

@@ -1,0 +1,136 @@
+#include "obs/obs.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "util/logging.hh"
+#include "util/threadpool.hh"
+
+#ifndef TEA_GIT_DESCRIBE
+#define TEA_GIT_DESCRIBE "unknown"
+#endif
+
+namespace tea::obs {
+
+namespace {
+
+std::mutex configMutex;
+std::string gTracePath;
+std::string gMetricsPath;
+bool gAtExitRegistered = false;
+
+void
+registerFlushAtExit()
+{
+    if (gAtExitRegistered)
+        return;
+    gAtExitRegistered = true;
+    std::atexit([] { flush(); });
+}
+
+} // namespace
+
+const char *
+gitDescribe()
+{
+    return TEA_GIT_DESCRIBE;
+}
+
+void
+setTracePath(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(configMutex);
+    gTracePath = path;
+    if (!gTracePath.empty()) {
+        Tracer::global().enable();
+        registerFlushAtExit();
+    }
+}
+
+void
+setMetricsPath(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(configMutex);
+    gMetricsPath = path;
+    if (!gMetricsPath.empty())
+        registerFlushAtExit();
+}
+
+const std::string &
+tracePath()
+{
+    return gTracePath;
+}
+
+const std::string &
+metricsPath()
+{
+    return gMetricsPath;
+}
+
+void
+configureFromEnv()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        if (const char *trace = std::getenv("REPRO_TRACE");
+            trace && trace[0] != '\0' && gTracePath.empty())
+            setTracePath(trace);
+        if (const char *metrics = std::getenv("REPRO_METRICS");
+            metrics && metrics[0] != '\0' && gMetricsPath.empty())
+            setMetricsPath(metrics);
+    });
+}
+
+void
+flush()
+{
+    // Late-bound gauges: sampled at export, not maintained on hot
+    // paths (tea_util stays free of any obs dependency).
+    Registry &reg = Registry::global();
+    reg.gauge(metric::kPoolTasks, "",
+              "tasks executed across all thread pools")
+        .set(static_cast<int64_t>(ThreadPool::tasksExecuted()));
+    reg.gauge(metric::kPoolIdleNs, "",
+              "worker nanoseconds spent waiting for work")
+        .set(static_cast<int64_t>(ThreadPool::idleNanos()));
+    reg.gauge(metric::kTraceDropped, "",
+              "trace spans overwritten by ring wrap-around")
+        .set(static_cast<int64_t>(Tracer::global().dropped()));
+
+    std::string trace, metrics;
+    {
+        std::lock_guard<std::mutex> lock(configMutex);
+        trace = gTracePath;
+        metrics = gMetricsPath;
+    }
+    if (!metrics.empty()) {
+        std::ofstream json(metrics, std::ios::trunc);
+        if (json) {
+            json::Value snap = reg.snapshot();
+            snap.asObject().emplace(
+                snap.asObject().begin() + 1,
+                std::make_pair(std::string("git"),
+                               json::Value(gitDescribe())));
+            json << snap.dump(2) << "\n";
+        } else {
+            logWarn("cannot write metrics export '%s'",
+                    metrics.c_str());
+        }
+        std::ofstream prom(metrics + ".prom", std::ios::trunc);
+        if (prom)
+            prom << reg.renderPrometheus();
+        else
+            logWarn("cannot write metrics export '%s.prom'",
+                    metrics.c_str());
+    }
+    if (!trace.empty() && Tracer::global().enabled()) {
+        if (!Tracer::global().dumpTo(trace))
+            logWarn("cannot write trace '%s'", trace.c_str());
+    }
+}
+
+} // namespace tea::obs

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Observability facade: the metric catalog, environment wiring, and
+ * the at-exit exporters.
+ *
+ * The layer has three pieces (all deterministic-safe — observation
+ * only, never campaign control flow, RNG, or merge order):
+ *
+ *  - **Metrics** (obs/metrics.hh): counters/gauges/histograms exported
+ *    as JSON + Prometheus text when `REPRO_METRICS=<path>` (or
+ *    `--metrics <path>` on the bench binaries) is set.
+ *  - **Phase tracing** (obs/trace.hh): nested spans dumped as Chrome
+ *    trace_event JSON when `REPRO_TRACE=<path>` / `--trace <path>`.
+ *  - **Run manifests** (obs/manifest.hh): per-grid-cell provenance
+ *    JSON written into the cache dir whenever caching is on.
+ *
+ * Every metric family name lives in obs::metric:: below; the catalog
+ * is the single source of truth that scripts/check_docs.sh greps
+ * against docs/OBSERVABILITY.md, so adding a metric without
+ * documenting it fails ctest.
+ */
+
+#ifndef TEA_OBS_OBS_HH
+#define TEA_OBS_OBS_HH
+
+#include <string>
+
+namespace tea::obs {
+
+namespace metric {
+
+// ---- injection engine ---------------------------------------------
+inline constexpr const char *kInjectRuns = "tea_inject_runs_total";
+inline constexpr const char *kInjectOutcomes =
+    "tea_inject_outcomes_total";
+inline constexpr const char *kInjectRetries =
+    "tea_inject_retries_total";
+inline constexpr const char *kInjectReplays =
+    "tea_inject_replays_total";
+inline constexpr const char *kInjectRunMs = "tea_inject_run_ms";
+// ---- DTA characterization -----------------------------------------
+inline constexpr const char *kDtaShards = "tea_dta_shards_total";
+inline constexpr const char *kDtaShardRetries =
+    "tea_dta_shard_retries_total";
+inline constexpr const char *kDtaShardsDropped =
+    "tea_dta_shards_dropped_total";
+inline constexpr const char *kDtaOps = "tea_dta_ops_total";
+inline constexpr const char *kDtaShardMs = "tea_dta_shard_ms";
+// ---- durability ----------------------------------------------------
+inline constexpr const char *kJournalAppends =
+    "tea_journal_appends_total";
+inline constexpr const char *kCacheHits = "tea_cache_hits_total";
+inline constexpr const char *kCacheMisses = "tea_cache_misses_total";
+inline constexpr const char *kCacheCorrupt = "tea_cache_corrupt_total";
+// ---- watchdogs -----------------------------------------------------
+inline constexpr const char *kWatchdogDeadline =
+    "tea_watchdog_deadline_total";
+inline constexpr const char *kWatchdogCancelled =
+    "tea_watchdog_cancelled_total";
+// ---- grid / process -----------------------------------------------
+inline constexpr const char *kCampaignCells =
+    "tea_campaign_cells_total";
+inline constexpr const char *kManifestsWritten =
+    "tea_manifests_written_total";
+inline constexpr const char *kPoolTasks = "tea_pool_tasks_total";
+inline constexpr const char *kPoolIdleNs = "tea_pool_idle_ns_total";
+inline constexpr const char *kTraceDropped =
+    "tea_trace_spans_dropped_total";
+
+} // namespace metric
+
+/**
+ * Read REPRO_TRACE / REPRO_METRICS and arm the tracer/exporter
+ * accordingly; registers one at-exit flush. Idempotent — the Toolflow
+ * constructor and every bench/example entry point call it, whichever
+ * runs first wins.
+ */
+void configureFromEnv();
+
+/** CLI overrides (`--trace <path>` / `--metrics <path>`). */
+void setTracePath(const std::string &path);
+void setMetricsPath(const std::string &path);
+
+/** Paths currently armed ("" = disabled). */
+const std::string &tracePath();
+const std::string &metricsPath();
+
+/**
+ * Write everything now: metrics JSON to metricsPath(), Prometheus text
+ * to metricsPath()+".prom", the span ring to tracePath(). Safe to call
+ * repeatedly; the at-exit hook calls it last.
+ */
+void flush();
+
+/** `git describe` of the built tree (baked in at configure time). */
+const char *gitDescribe();
+
+} // namespace tea::obs
+
+#endif // TEA_OBS_OBS_HH

@@ -1,0 +1,134 @@
+#include "obs/trace.hh"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/json.hh"
+
+namespace tea::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point
+processEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+} // namespace
+
+Tracer &
+Tracer::global()
+{
+    static Tracer *tracer = new Tracer(); // never destroyed; the
+    // atexit dump may run after static destructors would.
+    return *tracer;
+}
+
+uint64_t
+Tracer::nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - processEpoch())
+            .count());
+}
+
+uint32_t
+Tracer::threadId()
+{
+    static std::atomic<uint32_t> next{0};
+    thread_local uint32_t mine =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return mine;
+}
+
+void
+Tracer::enable(size_t capacity)
+{
+    processEpoch(); // pin the epoch before the first span
+    // Quiesce recorders while the ring is reallocated; enable() must
+    // not run concurrently with itself (arm before spawning workers).
+    enabled_.store(false, std::memory_order_release);
+    ring_.assign(capacity ? capacity : kDefaultCapacity, Record{});
+    cursor_.store(0, std::memory_order_relaxed);
+    enabled_.store(true, std::memory_order_release);
+}
+
+void
+Tracer::clear()
+{
+    cursor_.store(0, std::memory_order_relaxed);
+}
+
+void
+Tracer::record(std::string_view name, const char *cat, uint64_t tsNs,
+               uint64_t durNs, int64_t arg)
+{
+    if (!enabled() || ring_.empty())
+        return;
+    uint64_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+    Record &r = ring_[i % ring_.size()];
+    size_t n = std::min(name.size(), sizeof(r.name) - 1);
+    std::memcpy(r.name, name.data(), n);
+    r.name[n] = '\0';
+    r.cat = cat;
+    r.tsNs = tsNs;
+    r.durNs = durNs;
+    r.arg = arg;
+    r.tid = threadId();
+}
+
+uint64_t
+Tracer::dropped() const
+{
+    uint64_t total = cursor_.load(std::memory_order_relaxed);
+    return total > ring_.size() ? total - ring_.size() : 0;
+}
+
+bool
+Tracer::dumpTo(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    uint64_t total = cursor_.load(std::memory_order_relaxed);
+    size_t live = ring_.empty()
+                      ? 0
+                      : static_cast<size_t>(
+                            std::min<uint64_t>(total, ring_.size()));
+
+    // Stream the trace_event object form directly: a ring of 64k
+    // records would be wasteful to build as a json::Value tree first.
+    std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", f);
+    bool first = true;
+    for (size_t i = 0; i < live; ++i) {
+        const Record &r = ring_[i];
+        if (!first)
+            std::fputs(",\n", f);
+        first = false;
+        std::string name = json::quote(r.name);
+        // ts/dur are microseconds in the trace_event format.
+        std::fprintf(f,
+                     "{\"name\":%s,\"cat\":\"%s\",\"ph\":\"X\","
+                     "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u",
+                     name.c_str(), r.cat ? r.cat : "",
+                     static_cast<double>(r.tsNs) / 1e3,
+                     static_cast<double>(r.durNs) / 1e3, r.tid);
+        if (r.arg >= 0)
+            std::fprintf(f, ",\"args\":{\"i\":%lld}",
+                         static_cast<long long>(r.arg));
+        std::fputs("}", f);
+    }
+    std::fprintf(f,
+                 "\n],\"otherData\":{\"recorded\":%llu,"
+                 "\"dropped\":%llu}}\n",
+                 static_cast<unsigned long long>(total),
+                 static_cast<unsigned long long>(dropped()));
+    bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace tea::obs

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Phase tracer: nested span records in a fixed in-memory ring buffer,
+ * dumpable as Chrome trace_event JSON.
+ *
+ * A Span is an RAII scope marker. The hierarchy mirrors the toolflow:
+ *
+ *     toolflow phase (characterize / grid)      cat "toolflow"
+ *       └─ grid cell (workload x model x VR)    cat "grid"
+ *            └─ DTA shard / injection run       cat "dta" / "inject"
+ *
+ * Chrome/Perfetto reconstruct the nesting from (tid, ts, dur)
+ * containment of complete ("ph":"X") events, so recording one fixed-
+ * size record per finished span — no open/close pairing, no allocation
+ * — is enough.
+ *
+ * Cost model: when tracing is disabled (REPRO_TRACE unset) a Span
+ * construction is one relaxed atomic load and no clock read. When
+ * enabled, a span costs two steady_clock reads and one ring-buffer
+ * slot claim. The ring overwrites its oldest records when full (the
+ * tail of a campaign is usually the interesting part); the number of
+ * overwritten records is reported in the dump and as a metric.
+ *
+ * Determinism: spans observe wall-clock but never influence campaign
+ * control flow, RNG streams, or merge order. Timestamps exist only in
+ * the trace output.
+ */
+
+#ifndef TEA_OBS_TRACE_HH
+#define TEA_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tea::obs {
+
+class Tracer
+{
+  public:
+    /** One finished span. Fixed size; names are copied, not pointed. */
+    struct Record
+    {
+        char name[48];
+        const char *cat;   ///< static string; never freed
+        uint64_t tsNs;     ///< start, ns since process epoch
+        uint64_t durNs;    ///< duration in ns
+        int64_t arg;       ///< span argument (run/shard index), -1 none
+        uint32_t tid;      ///< small stable per-thread id
+    };
+
+    static Tracer &global();
+
+    /**
+     * Arm the tracer with a ring of `capacity` records. Re-arming
+     * replaces the ring; call before spawning worker threads.
+     */
+    void enable(size_t capacity = kDefaultCapacity);
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    void record(std::string_view name, const char *cat, uint64_t tsNs,
+                uint64_t durNs, int64_t arg);
+
+    /** Spans lost to ring wrap-around so far. */
+    uint64_t dropped() const;
+    /** Total spans recorded (including overwritten ones). */
+    uint64_t recorded() const
+    {
+        return cursor_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Write the ring as Chrome trace_event JSON (the object form, with
+     * metadata). Loadable in chrome://tracing and ui.perfetto.dev.
+     * Returns false on I/O failure.
+     */
+    bool dumpTo(const std::string &path) const;
+
+    /** Nanoseconds since the process-wide trace epoch. */
+    static uint64_t nowNs();
+
+    /** Small stable id for the calling thread (0 = first seen). */
+    static uint32_t threadId();
+
+    /** Drop all records; keeps the ring and the armed state. */
+    void clear();
+
+    static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  private:
+    std::atomic<bool> enabled_{false};
+    std::atomic<uint64_t> cursor_{0};
+    std::vector<Record> ring_;
+};
+
+/** RAII span; records itself into Tracer::global() on destruction. */
+class Span
+{
+  public:
+    Span(std::string_view name, const char *cat, int64_t arg = -1)
+    {
+        if (!Tracer::global().enabled())
+            return;
+        active_ = true;
+        size_t n = std::min(name.size(), sizeof(name_) - 1);
+        std::memcpy(name_, name.data(), n);
+        name_[n] = '\0';
+        cat_ = cat;
+        arg_ = arg;
+        startNs_ = Tracer::nowNs();
+    }
+    ~Span()
+    {
+        if (active_)
+            Tracer::global().record(name_, cat_, startNs_,
+                                    Tracer::nowNs() - startNs_, arg_);
+    }
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    char name_[48];
+    const char *cat_ = "";
+    uint64_t startNs_ = 0;
+    int64_t arg_ = -1;
+    bool active_ = false;
+};
+
+} // namespace tea::obs
+
+#endif // TEA_OBS_TRACE_HH

@@ -1,8 +1,12 @@
 #include "timing/dta_campaign.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
+#include "obs/trace.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -162,12 +166,28 @@ runSharded(fpu::FpuCore &core, size_t point, size_t shards,
     auto points = core.workerPoints(point, tp.numThreads());
     std::vector<CampaignStats> parts(shards);
     std::vector<uint8_t> done(shards, 0);
+
+    // Observation only; never feeds back into shard geometry, RNG
+    // substreams, or the ordered merge below.
+    obs::Registry &reg = obs::Registry::global();
+    obs::Counter mRetries = reg.counter(
+        obs::metric::kDtaShardRetries, "",
+        "extra attempts spent containing faulted DTA shards");
+    obs::Histogram mShardMs = reg.histogram(
+        obs::metric::kDtaShardMs, obs::latencyBucketsMs(), "",
+        "wall time of one DTA shard (all attempts)");
+
     tp.parallelFor(0, shards, [&](uint64_t s, unsigned worker) {
         if (watchdog && watchdog->poll() != Watchdog::Stop::None)
             return;
         size_t pt = points[worker];
+        obs::Span shardSpan("dta.shard", "dta",
+                            static_cast<int64_t>(s));
+        auto t0 = std::chrono::steady_clock::now();
         for (unsigned attempt = 0; attempt < kDtaShardAttempts;
              ++attempt) {
+            if (attempt > 0)
+                mRetries.inc(1);
             try {
                 core.reset(pt);
                 DtaCampaign campaign(core, pt);
@@ -177,6 +197,10 @@ runSharded(fpu::FpuCore &core, size_t point, size_t shards,
                     return; // body bailed early; stats are partial
                 parts[s] = campaign.takeStats();
                 done[s] = 1;
+                mShardMs.observe(
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count());
                 return;
             } catch (const std::exception &e) {
                 warn("DTA shard %llu attempt %u faulted: %s",
@@ -191,15 +215,27 @@ runSharded(fpu::FpuCore &core, size_t point, size_t shards,
         done[s] = 2; // containment exhausted: drop the shard
     });
     CampaignStats merged;
+    uint64_t mergedShards = 0;
     for (size_t s = 0; s < shards; ++s) {
-        if (done[s] == 0)
+        if (done[s] == 0) {
             merged.interrupted = true;
-        else if (done[s] == 2)
+        } else if (done[s] == 2) {
             ++merged.engineFaults;
-        else
+        } else {
+            ++mergedShards;
             for (unsigned o = 0; o < fpu::kNumFpuOps; ++o)
                 merged.perOp[o].merge(parts[s].perOp[o]);
+        }
     }
+    reg.counter(obs::metric::kDtaShards, "",
+                "DTA shards merged into campaign statistics")
+        .inc(mergedShards);
+    reg.counter(obs::metric::kDtaShardsDropped, "",
+                "DTA shards dropped after containment was exhausted")
+        .inc(merged.engineFaults);
+    reg.counter(obs::metric::kDtaOps, "",
+                "gate-level operations characterized")
+        .inc(merged.totalOps());
     return merged;
 }
 

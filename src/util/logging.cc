@@ -1,13 +1,80 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <cstdarg>
+#include <cstring>
 #include <iostream>
 
 namespace tea {
 
 namespace {
+
 bool quietFlag = false;
+
+constexpr int kLevelUnset = -1;
+std::atomic<int> levelOverride{kLevelUnset}; ///< setLogLevel() wins
+
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("REPRO_LOG_LEVEL");
+    if (!env || env[0] == '\0')
+        return LogLevel::Info;
+    if (!std::strcmp(env, "silent") || !std::strcmp(env, "0"))
+        return LogLevel::Silent;
+    if (!std::strcmp(env, "warn") || !std::strcmp(env, "1"))
+        return LogLevel::Warn;
+    if (!std::strcmp(env, "info") || !std::strcmp(env, "2"))
+        return LogLevel::Info;
+    std::fprintf(stderr,
+                 "warn: ignoring invalid REPRO_LOG_LEVEL='%s' "
+                 "(want silent|warn|info or 0|1|2)\n",
+                 env);
+    return LogLevel::Info;
+}
+
 } // namespace
+
+LogLevel
+logLevel()
+{
+    int forced = levelOverride.load(std::memory_order_relaxed);
+    if (forced != kLevelUnset)
+        return static_cast<LogLevel>(forced);
+    static const LogLevel fromEnv = levelFromEnv();
+    return fromEnv;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelOverride.store(static_cast<int>(level),
+                        std::memory_order_relaxed);
+}
+
+void
+logWarn(const char *fmt, ...)
+{
+    if (quietFlag || logLevel() < LogLevel::Warn)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+logInfo(const char *fmt, ...)
+{
+    if (logLevel() < LogLevel::Info)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = detail::vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
 
 void
 setQuiet(bool q)
@@ -66,14 +133,15 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const char *file, int line, const std::string &msg)
 {
-    if (!quietFlag)
+    if (!quietFlag && logLevel() >= LogLevel::Warn)
         std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Info)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 
 } // namespace detail

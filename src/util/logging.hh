@@ -8,6 +8,13 @@
  *            invalid arguments); exits with status 1.
  * warn()   — something is suspicious but execution can continue.
  * inform() — plain status output.
+ *
+ * Every diagnostic routes through one leveled sink: `REPRO_LOG_LEVEL`
+ * (silent|warn|info, or 0|1|2) picks how much reaches stderr/stdout,
+ * so CI can run benches quiet (`REPRO_LOG_LEVEL=silent`) without
+ * per-call-site flags. logWarn()/logInfo() are the function-style
+ * spellings for call sites that do not want the file:line suffix the
+ * warn() macro appends. panic/fatal are never suppressed.
  */
 
 #ifndef TEA_UTIL_LOGGING_HH
@@ -36,6 +43,34 @@ std::string format(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
 } // namespace detail
+
+/**
+ * Verbosity threshold for warn()/inform()/logWarn()/logInfo().
+ * panic()/fatal() ignore it: a dying process always says why.
+ */
+enum class LogLevel {
+    Silent = 0, ///< suppress warnings and status output
+    Warn = 1,   ///< warnings only
+    Info = 2,   ///< warnings + status output (the default)
+};
+
+/**
+ * Effective level: setLogLevel() if called, else REPRO_LOG_LEVEL
+ * ("silent"/"warn"/"info" or 0/1/2, read once), else Info.
+ * setQuiet(true) additionally caps the level at Silent for warnings
+ * (its historical contract).
+ */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+/**
+ * Function-style leveled diagnostics for call sites that do not want
+ * the file:line suffix the warn() macro appends (e.g. user-facing
+ * bench diagnostics). Same sinks and REPRO_LOG_LEVEL gate as the
+ * macros: logWarn -> stderr at Warn+, logInfo -> stdout at Info.
+ */
+void logWarn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void logInfo(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Whether warn() output is suppressed (useful in noisy campaigns). */
 void setQuiet(bool quiet);

@@ -2,12 +2,19 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 
 #include "util/logging.hh"
 
 namespace tea {
+
+namespace {
+// Process-wide across all pool instances; sampled by the obs layer.
+std::atomic<uint64_t> totalTasks{0};
+std::atomic<uint64_t> totalIdleNanos{0};
+} // namespace
 
 /** One parallelFor invocation: a shared cursor plus completion state. */
 struct ThreadPool::Job
@@ -48,6 +55,7 @@ ThreadPool::runTasks(Job &job, unsigned workerIndex)
         uint64_t i = job.cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= job.end)
             break;
+        totalTasks.fetch_add(1, std::memory_order_relaxed);
         try {
             (*job.fn)(i, workerIndex);
         } catch (...) {
@@ -66,9 +74,15 @@ ThreadPool::workerLoop(unsigned workerIndex)
         Job *job = nullptr;
         {
             std::unique_lock<std::mutex> lock(mutex_);
+            auto idleFrom = std::chrono::steady_clock::now();
             wake_.wait(lock, [&] {
                 return stopping_ || (job_ && jobSerial_ != seen);
             });
+            totalIdleNanos.fetch_add(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - idleFrom)
+                    .count(),
+                std::memory_order_relaxed);
             if (stopping_)
                 return;
             seen = jobSerial_;
@@ -148,6 +162,18 @@ ThreadPool::global()
 {
     static ThreadPool pool(defaultThreads());
     return pool;
+}
+
+uint64_t
+ThreadPool::tasksExecuted()
+{
+    return totalTasks.load(std::memory_order_relaxed);
+}
+
+uint64_t
+ThreadPool::idleNanos()
+{
+    return totalIdleNanos.load(std::memory_order_relaxed);
 }
 
 } // namespace tea

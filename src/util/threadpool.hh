@@ -80,6 +80,16 @@ class ThreadPool
     /** Lazily-constructed process-wide pool of defaultThreads(). */
     static ThreadPool &global();
 
+    /**
+     * Process-wide telemetry across every pool instance: total tasks
+     * claimed by runTasks and total nanoseconds workers spent parked
+     * waiting for a job. Plain monotonic counters (no reset) so the
+     * observability layer can sample them at export time without
+     * tea_util depending on tea_obs.
+     */
+    static uint64_t tasksExecuted();
+    static uint64_t idleNanos();
+
   private:
     struct Job;
 
