@@ -57,6 +57,28 @@ initObs(int &argc, char **argv)
     obs::configureFromEnv();
 }
 
+/**
+ * Consume `flag <value>` from argv (after initObs), returning the
+ * value or "" when the flag is absent.
+ */
+inline std::string
+consumeFlagValue(int &argc, char **argv, const char *flag)
+{
+    std::string value;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], flag) && i + 1 < argc) {
+            value = argv[i + 1];
+            ++i;
+            continue;
+        }
+        argv[w++] = argv[i];
+    }
+    argc = w;
+    argv[argc] = nullptr;
+    return value;
+}
+
 /** Wall-clock stopwatch for the campaign throughput printouts. */
 class WallTimer
 {

@@ -7,9 +7,12 @@
  */
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 
 #include "bench_common.hh"
 #include "core/toolflow.hh"
+#include "timing/ber_csv.hh"
 #include "util/table.hh"
 
 using namespace tea;
@@ -20,14 +23,24 @@ int
 main(int argc, char **argv)
 {
     bench::initObs(argc, argv);
+    // `--csv <path>` additionally writes the per-bit probabilities as
+    // a machine-readable artifact (one section per voltage level).
+    std::string csvPath = bench::consumeFlagValue(argc, argv, "--csv");
     bench::banner("IA-model per-instruction bit error probabilities",
                   "Fig. 7");
 
+    std::string csv;
     Toolflow tf;
     for (double vr : tf.options().vrLevels) {
         bench::WallTimer timer;
         const auto &stats = tf.iaStats(vr);
         timer.report("characterization ops", stats.totalOps());
+        if (!csvPath.empty()) {
+            char hdr[32];
+            std::snprintf(hdr, sizeof(hdr), "# VR%.0f\n", vr * 100);
+            csv += hdr;
+            csv += timing::berCsv(stats);
+        }
         std::printf("---- VR%.0f ----\n", vr * 100);
         Table t({"Instruction", "ER", "max BER", "S", "E(max)",
                  "M[51:40]", "M[39:20]", "M[19:0]"});
@@ -55,5 +68,15 @@ main(int argc, char **argv)
                 "Deviation vs the paper: our characterized design keeps\n"
                 "fp-add/fp-sub error-free on random operands (their deep\n"
                 "carry chains are rarely excited) — see EXPERIMENTS.md.\n");
+    if (!csvPath.empty()) {
+        FILE *f = std::fopen(csvPath.c_str(), "w");
+        if (!f) {
+            std::printf("cannot write CSV to %s\n", csvPath.c_str());
+            return 1;
+        }
+        std::fwrite(csv.data(), 1, csv.size(), f);
+        std::fclose(f);
+        std::printf("wrote bit probabilities to %s\n", csvPath.c_str());
+    }
     return 0;
 }

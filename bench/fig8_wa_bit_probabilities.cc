@@ -5,9 +5,12 @@
  */
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 
 #include "bench_common.hh"
 #include "core/toolflow.hh"
+#include "timing/ber_csv.hh"
 #include "util/table.hh"
 
 using namespace tea;
@@ -18,10 +21,14 @@ int
 main(int argc, char **argv)
 {
     bench::initObs(argc, argv);
+    // `--csv <path>` additionally writes the per-bit probabilities as
+    // a machine-readable artifact (one section per workload x VR).
+    std::string csvPath = bench::consumeFlagValue(argc, argv, "--csv");
     bench::banner(
         "WA-model per-benchmark bit error probabilities",
         "Fig. 8 (plus the mantissa-vs-exponent observation)");
 
+    std::string csv;
     Toolflow tf;
     for (double vr : tf.options().vrLevels) {
         std::printf("---- VR%.0f ----\n", vr * 100);
@@ -29,6 +36,13 @@ main(int argc, char **argv)
                  "max mantissa BER", "max exponent BER", "sign BER"});
         for (const auto &name : workloads::workloadNames()) {
             const auto &stats = tf.waStats(name, vr);
+            if (!csvPath.empty()) {
+                char hdr[96];
+                std::snprintf(hdr, sizeof(hdr), "# %s VR%.0f\n",
+                              name.c_str(), vr * 100);
+                csv += hdr;
+                csv += timing::berCsv(stats);
+            }
             double worstEr = 0;
             const char *worstOp = "-";
             for (unsigned o = 0; o < fpu::kNumFpuOps; ++o) {
@@ -59,5 +73,15 @@ main(int argc, char **argv)
         "magnitude at the same voltage (e.g. mg vs srad); every bit has\n"
         "its own error ratio; mantissa bits are more error-prone than\n"
         "exponent bits.\n");
+    if (!csvPath.empty()) {
+        FILE *f = std::fopen(csvPath.c_str(), "w");
+        if (!f) {
+            std::printf("cannot write CSV to %s\n", csvPath.c_str());
+            return 1;
+        }
+        std::fwrite(csv.data(), 1, csv.size(), f);
+        std::fclose(f);
+        std::printf("wrote bit probabilities to %s\n", csvPath.c_str());
+    }
     return 0;
 }

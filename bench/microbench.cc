@@ -9,6 +9,12 @@
  * random DTA campaign, runs/sec for the injection campaign, and the
  * speedup over the first (baseline) entry. Campaign results are
  * bit-identical across the sweep; the sweep asserts that too.
+ *
+ * `microbench --lane-sweep` sweeps the bit-parallel DTA lane width
+ * (1, 8, 16, 32, 64) at each REPRO_THREADS count, printing samples/s
+ * and the speedup over the scalar (lanes=1) row at the same thread
+ * count, and asserting that the campaign statistics are bit-identical
+ * across the whole sweep.
  */
 
 #include <benchmark/benchmark.h>
@@ -29,6 +35,7 @@
 #include "sim/func_sim.hh"
 #include "sim/ooo_sim.hh"
 #include "softfloat/softfloat.hh"
+#include "timing/ber_csv.hh"
 #include "timing/dta_campaign.hh"
 #include "bench_common.hh"
 #include "util/logging.hh"
@@ -319,6 +326,94 @@ runThreadSweep()
 }
 
 /**
+ * Lane sweep of the bit-parallel DTA engine: the random campaign at
+ * every (thread count, lane width) pair, with the lanes=1 row at each
+ * thread count as the speedup baseline. The rendered fig7-style CSV
+ * must be byte-identical across the whole sweep.
+ */
+int
+runLaneSweep()
+{
+    auto counts = sweepThreadCounts();
+    unsigned maxThreads = 1;
+    for (unsigned c : counts)
+        maxThreads = std::max(maxThreads, c);
+
+    const uint64_t dtaOpsPerType = [] {
+        const char *runs = std::getenv("REPRO_RUNS");
+        long n = runs ? std::strtol(runs, nullptr, 10) : 0;
+        return n > 0 ? static_cast<uint64_t>(n) : 400;
+    }();
+    const unsigned laneWidths[] = {1, 8, 16, 32, 64};
+
+    std::printf("bit-parallel DTA lane sweep\n");
+    std::printf("(REPRO_DTA_LANES routes campaigns through the lane "
+                "engine; this sweep\n overrides it per cell. "
+                "REPRO_THREADS=<a,b,c,...> selects thread counts.)\n\n");
+
+    std::printf("building gate-level FPU...\n");
+    fpu::FpuCore core;
+    size_t point = core.addOperatingPoint(
+        circuit::VoltageModel{}.delayFactorAtReduction(circuit::kVR20));
+    core.workerPoints(point, maxThreads); // pre-build replica points
+
+    const uint64_t dtaOps = dtaOpsPerType * fpu::kNumFpuOps;
+    Table table({"threads", "lanes", "samples/s", "s", "speedup"});
+    std::string refCsv;
+    double singleThreadSpeedup = 0;
+    for (unsigned threads : counts) {
+        double base = 0;
+        for (unsigned lanes : laneWidths) {
+            timing::setDtaLanes(lanes);
+            ThreadPool pool(threads);
+            auto t0 = std::chrono::steady_clock::now();
+            Rng rng(1);
+            auto stats = timing::runRandomCampaign(
+                core, point, dtaOpsPerType, rng, &pool);
+            double sec = secondsSince(t0);
+
+            // The exactness guarantee: every cell of the sweep must
+            // produce byte-identical per-instruction statistics.
+            std::string csv = timing::berCsv(stats);
+            if (refCsv.empty()) {
+                refCsv = csv;
+            } else if (csv != refCsv) {
+                timing::setDtaLanes(0);
+                std::printf("FAIL: stats differ at threads=%u "
+                            "lanes=%u\n",
+                            threads, lanes);
+                return 1;
+            }
+
+            if (lanes == 1)
+                base = sec;
+            double speedup = sec > 0 ? base / sec : 0;
+            if (threads == 1)
+                singleThreadSpeedup =
+                    std::max(singleThreadSpeedup, speedup);
+            table.addRow({std::to_string(threads),
+                          std::to_string(lanes),
+                          Table::num(sec > 0 ? dtaOps / sec : 0, 0),
+                          Table::num(sec, 2), Table::num(speedup, 2)});
+        }
+    }
+    timing::setDtaLanes(0); // back to the REPRO_DTA_LANES default
+    std::printf("\n%s\n", table.render("lane-batch throughput").c_str());
+    std::printf("cell: %llu random ops (%llu/type) at VR20; speedup "
+                "is vs lanes=1\nat the same thread count; stats "
+                "verified bit-identical across the sweep\n",
+                static_cast<unsigned long long>(dtaOps),
+                static_cast<unsigned long long>(dtaOpsPerType));
+    if (counts.front() == 1 && singleThreadSpeedup < 5.0) {
+        std::printf("FAIL: single-thread lane speedup %.2fx below the "
+                    "5x target\n",
+                    singleThreadSpeedup);
+        return 1;
+    }
+    return 0;
+}
+
+/**
  * Wraps an inner model and throws from plan() on a deterministic
  * fraction of calls, exercising the containment/retry machinery.
  */
@@ -413,6 +508,8 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--thread-sweep") == 0)
             return runThreadSweep();
+        if (std::strcmp(argv[i], "--lane-sweep") == 0)
+            return runLaneSweep();
         if (std::strcmp(argv[i], "--fault-stress") == 0)
             return runFaultStress();
     }

@@ -99,7 +99,7 @@ cellJournalPath(const ToolflowOptions &opt, const std::string &workload,
                 ModelKind kind, double vr)
 {
     char buf[80];
-    std::snprintf(buf, sizeof(buf), "_m%d_vr%02d_s%llu_x%d_p2.jnl",
+    std::snprintf(buf, sizeof(buf), "_m%d_vr%02d_s%llu_x%d_p3.jnl",
                   static_cast<int>(kind),
                   static_cast<int>(vr * 100 + 0.5),
                   static_cast<unsigned long long>(opt.seed),
@@ -154,9 +154,11 @@ runEvaluationGrid(Toolflow &tf, bool useCache)
     std::string cachePath;
     if (useCache && !opt.cacheDir.empty()) {
         char buf[96];
-        // "_p2" = grid-file revision: p2 added the enginefault/retries
-        // columns, so older grids fail the header check by name.
-        std::snprintf(buf, sizeof(buf), "%s/grid_r%d_s%llu_x%d_p2.csv",
+        // "_p3" = grid-file revision: p2 added the enginefault/retries
+        // columns; p3 invalidates grids derived from float-precision
+        // arrival times (the levelized engine now accumulates in
+        // double, matching the event-driven reference).
+        std::snprintf(buf, sizeof(buf), "%s/grid_r%d_s%llu_x%d_p3.csv",
                       opt.cacheDir.c_str(), opt.runsPerCell,
                       static_cast<unsigned long long>(opt.seed),
                       opt.workloadScale);

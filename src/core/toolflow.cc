@@ -177,12 +177,13 @@ Toolflow::cachePath(const std::string &tag, double vrFrac) const
 {
     if (opt_.cacheDir.empty())
         return "";
-    // "p2" names the cache-file revision: p1 was the sharded-campaign
-    // statistics without an integrity envelope; p2 adds the CRC-guarded
-    // format, so stale p1 files are ignored by name instead of being
-    // spuriously quarantined as corrupt.
+    // "p3" names the cache-file revision: p1 was the sharded-campaign
+    // statistics without an integrity envelope; p2 added the
+    // CRC-guarded format; p3 switched the levelized engine's arrival
+    // accumulation from float to double, which can reclassify
+    // capture-edge samples and so invalidates cached statistics.
     char buf[64];
-    std::snprintf(buf, sizeof(buf), "_vr%02d_s%llu_p2.stats",
+    std::snprintf(buf, sizeof(buf), "_vr%02d_s%llu_p3.stats",
                   static_cast<int>(vrFrac * 100 + 0.5),
                   static_cast<unsigned long long>(opt_.seed));
     return opt_.cacheDir + "/" + tag + buf;

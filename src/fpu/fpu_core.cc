@@ -69,6 +69,23 @@ FpuCore::execute(size_t point, FpuOp op, uint64_t a, uint64_t b)
 }
 
 void
+FpuCore::executeBatch(size_t point, FpuOp op, const uint64_t *a,
+                      const uint64_t *b, unsigned lanes, Exec *out)
+{
+    FpuUnit &u = unit(unitFor(op));
+    // Transpose the operands into one plane per stage-0 input net;
+    // packInputs stays the single source of truth for the layout.
+    std::vector<uint64_t> planes(u.stage(0).numInputs(), 0);
+    for (unsigned l = 0; l < lanes; ++l) {
+        auto in = u.packInputs(op, a[l], b[l]);
+        for (size_t i = 0; i < in.size(); ++i)
+            if (in[i])
+                planes[i] |= 1ULL << l;
+    }
+    u.executeBatch(point, planes, lanes, captureTimePs_, out);
+}
+
+void
 FpuCore::reset(size_t point)
 {
     for (auto &u : units_)

@@ -63,6 +63,8 @@ FpuUnit::addOperatingPoint(double delayScale, bool exactEngine)
         } else {
             pt.engines.push_back(std::make_unique<LevelizedDta>(
                 *stages_[s], annots_[s], delayScale));
+            pt.laneEngines.push_back(std::make_unique<circuit::LaneDta>(
+                *stages_[s], annots_[s], delayScale));
         }
     }
     pt.prevIn.resize(stages_.size());
@@ -136,6 +138,87 @@ FpuUnit::execute(size_t point, const std::vector<bool> &stage0,
     out.timingError =
         out.errorMask != 0 || out.goldenFlags != out.faultyFlags;
     return out;
+}
+
+void
+FpuUnit::executeBatch(size_t point,
+                      const std::vector<uint64_t> &stage0Planes,
+                      unsigned lanes, double captureTimePs, Exec *out)
+{
+    panic_if(point >= points_.size(), "bad operating point %zu", point);
+    panic_if(lanes == 0 || lanes > circuit::LaneDta::kMaxLanes,
+             "executeBatch: bad lane count %u", lanes);
+    panic_if(stage0Planes.size() != stages_.front()->numInputs(),
+             "executeBatch: bad stage-0 plane count");
+    Point &pt = points_[point];
+
+    if (pt.exact || lanes == 1) {
+        // Scalar fallback: exact points have no lane engines, and a
+        // single lane gains nothing from plane packing.
+        std::vector<bool> in(stage0Planes.size());
+        for (unsigned l = 0; l < lanes; ++l) {
+            for (size_t i = 0; i < stage0Planes.size(); ++i)
+                in[i] = (stage0Planes[i] >> l) & 1;
+            out[l] = execute(point, in, captureTimePs);
+        }
+        return;
+    }
+
+    std::vector<uint64_t> goldenIn = stage0Planes;
+    std::vector<uint64_t> faultyIn = stage0Planes;
+    std::array<double, 64> maxArr{};
+    std::vector<uint64_t> prev;
+    for (size_t s = 0; s < stages_.size(); ++s) {
+        circuit::LaneDta &eng = *pt.laneEngines[s];
+        // Lane l's previous stage input is lane l-1's: the cross-lane
+        // dependency is a one-bit shift. Lane 0 continues from the
+        // stored history, or (unprimed) from its own input — the same
+        // self-transition the scalar path uses.
+        prev.resize(faultyIn.size());
+        for (size_t i = 0; i < faultyIn.size(); ++i) {
+            uint64_t hist = pt.primed ? (pt.prevIn[s][i] ? 1 : 0)
+                                      : (faultyIn[i] & 1);
+            prev[i] = (faultyIn[i] << 1) | hist;
+        }
+        // After the batch the stored history is the last lane's input,
+        // exactly what `lanes` scalar calls would have left behind.
+        std::vector<bool> &hist = pt.prevIn[s];
+        hist.assign(faultyIn.size(), false);
+        for (size_t i = 0; i < faultyIn.size(); ++i)
+            hist[i] = (faultyIn[i] >> (lanes - 1)) & 1;
+        const circuit::LaneBatch &res =
+            eng.runBatch(prev, faultyIn, captureTimePs, lanes);
+        for (unsigned l = 0; l < lanes; ++l)
+            maxArr[l] = std::max(maxArr[l], res.maxArrivalPs[l]);
+        faultyIn = res.captured;
+        // The scalar golden chain equals the pure functional
+        // evaluation of the golden inputs (settled == evaluate when
+        // the chains agree, and it switches to evaluate once they
+        // diverge), so one plane sweep covers all lanes.
+        goldenIn = eng.evalBatch(goldenIn);
+    }
+    pt.primed = true;
+
+    for (unsigned l = 0; l < lanes; ++l) {
+        Exec &e = out[l];
+        e = Exec{};
+        for (unsigned i = 0; i < resultBits_; ++i) {
+            if ((goldenIn[i] >> l) & 1)
+                e.golden |= 1ULL << i;
+            if ((faultyIn[i] >> l) & 1)
+                e.faulty |= 1ULL << i;
+        }
+        for (unsigned i = 0; i < 5; ++i) {
+            if ((goldenIn[resultBits_ + i] >> l) & 1)
+                e.goldenFlags |= 1u << i;
+            if ((faultyIn[resultBits_ + i] >> l) & 1)
+                e.faultyFlags |= 1u << i;
+        }
+        e.errorMask = e.golden ^ e.faulty;
+        e.timingError =
+            e.errorMask != 0 || e.goldenFlags != e.faultyFlags;
+        e.maxArrivalPs = maxArr[l];
+    }
 }
 
 void

@@ -90,6 +90,28 @@ class FpuUnit
     Exec execute(size_t point, const std::vector<bool> &stage0,
                  double captureTimePs);
 
+    /**
+     * Execute up to 64 operations at once through the bit-parallel
+     * lane engine (circuit::LaneDta). stage0Planes holds one uint64_t
+     * plane per stage-0 input net; lane l is operation l's input, and
+     * out[l] receives its Exec. Operations behave exactly as `lanes`
+     * sequential execute() calls: lane l's pipeline history is lane
+     * l-1's stage inputs (lane 0 continues from the point's stored
+     * history), and after the batch the history holds the last lane's
+     * inputs — results are bit-identical to the scalar path, except
+     * that Exec::maxArrivalPs is computed over the capture-risky cone
+     * only (exact for every op with a timing error, a lower bound for
+     * error-free ops; see circuit::LaneBatch). Exact (event-driven)
+     * operating points and single-lane batches fall back to scalar
+     * execute() calls internally.
+     *
+     * Same concurrency contract as execute(): concurrent calls are
+     * safe iff they target distinct operating points.
+     */
+    void executeBatch(size_t point,
+                      const std::vector<uint64_t> &stage0Planes,
+                      unsigned lanes, double captureTimePs, Exec *out);
+
     /** Forget the pipeline history at an operating point. */
     void reset(size_t point);
 
@@ -110,6 +132,8 @@ class FpuUnit
         double scale;
         bool exact;
         std::vector<std::unique_ptr<circuit::DtaEngine>> engines;
+        /** Per-stage lane engines (levelized points only). */
+        std::vector<std::unique_ptr<circuit::LaneDta>> laneEngines;
         std::vector<std::vector<bool>> prevIn; ///< per stage
         bool primed = false;
     };

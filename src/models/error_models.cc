@@ -162,6 +162,9 @@ StatisticalModel::plan(const ProgramProfile &profile, Rng &rng) const
 namespace {
 
 constexpr size_t kMaxStoredMasks = 4096;
+// The campaign reservoir shares the cap, so pooled masks always
+// round-trip through the cache without loss.
+static_assert(kMaxStoredMasks == timing::OpErrorStats::kMaskPoolCap);
 // v2 adds the CRC-guarded envelope; v1 files (no CRC) are treated as
 // Corrupt if ever encountered, but the cache revision suffix in the
 // path keeps them from being opened in the first place.
@@ -208,6 +211,7 @@ parseStatsBody(std::istream &in, timing::CampaignStats &stats)
         for (size_t i = 0; i < nMasks; ++i)
             if (!(in >> std::hex >> s.maskPool[i] >> std::dec))
                 return false;
+        s.sealLoadedPool();
     }
     return true;
 }

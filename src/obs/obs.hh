@@ -46,6 +46,10 @@ inline constexpr const char *kDtaShardsDropped =
     "tea_dta_shards_dropped_total";
 inline constexpr const char *kDtaOps = "tea_dta_ops_total";
 inline constexpr const char *kDtaShardMs = "tea_dta_shard_ms";
+inline constexpr const char *kDtaLaneBatches =
+    "tea_dta_lane_batches_total";
+inline constexpr const char *kDtaLaneFallbackOps =
+    "tea_dta_lane_fallback_ops_total";
 // ---- durability ----------------------------------------------------
 inline constexpr const char *kJournalAppends =
     "tea_journal_appends_total";

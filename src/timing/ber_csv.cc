@@ -1,0 +1,35 @@
+#include "timing/ber_csv.hh"
+
+#include <cstdio>
+
+namespace tea::timing {
+
+std::string
+berCsv(const CampaignStats &stats)
+{
+    std::string out = "op,total,faulty,error_ratio";
+    for (unsigned b = 0; b < 64; ++b) {
+        out += ",ber";
+        out += std::to_string(b);
+    }
+    out += "\n";
+    char buf[64];
+    for (unsigned o = 0; o < fpu::kNumFpuOps; ++o) {
+        const OpErrorStats &s = stats.perOp[o];
+        out += fpu::fpuOpName(static_cast<fpu::FpuOp>(o));
+        std::snprintf(buf, sizeof(buf), ",%llu,%llu",
+                      static_cast<unsigned long long>(s.total),
+                      static_cast<unsigned long long>(s.faulty));
+        out += buf;
+        std::snprintf(buf, sizeof(buf), ",%.17g", s.errorRatio());
+        out += buf;
+        for (unsigned b = 0; b < 64; ++b) {
+            std::snprintf(buf, sizeof(buf), ",%.17g", s.ber(b));
+            out += buf;
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace tea::timing

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * CSV rendering of campaign statistics: the machine-readable artifact
+ * behind the fig. 7 / fig. 8 bit-probability tables. The output is a
+ * pure function of the statistics, rendered with deterministic
+ * formatting, so two campaigns with bit-identical stats produce
+ * byte-identical CSV — the property the lane-batch equivalence tests
+ * assert end to end.
+ */
+
+#ifndef TEA_TIMING_BER_CSV_HH
+#define TEA_TIMING_BER_CSV_HH
+
+#include <string>
+
+#include "timing/dta_campaign.hh"
+
+namespace tea::timing {
+
+/**
+ * One row per instruction type: op, total, faulty, error_ratio, then
+ * ber0..ber63 (per-output-bit error ratios, LSB first). Ratios use
+ * round-trip precision (%.17g).
+ */
+std::string berCsv(const CampaignStats &stats);
+
+} // namespace tea::timing
+
+#endif // TEA_TIMING_BER_CSV_HH

@@ -1,7 +1,9 @@
 #include "timing/dta_campaign.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <functional>
 
 #include "obs/metrics.hh"
@@ -14,6 +16,89 @@ namespace tea::timing {
 
 using fpu::FpuOp;
 
+namespace {
+
+/** Heap order of the reservoir: the root is the entry to evict next. */
+inline bool
+reservoirAfter(uint64_t k1, uint64_t m1, uint64_t k2, uint64_t m2)
+{
+    return k1 != k2 ? k1 > k2 : m1 > m2;
+}
+
+/** Hand-rolled sift-down over the two parallel arrays: the reservoir
+ * layout must not depend on the standard library's heap algorithm. */
+void
+reservoirSiftDown(std::vector<uint64_t> &pool,
+                  std::vector<uint64_t> &keys, size_t i)
+{
+    size_t n = pool.size();
+    for (;;) {
+        size_t worst = i;
+        for (size_t ch = 2 * i + 1; ch <= 2 * i + 2 && ch < n; ++ch)
+            if (reservoirAfter(keys[ch], pool[ch], keys[worst],
+                               pool[worst]))
+                worst = ch;
+        if (worst == i)
+            return;
+        std::swap(keys[i], keys[worst]);
+        std::swap(pool[i], pool[worst]);
+        i = worst;
+    }
+}
+
+void
+reservoirHeapify(std::vector<uint64_t> &pool, std::vector<uint64_t> &keys)
+{
+    for (size_t i = pool.size() / 2; i-- > 0;)
+        reservoirSiftDown(pool, keys, i);
+}
+
+} // namespace
+
+void
+OpErrorStats::addMask(uint64_t mask, uint64_t key)
+{
+    if (maskPool.size() < kMaskPoolCap) {
+        maskPool.push_back(mask);
+        maskKeys.push_back(key);
+        // Reaching the cap establishes the heap invariant every later
+        // insert relies on; below it the pool stays in insert order.
+        if (maskPool.size() == kMaskPoolCap)
+            reservoirHeapify(maskPool, maskKeys);
+        return;
+    }
+    if (!reservoirAfter(maskKeys[0], maskPool[0], key, mask))
+        return; // newcomer ranks at or after the current worst
+    maskKeys[0] = key;
+    maskPool[0] = mask;
+    reservoirSiftDown(maskPool, maskKeys, 0);
+}
+
+void
+OpErrorStats::sealLoadedPool()
+{
+    // Sequential keys, no reordering: the saved pool layout must
+    // survive a cache round-trip because the statistical model samples
+    // masks by index. Loaded stats are terminal (never merged), so the
+    // reservoir's heap invariant is not needed here.
+    maskKeys.resize(maskPool.size());
+    for (size_t i = 0; i < maskKeys.size(); ++i)
+        maskKeys[i] = i;
+}
+
+uint64_t
+maskPriority(uint64_t seed, unsigned op, uint64_t seq)
+{
+    uint64_t z = seed ^ (0x9e3779b97f4a7c15ULL * (seq + 1));
+    z ^= static_cast<uint64_t>(op) << 56;
+    z ^= z >> 30;
+    z *= 0xbf58476d1ce4e5b9ULL;
+    z ^= z >> 27;
+    z *= 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return z;
+}
+
 void
 OpErrorStats::merge(const OpErrorStats &o)
 {
@@ -21,8 +106,11 @@ OpErrorStats::merge(const OpErrorStats &o)
     faulty += o.faulty;
     for (unsigned i = 0; i < 64; ++i)
         bitErrors[i] += o.bitErrors[i];
-    maskPool.insert(maskPool.end(), o.maskPool.begin(),
-                    o.maskPool.end());
+    // Hand-built stats may carry a bare pool; default to sequential
+    // keys so merging them stays well-defined.
+    for (size_t i = 0; i < o.maskPool.size(); ++i)
+        addMask(o.maskPool[i],
+                i < o.maskKeys.size() ? o.maskKeys[i] : i);
 }
 
 uint64_t
@@ -65,27 +153,97 @@ CampaignStats::flipCountHistogram(unsigned maxBits) const
     return hist;
 }
 
-DtaCampaign::DtaCampaign(fpu::FpuCore &core, size_t point)
-    : core_(core), point_(point)
+DtaCampaign::DtaCampaign(fpu::FpuCore &core, size_t point,
+                         uint64_t maskSeed)
+    : core_(core), point_(point), maskSeed_(maskSeed)
 {
 }
 
 void
-DtaCampaign::execute(FpuOp op, uint64_t a, uint64_t b)
+DtaCampaign::record(FpuOp op, uint64_t errorMask)
 {
-    auto res = core_.execute(point_, op, a, b);
     OpErrorStats &s = stats_.of(op);
+    uint64_t seq = s.total;
     ++s.total;
-    if (res.errorMask != 0) {
+    if (errorMask != 0) {
         ++s.faulty;
-        s.maskPool.push_back(res.errorMask);
-        uint64_t m = res.errorMask;
+        s.addMask(errorMask,
+                  maskPriority(maskSeed_, static_cast<unsigned>(op),
+                               seq));
+        uint64_t m = errorMask;
         while (m) {
             unsigned bit = static_cast<unsigned>(__builtin_ctzll(m));
             ++s.bitErrors[bit];
             m &= m - 1;
         }
     }
+}
+
+void
+DtaCampaign::execute(FpuOp op, uint64_t a, uint64_t b)
+{
+    auto res = core_.execute(point_, op, a, b);
+    record(op, res.errorMask);
+}
+
+void
+DtaCampaign::executeBlock(FpuOp op, const uint64_t *a, const uint64_t *b,
+                          unsigned lanes)
+{
+    static obs::Counter mBatches = obs::Registry::global().counter(
+        obs::metric::kDtaLaneBatches, "",
+        "lane-batched DTA blocks executed");
+    fpu::FpuCore::Exec execs[64];
+    core_.executeBatch(point_, op, a, b, lanes, execs);
+    mBatches.inc(1);
+    // Lanes are recorded in order, so the stats stream — totals,
+    // per-bit counts, and reservoir key sequence — is exactly the one
+    // `lanes` scalar execute() calls would produce.
+    for (unsigned l = 0; l < lanes; ++l)
+        record(op, execs[l].errorMask);
+}
+
+namespace {
+
+/** Cached lane width; 0 = not yet resolved from the environment. */
+std::atomic<unsigned> gDtaLanes{0};
+
+unsigned
+lanesFromEnv()
+{
+    const char *env = std::getenv("REPRO_DTA_LANES");
+    if (!env || !*env)
+        return circuit::LaneDta::kMaxLanes;
+    char *end = nullptr;
+    long n = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || n < 1 ||
+        n > static_cast<long>(circuit::LaneDta::kMaxLanes)) {
+        warn("REPRO_DTA_LANES='%s' invalid (want 1..%u); using %u", env,
+             circuit::LaneDta::kMaxLanes, circuit::LaneDta::kMaxLanes);
+        return circuit::LaneDta::kMaxLanes;
+    }
+    return static_cast<unsigned>(n);
+}
+
+} // namespace
+
+unsigned
+dtaLanes()
+{
+    unsigned lanes = gDtaLanes.load(std::memory_order_relaxed);
+    if (lanes == 0) {
+        lanes = lanesFromEnv();
+        gDtaLanes.store(lanes, std::memory_order_relaxed);
+    }
+    return lanes;
+}
+
+void
+setDtaLanes(unsigned lanes)
+{
+    if (lanes > circuit::LaneDta::kMaxLanes)
+        lanes = circuit::LaneDta::kMaxLanes;
+    gDtaLanes.store(lanes, std::memory_order_relaxed);
 }
 
 void
@@ -190,7 +348,9 @@ runSharded(fpu::FpuCore &core, size_t point, size_t shards,
                 mRetries.inc(1);
             try {
                 core.reset(pt);
-                DtaCampaign campaign(core, pt);
+                // Shard index seeds the reservoir key stream — a pure
+                // function of the shard geometry, not the worker.
+                DtaCampaign campaign(core, pt, s);
                 body(s, attempt, campaign);
                 if (watchdog &&
                     watchdog->poll() != Watchdog::Stop::None)
@@ -255,9 +415,10 @@ runRandomCampaign(fpu::FpuCore &core, size_t point, uint64_t countPerOp,
         std::max<uint64_t>(1, (countPerOp + kDtaShardOps - 1) /
                                   kDtaShardOps);
     Rng base = rng.split();
+    const unsigned lanes = dtaLanes();
     return runSharded(
         core, point, fpu::kNumFpuOps * shardsPerOp, pool, watchdog,
-        [&](size_t s, unsigned attempt, DtaCampaign &campaign) {
+        [&, lanes](size_t s, unsigned attempt, DtaCampaign &campaign) {
             auto op = static_cast<FpuOp>(s / shardsPerOp);
             uint64_t chunk = s % shardsPerOp;
             uint64_t begin = chunk * kDtaShardOps;
@@ -266,13 +427,33 @@ runRandomCampaign(fpu::FpuCore &core, size_t point, uint64_t countPerOp,
             // deterministically off it.
             Rng shardRng = attempt == 0 ? base.fork(s)
                                         : base.fork(s).fork(attempt);
-            for (uint64_t i = begin; i < end; ++i) {
-                if (watchdog && (i & kOpPollMask) == 0 &&
+            // Operands are always drawn one op at a time in stream
+            // order, so the lane width never shifts the RNG sequence.
+            for (uint64_t i = begin; i < end;) {
+                if (watchdog &&
+                    (lanes > 1 || (i & kOpPollMask) == 0) &&
                     watchdog->poll() != Watchdog::Stop::None)
                     return;
-                uint64_t a, b;
-                randomOperands(op, shardRng, a, b);
-                campaign.execute(op, a, b);
+                if (lanes > 1 && end - i >= lanes) {
+                    uint64_t a[64], b[64];
+                    for (unsigned l = 0; l < lanes; ++l)
+                        randomOperands(op, shardRng, a[l], b[l]);
+                    campaign.executeBlock(op, a, b, lanes);
+                    i += lanes;
+                } else {
+                    if (lanes > 1) {
+                        static obs::Counter mFallback =
+                            obs::Registry::global().counter(
+                                obs::metric::kDtaLaneFallbackOps, "",
+                                "DTA ops run scalar while lane "
+                                "batching was enabled");
+                        mFallback.inc(1);
+                    }
+                    uint64_t a, b;
+                    randomOperands(op, shardRng, a, b);
+                    campaign.execute(op, a, b);
+                    ++i;
+                }
             }
         });
 }
@@ -313,18 +494,47 @@ runTraceCampaign(fpu::FpuCore &core, size_t point,
             budget -= len;
         }
     }
-    return runSharded(core, point, windows.size(), pool, watchdog,
-                      [&](size_t s, unsigned, DtaCampaign &campaign) {
-                          const Window &w = windows[s];
-                          for (uint64_t i = 0; i < w.count; ++i) {
-                              if (watchdog && (i & kOpPollMask) == 0 &&
-                                  watchdog->poll() !=
-                                      Watchdog::Stop::None)
-                                  return;
-                              const auto &e = trace[w.begin + i];
-                              campaign.execute(e.op, e.a, e.b);
-                          }
-                      });
+    const unsigned lanes = dtaLanes();
+    return runSharded(
+        core, point, windows.size(), pool, watchdog,
+        [&, lanes](size_t s, unsigned, DtaCampaign &campaign) {
+            const Window &w = windows[s];
+            // Lane blocks span maximal runs of one op type (a block
+            // drives a single unit); shorter runs and op changes fall
+            // back to the scalar path. Grouping never reorders the
+            // replay, so results stay bit-identical.
+            for (uint64_t i = 0; i < w.count;) {
+                if (watchdog &&
+                    (lanes > 1 || (i & kOpPollMask) == 0) &&
+                    watchdog->poll() != Watchdog::Stop::None)
+                    return;
+                const auto &e0 = trace[w.begin + i];
+                unsigned run = 1;
+                while (run < lanes && i + run < w.count &&
+                       trace[w.begin + i + run].op == e0.op)
+                    ++run;
+                if (lanes > 1 && run == lanes) {
+                    uint64_t a[64], b[64];
+                    for (unsigned l = 0; l < lanes; ++l) {
+                        a[l] = trace[w.begin + i + l].a;
+                        b[l] = trace[w.begin + i + l].b;
+                    }
+                    campaign.executeBlock(e0.op, a, b, lanes);
+                    i += lanes;
+                } else {
+                    if (lanes > 1) {
+                        static obs::Counter mFallback =
+                            obs::Registry::global().counter(
+                                obs::metric::kDtaLaneFallbackOps, "",
+                                "DTA ops run scalar while lane "
+                                "batching was enabled");
+                        mFallback.inc(1);
+                    }
+                    campaign.execute(e0.op, e0.a, e0.b);
+                    ++i;
+                }
+            }
+        });
 }
 
 } // namespace tea::timing

@@ -28,11 +28,37 @@ namespace tea::timing {
 /** Per-instruction-type error statistics from one DTA campaign. */
 struct OpErrorStats
 {
+    /**
+     * Reservoir cap on maskPool: keeps campaign memory bounded on
+     * billion-op campaigns. Matches the serialization cap, so pooled
+     * masks always round-trip through the stats cache losslessly.
+     */
+    static constexpr size_t kMaskPoolCap = 4096;
+
     uint64_t total = 0;
     uint64_t faulty = 0;
     std::array<uint64_t, 64> bitErrors{};
-    /** Observed non-zero error bitmasks (the model's sampling pool). */
+    /**
+     * Observed non-zero error bitmasks (the model's sampling pool).
+     * Bounded at kMaskPoolCap entries by a deterministic reservoir:
+     * each mask carries a priority key (maskPriority of the shard seed
+     * and sequence number) and the pool keeps the masks with the
+     * smallest keys. Smallest-k selection is associative and
+     * commutative, so the retained *set* is independent of how the
+     * stream was split into shards — merging per-shard pools in shard
+     * order yields the same pool at any thread or lane count.
+     */
     std::vector<uint64_t> maskPool;
+    /** Reservoir priority key of each pooled mask (parallel array). */
+    std::vector<uint64_t> maskKeys;
+
+    /** Reservoir insert; below the cap this is a plain append. */
+    void addMask(uint64_t mask, uint64_t key);
+    /**
+     * Rebuild keys after maskPool was filled directly (cache load):
+     * loaded masks get sequential keys; their order is preserved.
+     */
+    void sealLoadedPool();
 
     /** Error ratio per Eq. 2: faulty / total. */
     double errorRatio() const
@@ -93,20 +119,55 @@ struct CampaignStats
 class DtaCampaign
 {
   public:
-    DtaCampaign(fpu::FpuCore &core, size_t point);
+    /**
+     * maskSeed salts the reservoir priority keys of recorded masks;
+     * sharded campaigns pass the shard index so every shard draws an
+     * independent deterministic key stream.
+     */
+    DtaCampaign(fpu::FpuCore &core, size_t point, uint64_t maskSeed = 0);
 
     /** Run one op and record its (possibly empty) error mask. */
     void execute(fpu::FpuOp op, uint64_t a, uint64_t b);
+
+    /**
+     * Run `lanes` (<= 64) same-op instructions through the
+     * bit-parallel lane engine and record each lane in order —
+     * statistics are bit-identical to `lanes` execute() calls.
+     */
+    void executeBlock(fpu::FpuOp op, const uint64_t *a,
+                      const uint64_t *b, unsigned lanes);
 
     const CampaignStats &stats() const { return stats_; }
     /** Move the accumulated stats out (shard merge path). */
     CampaignStats takeStats() { return std::move(stats_); }
 
   private:
+    void record(fpu::FpuOp op, uint64_t errorMask);
+
     fpu::FpuCore &core_;
     size_t point_;
+    uint64_t maskSeed_;
     CampaignStats stats_;
 };
+
+/**
+ * Deterministic reservoir priority of the `seq`-th recorded op of type
+ * `op` in the stream salted by `seed` (a splitmix64-style mix). A pure
+ * function of its arguments, so the lane-batched and scalar paths — and
+ * every thread count — assign identical keys.
+ */
+uint64_t maskPriority(uint64_t seed, unsigned op, uint64_t seq);
+
+/**
+ * Lane-batch width campaigns use, cached from REPRO_DTA_LANES on first
+ * call (default 64, clamped to [1, 64]; 1 disables batching). Campaign
+ * results are bit-identical at every width — the knob is purely a
+ * performance/debugging switch.
+ */
+unsigned dtaLanes();
+
+/** Override the lane width (0 = re-read REPRO_DTA_LANES). */
+void setDtaLanes(unsigned lanes);
 
 /**
  * Uniform random operand of paper-style characterization for an op:

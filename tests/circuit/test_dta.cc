@@ -309,3 +309,122 @@ TEST(DtaResult, ErrorMaskBits)
     EXPECT_TRUE(r.anyError());
     EXPECT_EQ(r.errorMask64(), 0b1010u);
 }
+
+TEST(DtaResultDeathTest, ErrorMaskPanicsOnWidthOverflow)
+{
+    // More than 64 output bits cannot be represented in the mask;
+    // truncating them would silently drop error statistics.
+    DtaResult r;
+    r.settled.assign(65, false);
+    r.captured.assign(65, false);
+    EXPECT_DEATH(r.errorMask64(), "errorMask64");
+}
+
+namespace {
+
+/** Pack one input-vector bit per lane into plane words. */
+std::vector<uint64_t>
+packPlanes(const std::vector<std::vector<bool>> &vecs)
+{
+    std::vector<uint64_t> planes(vecs.front().size(), 0);
+    for (size_t l = 0; l < vecs.size(); ++l)
+        for (size_t i = 0; i < vecs[l].size(); ++i)
+            if (vecs[l][i])
+                planes[i] |= 1ULL << l;
+    return planes;
+}
+
+} // namespace
+
+TEST(LaneDta, BitIdenticalToScalarLevelized)
+{
+    AdderFixture f;
+    DelayAnnotation annot(f.nl, CellLibrary::nangate45Like(), 1);
+    LevelizedDta scalar(f.nl, annot, 1.2);
+    LaneDta lane(f.nl, annot, 1.2);
+    Rng rng(31);
+    // Include a tight capture right in the arrival distribution so
+    // both error and error-free lanes occur.
+    for (double capture : {1e9, 250.0, 180.0}) {
+        for (int round = 0; round < 4; ++round) {
+            std::vector<std::vector<bool>> prevs, curs;
+            for (unsigned l = 0; l < 64; ++l) {
+                prevs.push_back(
+                    f.inputs(rng.next() & 0xff, rng.next() & 0xff));
+                curs.push_back(
+                    f.inputs(rng.next() & 0xff, rng.next() & 0xff));
+            }
+            const auto &batch = lane.runBatch(
+                packPlanes(prevs), packPlanes(curs), capture, 64);
+            for (unsigned l = 0; l < 64; ++l) {
+                auto ref = scalar.run(prevs[l], curs[l], capture);
+                uint64_t settled = 0, captured = 0;
+                for (size_t k = 0; k < ref.settled.size(); ++k) {
+                    settled |= uint64_t{ref.settled[k]} << k;
+                    captured |= uint64_t{ref.captured[k]} << k;
+                }
+                uint64_t laneSettled = 0, laneCaptured = 0;
+                for (size_t k = 0; k < batch.settled.size(); ++k) {
+                    laneSettled |=
+                        ((batch.settled[k] >> l) & 1) << k;
+                    laneCaptured |=
+                        ((batch.captured[k] >> l) & 1) << k;
+                }
+                ASSERT_EQ(laneSettled, settled);
+                ASSERT_EQ(laneCaptured, captured);
+                // Arrival contract: exact above the capture time (same
+                // doubles, same order), lower bound below it.
+                if (ref.maxArrivalPs > capture)
+                    ASSERT_EQ(batch.maxArrivalPs[l], ref.maxArrivalPs);
+                else
+                    ASSERT_LE(batch.maxArrivalPs[l], ref.maxArrivalPs);
+            }
+        }
+    }
+}
+
+TEST(LaneDta, PartialBatchMatchesScalar)
+{
+    AdderFixture f;
+    DelayAnnotation annot(f.nl, CellLibrary::nangate45Like(), 1);
+    LevelizedDta scalar(f.nl, annot);
+    LaneDta lane(f.nl, annot);
+    Rng rng(32);
+    std::vector<std::vector<bool>> prevs, curs;
+    for (unsigned l = 0; l < 5; ++l) {
+        prevs.push_back(f.inputs(rng.next() & 0xff, rng.next() & 0xff));
+        curs.push_back(f.inputs(rng.next() & 0xff, rng.next() & 0xff));
+    }
+    const auto &batch =
+        lane.runBatch(packPlanes(prevs), packPlanes(curs), 230.0, 5);
+    for (unsigned l = 0; l < 5; ++l) {
+        auto ref = scalar.run(prevs[l], curs[l], 230.0);
+        for (size_t k = 0; k < ref.settled.size(); ++k) {
+            ASSERT_EQ((batch.settled[k] >> l) & 1,
+                      uint64_t{ref.settled[k]});
+            ASSERT_EQ((batch.captured[k] >> l) & 1,
+                      uint64_t{ref.captured[k]});
+        }
+        if (ref.maxArrivalPs > 230.0)
+            ASSERT_EQ(batch.maxArrivalPs[l], ref.maxArrivalPs);
+        else
+            ASSERT_LE(batch.maxArrivalPs[l], ref.maxArrivalPs);
+    }
+}
+
+TEST(LaneDta, EvalBatchMatchesFunctionalEvaluation)
+{
+    AdderFixture f;
+    DelayAnnotation annot(f.nl, CellLibrary::nangate45Like(), 1);
+    LaneDta lane(f.nl, annot);
+    Rng rng(33);
+    std::vector<std::vector<bool>> curs;
+    for (unsigned l = 0; l < 64; ++l)
+        curs.push_back(f.inputs(rng.next() & 0xff, rng.next() & 0xff));
+    const auto &out = lane.evalBatch(packPlanes(curs));
+    for (unsigned l = 0; l < 64; ++l) {
+        auto flat = flattenOutputs(f.nl, evaluate(f.nl, curs[l]));
+        for (size_t k = 0; k < flat.size(); ++k)
+            ASSERT_EQ((out[k] >> l) & 1, uint64_t{flat[k]});
+    }
+}
