@@ -22,6 +22,17 @@ using namespace tea;
 using namespace tea::core;
 using models::ModelKind;
 
+namespace {
+
+/** NaN (no classified runs) renders as "n/a", never "nan%". */
+std::string
+pctOrNa(double v01)
+{
+    return std::isnan(v01) ? "n/a" : Table::pct(v01);
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
@@ -40,7 +51,9 @@ main(int argc, char **argv)
     circuit::VoltageModel vm;
 
     // ---- AVM table -----------------------------------------------------
-    Table t({"Benchmark", "VR", "AVM(DA)", "AVM(IA)", "AVM(WA)"});
+    const double conf = tf.options().ciConf;
+    Table t({"Benchmark", "VR", "AVM(DA)", "AVM(IA)", "AVM(WA)",
+             "AVM(WA) +/-"});
     double divDa = 0, divIa = 0;
     int cells = 0;
     for (const auto &name : workloads::workloadNames()) {
@@ -50,19 +63,32 @@ main(int argc, char **argv)
             const auto *wa = grid.find(name, ModelKind::WA, vr);
             if (!da || !ia || !wa)
                 continue;
-            t.addRow({name, Table::pct(vr, 0), Table::pct(da->avm()),
-                      Table::pct(ia->avm()), Table::pct(wa->avm())});
+            t.addRow({name, Table::pct(vr, 0), pctOrNa(da->avm()),
+                      pctOrNa(ia->avm()), pctOrNa(wa->avm()),
+                      wa->classified() == 0
+                          ? "n/a"
+                          : Table::pct(
+                                wa->avmInterval(conf).halfWidth())});
+            // A cell with no classified runs has no AVM to diverge
+            // from; it must not poison the paper's mean with NaN.
+            if (std::isnan(da->avm()) || std::isnan(ia->avm()) ||
+                std::isnan(wa->avm()))
+                continue;
             divDa += std::fabs(da->avm() - wa->avm());
             divIa += std::fabs(ia->avm() - wa->avm());
             ++cells;
         }
     }
     std::printf("%s\n", t.render().c_str());
-    std::printf("mean |AVM(DA) - AVM(WA)|: %.1f%%   mean |AVM(IA) - "
-                "AVM(WA)|: %.1f%%\n"
-                "(paper: existing models' AVM differs from the workload-"
-                "aware one by 49.8%% on average)\n\n",
-                100 * divDa / cells, 100 * divIa / cells);
+    if (cells > 0)
+        std::printf("mean |AVM(DA) - AVM(WA)|: %.1f%%   mean |AVM(IA) - "
+                    "AVM(WA)|: %.1f%%\n"
+                    "(paper: existing models' AVM differs from the "
+                    "workload-aware one by 49.8%% on average)\n\n",
+                    100 * divDa / cells, 100 * divIa / cells);
+    else
+        std::printf("mean AVM divergence: n/a (no cell produced "
+                    "classified runs)\n\n");
 
     // ---- AVM-guided voltage selection -----------------------------------
     Table g({"Benchmark", "max safe VR (WA)", "power saving (WA)",
@@ -77,9 +103,10 @@ main(int argc, char **argv)
         }
         auto gw = guideVoltage(waAvm, vm);
         auto gd = guideVoltage(daAvm, vm);
-        g.addRow({name, Table::pct(gw.maxSafeVr, 0),
+        g.addRow({name,
+                  gw.found ? Table::pct(gw.maxSafeVr, 0) : "none",
                   Table::pct(gw.powerSaving),
-                  Table::pct(gd.maxSafeVr, 0),
+                  gd.found ? Table::pct(gd.maxSafeVr, 0) : "none",
                   Table::pct(gd.powerSaving)});
     }
     std::printf("%s\n", g.render().c_str());
@@ -87,6 +114,35 @@ main(int argc, char **argv)
                 "(AVM = 0) can be undervolted for real power savings, while\n"
                 "the pessimistic DA-model forbids any reduction (its random\n"
                 "flips corrupt every program).\n\n");
+
+    // ---- CI-aware guidance ----------------------------------------------
+    // "Zero corruptions observed" out of a handful of runs is weak
+    // evidence: the CI-aware guidance only calls a level safe when the
+    // AVM's upper confidence bound (rule-of-three for zero events)
+    // clears the bound below.
+    const double kAvmBound = 0.05;
+    Table ci({"Benchmark", "max safe VR (CI)", "AVM upper bound",
+              "power saving"});
+    for (const auto &name : workloads::workloadNames()) {
+        std::map<double, AvmObservation> waObs;
+        for (double vr : tf.options().vrLevels) {
+            if (const auto *r = grid.find(name, ModelKind::WA, vr))
+                waObs[vr] = {r->sdc + r->crash + r->timeout,
+                             r->classified()};
+        }
+        auto gc = guideVoltage(waObs, kAvmBound, conf, vm);
+        ci.addRow({name,
+                   gc.found ? Table::pct(gc.maxSafeVr, 0) : "none",
+                   gc.found ? Table::pct(gc.avmUpperBound) : "n/a",
+                   Table::pct(gc.powerSaving)});
+    }
+    std::printf("%s\n", ci.render().c_str());
+    std::printf("CI-aware guidance (AVM upper bound at %.0f%% confidence "
+                "must clear %.0f%%):\nwith few runs per cell the "
+                "rule-of-three bound 3/n keeps weakly-tested levels\n"
+                "out; raise REPRO_RUNS (or set REPRO_CI_TARGET) until "
+                "bounds tighten.\n\n",
+                conf * 100, kAvmBound * 100);
 
     // ---- prevention-technique analysis ----------------------------------
     Table p({"Benchmark", "VR", "stretched instr", "energy factor",

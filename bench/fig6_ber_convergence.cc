@@ -72,7 +72,8 @@ main(int argc, char **argv)
     std::printf("full-trace fp-mul error ratio: %s\n\n",
                 Table::sci(full.errorRatio()).c_str());
 
-    Table t({"K (sampled fp-mul)", "ER", "avg abs BER error (Eq. 3)"});
+    Table t({"K (sampled fp-mul)", "ER", "ER +/- (Wilson 95%)",
+             "avg abs BER error (Eq. 3)"});
     for (uint64_t k :
          {muls.size() / 32, muls.size() / 8, muls.size() / 2,
           muls.size()}) {
@@ -80,6 +81,7 @@ main(int argc, char **argv)
             continue;
         auto s = runOver(k);
         t.addRow({std::to_string(k), Table::sci(s.errorRatio()),
+                  Table::sci(s.errorInterval().halfWidth()),
                   Table::num(averageAbsError(full, s), 3)});
     }
     std::printf("%s\n", t.render().c_str());

@@ -9,6 +9,8 @@
  * paper's 1068 runs (3% margin, 95% confidence).
  */
 
+#include <cmath>
+
 #include "bench_common.hh"
 #include "core/results.hh"
 #include "util/table.hh"
@@ -16,6 +18,20 @@
 using namespace tea;
 using namespace tea::core;
 using models::ModelKind;
+
+namespace {
+
+/**
+ * Percent cell that renders the no-classified-runs NaN as "n/a"
+ * instead of a confusing "nan%".
+ */
+std::string
+pctOrNa(double v01)
+{
+    return std::isnan(v01) ? "n/a" : Table::pct(v01);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -34,23 +50,40 @@ main(int argc, char **argv)
         totalRuns += cell.result.runs;
     timer.report("injection runs", totalRuns);
 
+    // The ± column only appears in adaptive mode: classic fixed-size
+    // reproductions keep byte-identical output.
+    const bool adaptive = tf.options().adaptive();
+    const double conf = tf.options().ciConf;
     for (double vr : tf.options().vrLevels) {
         std::printf("---- VR%.0f ----\n", vr * 100);
-        Table t({"Benchmark", "Model", "Masked", "SDC", "Crash",
-                 "Timeout", "AVM"});
+        std::vector<std::string> headers = {"Benchmark", "Model",
+                                            "Masked",    "SDC",
+                                            "Crash",     "Timeout",
+                                            "AVM"};
+        if (adaptive)
+            headers.push_back("AVM +/-");
+        Table t(headers);
         for (const auto &name : workloads::workloadNames()) {
             for (ModelKind mk :
                  {ModelKind::DA, ModelKind::IA, ModelKind::WA}) {
                 const auto *r = grid.find(name, mk, vr);
                 if (!r)
                     continue;
-                t.addRow({name, models::modelKindName(mk),
-                          Table::pct(r->fraction(inject::Outcome::Masked)),
-                          Table::pct(r->fraction(inject::Outcome::SDC)),
-                          Table::pct(r->fraction(inject::Outcome::Crash)),
-                          Table::pct(
-                              r->fraction(inject::Outcome::Timeout)),
-                          Table::pct(r->avm())});
+                std::vector<std::string> row = {
+                    name, models::modelKindName(mk),
+                    pctOrNa(r->fraction(inject::Outcome::Masked)),
+                    pctOrNa(r->fraction(inject::Outcome::SDC)),
+                    pctOrNa(r->fraction(inject::Outcome::Crash)),
+                    pctOrNa(r->fraction(inject::Outcome::Timeout)),
+                    pctOrNa(r->avm())};
+                if (adaptive) {
+                    row.push_back(
+                        r->classified() == 0
+                            ? "n/a"
+                            : Table::pct(
+                                  r->avmInterval(conf).halfWidth()));
+                }
+                t.addRow(std::move(row));
             }
         }
         std::printf("%s\n", t.render().c_str());

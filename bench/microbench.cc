@@ -15,6 +15,12 @@
  * and the speedup over the scalar (lanes=1) row at the same thread
  * count, and asserting that the campaign statistics are bit-identical
  * across the whole sweep.
+ *
+ * `microbench --adaptive-sweep` compares fixed-N against adaptive
+ * (confidence-driven) campaign sizing at the same target half-width:
+ * a VR15 DTA cell and a sobel injection cell, printing trial counts,
+ * wall time, and the adaptive intervals, and asserting >= 2x savings
+ * with intervals that contain the fixed-N point estimates.
  */
 
 #include <benchmark/benchmark.h>
@@ -35,6 +41,8 @@
 #include "sim/func_sim.hh"
 #include "sim/ooo_sim.hh"
 #include "softfloat/softfloat.hh"
+#include "stats/intervals.hh"
+#include "stats/planner.hh"
 #include "timing/ber_csv.hh"
 #include "timing/dta_campaign.hh"
 #include "bench_common.hh"
@@ -414,6 +422,159 @@ runLaneSweep()
 }
 
 /**
+ * Adaptive-vs-fixed sweep: at an equal target half-width, how many
+ * trials does the confidence-driven planner spend compared with the
+ * classic worst-case-sized campaign — and do the adaptive intervals
+ * contain the fixed-N point estimates?
+ *
+ * Cell 1 (DTA): random characterization at VR15, per-op-type strata,
+ * target Wilson half-width REPRO_CI_TARGET (default 0.01, the
+ * acceptance bar) at 95% — fixed-N is the worst-case n = (z/2h)^2 per
+ * type. Cell 2 (injection): the sobel campaign under an aggressive WA
+ * model at the paper's 3%/95% sizing (fixed-N 1068 runs).
+ *
+ * Exit status: 0 when at least one cell shows >= 2x fewer runs AND
+ * every early-stopped stratum's interval contains the fixed-N point
+ * estimate; 1 otherwise.
+ */
+int
+runAdaptiveSweep()
+{
+    double hwDta = 0.01, conf = 0.95;
+    if (const char *e = std::getenv("REPRO_CI_TARGET")) {
+        double v = std::strtod(e, nullptr);
+        if (v > 0.0 && v < 0.5)
+            hwDta = v;
+    }
+    if (const char *e = std::getenv("REPRO_CI_CONF")) {
+        double v = std::strtod(e, nullptr);
+        if (v > 0.5 && v < 1.0)
+            conf = v;
+    }
+    const uint64_t fixedPerOp = stats::worstCaseTrials(hwDta, conf);
+    const unsigned threads = ThreadPool::defaultThreads();
+
+    std::printf("adaptive vs fixed-N campaign sizing "
+                "(half-width %.4g at %.0f%%, %u threads)\n\n",
+                hwDta, conf * 100, threads);
+
+    // ---- cell 1: DTA characterization at VR15 ----------------------
+    std::printf("building gate-level FPU (VR15 point)...\n");
+    fpu::FpuCore core;
+    size_t point = core.addOperatingPoint(
+        circuit::VoltageModel{}.delayFactorAtReduction(circuit::kVR15));
+    ThreadPool pool(threads);
+    core.workerPoints(point, threads);
+
+    auto t0 = std::chrono::steady_clock::now();
+    Rng fixedRng(1);
+    auto fixed = timing::runRandomCampaign(core, point, fixedPerOp,
+                                           fixedRng, &pool);
+    double fixedSec = secondsSince(t0);
+
+    stats::PlannerConfig cfg;
+    cfg.ciTarget = hwDta;
+    cfg.ciConf = conf;
+    cfg.maxPerStratum = fixedPerOp;
+    t0 = std::chrono::steady_clock::now();
+    Rng adptRng(1);
+    auto adpt = timing::runAdaptiveRandomCampaign(core, point, cfg,
+                                                  adptRng, &pool);
+    double adptSec = secondsSince(t0);
+
+    Table dta({"op", "fixed n", "adaptive n", "fixed ER",
+               "adaptive ER +/-", "contained"});
+    bool dtaContained = true;
+    for (unsigned o = 0; o < fpu::kNumFpuOps; ++o) {
+        auto op = static_cast<fpu::FpuOp>(o);
+        const auto &fs = fixed.of(op);
+        const auto &as = adpt.of(op);
+        auto ci = as.errorInterval(conf);
+        bool contained = ci.contains(fs.errorRatio());
+        dtaContained = dtaContained && contained;
+        char pm[48];
+        std::snprintf(pm, sizeof(pm), "%.4f +/- %.4f", as.errorRatio(),
+                      ci.halfWidth());
+        dta.addRow({fpu::fpuOpName(op), std::to_string(fs.total),
+                    std::to_string(as.total),
+                    Table::num(fs.errorRatio(), 4), pm,
+                    contained ? "yes" : "NO"});
+    }
+    std::printf("\n%s\n", dta.render("DTA @ VR15").c_str());
+    double dtaRatio =
+        adpt.totalOps()
+            ? static_cast<double>(fixed.totalOps()) /
+                  static_cast<double>(adpt.totalOps())
+            : 0.0;
+    std::printf("DTA trials: fixed %llu (%.1fs)  adaptive %llu "
+                "(%.1fs)  ratio %.2fx\n\n",
+                static_cast<unsigned long long>(fixed.totalOps()),
+                fixedSec,
+                static_cast<unsigned long long>(adpt.totalOps()),
+                adptSec, dtaRatio);
+    bool dtaPass = dtaRatio >= 2.0 && dtaContained;
+
+    // ---- cell 2: injection campaign (sobel, paper 3%/95%) ----------
+    const double hwInj = 0.03;
+    const int injFixed =
+        static_cast<int>(stats::worstCaseTrials(hwInj, conf));
+    std::printf("building sobel golden reference (%d fixed runs)...\n",
+                injFixed);
+    inject::InjectionCampaign campaign(
+        workloads::buildWorkload("sobel", 1));
+    models::WaModel model("hot", aggressiveWaStats());
+
+    inject::InjectionCampaign::RunOptions fo;
+    fo.pool = &pool;
+    t0 = std::chrono::steady_clock::now();
+    Rng injFixedRng(2);
+    auto injF = campaign.run(model, injFixed, injFixedRng, fo);
+    double injFixedSec = secondsSince(t0);
+
+    inject::InjectionCampaign::RunOptions ao = fo;
+    ao.ciTarget = hwInj;
+    ao.ciConf = conf;
+    t0 = std::chrono::steady_clock::now();
+    Rng injAdptRng(2);
+    auto injA = campaign.run(model, injFixed, injAdptRng, ao);
+    double injAdptSec = secondsSince(t0);
+
+    auto injCi = injA.avmInterval(conf);
+    bool injContained = injCi.contains(injF.avm());
+    double injRatio = injA.runs ? static_cast<double>(injF.runs) /
+                                      static_cast<double>(injA.runs)
+                                : 0.0;
+    Table inj({"campaign", "runs", "s", "AVM", "+/-"});
+    inj.addRow({"fixed", std::to_string(injF.runs),
+                Table::num(injFixedSec, 1), Table::num(injF.avm(), 4),
+                Table::num(injF.avmInterval(conf).halfWidth(), 4)});
+    inj.addRow({"adaptive", std::to_string(injA.runs),
+                Table::num(injAdptSec, 1), Table::num(injA.avm(), 4),
+                Table::num(injCi.halfWidth(), 4)});
+    std::printf("\n%s\n",
+                inj.render("injection (sobel, hw 0.03)").c_str());
+    std::printf("injection runs: fixed %llu  adaptive %llu  ratio "
+                "%.2fx  fixed AVM in adaptive interval: %s\n\n",
+                static_cast<unsigned long long>(injF.runs),
+                static_cast<unsigned long long>(injA.runs), injRatio,
+                injContained ? "yes" : "NO");
+    bool injPass = injRatio >= 2.0 && injContained;
+
+    if (!dtaPass && !injPass) {
+        std::printf("FAIL: no cell reached >= 2x savings with "
+                    "contained intervals (DTA %.2fx/%s, inject "
+                    "%.2fx/%s)\n",
+                    dtaRatio, dtaContained ? "contained" : "escaped",
+                    injRatio, injContained ? "contained" : "escaped");
+        return 1;
+    }
+    std::printf("PASS: adaptive sizing saves >= 2x at equal target "
+                "half-width (DTA %s, inject %s)\n",
+                dtaPass ? "pass" : "miss", injPass ? "pass" : "miss");
+    return 0;
+}
+
+/**
  * Wraps an inner model and throws from plan() on a deterministic
  * fraction of calls, exercising the containment/retry machinery.
  */
@@ -510,6 +671,8 @@ main(int argc, char **argv)
             return runThreadSweep();
         if (std::strcmp(argv[i], "--lane-sweep") == 0)
             return runLaneSweep();
+        if (std::strcmp(argv[i], "--adaptive-sweep") == 0)
+            return runAdaptiveSweep();
         if (std::strcmp(argv[i], "--fault-stress") == 0)
             return runFaultStress();
     }

@@ -24,6 +24,16 @@ for v in $vars; do
     fi
 done
 
+# ... and the reverse: a documented variable that no code reads is a
+# stale row (e.g. a renamed adaptive-campaign knob).
+docVars=$(grep -hoE 'REPRO_[A-Z_]+' README.md | sort -u)
+for v in $docVars; do
+    if ! echo "$vars" | grep -q "^$v$"; then
+        echo "check_docs: $v is documented in README.md but unused in the code"
+        fail=1
+    fi
+done
+
 # ---- metric families registered in the catalog ---------------------
 # docs/OBSERVABILITY.md's catalog table must name every family.
 metrics=$(grep -rhoE '"tea_[a-z0-9_]+"' src/obs/obs.hh | tr -d '"' | sort -u)
@@ -31,6 +41,16 @@ metrics=$(grep -rhoE '"tea_[a-z0-9_]+"' src/obs/obs.hh | tr -d '"' | sort -u)
 for m in $metrics; do
     if ! grep -q "$m" docs/OBSERVABILITY.md; then
         echo "check_docs: metric $m is registered but missing from docs/OBSERVABILITY.md"
+        fail=1
+    fi
+done
+
+# ... and stale metric rows: every family the docs name must still be
+# registered in the catalog header.
+docMetrics=$(grep -hoE 'tea_[a-z0-9_]+' docs/OBSERVABILITY.md | sort -u)
+for m in $docMetrics; do
+    if ! echo "$metrics" | grep -q "^$m$"; then
+        echo "check_docs: metric $m is documented in docs/OBSERVABILITY.md but not registered in src/obs/obs.hh"
         fail=1
     fi
 done

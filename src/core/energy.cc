@@ -1,6 +1,9 @@
 #include "core/energy.hh"
 
 #include <algorithm>
+#include <cmath>
+
+#include "stats/intervals.hh"
 
 namespace tea::core {
 
@@ -14,13 +17,36 @@ VoltageGuidance
 guideVoltage(const std::map<double, double> &avmPerVr,
              const circuit::VoltageModel &vm)
 {
-    VoltageGuidance g{0.0, 0.0};
+    VoltageGuidance g;
     for (const auto &[vr, avm] : avmPerVr) {
-        if (avm == 0.0 && vr > g.maxSafeVr)
+        // NaN marks a level where nothing was classified: unknown, so
+        // never safe. The explicit `found` flag keeps "VR = 0 is safe"
+        // distinct from "no level qualified".
+        if (avm == 0.0 && (!g.found || vr > g.maxSafeVr)) {
             g.maxSafeVr = vr;
+            g.found = true;
+        }
     }
-    g.powerSaving = g.maxSafeVr > 0.0 ? powerSavingAt(g.maxSafeVr, vm)
-                                      : 0.0;
+    g.powerSaving = g.found ? powerSavingAt(g.maxSafeVr, vm) : 0.0;
+    return g;
+}
+
+VoltageGuidance
+guideVoltage(const std::map<double, AvmObservation> &avmPerVr,
+             double avmBound, double conf, const circuit::VoltageModel &vm)
+{
+    VoltageGuidance g;
+    for (const auto &[vr, obs] : avmPerVr) {
+        if (obs.classified == 0)
+            continue; // no evidence at this level
+        double ub = stats::upperBound(obs.unsafe, obs.classified, conf);
+        if (ub <= avmBound && (!g.found || vr > g.maxSafeVr)) {
+            g.maxSafeVr = vr;
+            g.found = true;
+            g.avmUpperBound = ub;
+        }
+    }
+    g.powerSaving = g.found ? powerSavingAt(g.maxSafeVr, vm) : 0.0;
     return g;
 }
 

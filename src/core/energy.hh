@@ -31,17 +31,53 @@ double powerSavingAt(double vrFrac,
 
 struct VoltageGuidance
 {
-    double maxSafeVr;   ///< deepest VR with AVM == 0 (0 if none)
-    double powerSaving; ///< fractional power saving at that VR
+    double maxSafeVr = 0.0;   ///< deepest safe VR level found
+    double powerSaving = 0.0; ///< fractional power saving at that VR
+    /**
+     * True when some studied VR level qualified as safe. Callers must
+     * check this instead of `maxSafeVr > 0`: VR = 0 (nominal voltage)
+     * is a legitimate safe level, not the absence of an answer.
+     */
+    bool found = false;
+    /**
+     * Upper confidence bound on the AVM at maxSafeVr (1 when run
+     * counts were not provided — nothing is then known beyond the
+     * point estimate).
+     */
+    double avmUpperBound = 1.0;
 };
 
 /**
  * Pick the deepest studied VR level whose AVM is zero.
  * @param avmPerVr map from VR fraction to measured AVM.
+ *
+ * Point-estimate-only variant: levels whose AVM is NaN (nothing was
+ * classified there) are skipped, and the reported avmUpperBound stays
+ * at the uninformative 1.
  */
 VoltageGuidance guideVoltage(const std::map<double, double> &avmPerVr,
                              const circuit::VoltageModel &vm =
                                  circuit::VoltageModel{});
+
+/** One voltage level's evidence for the CI-aware guidance. */
+struct AvmObservation
+{
+    uint64_t unsafe = 0;     ///< SDC + Crash + Timeout runs
+    uint64_t classified = 0; ///< runs with a paper outcome
+};
+
+/**
+ * CI-aware guidance: pick the deepest VR level whose AVM *upper
+ * confidence bound* clears `avmBound` — zero observed corruption out
+ * of a handful of runs is not evidence of safety. Zero-event levels
+ * use the rule-of-three bound 1-(1-conf)^(1/n); levels with events
+ * use the Clopper-Pearson upper limit. Levels with no classified runs
+ * never qualify.
+ */
+VoltageGuidance
+guideVoltage(const std::map<double, AvmObservation> &avmPerVr,
+             double avmBound, double conf = 0.95,
+             const circuit::VoltageModel &vm = circuit::VoltageModel{});
 
 struct PreventionAnalysis
 {

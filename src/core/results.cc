@@ -1,5 +1,6 @@
 #include "core/results.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <memory>
@@ -93,21 +94,50 @@ loadGrid(const std::string &path)
 
 namespace {
 
+/**
+ * Injection runs per cell: the fixed count, or — in adaptive mode —
+ * the cap the round loop may stop short of (REPRO_MAX_RUNS override).
+ */
+int
+cellRunCap(const ToolflowOptions &opt)
+{
+    if (opt.adaptive() && opt.maxAdaptiveRuns > 0)
+        return static_cast<int>(
+            std::min<uint64_t>(opt.maxAdaptiveRuns, 1000000));
+    return opt.runsPerCell;
+}
+
+/**
+ * Extra path/identity component in adaptive mode. Empty when adaptive
+ * sizing is off, so every classic cache, journal, and grid file name
+ * stays byte-for-byte what it was before adaptive mode existed.
+ */
+std::string
+adaptiveSuffix(const ToolflowOptions &opt)
+{
+    if (!opt.adaptive())
+        return "";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "_a%gc%g", opt.ciTarget,
+                  opt.ciConf);
+    return buf;
+}
+
 /** Journal file path for one grid cell (unique per configuration). */
 std::string
 cellJournalPath(const ToolflowOptions &opt, const std::string &workload,
                 ModelKind kind, double vr)
 {
     char buf[80];
-    std::snprintf(buf, sizeof(buf), "_m%d_vr%02d_s%llu_x%d_p3.jnl",
+    std::snprintf(buf, sizeof(buf), "_m%d_vr%02d_s%llu_x%d%s_p3.jnl",
                   static_cast<int>(kind),
                   static_cast<int>(vr * 100 + 0.5),
                   static_cast<unsigned long long>(opt.seed),
-                  opt.workloadScale);
+                  opt.workloadScale, adaptiveSuffix(opt).c_str());
     return opt.cacheDir + "/" +
            Toolflow::cacheTag(
                "jnl", workload,
-               static_cast<uint64_t>(opt.runsPerCell)) +
+               static_cast<uint64_t>(cellRunCap(opt))) +
            buf;
 }
 
@@ -117,15 +147,15 @@ cellManifestPath(const ToolflowOptions &opt, const std::string &workload,
                  ModelKind kind, double vr)
 {
     char buf[80];
-    std::snprintf(buf, sizeof(buf), "_m%d_vr%02d_s%llu_x%d.json",
+    std::snprintf(buf, sizeof(buf), "_m%d_vr%02d_s%llu_x%d%s.json",
                   static_cast<int>(kind),
                   static_cast<int>(vr * 100 + 0.5),
                   static_cast<unsigned long long>(opt.seed),
-                  opt.workloadScale);
+                  opt.workloadScale, adaptiveSuffix(opt).c_str());
     return opt.cacheDir + "/" +
            Toolflow::cacheTag(
                "mft", workload,
-               static_cast<uint64_t>(opt.runsPerCell)) +
+               static_cast<uint64_t>(cellRunCap(opt))) +
            buf;
 }
 
@@ -134,15 +164,23 @@ std::string
 cellIdentity(const ToolflowOptions &opt, const std::string &workload,
              const models::ErrorModel &model, double vr)
 {
-    char buf[192];
+    char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "workload=%s model=%s vr=%.4f runs=%d seed=%llu "
                   "scale=%d",
                   workload.c_str(), model.describe().c_str(), vr,
-                  opt.runsPerCell,
+                  cellRunCap(opt),
                   static_cast<unsigned long long>(opt.seed),
                   opt.workloadScale);
-    return buf;
+    std::string id = buf;
+    if (opt.adaptive()) {
+        // Journaled adaptive prefixes are only replayable into a
+        // campaign with the same stopping rule.
+        std::snprintf(buf, sizeof(buf), " ci=%g conf=%g", opt.ciTarget,
+                      opt.ciConf);
+        id += buf;
+    }
+    return id;
 }
 
 } // namespace
@@ -158,10 +196,11 @@ runEvaluationGrid(Toolflow &tf, bool useCache)
         // columns; p3 invalidates grids derived from float-precision
         // arrival times (the levelized engine now accumulates in
         // double, matching the event-driven reference).
-        std::snprintf(buf, sizeof(buf), "%s/grid_r%d_s%llu_x%d_p3.csv",
-                      opt.cacheDir.c_str(), opt.runsPerCell,
+        std::snprintf(buf, sizeof(buf),
+                      "%s/grid_r%d_s%llu_x%d%s_p3.csv",
+                      opt.cacheDir.c_str(), cellRunCap(opt),
                       static_cast<unsigned long long>(opt.seed),
-                      opt.workloadScale);
+                      opt.workloadScale, adaptiveSuffix(opt).c_str());
         cachePath = buf;
         if (auto grid = loadGrid(cachePath)) {
             inform("loaded cached evaluation grid %s", cachePath.c_str());
@@ -198,9 +237,10 @@ runEvaluationGrid(Toolflow &tf, bool useCache)
                             std::make_unique<models::WaModel>(
                                 tf.waModel(name, vr))});
             for (auto &mr : runs) {
-                inform("campaign: %s %s VR%.0f (%d runs)...",
+                inform("campaign: %s %s VR%.0f (%d runs%s)...",
                        name.c_str(), models::modelKindName(mr.kind),
-                       vr * 100, opt.runsPerCell);
+                       vr * 100, cellRunCap(opt),
+                       opt.adaptive() ? " max, adaptive" : "");
                 Rng cellRng = rng.split();
 
                 inject::InjectionCampaign::RunOptions ro;
@@ -208,6 +248,8 @@ runEvaluationGrid(Toolflow &tf, bool useCache)
                 ro.cancel = &cancel;
                 ro.runDeadlineMs = opt.runDeadlineMs;
                 ro.maxAttempts = opt.maxRunAttempts;
+                ro.ciTarget = opt.ciTarget;
+                ro.ciConf = opt.ciConf;
                 ShardJournal *journal = nullptr;
                 size_t replayable = 0;
                 if (!opt.cacheDir.empty()) {
@@ -222,7 +264,7 @@ runEvaluationGrid(Toolflow &tf, bool useCache)
                                "journaled",
                                name.c_str(),
                                models::modelKindName(mr.kind), vr * 100,
-                               replayable, opt.runsPerCell);
+                               replayable, cellRunCap(opt));
                     ro.replay =
                         [journal](uint64_t i,
                                   inject::InjectionCampaign::RunRecord
@@ -247,7 +289,7 @@ runEvaluationGrid(Toolflow &tf, bool useCache)
                         "grid",
                         static_cast<int64_t>(vr * 100 + 0.5));
                     cell.result = campaign.run(*mr.model,
-                                               opt.runsPerCell,
+                                               cellRunCap(opt),
                                                cellRng, ro);
                 }
                 obs::Registry::global()
@@ -261,7 +303,7 @@ runEvaluationGrid(Toolflow &tf, bool useCache)
                     m.modelDetail = mr.model->describe();
                     m.vrFrac = vr;
                     m.seed = opt.seed;
-                    m.runsPerCell = opt.runsPerCell;
+                    m.runsPerCell = cellRunCap(opt);
                     m.workloadScale = opt.workloadScale;
                     m.threads = tf.pool().numThreads();
                     m.identity = cellIdentity(opt, name, *mr.model, vr);
@@ -302,7 +344,7 @@ runEvaluationGrid(Toolflow &tf, bool useCache)
                            models::modelKindName(mr.kind), vr * 100,
                            static_cast<unsigned long long>(
                                cell.result.runs),
-                           opt.runsPerCell,
+                           cellRunCap(opt),
                            static_cast<unsigned long long>(
                                cell.result.masked),
                            static_cast<unsigned long long>(

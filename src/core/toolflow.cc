@@ -1,6 +1,7 @@
 #include "core/toolflow.hh"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <functional>
@@ -46,6 +47,21 @@ parseEnvU64(const char *name, const char *value, uint64_t &out)
     unsigned long long v = std::strtoull(value, &end, 0);
     if (end == value || *end != '\0' || errno == ERANGE ||
         value[0] == '-') {
+        warn("ignoring malformed %s='%s'", name, value);
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+bool
+parseEnvDouble(const char *name, const char *value, double &out)
+{
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(value, &end);
+    if (end == value || *end != '\0' || errno == ERANGE ||
+        !std::isfinite(v)) {
         warn("ignoring malformed %s='%s'", name, value);
         return false;
     }
@@ -101,6 +117,36 @@ optionsFromEnv()
             }
             opt.runDeadlineMs = v;
         }
+    }
+    if (const char *ci = std::getenv("REPRO_CI_TARGET")) {
+        double v;
+        if (parseEnvDouble("REPRO_CI_TARGET", ci, v)) {
+            if (v < 0.0) {
+                warn("clamping REPRO_CI_TARGET=%g to 0 (adaptive off)",
+                     v);
+                v = 0.0;
+            } else if (v >= 0.5) {
+                warn("clamping REPRO_CI_TARGET=%g to 0.49", v);
+                v = 0.49;
+            }
+            opt.ciTarget = v;
+        }
+    }
+    if (const char *conf = std::getenv("REPRO_CI_CONF")) {
+        double v;
+        if (parseEnvDouble("REPRO_CI_CONF", conf, v)) {
+            if (v <= 0.5 || v >= 1.0) {
+                warn("REPRO_CI_CONF=%g outside (0.5, 1); keeping %g", v,
+                     opt.ciConf);
+            } else {
+                opt.ciConf = v;
+            }
+        }
+    }
+    if (const char *cap = std::getenv("REPRO_MAX_RUNS")) {
+        uint64_t v;
+        if (parseEnvU64("REPRO_MAX_RUNS", cap, v))
+            opt.maxAdaptiveRuns = v;
     }
     opt.threads = ThreadPool::defaultThreads();
     return opt;
@@ -266,9 +312,58 @@ Toolflow::characterize(
     return statsCache_.emplace(key, std::move(stats)).first->second;
 }
 
+namespace {
+
+/**
+ * Adaptive characterizations live under their own cache names: the
+ * run count is decided by convergence, so the interval parameters —
+ * not an op count — are what identify the result. Keeping the name
+ * distinct also keeps every fixed-size cache file byte-identical
+ * whether or not adaptive mode was ever used.
+ */
+std::string
+adaptiveName(const char *base, const ToolflowOptions &opt)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s-a%g-c%g", base, opt.ciTarget,
+                  opt.ciConf);
+    return buf;
+}
+
+/** Planner settings shared by the adaptive characterizations. */
+stats::PlannerConfig
+plannerConfig(const ToolflowOptions &opt, uint64_t cap)
+{
+    stats::PlannerConfig cfg;
+    cfg.ciTarget = opt.ciTarget;
+    cfg.ciConf = opt.ciConf;
+    cfg.maxPerStratum = cap;
+    return cfg;
+}
+
+} // namespace
+
 const CampaignStats &
 Toolflow::iaStats(double vrFrac)
 {
+    if (opt_.adaptive()) {
+        // Cap far above any realistic convergence point; REPRO_MAX_RUNS
+        // tightens it when gate-level time is the binding constraint.
+        uint64_t cap = opt_.maxAdaptiveRuns ? opt_.maxAdaptiveRuns
+                                            : (1ULL << 20);
+        std::string tag =
+            cacheTag("ia", adaptiveName("rnd", opt_), cap);
+        return characterize(tag, vrFrac, [&](size_t point) {
+            Rng rng(opt_.seed ^ 0x1a1a1aULL);
+            inform("adaptive IA characterization at VR%.0f "
+                   "(half-width %g at %g%%, %u threads)...",
+                   vrFrac * 100, opt_.ciTarget, opt_.ciConf * 100,
+                   pool_->numThreads());
+            return timing::runAdaptiveRandomCampaign(
+                *core_, point, plannerConfig(opt_, cap), rng,
+                pool_.get(), &cancelWatchdog_);
+        });
+    }
     std::string tag = cacheTag("ia", "rnd", opt_.iaCountPerOp);
     return characterize(tag, vrFrac, [&](size_t point) {
         Rng rng(opt_.seed ^ 0x1a1a1aULL);
@@ -287,6 +382,26 @@ Toolflow::iaStats(double vrFrac)
 const CampaignStats &
 Toolflow::waStats(const std::string &workload, double vrFrac)
 {
+    if (opt_.adaptive()) {
+        // The window list is the fixed-N geometry (extended when
+        // REPRO_MAX_RUNS asks for more); a converged adaptive run
+        // consumes a bit-exact prefix of it.
+        uint64_t cap = opt_.maxAdaptiveRuns ? opt_.maxAdaptiveRuns
+                                            : opt_.waMaxOps;
+        uint64_t maxOps = std::max(opt_.waMaxOps, cap);
+        std::string tag = cacheTag(
+            "wa", adaptiveName(workload.c_str(), opt_), maxOps);
+        return characterize(tag, vrFrac, [&](size_t point) {
+            inform("adaptive WA characterization of %s at VR%.0f "
+                   "(half-width %g at %g%%, %u threads)...",
+                   workload.c_str(), vrFrac * 100, opt_.ciTarget,
+                   opt_.ciConf * 100, pool_->numThreads());
+            return timing::runAdaptiveTraceCampaign(
+                *core_, point, trace(workload), maxOps,
+                plannerConfig(opt_, cap), pool_.get(),
+                &cancelWatchdog_);
+        });
+    }
     std::string tag = cacheTag("wa", workload, opt_.waMaxOps);
     return characterize(tag, vrFrac, [&](size_t point) {
         inform("WA characterization of %s at VR%.0f (%u threads)...",
@@ -307,7 +422,11 @@ Toolflow::daErrorRatio(double vrFrac)
     // Monte-Carlo over instructions randomly extracted from all
     // benchmarks (paper Section IV.C.1) — realized as an even trace
     // sample per workload.
-    std::string tag = cacheTag("da", "all", opt_.daSampleOps);
+    std::string tag =
+        opt_.adaptive()
+            ? cacheTag("da", adaptiveName("all", opt_),
+                       opt_.daSampleOps)
+            : cacheTag("da", "all", opt_.daSampleOps);
     const CampaignStats &stats =
         characterize(tag, vrFrac, [&](size_t point) {
             inform("DA calibration at VR%.0f...", vrFrac * 100);
@@ -315,10 +434,16 @@ Toolflow::daErrorRatio(double vrFrac)
             uint64_t per =
                 opt_.daSampleOps / workloads::workloadNames().size();
             for (const auto &name : workloads::workloadNames()) {
-                auto s = timing::runTraceCampaign(*core_, point,
-                                                  trace(name), per,
-                                                  pool_.get(),
-                                                  &cancelWatchdog_);
+                auto s =
+                    opt_.adaptive()
+                        ? timing::runAdaptiveTraceCampaign(
+                              *core_, point, trace(name), per,
+                              plannerConfig(opt_, per), pool_.get(),
+                              &cancelWatchdog_)
+                        : timing::runTraceCampaign(*core_, point,
+                                                   trace(name), per,
+                                                   pool_.get(),
+                                                   &cancelWatchdog_);
                 for (unsigned o = 0; o < fpu::kNumFpuOps; ++o)
                     merged.perOp[o].merge(s.perOp[o]);
                 // Degradation and interruption are properties of the

@@ -59,11 +59,30 @@ struct ToolflowOptions
     int64_t runDeadlineMs = 0;
     /** Containment attempts per injection run before EngineFault. */
     int maxRunAttempts = inject::kDefaultRunAttempts;
+    /**
+     * Adaptive (confidence-driven) campaign sizing: when > 0,
+     * characterizations and injection campaigns sample in
+     * deterministic rounds until their intervals reach this half-width
+     * (REPRO_CI_TARGET). 0 keeps the classic fixed-size campaigns —
+     * and with them byte-identical caches, journals, and figure CSVs.
+     */
+    double ciTarget = 0.0;
+    /** Confidence level of adaptive intervals (REPRO_CI_CONF). */
+    double ciConf = 0.95;
+    /**
+     * Cap on adaptive trials per stratum / runs per cell
+     * (REPRO_MAX_RUNS; 0 = a per-campaign default).
+     */
+    uint64_t maxAdaptiveRuns = 0;
+
+    /** True when confidence-driven campaign sizing is enabled. */
+    bool adaptive() const { return ciTarget > 0.0; }
 };
 
 /**
  * Read REPRO_RUNS / REPRO_FULL / REPRO_SEED / REPRO_CACHE /
- * REPRO_THREADS / REPRO_RESUME / REPRO_RUN_DEADLINE_MS overrides.
+ * REPRO_THREADS / REPRO_RESUME / REPRO_RUN_DEADLINE_MS /
+ * REPRO_CI_TARGET / REPRO_CI_CONF / REPRO_MAX_RUNS overrides.
  * Malformed values are rejected with a warn and the default kept;
  * out-of-range values are clamped — a typo in the environment can
  * slow a reproduction down but never crash or silently skew it.

@@ -1,12 +1,15 @@
 #include "inject/campaign.hh"
 
 #include <chrono>
+#include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
 #include "obs/trace.hh"
 #include "sim/func_sim.hh"
+#include "stats/planner.hh"
 #include "util/logging.hh"
 
 namespace tea::inject {
@@ -40,8 +43,10 @@ CampaignResult::errorRatio() const
 double
 CampaignResult::avm() const
 {
+    // No classified run means the AVM is unknown, not zero: a cell
+    // whose every run EngineFaulted must not read as perfectly safe.
     if (classified() == 0)
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     return static_cast<double>(sdc + crash + timeout) /
            static_cast<double>(classified());
 }
@@ -52,9 +57,9 @@ CampaignResult::fraction(Outcome o) const
     if (o == Outcome::EngineFault)
         return runs ? static_cast<double>(engineFault) /
                           static_cast<double>(runs)
-                    : 0.0;
+                    : std::numeric_limits<double>::quiet_NaN();
     if (classified() == 0)
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     uint64_t n = 0;
     switch (o) {
       case Outcome::Masked: n = masked; break;
@@ -64,6 +69,28 @@ CampaignResult::fraction(Outcome o) const
       case Outcome::EngineFault: break; // handled above
     }
     return static_cast<double>(n) / static_cast<double>(classified());
+}
+
+stats::Interval
+CampaignResult::avmInterval(double conf) const
+{
+    return stats::wilson(sdc + crash + timeout, classified(), conf);
+}
+
+stats::Interval
+CampaignResult::fractionInterval(Outcome o, double conf) const
+{
+    if (o == Outcome::EngineFault)
+        return stats::wilson(engineFault, runs, conf);
+    uint64_t n = 0;
+    switch (o) {
+      case Outcome::Masked: n = masked; break;
+      case Outcome::SDC: n = sdc; break;
+      case Outcome::Crash: n = crash; break;
+      case Outcome::Timeout: n = timeout; break;
+      case Outcome::EngineFault: break; // handled above
+    }
+    return stats::wilson(n, classified(), conf);
 }
 
 InjectionCampaign::InjectionCampaign(Unprepared,
@@ -266,35 +293,95 @@ InjectionCampaign::run(const ErrorModel &model, int runs, Rng &rng,
 
     obs::Span campaignSpan("inject.campaign", "inject",
                            static_cast<int64_t>(n));
-    tp.parallelFor(0, n, [&](uint64_t i, unsigned) {
-        if (opts.cancel && opts.cancel->cancelled())
-            return;
-        if (opts.replay && opts.replay(i, records[i])) {
+    auto executeRange = [&](uint64_t begin, uint64_t end) {
+        tp.parallelFor(begin, end, [&](uint64_t i, unsigned) {
+            if (opts.cancel && opts.cancel->cancelled())
+                return;
+            if (opts.replay && opts.replay(i, records[i])) {
+                done[i] = 1;
+                mReplays.inc(1);
+                return;
+            }
+            obs::Span runSpan("inject.run", "inject",
+                              static_cast<int64_t>(i));
+            auto t0 = std::chrono::steady_clock::now();
+            RunRecord rec = executeOneContained(model, base, i, opts);
+            mRunMs.observe(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
+            if (rec.fault == ErrorCode::Cancelled) {
+                mCancelled.inc(1);
+                return; // shutdown mid-run: leave it for the resume
+            }
+            records[i] = rec;
             done[i] = 1;
-            mReplays.inc(1);
-            return;
+            if (opts.onComplete)
+                opts.onComplete(i, records[i]);
+        });
+    };
+
+    // Runs considered by the aggregation: all of them on the fixed
+    // path, the executed prefix on the adaptive path.
+    size_t executed = n;
+    if (opts.ciTarget > 0.0 && n > 0) {
+        // Adaptive stopping. The round loop only ever *truncates* the
+        // fixed campaign: run i is executed exactly as the fixed path
+        // would execute it, rounds are cut at barriers, and the
+        // stop/continue decision is a pure function of the classified
+        // counts — so results are bit-identical at every thread count
+        // and a bit-exact prefix of the fixed-N campaign.
+        stats::PlannerConfig pcfg;
+        pcfg.ciTarget = opts.ciTarget;
+        pcfg.ciConf = opts.ciConf;
+        pcfg.maxPerStratum = n;
+        pcfg.unit = 1;
+        pcfg.initialRound = opts.initialRound ? opts.initialRound : 64;
+        stats::AdaptivePlanner planner(pcfg, 1);
+        uint64_t next = 0;
+        bool cancelled = false;
+        while (!planner.done() && next < n && !cancelled) {
+            uint64_t end =
+                std::min<uint64_t>(n, next + planner.planRound()[0]);
+            executeRange(next, end);
+            // Fold the round: EngineFaults carry no AVM evidence and
+            // unfinished (cancelled) runs must not count at all.
+            uint64_t events = 0, trials = 0;
+            for (uint64_t i = next; i < end; ++i) {
+                if (!done[i]) {
+                    cancelled = true;
+                    continue;
+                }
+                const RunRecord &rec = records[i];
+                if (rec.outcome == Outcome::EngineFault)
+                    continue;
+                ++trials;
+                if (rec.outcome != Outcome::Masked)
+                    ++events;
+            }
+            planner.record(0, events, trials);
+            next = end;
         }
-        obs::Span runSpan("inject.run", "inject",
-                          static_cast<int64_t>(i));
-        auto t0 = std::chrono::steady_clock::now();
-        RunRecord rec = executeOneContained(model, base, i, opts);
-        mRunMs.observe(std::chrono::duration<double, std::milli>(
-                           std::chrono::steady_clock::now() - t0)
-                           .count());
-        if (rec.fault == ErrorCode::Cancelled) {
-            mCancelled.inc(1);
-            return; // shutdown mid-run: leave it for the resume
-        }
-        records[i] = rec;
-        done[i] = 1;
-        if (opts.onComplete)
-            opts.onComplete(i, records[i]);
-    });
+        executed = next;
+        reg.counter(obs::metric::kStatsRounds, "",
+                    "adaptive sampling rounds planned")
+            .inc(planner.rounds());
+        reg.counter(obs::metric::kStatsEarlyStops, "",
+                    "strata stopped early by interval convergence")
+            .inc(planner.earlyStops());
+        reg.counter(obs::metric::kStatsAllocatedTrials, "",
+                    "trials allocated by adaptive planners")
+            .inc(planner.totalAllocated());
+        reg.counter(obs::metric::kStatsTrialsSaved, "",
+                    "trials avoided versus the fixed-size campaign")
+            .inc(n > executed ? n - executed : 0);
+    } else {
+        executeRange(0, n);
+    }
 
     CampaignResult out;
     out.workload = workload_.name;
     out.model = model.describe();
-    for (size_t i = 0; i < n; ++i) {
+    for (size_t i = 0; i < executed; ++i) {
         if (!done[i]) {
             out.interrupted = true;
             continue;

@@ -32,6 +32,7 @@
 
 #include "models/error_models.hh"
 #include "sim/ooo_sim.hh"
+#include "stats/intervals.hh"
 #include "util/errors.hh"
 #include "util/expected.hh"
 #include "util/rng.hh"
@@ -91,13 +92,23 @@ struct CampaignResult
     uint64_t classified() const { return runs - engineFault; }
     /** Error injection ratio (Eq. 2 over the campaign). */
     double errorRatio() const;
-    /** AVM (Eq. 4) over classified runs; EngineFaults never count. */
+    /**
+     * AVM (Eq. 4) over classified runs; EngineFaults never count.
+     * NaN when no run was classified (e.g. every run EngineFaulted) —
+     * an unknown AVM must never masquerade as a perfect 0.
+     */
     double avm() const;
     /**
-     * Fraction of an outcome: the paper outcomes over classified runs,
-     * EngineFault over all recorded runs.
+     * Fraction of an outcome: the paper outcomes over classified runs
+     * (NaN when nothing was classified), EngineFault over all recorded
+     * runs (NaN when nothing was recorded).
      */
     double fraction(Outcome o) const;
+    /** Wilson interval on the AVM over classified runs. */
+    stats::Interval avmInterval(double conf = 0.95) const;
+    /** Wilson interval on fraction(o) (same denominators). */
+    stats::Interval fractionInterval(Outcome o,
+                                     double conf = 0.95) const;
 };
 
 /**
@@ -167,6 +178,20 @@ class InjectionCampaign
          * completes (journal append point). Not called for replays.
          */
         std::function<void(uint64_t, const RunRecord &)> onComplete;
+        /**
+         * Adaptive stopping: when > 0, run() samples in deterministic
+         * rounds and stops once the AVM's Wilson interval at ciConf is
+         * tighter than this half-width — `runs` then acts as the cap.
+         * Executed runs are always the prefix 0..N-1 of the fixed-size
+         * campaign's run indices (run i draws from rng.fork(i) either
+         * way), so adaptive results are a bit-exact subset of fixed
+         * results and identical at every thread count. 0 = off.
+         */
+        double ciTarget = 0.0;
+        /** Confidence level of the adaptive stopping interval. */
+        double ciConf = 0.95;
+        /** First adaptive round size in runs (0 = default of 64). */
+        uint64_t initialRound = 0;
     };
 
     /**

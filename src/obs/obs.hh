@@ -50,6 +50,14 @@ inline constexpr const char *kDtaLaneBatches =
     "tea_dta_lane_batches_total";
 inline constexpr const char *kDtaLaneFallbackOps =
     "tea_dta_lane_fallback_ops_total";
+// ---- adaptive estimation ------------------------------------------
+inline constexpr const char *kStatsRounds = "tea_stats_rounds_total";
+inline constexpr const char *kStatsEarlyStops =
+    "tea_stats_early_stops_total";
+inline constexpr const char *kStatsAllocatedTrials =
+    "tea_stats_allocated_trials_total";
+inline constexpr const char *kStatsTrialsSaved =
+    "tea_stats_trials_saved_total";
 // ---- durability ----------------------------------------------------
 inline constexpr const char *kJournalAppends =
     "tea_journal_appends_total";

@@ -1,0 +1,17 @@
+#include "stats/estimator.hh"
+
+namespace tea::stats {
+
+Interval
+makeInterval(IntervalMethod m, uint64_t k, uint64_t n, double conf)
+{
+    switch (m) {
+      case IntervalMethod::Wilson:
+        return wilson(k, n, conf);
+      case IntervalMethod::ClopperPearson:
+        return clopperPearson(k, n, conf);
+    }
+    return {0.0, 1.0};
+}
+
+} // namespace tea::stats

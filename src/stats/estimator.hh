@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Sequential binomial estimation: fold in per-shard (events, trials)
+ * counts as campaign rounds complete and decide stop / continue.
+ *
+ * The estimator is the bridge between the interval math and the
+ * campaign engines: a campaign keeps sampling while the confidence
+ * interval on its proportion is wider than the requested target, and
+ * stops the moment the target (or a hard run cap) is reached. All
+ * state is integer counts and the decision is a pure function of
+ * them, so a sequential campaign is bit-deterministic at any thread
+ * or lane count as long as counts are folded in at fixed round
+ * boundaries — which is exactly what AdaptivePlanner enforces.
+ */
+
+#ifndef TEA_STATS_ESTIMATOR_HH
+#define TEA_STATS_ESTIMATOR_HH
+
+#include <cstdint>
+
+#include "stats/intervals.hh"
+
+namespace tea::stats {
+
+/** Interval family a sequential rule measures width with. */
+enum class IntervalMethod
+{
+    Wilson,
+    ClopperPearson,
+};
+
+Interval makeInterval(IntervalMethod m, uint64_t k, uint64_t n,
+                      double conf);
+
+class Estimator
+{
+  public:
+    /**
+     * @param targetHalfWidth stop once the interval half-width is at
+     *        or below this (e.g. 0.01).
+     * @param conf two-sided confidence of the interval (e.g. 0.95).
+     */
+    Estimator(double targetHalfWidth, double conf,
+              IntervalMethod method = IntervalMethod::Wilson)
+        : target_(targetHalfWidth), conf_(conf), method_(method)
+    {
+    }
+
+    /** Fold in one shard / round worth of counts. */
+    void add(uint64_t events, uint64_t trials)
+    {
+        events_ += events;
+        trials_ += trials;
+    }
+
+    uint64_t events() const { return events_; }
+    uint64_t trials() const { return trials_; }
+    double target() const { return target_; }
+    double confidence() const { return conf_; }
+
+    /** Point estimate events/trials (0 when no trials yet). */
+    double mean() const
+    {
+        return trials_ ? static_cast<double>(events_) /
+                             static_cast<double>(trials_)
+                       : 0.0;
+    }
+
+    /** Current interval (vacuous [0, 1] before any trials). */
+    Interval interval() const
+    {
+        return makeInterval(method_, events_, trials_, conf_);
+    }
+
+    /** True once the interval is at least as tight as the target. */
+    bool converged() const
+    {
+        return trials_ > 0 && interval().halfWidth() <= target_;
+    }
+
+    /**
+     * Stop / continue given a hard trial cap: stop on convergence or
+     * once `maxTrials` trials have been consumed.
+     */
+    bool shouldStop(uint64_t maxTrials) const
+    {
+        return converged() || trials_ >= maxTrials;
+    }
+
+  private:
+    double target_;
+    double conf_;
+    IntervalMethod method_;
+    uint64_t events_ = 0;
+    uint64_t trials_ = 0;
+};
+
+} // namespace tea::stats
+
+#endif // TEA_STATS_ESTIMATOR_HH

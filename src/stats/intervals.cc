@@ -1,0 +1,238 @@
+#include "stats/intervals.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace tea::stats {
+
+namespace {
+
+/** Natural log of the beta function via lgamma. */
+double
+logBeta(double a, double b)
+{
+    return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+}
+
+/**
+ * Continued fraction for the incomplete beta (Lentz's method with the
+ * standard even/odd term pairing). Converges in a few dozen iterations
+ * for the x < (a+1)/(a+b+2) regime incompleteBeta() routes here.
+ */
+double
+betaContinuedFraction(double a, double b, double x)
+{
+    constexpr int kMaxIter = 200;
+    constexpr double kEps = 3e-15;
+    constexpr double kTiny = 1e-300;
+
+    double qab = a + b, qap = a + 1.0, qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::fabs(d) < kTiny)
+        d = kTiny;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= kMaxIter; ++m) {
+        int m2 = 2 * m;
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < kTiny)
+            d = kTiny;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < kTiny)
+            c = kTiny;
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < kTiny)
+            d = kTiny;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < kTiny)
+            c = kTiny;
+        d = 1.0 / d;
+        double del = d * c;
+        h *= del;
+        if (std::fabs(del - 1.0) < kEps)
+            break;
+    }
+    return h;
+}
+
+/**
+ * Inverse of incompleteBeta in x for fixed (a, b): bisection on the
+ * monotone CDF. 100 halvings reach ~8e-31, far below double epsilon,
+ * and are exactly reproducible (no Newton step-size heuristics).
+ */
+double
+inverseIncompleteBeta(double a, double b, double p)
+{
+    double lo = 0.0, hi = 1.0;
+    for (int i = 0; i < 100; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (incompleteBeta(a, b, mid) < p)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace
+
+double
+incompleteBeta(double a, double b, double x)
+{
+    if (x <= 0.0)
+        return 0.0;
+    if (x >= 1.0)
+        return 1.0;
+    double front = std::exp(a * std::log(x) + b * std::log(1.0 - x) -
+                            logBeta(a, b));
+    // Symmetry keeps the continued fraction in its fast regime.
+    if (x < (a + 1.0) / (a + b + 2.0))
+        return front * betaContinuedFraction(a, b, x) / a;
+    return 1.0 - front * betaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double
+normalQuantile(double p)
+{
+    fatal_if(!(p > 0.0 && p < 1.0),
+             "normalQuantile: p=%g outside (0,1)", p);
+    // Acklam's algorithm: rational approximations on a central region
+    // and two tails.
+    static const double A[] = {-3.969683028665376e+01,
+                               2.209460984245205e+02,
+                               -2.759285104469687e+02,
+                               1.383577518672690e+02,
+                               -3.066479806614716e+01,
+                               2.506628277459239e+00};
+    static const double B[] = {-5.447609879822406e+01,
+                               1.615858368580409e+02,
+                               -1.556989798598866e+02,
+                               6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double C[] = {-7.784894002430293e-03,
+                               -3.223964580411365e-01,
+                               -2.400758277161838e+00,
+                               -2.549732539343734e+00,
+                               4.374664141464968e+00,
+                               2.938163982698783e+00};
+    static const double D[] = {7.784695709041462e-03,
+                               3.224671290700398e-01,
+                               2.445134137142996e+00,
+                               3.754408661907416e+00};
+    constexpr double pLow = 0.02425;
+    double q, r;
+    if (p < pLow) {
+        q = std::sqrt(-2.0 * std::log(p));
+        return (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q +
+                 C[4]) *
+                    q +
+                C[5]) /
+               ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0);
+    }
+    if (p <= 1.0 - pLow) {
+        q = p - 0.5;
+        r = q * q;
+        return (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r +
+                 A[4]) *
+                    r +
+                A[5]) *
+               q /
+               (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r +
+                 B[4]) *
+                    r +
+                1.0);
+    }
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) *
+                 q +
+             C[5]) /
+           ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0);
+}
+
+Interval
+wilson(uint64_t k, uint64_t n, double conf)
+{
+    if (n == 0)
+        return {0.0, 1.0};
+    double z = normalQuantile(0.5 + conf / 2.0);
+    double nn = static_cast<double>(n);
+    double p = static_cast<double>(k) / nn;
+    double z2 = z * z;
+    double denom = 1.0 + z2 / nn;
+    double center = (p + z2 / (2.0 * nn)) / denom;
+    double half =
+        z *
+        std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn)) / denom;
+    Interval iv;
+    iv.lo = center - half;
+    iv.hi = center + half;
+    if (iv.lo < 0.0)
+        iv.lo = 0.0;
+    if (iv.hi > 1.0)
+        iv.hi = 1.0;
+    return iv;
+}
+
+Interval
+clopperPearson(uint64_t k, uint64_t n, double conf)
+{
+    if (n == 0)
+        return {0.0, 1.0};
+    double alpha = 1.0 - conf;
+    double nn = static_cast<double>(n);
+    double kk = static_cast<double>(k);
+    Interval iv;
+    // Closed forms at the edges avoid the continued fraction entirely
+    // (and are the exact zero-event bounds the planner leans on).
+    if (k == 0)
+        iv.lo = 0.0;
+    else if (k == n)
+        iv.lo = std::pow(alpha / 2.0, 1.0 / nn);
+    else
+        iv.lo = inverseIncompleteBeta(kk, nn - kk + 1.0, alpha / 2.0);
+    if (k == n)
+        iv.hi = 1.0;
+    else if (k == 0)
+        iv.hi = 1.0 - std::pow(alpha / 2.0, 1.0 / nn);
+    else
+        iv.hi =
+            inverseIncompleteBeta(kk + 1.0, nn - kk, 1.0 - alpha / 2.0);
+    return iv;
+}
+
+double
+ruleOfThreeUpper(uint64_t n, double conf)
+{
+    if (n == 0)
+        return 1.0;
+    return 1.0 - std::pow(1.0 - conf, 1.0 / static_cast<double>(n));
+}
+
+double
+upperBound(uint64_t k, uint64_t n, double conf)
+{
+    if (n == 0)
+        return 1.0;
+    if (k == 0)
+        return ruleOfThreeUpper(n, conf);
+    return clopperPearson(k, n, conf).hi;
+}
+
+uint64_t
+worstCaseTrials(double halfWidth, double conf)
+{
+    fatal_if(!(halfWidth > 0.0 && halfWidth < 0.5),
+             "worstCaseTrials: half-width %g outside (0, 0.5)",
+             halfWidth);
+    double z = normalQuantile(0.5 + conf / 2.0);
+    double n = z / (2.0 * halfWidth);
+    return static_cast<uint64_t>(std::ceil(n * n));
+}
+
+} // namespace tea::stats

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Binomial confidence intervals for campaign statistics.
+ *
+ * Every headline quantity of the reproduction — the DTA error ratio
+ * (Eq. 2), per-bit BERs, and the Application Vulnerability Metric
+ * (Eq. 4) — is a binomial proportion estimated from N Bernoulli
+ * trials. These helpers turn (events, trials) pairs into intervals so
+ * campaigns can report "AVM = 3.1% ± 0.9%" instead of a bare point
+ * estimate, and so the adaptive planner can stop sampling once the
+ * interval is tight enough.
+ *
+ * Three estimators, picked for the three jobs they do here:
+ *  - **Wilson score**: well-centred at every p and cheap — the default
+ *    for reporting and for the sequential stopping rule.
+ *  - **Clopper-Pearson**: exact (conservative) coverage — used where a
+ *    guarantee matters, i.e. the "is this voltage level safe" bound.
+ *  - **Rule of three**: the zero-event upper bound 1-alpha^(1/n)
+ *    (~3/n at 95%) — an observed AVM of 0 over n runs is *not* a
+ *    proven zero, and this is exactly how unsafe it still might be.
+ *
+ * Everything is a pure function of its arguments (no RNG, no global
+ * state), so interval-driven control flow stays bit-deterministic.
+ */
+
+#ifndef TEA_STATS_INTERVALS_HH
+#define TEA_STATS_INTERVALS_HH
+
+#include <cstdint>
+
+namespace tea::stats {
+
+/** A two-sided confidence interval on a proportion, in [0, 1]. */
+struct Interval
+{
+    double lo = 0.0;
+    double hi = 1.0;
+
+    double halfWidth() const { return (hi - lo) / 2.0; }
+    double center() const { return (hi + lo) / 2.0; }
+    bool contains(double p) const { return p >= lo && p <= hi; }
+};
+
+/**
+ * Inverse standard-normal CDF (Acklam's rational approximation,
+ * |relative error| < 1.2e-9 over (0, 1)). Asserts p in (0, 1).
+ */
+double normalQuantile(double p);
+
+/**
+ * Wilson score interval for k events in n trials at two-sided
+ * confidence `conf` (e.g. 0.95). n == 0 yields the vacuous [0, 1].
+ */
+Interval wilson(uint64_t k, uint64_t n, double conf);
+
+/**
+ * Clopper-Pearson "exact" interval: inverts the binomial CDF via the
+ * regularized incomplete beta function, guaranteeing >= conf coverage
+ * at every p (at the price of being conservative). n == 0 -> [0, 1].
+ */
+Interval clopperPearson(uint64_t k, uint64_t n, double conf);
+
+/**
+ * Upper confidence bound on p after observing ZERO events in n trials:
+ * the exact value 1 - (1-conf)^(1/n) that the "rule of three" (3/n at
+ * 95%) approximates. Returns 1.0 for n == 0.
+ */
+double ruleOfThreeUpper(uint64_t n, double conf = 0.95);
+
+/**
+ * One-sided upper bound used for safety decisions: the exact
+ * rule-of-three bound when k == 0, the Clopper-Pearson upper limit
+ * otherwise.
+ */
+double upperBound(uint64_t k, uint64_t n, double conf = 0.95);
+
+/**
+ * A-priori fixed-N sizing: trials needed for a Wilson/normal interval
+ * of half-width <= `halfWidth` at the worst case p = 0.5 — the count a
+ * fixed-N campaign must commit to before seeing any data (Leveugle et
+ * al.'s 1068 = worstCaseTrials(0.03, 0.95)). Adaptive campaigns beat
+ * this precisely because real cells rarely sit at p = 0.5.
+ */
+uint64_t worstCaseTrials(double halfWidth, double conf = 0.95);
+
+/**
+ * Regularized incomplete beta function I_x(a, b) via the standard
+ * Lentz continued-fraction evaluation; exposed for tests.
+ */
+double incompleteBeta(double a, double b, double x);
+
+} // namespace tea::stats
+
+#endif // TEA_STATS_INTERVALS_HH

@@ -1,0 +1,143 @@
+#include "stats/planner.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace tea::stats {
+
+AdaptivePlanner::AdaptivePlanner(PlannerConfig cfg, size_t numStrata)
+    : cfg_(cfg)
+{
+    fatal_if(numStrata == 0, "AdaptivePlanner needs >= 1 stratum");
+    fatal_if(!(cfg_.ciTarget > 0.0 && cfg_.ciTarget < 0.5),
+             "AdaptivePlanner: ciTarget %g outside (0, 0.5)",
+             cfg_.ciTarget);
+    fatal_if(!(cfg_.ciConf > 0.5 && cfg_.ciConf < 1.0),
+             "AdaptivePlanner: ciConf %g outside (0.5, 1)", cfg_.ciConf);
+    if (cfg_.maxPerStratum == 0)
+        cfg_.maxPerStratum = 1;
+    if (cfg_.unit == 0)
+        cfg_.unit = 1;
+    if (cfg_.initialRound == 0)
+        cfg_.initialRound = cfg_.unit;
+    if (cfg_.roundGrowth < 1.0)
+        cfg_.roundGrowth = 1.0;
+    strata_.assign(numStrata,
+                   Estimator(cfg_.ciTarget, cfg_.ciConf, cfg_.method));
+}
+
+void
+AdaptivePlanner::record(size_t s, uint64_t events, uint64_t trials)
+{
+    fatal_if(s >= strata_.size(), "record: stratum %zu out of range", s);
+    strata_[s].add(events, trials);
+}
+
+bool
+AdaptivePlanner::stratumActive(size_t s) const
+{
+    const Estimator &e = strata_[s];
+    return e.trials() < cfg_.maxPerStratum && !e.converged();
+}
+
+bool
+AdaptivePlanner::done() const
+{
+    for (size_t s = 0; s < strata_.size(); ++s)
+        if (stratumActive(s))
+            return false;
+    return true;
+}
+
+uint64_t
+AdaptivePlanner::totalRecorded() const
+{
+    uint64_t n = 0;
+    for (const auto &e : strata_)
+        n += e.trials();
+    return n;
+}
+
+uint64_t
+AdaptivePlanner::earlyStops() const
+{
+    uint64_t n = 0;
+    for (const auto &e : strata_)
+        if (e.converged() && e.trials() < cfg_.maxPerStratum)
+            ++n;
+    return n;
+}
+
+std::vector<uint64_t>
+AdaptivePlanner::planRound()
+{
+    std::vector<uint64_t> alloc(strata_.size(), 0);
+    std::vector<size_t> active;
+    for (size_t s = 0; s < strata_.size(); ++s)
+        if (stratumActive(s))
+            active.push_back(s);
+    if (active.empty())
+        return alloc;
+
+    // Fixed round geometry: budget depends only on the round index.
+    double budgetF = static_cast<double>(cfg_.initialRound) *
+                     std::pow(cfg_.roundGrowth, rounds_);
+    uint64_t budget = budgetF >= 1e18
+                          ? (1ULL << 60)
+                          : std::max<uint64_t>(
+                                cfg_.unit,
+                                static_cast<uint64_t>(budgetF));
+    ++rounds_;
+
+    // Neyman weights: sqrt(p(1-p)) with Laplace smoothing so strata
+    // with no events yet (p-hat would be 0, weight 0) keep sampling
+    // until their interval — not their point estimate — says stop.
+    std::vector<double> weight(active.size());
+    double wSum = 0.0;
+    for (size_t i = 0; i < active.size(); ++i) {
+        const Estimator &e = strata_[active[i]];
+        double p = (static_cast<double>(e.events()) + 1.0) /
+                   (static_cast<double>(e.trials()) + 2.0);
+        weight[i] = std::sqrt(p * (1.0 - p));
+        wSum += weight[i];
+    }
+
+    // Proportional shares in whole units, floored at one unit each,
+    // capped at the stratum's remaining headroom. Largest-remainder
+    // rounding keeps the split deterministic and the total close to
+    // the budget.
+    uint64_t units = std::max<uint64_t>(budget / cfg_.unit,
+                                        active.size());
+    std::vector<uint64_t> share(active.size());
+    std::vector<double> remainder(active.size());
+    uint64_t assigned = 0;
+    for (size_t i = 0; i < active.size(); ++i) {
+        double exact = static_cast<double>(units) * weight[i] / wSum;
+        share[i] = std::max<uint64_t>(1, static_cast<uint64_t>(exact));
+        remainder[i] = exact - static_cast<double>(share[i]);
+        assigned += share[i];
+    }
+    while (assigned < units) {
+        // Deterministic tie-break: highest remainder, lowest index.
+        size_t best = 0;
+        for (size_t i = 1; i < active.size(); ++i)
+            if (remainder[i] > remainder[best])
+                best = i;
+        remainder[best] -= 1.0;
+        ++share[best];
+        ++assigned;
+    }
+
+    for (size_t i = 0; i < active.size(); ++i) {
+        size_t s = active[i];
+        uint64_t headroom =
+            cfg_.maxPerStratum - strata_[s].trials(); // active => > 0
+        alloc[s] = std::min(share[i] * cfg_.unit, headroom);
+        totalAllocated_ += alloc[s];
+    }
+    return alloc;
+}
+
+} // namespace tea::stats

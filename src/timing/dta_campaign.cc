@@ -113,6 +113,24 @@ OpErrorStats::merge(const OpErrorStats &o)
                 i < o.maskKeys.size() ? o.maskKeys[i] : i);
 }
 
+stats::Interval
+OpErrorStats::errorInterval(double conf) const
+{
+    return stats::wilson(faulty, total, conf);
+}
+
+stats::Interval
+OpErrorStats::berInterval(unsigned bit, double conf) const
+{
+    return stats::wilson(bitErrors[bit], total, conf);
+}
+
+stats::Interval
+CampaignStats::errorInterval(double conf) const
+{
+    return stats::wilson(totalFaulty(), totalOps(), conf);
+}
+
 uint64_t
 CampaignStats::totalOps() const
 {
@@ -314,11 +332,17 @@ namespace {
  * engineFaults bumped — one bad shard degrades the statistics instead
  * of aborting the campaign. A watchdog stop abandons unfinished shards
  * and flags the merged result interrupted.
+ *
+ * shardKey, when given, maps a shard's list position to the seed of
+ * its reservoir key stream; adaptive campaigns pass the shard's
+ * absolute (op, chunk) key so pooled masks are independent of how the
+ * rounds happened to be cut.
  */
 CampaignStats
 runSharded(fpu::FpuCore &core, size_t point, size_t shards,
            ThreadPool *pool, const Watchdog *watchdog,
-           const std::function<void(size_t, unsigned, DtaCampaign &)> &body)
+           const std::function<void(size_t, unsigned, DtaCampaign &)> &body,
+           const std::function<uint64_t(size_t)> &shardKey = {})
 {
     ThreadPool &tp = pool ? *pool : ThreadPool::global();
     auto points = core.workerPoints(point, tp.numThreads());
@@ -348,9 +372,11 @@ runSharded(fpu::FpuCore &core, size_t point, size_t shards,
                 mRetries.inc(1);
             try {
                 core.reset(pt);
-                // Shard index seeds the reservoir key stream — a pure
-                // function of the shard geometry, not the worker.
-                DtaCampaign campaign(core, pt, s);
+                // Shard index (or the caller's absolute key) seeds the
+                // reservoir key stream — a pure function of the shard
+                // geometry, not the worker.
+                DtaCampaign campaign(core, pt,
+                                     shardKey ? shardKey(s) : s);
                 body(s, attempt, campaign);
                 if (watchdog &&
                     watchdog->poll() != Watchdog::Stop::None)
@@ -402,6 +428,132 @@ runSharded(fpu::FpuCore &core, size_t point, size_t shards,
 /** Poll cadence inside shard bodies (gate-level ops are slow). */
 constexpr uint64_t kOpPollMask = 0x3F;
 
+/**
+ * Stream `count` random-operand ops of one type through a shard's
+ * campaign, lane-batched where possible. Shared verbatim by the fixed
+ * and adaptive characterizations so a shard produces identical
+ * statistics for the same substream in either mode. Operands are
+ * always drawn one op at a time in stream order, so the lane width
+ * never shifts the RNG sequence.
+ */
+void
+runRandomShardOps(DtaCampaign &campaign, FpuOp op, uint64_t count,
+                  Rng &shardRng, unsigned lanes,
+                  const Watchdog *watchdog)
+{
+    for (uint64_t i = 0; i < count;) {
+        if (watchdog && (lanes > 1 || (i & kOpPollMask) == 0) &&
+            watchdog->poll() != Watchdog::Stop::None)
+            return;
+        if (lanes > 1 && count - i >= lanes) {
+            uint64_t a[64], b[64];
+            for (unsigned l = 0; l < lanes; ++l)
+                randomOperands(op, shardRng, a[l], b[l]);
+            campaign.executeBlock(op, a, b, lanes);
+            i += lanes;
+        } else {
+            if (lanes > 1) {
+                static obs::Counter mFallback =
+                    obs::Registry::global().counter(
+                        obs::metric::kDtaLaneFallbackOps, "",
+                        "DTA ops run scalar while lane "
+                        "batching was enabled");
+                mFallback.inc(1);
+            }
+            uint64_t a, b;
+            randomOperands(op, shardRng, a, b);
+            campaign.execute(op, a, b);
+            ++i;
+        }
+    }
+}
+
+/** One contiguous trace window (an independent replay shard). */
+struct TraceWindow
+{
+    uint64_t begin;
+    uint64_t count;
+};
+
+/**
+ * Window placement of the WA-model replay. Depends only on
+ * (trace size, maxOps): short traces replay fully in consecutive
+ * windows; long ones sample kDtaShardOps-sized windows at an even
+ * stride, clipped so at most maxOps ops run in total. Shared by the
+ * fixed and adaptive trace campaigns, so an adaptive run consumes a
+ * prefix of exactly the fixed-N window list.
+ */
+std::vector<TraceWindow>
+traceWindows(uint64_t traceSize, uint64_t maxOps)
+{
+    const uint64_t kWindow = kDtaShardOps;
+    std::vector<TraceWindow> windows;
+    if (traceSize <= maxOps) {
+        for (uint64_t begin = 0; begin < traceSize; begin += kWindow)
+            windows.push_back(
+                {begin,
+                 std::min<uint64_t>(kWindow, traceSize - begin)});
+    } else {
+        uint64_t n = (maxOps + kWindow - 1) / kWindow;
+        uint64_t stride = traceSize / n;
+        uint64_t budget = maxOps;
+        for (uint64_t w = 0; w < n && budget > 0; ++w) {
+            uint64_t begin = w * stride;
+            uint64_t len = std::min<uint64_t>(
+                {kWindow, traceSize - begin, budget});
+            windows.push_back({begin, len});
+            budget -= len;
+        }
+    }
+    return windows;
+}
+
+/**
+ * Replay one trace window through a shard's campaign. Lane blocks span
+ * maximal runs of one op type (a block drives a single unit); shorter
+ * runs and op changes fall back to the scalar path. Grouping never
+ * reorders the replay, so results stay bit-identical at every lane
+ * width — and identical between the fixed and adaptive campaigns,
+ * which share this body.
+ */
+void
+runTraceWindowOps(DtaCampaign &campaign,
+                  const std::vector<sim::FpTraceEntry> &trace,
+                  const TraceWindow &w, unsigned lanes,
+                  const Watchdog *watchdog)
+{
+    for (uint64_t i = 0; i < w.count;) {
+        if (watchdog && (lanes > 1 || (i & kOpPollMask) == 0) &&
+            watchdog->poll() != Watchdog::Stop::None)
+            return;
+        const auto &e0 = trace[w.begin + i];
+        unsigned run = 1;
+        while (run < lanes && i + run < w.count &&
+               trace[w.begin + i + run].op == e0.op)
+            ++run;
+        if (lanes > 1 && run == lanes) {
+            uint64_t a[64], b[64];
+            for (unsigned l = 0; l < lanes; ++l) {
+                a[l] = trace[w.begin + i + l].a;
+                b[l] = trace[w.begin + i + l].b;
+            }
+            campaign.executeBlock(e0.op, a, b, lanes);
+            i += lanes;
+        } else {
+            if (lanes > 1) {
+                static obs::Counter mFallback =
+                    obs::Registry::global().counter(
+                        obs::metric::kDtaLaneFallbackOps, "",
+                        "DTA ops run scalar while lane "
+                        "batching was enabled");
+                mFallback.inc(1);
+            }
+            campaign.execute(e0.op, e0.a, e0.b);
+            ++i;
+        }
+    }
+}
+
 } // namespace
 
 CampaignStats
@@ -427,34 +579,8 @@ runRandomCampaign(fpu::FpuCore &core, size_t point, uint64_t countPerOp,
             // deterministically off it.
             Rng shardRng = attempt == 0 ? base.fork(s)
                                         : base.fork(s).fork(attempt);
-            // Operands are always drawn one op at a time in stream
-            // order, so the lane width never shifts the RNG sequence.
-            for (uint64_t i = begin; i < end;) {
-                if (watchdog &&
-                    (lanes > 1 || (i & kOpPollMask) == 0) &&
-                    watchdog->poll() != Watchdog::Stop::None)
-                    return;
-                if (lanes > 1 && end - i >= lanes) {
-                    uint64_t a[64], b[64];
-                    for (unsigned l = 0; l < lanes; ++l)
-                        randomOperands(op, shardRng, a[l], b[l]);
-                    campaign.executeBlock(op, a, b, lanes);
-                    i += lanes;
-                } else {
-                    if (lanes > 1) {
-                        static obs::Counter mFallback =
-                            obs::Registry::global().counter(
-                                obs::metric::kDtaLaneFallbackOps, "",
-                                "DTA ops run scalar while lane "
-                                "batching was enabled");
-                        mFallback.inc(1);
-                    }
-                    uint64_t a, b;
-                    randomOperands(op, shardRng, a, b);
-                    campaign.execute(op, a, b);
-                    ++i;
-                }
-            }
+            runRandomShardOps(campaign, op, end - begin, shardRng,
+                              lanes, watchdog);
         });
 }
 
@@ -466,75 +592,193 @@ runTraceCampaign(fpu::FpuCore &core, size_t point,
 {
     if (trace.empty())
         return CampaignStats{};
-    // Contiguous windows spread across the trace. Window placement
-    // depends only on (trace size, maxOps): short traces replay fully
-    // in consecutive windows; long ones sample kWindow-sized windows at
-    // an even stride, clipped so at most maxOps ops run in total.
-    const uint64_t kWindow = kDtaShardOps;
-    struct Window
-    {
-        uint64_t begin;
-        uint64_t count;
-    };
-    std::vector<Window> windows;
-    if (trace.size() <= maxOps) {
-        for (uint64_t begin = 0; begin < trace.size(); begin += kWindow)
-            windows.push_back(
-                {begin, std::min<uint64_t>(kWindow,
-                                           trace.size() - begin)});
-    } else {
-        uint64_t n = (maxOps + kWindow - 1) / kWindow;
-        uint64_t stride = trace.size() / n;
-        uint64_t budget = maxOps;
-        for (uint64_t w = 0; w < n && budget > 0; ++w) {
-            uint64_t begin = w * stride;
-            uint64_t len = std::min<uint64_t>(
-                {kWindow, trace.size() - begin, budget});
-            windows.push_back({begin, len});
-            budget -= len;
-        }
-    }
+    auto windows = traceWindows(trace.size(), maxOps);
     const unsigned lanes = dtaLanes();
     return runSharded(
         core, point, windows.size(), pool, watchdog,
         [&, lanes](size_t s, unsigned, DtaCampaign &campaign) {
-            const Window &w = windows[s];
-            // Lane blocks span maximal runs of one op type (a block
-            // drives a single unit); shorter runs and op changes fall
-            // back to the scalar path. Grouping never reorders the
-            // replay, so results stay bit-identical.
-            for (uint64_t i = 0; i < w.count;) {
-                if (watchdog &&
-                    (lanes > 1 || (i & kOpPollMask) == 0) &&
-                    watchdog->poll() != Watchdog::Stop::None)
-                    return;
-                const auto &e0 = trace[w.begin + i];
-                unsigned run = 1;
-                while (run < lanes && i + run < w.count &&
-                       trace[w.begin + i + run].op == e0.op)
-                    ++run;
-                if (lanes > 1 && run == lanes) {
-                    uint64_t a[64], b[64];
-                    for (unsigned l = 0; l < lanes; ++l) {
-                        a[l] = trace[w.begin + i + l].a;
-                        b[l] = trace[w.begin + i + l].b;
-                    }
-                    campaign.executeBlock(e0.op, a, b, lanes);
-                    i += lanes;
-                } else {
-                    if (lanes > 1) {
-                        static obs::Counter mFallback =
-                            obs::Registry::global().counter(
-                                obs::metric::kDtaLaneFallbackOps, "",
-                                "DTA ops run scalar while lane "
-                                "batching was enabled");
-                        mFallback.inc(1);
-                    }
-                    campaign.execute(e0.op, e0.a, e0.b);
-                    ++i;
-                }
-            }
+            runTraceWindowOps(campaign, trace, windows[s], lanes,
+                              watchdog);
         });
+}
+
+namespace {
+
+/**
+ * Fold one adaptive round's merged shard statistics into the campaign
+ * total and tell the planner what actually ran (merged counts, not
+ * planned counts — dropped or interrupted shards must not count as
+ * evidence). Returns true while the campaign may continue.
+ */
+bool
+foldRound(CampaignStats &merged, CampaignStats &&round,
+          stats::AdaptivePlanner &planner,
+          const std::function<size_t(unsigned)> &stratumOf)
+{
+    for (unsigned o = 0; o < fpu::kNumFpuOps; ++o) {
+        const OpErrorStats &d = round.perOp[o];
+        if (d.total == 0 && d.faulty == 0)
+            continue;
+        planner.record(stratumOf(o), d.faulty, d.total);
+        merged.perOp[o].merge(d);
+    }
+    merged.engineFaults += round.engineFaults;
+    if (round.interrupted)
+        merged.interrupted = true;
+    return !merged.interrupted;
+}
+
+/** Publish one adaptive campaign's planner telemetry. */
+void
+publishPlannerMetrics(const stats::AdaptivePlanner &planner,
+                      uint64_t fixedEquivalent)
+{
+    obs::Registry &reg = obs::Registry::global();
+    reg.counter(obs::metric::kStatsRounds, "",
+                "adaptive sampling rounds planned")
+        .inc(planner.rounds());
+    reg.counter(obs::metric::kStatsEarlyStops, "",
+                "strata stopped early by interval convergence")
+        .inc(planner.earlyStops());
+    reg.counter(obs::metric::kStatsAllocatedTrials, "",
+                "trials allocated by adaptive planners")
+        .inc(planner.totalAllocated());
+    uint64_t recorded = planner.totalRecorded();
+    reg.counter(obs::metric::kStatsTrialsSaved, "",
+                "trials avoided versus the fixed-size campaign")
+        .inc(fixedEquivalent > recorded ? fixedEquivalent - recorded
+                                        : 0);
+}
+
+} // namespace
+
+CampaignStats
+runAdaptiveRandomCampaign(fpu::FpuCore &core, size_t point,
+                          const stats::PlannerConfig &cfg, Rng &rng,
+                          ThreadPool *pool, const Watchdog *watchdog)
+{
+    // Work is always cut into whole kDtaShardOps-sized shards so the
+    // shard geometry — and with it every substream — stays a pure
+    // function of the planner's recorded counts.
+    stats::PlannerConfig shardCfg = cfg;
+    shardCfg.unit = kDtaShardOps;
+    if (shardCfg.initialRound < kDtaShardOps * fpu::kNumFpuOps)
+        shardCfg.initialRound = kDtaShardOps * fpu::kNumFpuOps;
+    stats::AdaptivePlanner planner(shardCfg, fpu::kNumFpuOps);
+
+    Rng base = rng.split();
+    const unsigned lanes = dtaLanes();
+    CampaignStats merged;
+    // Next absolute chunk index per op type. Substreams and reservoir
+    // keys are derived from (op, chunk), never from a shard's position
+    // in a round's work list, so how rounds happen to be cut has no
+    // effect on the statistics.
+    std::array<uint64_t, fpu::kNumFpuOps> chunksDone{};
+
+    struct Shard
+    {
+        unsigned op;
+        uint64_t chunk;
+        uint64_t count;
+    };
+    while (!planner.done()) {
+        auto alloc = planner.planRound();
+        std::vector<Shard> work;
+        for (unsigned o = 0; o < fpu::kNumFpuOps; ++o) {
+            uint64_t left = alloc[o];
+            while (left > 0) {
+                uint64_t n = std::min(left, kDtaShardOps);
+                work.push_back({o, chunksDone[o]++, n});
+                left -= n;
+            }
+        }
+        if (work.empty())
+            break;
+        auto key = [&](size_t s) {
+            return (static_cast<uint64_t>(work[s].op) << 32) |
+                   work[s].chunk;
+        };
+        CampaignStats round = runSharded(
+            core, point, work.size(), pool, watchdog,
+            [&, lanes](size_t s, unsigned attempt,
+                       DtaCampaign &campaign) {
+                const Shard &sh = work[s];
+                Rng shardRng = attempt == 0
+                                   ? base.fork(key(s))
+                                   : base.fork(key(s)).fork(attempt);
+                runRandomShardOps(campaign,
+                                  static_cast<FpuOp>(sh.op), sh.count,
+                                  shardRng, lanes, watchdog);
+            },
+            key);
+        uint64_t before = planner.totalRecorded();
+        if (!foldRound(merged, std::move(round), planner,
+                       [](unsigned o) { return size_t{o}; }))
+            break;
+        if (planner.totalRecorded() == before) {
+            // Containment dropped the whole round: no new evidence, so
+            // another identical round would stall forever. Stop with
+            // whatever (degraded) statistics accumulated so far.
+            warn("adaptive DTA round produced no statistics; stopping");
+            break;
+        }
+    }
+    publishPlannerMetrics(planner, shardCfg.maxPerStratum *
+                                       fpu::kNumFpuOps);
+    return merged;
+}
+
+CampaignStats
+runAdaptiveTraceCampaign(fpu::FpuCore &core, size_t point,
+                         const std::vector<sim::FpTraceEntry> &trace,
+                         uint64_t maxOps,
+                         const stats::PlannerConfig &cfg,
+                         ThreadPool *pool, const Watchdog *watchdog)
+{
+    if (trace.empty())
+        return CampaignStats{};
+    auto windows = traceWindows(trace.size(), maxOps);
+    uint64_t totalWindowOps = 0;
+    for (const auto &w : windows)
+        totalWindowOps += w.count;
+
+    // One stratum: the workload's aggregate error ratio. The cap is
+    // the fixed-N op budget — an unconverged adaptive run degenerates
+    // to exactly the fixed campaign.
+    stats::PlannerConfig shardCfg = cfg;
+    shardCfg.unit = kDtaShardOps;
+    shardCfg.maxPerStratum =
+        std::min(shardCfg.maxPerStratum, totalWindowOps);
+    if (shardCfg.initialRound < kDtaShardOps)
+        shardCfg.initialRound = kDtaShardOps;
+    stats::AdaptivePlanner planner(shardCfg, 1);
+
+    const unsigned lanes = dtaLanes();
+    CampaignStats merged;
+    size_t nextWindow = 0;
+    while (!planner.done() && nextWindow < windows.size()) {
+        uint64_t budget = planner.planRound()[0];
+        // Consume the next run of fixed-N windows covering the budget.
+        // Window indices are absolute, so every consumed window gets
+        // its fixed-N reservoir key stream: a converged adaptive run
+        // is a bit-exact subset of the fixed characterization.
+        size_t first = nextWindow;
+        uint64_t planned = 0;
+        while (nextWindow < windows.size() && planned < budget)
+            planned += windows[nextWindow++].count;
+        CampaignStats round = runSharded(
+            core, point, nextWindow - first, pool, watchdog,
+            [&, lanes](size_t s, unsigned, DtaCampaign &campaign) {
+                runTraceWindowOps(campaign, trace, windows[first + s],
+                                  lanes, watchdog);
+            },
+            [&](size_t s) { return first + s; });
+        if (!foldRound(merged, std::move(round), planner,
+                       [](unsigned) { return size_t{0}; }))
+            break;
+    }
+    publishPlannerMetrics(planner, totalWindowOps);
+    return merged;
 }
 
 } // namespace tea::timing

@@ -19,6 +19,7 @@
 
 #include "fpu/fpu_core.hh"
 #include "sim/func_sim.hh"
+#include "stats/planner.hh"
 #include "util/rng.hh"
 #include "util/threadpool.hh"
 #include "util/watchdog.hh"
@@ -74,6 +75,10 @@ struct OpErrorStats
                            static_cast<double>(total)
                      : 0.0;
     }
+    /** Confidence interval on the error ratio (Wilson score). */
+    stats::Interval errorInterval(double conf = 0.95) const;
+    /** Confidence interval on one bit's BER (Wilson score). */
+    stats::Interval berInterval(unsigned bit, double conf = 0.95) const;
     void merge(const OpErrorStats &o);
 };
 
@@ -106,6 +111,8 @@ struct CampaignStats
     uint64_t totalFaulty() const;
     /** Aggregate error ratio across all types. */
     double errorRatio() const;
+    /** Confidence interval on the aggregate error ratio (Wilson). */
+    stats::Interval errorInterval(double conf = 0.95) const;
     /** Distribution of flipped-bit counts among faulty ops (Fig. 5). */
     std::vector<uint64_t> flipCountHistogram(unsigned maxBits = 16) const;
 };
@@ -220,6 +227,40 @@ CampaignStats runTraceCampaign(fpu::FpuCore &core, size_t point,
                                uint64_t maxOps,
                                ThreadPool *pool = nullptr,
                                const Watchdog *watchdog = nullptr);
+
+/**
+ * Confidence-driven IA characterization: instead of a fixed count per
+ * op type, sample in deterministic rounds until every type's error-
+ * ratio interval is tighter than cfg.ciTarget (or the cfg.maxPerStratum
+ * cap is hit). Rounds are allocated across the 12 op-type strata by
+ * Neyman allocation (see stats::AdaptivePlanner); each 512-op shard
+ * draws operands from the substream keyed by its absolute (op, chunk)
+ * position, and counts are folded in only at round barriers, so
+ * results are bit-identical at any thread or lane count. cfg.unit and
+ * cfg.initialRound are overridden to the shard geometry.
+ */
+CampaignStats
+runAdaptiveRandomCampaign(fpu::FpuCore &core, size_t point,
+                          const stats::PlannerConfig &cfg, Rng &rng,
+                          ThreadPool *pool = nullptr,
+                          const Watchdog *watchdog = nullptr);
+
+/**
+ * Confidence-driven WA characterization: the window geometry of
+ * runTraceCampaign(maxOps) is computed up front, then windows are
+ * consumed in order, round by round, until the aggregate error-ratio
+ * interval meets cfg.ciTarget or the window list is exhausted. The
+ * consumed windows are a prefix of the fixed-N window list with their
+ * fixed-N reservoir keys, so a converged adaptive run is a bit-exact
+ * subset of the fixed-N characterization.
+ */
+CampaignStats
+runAdaptiveTraceCampaign(fpu::FpuCore &core, size_t point,
+                         const std::vector<sim::FpTraceEntry> &trace,
+                         uint64_t maxOps,
+                         const stats::PlannerConfig &cfg,
+                         ThreadPool *pool = nullptr,
+                         const Watchdog *watchdog = nullptr);
 
 } // namespace tea::timing
 

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 
 #include "core/energy.hh"
 #include "core/results.hh"
@@ -89,13 +91,69 @@ TEST(Energy, GuidancePicksDeepestSafeVr)
 {
     std::map<double, double> avm{{0.10, 0.0}, {0.15, 0.0}, {0.20, 0.3}};
     auto g = guideVoltage(avm);
+    EXPECT_TRUE(g.found);
     EXPECT_DOUBLE_EQ(g.maxSafeVr, 0.15);
     EXPECT_GT(g.powerSaving, 0.0);
 
     std::map<double, double> none{{0.15, 0.5}, {0.20, 0.9}};
     auto g2 = guideVoltage(none);
+    EXPECT_FALSE(g2.found);
     EXPECT_DOUBLE_EQ(g2.maxSafeVr, 0.0);
     EXPECT_DOUBLE_EQ(g2.powerSaving, 0.0);
+}
+
+TEST(Energy, GuidanceFoundFlagDisambiguatesVrZero)
+{
+    // VR = 0 (nominal voltage) is a legitimate safe answer — the old
+    // `maxSafeVr > 0` convention conflated it with "nothing safe".
+    std::map<double, double> onlyNominal{{0.0, 0.0}, {0.15, 0.4}};
+    auto g = guideVoltage(onlyNominal);
+    EXPECT_TRUE(g.found);
+    EXPECT_DOUBLE_EQ(g.maxSafeVr, 0.0);
+    EXPECT_DOUBLE_EQ(g.powerSaving, 0.0);
+
+    auto g2 = guideVoltage(std::map<double, double>{});
+    EXPECT_FALSE(g2.found);
+}
+
+TEST(Energy, GuidanceSkipsNaNLevels)
+{
+    // A cell with no classified runs has an unknown AVM (NaN); it must
+    // never be mistaken for a proven-safe zero.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    std::map<double, double> avm{{0.10, 0.0}, {0.15, nan}};
+    auto g = guideVoltage(avm);
+    EXPECT_TRUE(g.found);
+    EXPECT_DOUBLE_EQ(g.maxSafeVr, 0.10);
+
+    std::map<double, double> allNan{{0.10, nan}, {0.15, nan}};
+    EXPECT_FALSE(guideVoltage(allNan).found);
+}
+
+TEST(Energy, CiAwareGuidanceDemandsEvidence)
+{
+    // 0 corruptions out of 1000 runs clears a 5% bound (rule of three:
+    // ~0.3%); 0 out of 10 does not (~26%). Deeper-but-weakly-tested
+    // levels must not win on a hopeful point estimate of zero.
+    std::map<double, AvmObservation> obs{
+        {0.10, {0, 1000}}, {0.15, {0, 10}}, {0.20, {300, 1000}}};
+    auto g = guideVoltage(obs, 0.05);
+    EXPECT_TRUE(g.found);
+    EXPECT_DOUBLE_EQ(g.maxSafeVr, 0.10);
+    EXPECT_NEAR(g.avmUpperBound, 0.003, 0.001);
+    EXPECT_GT(g.powerSaving, 0.0);
+
+    // Levels with no classified runs never qualify.
+    std::map<double, AvmObservation> empty{{0.10, {0, 0}}};
+    EXPECT_FALSE(guideVoltage(empty, 0.05).found);
+
+    // With events, the Clopper-Pearson upper limit drives the call:
+    // 2/1000 unsafe -> upper bound ~0.7%, still safe at 5%.
+    std::map<double, AvmObservation> few{{0.15, {2, 1000}}};
+    auto g2 = guideVoltage(few, 0.05);
+    EXPECT_TRUE(g2.found);
+    EXPECT_DOUBLE_EQ(g2.maxSafeVr, 0.15);
+    EXPECT_LT(g2.avmUpperBound, 0.05);
 }
 
 TEST(Energy, PreventionAnalysisShape)
