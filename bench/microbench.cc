@@ -10,17 +10,29 @@
  * speedup over the first (baseline) entry. Campaign results are
  * bit-identical across the sweep; the sweep asserts that too.
  *
- * `microbench --lane-sweep` sweeps the bit-parallel DTA lane width
- * (1, 8, 16, 32, 64) at each REPRO_THREADS count, printing samples/s
- * and the speedup over the scalar (lanes=1) row at the same thread
- * count, and asserting that the campaign statistics are bit-identical
- * across the whole sweep.
+ * `microbench --lane-sweep` sweeps the batched DTA lane width (1, 8,
+ * 16, 32, 64 — extended to 128/256/512 when REPRO_DTA_BACKEND selects
+ * a SIMD-wide backend) at each REPRO_THREADS count, printing
+ * samples/s and the speedup over the scalar (lanes=1) row at the same
+ * thread count, and asserting that the campaign statistics are
+ * bit-identical across the whole sweep.
+ *
+ * `microbench --backend-sweep` races the three batched-DTA backends
+ * (levelized / lane / compiled, the latter at 64, 256 and 512 lanes)
+ * through the same random campaign at each REPRO_THREADS count,
+ * asserting byte-identical per-instruction CSVs across every cell and
+ * >= 5x single-thread compiled throughput over the 64-lane
+ * interpreter.
  *
  * `microbench --adaptive-sweep` compares fixed-N against adaptive
  * (confidence-driven) campaign sizing at the same target half-width:
  * a VR15 DTA cell and a sobel injection cell, printing trial counts,
  * wall time, and the adaptive intervals, and asserting >= 2x savings
  * with intervals that contain the fixed-N point estimates.
+ *
+ * `--json <path>` (with any of the sweeps) additionally writes the
+ * machine-readable BENCH_*.json results: per-backend throughput and
+ * speedup, and the adaptive sweep's trial savings.
  */
 
 #include <benchmark/benchmark.h>
@@ -35,7 +47,10 @@
 
 #include "circuit/builders.hh"
 #include "circuit/celllib.hh"
+#include "circuit/compiled_dta.hh"
 #include "circuit/dta.hh"
+#include "obs/json.hh"
+#include "obs/obs.hh"
 #include "fpu/fpu_core.hh"
 #include "inject/campaign.hh"
 #include "sim/func_sim.hh"
@@ -48,6 +63,7 @@
 #include "bench_common.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "util/simd.hh"
 #include "util/table.hh"
 #include "util/threadpool.hh"
 #include "workloads/workloads.hh"
@@ -205,6 +221,20 @@ BENCHMARK(BM_OooSimSobel);
 
 namespace {
 
+/**
+ * Sections of the machine-readable report `--json <path>` writes
+ * (BENCH_*.json). Sweeps append what they measured; main() dumps the
+ * accumulated object once on exit, so one invocation can combine e.g.
+ * --backend-sweep and --adaptive-sweep into a single file.
+ */
+obs::json::Object gJsonReport;
+
+void
+addJsonSection(const char *name, obs::json::Value v)
+{
+    gJsonReport.emplace_back(name, std::move(v));
+}
+
 std::vector<unsigned>
 sweepThreadCounts()
 {
@@ -347,12 +377,16 @@ runLaneSweep()
     for (unsigned c : counts)
         maxThreads = std::max(maxThreads, c);
 
+    // A full shard per op type so even the widest batches form.
     const uint64_t dtaOpsPerType = [] {
         const char *runs = std::getenv("REPRO_RUNS");
         long n = runs ? std::strtol(runs, nullptr, 10) : 0;
-        return n > 0 ? static_cast<uint64_t>(n) : 400;
+        return n > 0 ? static_cast<uint64_t>(n)
+                     : timing::kDtaShardOps;
     }();
-    const unsigned laneWidths[] = {1, 8, 16, 32, 64};
+    std::vector<unsigned> laneWidths = {1, 8, 16, 32, 64};
+    if (circuit::dtaBackend() != circuit::DtaBackend::Lane)
+        laneWidths.insert(laneWidths.end(), {128, 256, 512});
 
     std::printf("bit-parallel DTA lane sweep\n");
     std::printf("(REPRO_DTA_LANES routes campaigns through the lane "
@@ -416,6 +450,187 @@ runLaneSweep()
         std::printf("FAIL: single-thread lane speedup %.2fx below the "
                     "5x target\n",
                     singleThreadSpeedup);
+        return 1;
+    }
+    return 0;
+}
+
+struct BackendCell
+{
+    circuit::DtaBackend backend;
+    unsigned lanes;
+};
+
+constexpr BackendCell kBackendCells[] = {
+    {circuit::DtaBackend::Levelized, 64},
+    {circuit::DtaBackend::Lane, 64},
+    {circuit::DtaBackend::Compiled, 64},
+    {circuit::DtaBackend::Compiled, 256},
+    {circuit::DtaBackend::Compiled, 512},
+};
+
+/**
+ * Sustained single-thread DTA samples/s of one backend cell on the
+ * mul.d unit (the paper's hottest pipeline): repeated
+ * FpuUnit::executeBatch calls over pre-packed operand planes, with
+ * one warmup batch outside the timed region so program compilation
+ * and scratch sizing amortize the way they do in a real campaign.
+ */
+double
+measureUnitThroughput(fpu::FpuCore &core, size_t point,
+                      const BackendCell &cell)
+{
+    circuit::setDtaBackend(cell.backend);
+    timing::setDtaLanes(cell.lanes);
+    fpu::FpuUnit &u = core.unit(fpu::FpuUnitKind::MulD);
+    const unsigned W = circuit::CompiledDta::wordsFor(cell.lanes);
+
+    // A pool of pre-packed plane blocks, cycled so consecutive
+    // batches see fresh transitions rather than one repeated input.
+    Rng rng(11);
+    constexpr unsigned kBlocks = 8;
+    std::vector<std::vector<uint64_t>> blocks(kBlocks);
+    for (auto &planes : blocks) {
+        planes.assign(u.stage(0).numInputs() * size_t{W}, 0);
+        for (unsigned l = 0; l < cell.lanes; ++l) {
+            uint64_t a, b;
+            timing::randomOperands(fpu::FpuOp::MulD, rng, a, b);
+            auto in = u.packInputs(fpu::FpuOp::MulD, a, b);
+            for (size_t i = 0; i < in.size(); ++i)
+                if (in[i])
+                    planes[i * W + l / 64] |= 1ULL << (l % 64);
+        }
+    }
+
+    std::vector<fpu::FpuUnit::Exec> execs(cell.lanes);
+    double cap = core.captureTimePs();
+    u.reset(point);
+    u.executeBatch(point, blocks[0], cell.lanes, cap, execs.data());
+
+    auto t0 = std::chrono::steady_clock::now();
+    uint64_t done = 0, batch = 0;
+    double sec = 0;
+    while (sec < 0.3 || batch < 4) {
+        u.executeBatch(point, blocks[batch % kBlocks], cell.lanes,
+                       cap, execs.data());
+        done += cell.lanes;
+        ++batch;
+        sec = secondsSince(t0);
+    }
+    return done / sec;
+}
+
+/**
+ * Backend sweep, two phases. Phase 1 measures sustained single-thread
+ * DTA throughput per backend cell — levelized (the scalar oracle),
+ * the 64-lane SWAR interpreter, and the compiled engine at 64/256/512
+ * lanes — with the interpreter as the speedup baseline; the best
+ * compiled cell must beat it by >= 5x. Phase 2 runs the random
+ * campaign through every (cell, REPRO_THREADS count) pair and asserts
+ * every one renders a byte-identical fig7-style CSV.
+ */
+int
+runBackendSweep()
+{
+    auto counts = sweepThreadCounts();
+    unsigned maxThreads = 1;
+    for (unsigned c : counts)
+        maxThreads = std::max(maxThreads, c);
+
+    std::printf("batched-DTA backend sweep (SIMD: %s)\n",
+                simd::isaName(simd::activeIsa()));
+    std::printf("(REPRO_DTA_BACKEND routes campaigns; this sweep "
+                "overrides it per cell.\n REPRO_THREADS=<a,b,c,...> "
+                "selects the identity check's thread counts.)\n\n");
+
+    std::printf("building gate-level FPU...\n");
+    fpu::FpuCore core;
+    size_t point = core.addOperatingPoint(
+        circuit::VoltageModel{}.delayFactorAtReduction(circuit::kVR20));
+    core.workerPoints(point, maxThreads); // pre-build replica points
+
+    // ---- phase 1: sustained DTA throughput (single thread) ---------
+    Table table({"backend", "lanes", "samples/s", "speedup"});
+    obs::json::Array rows;
+    double rates[std::size(kBackendCells)];
+    double laneBase = 0, bestCompiled = 0;
+    for (size_t i = 0; i < std::size(kBackendCells); ++i) {
+        rates[i] = measureUnitThroughput(core, point, kBackendCells[i]);
+        if (kBackendCells[i].backend == circuit::DtaBackend::Lane)
+            laneBase = rates[i];
+    }
+    for (size_t i = 0; i < std::size(kBackendCells); ++i) {
+        const BackendCell &cell = kBackendCells[i];
+        double speedup = laneBase > 0 ? rates[i] / laneBase : 0;
+        if (cell.backend == circuit::DtaBackend::Compiled)
+            bestCompiled = std::max(bestCompiled, speedup);
+        table.addRow({circuit::dtaBackendName(cell.backend),
+                      std::to_string(cell.lanes),
+                      Table::num(rates[i], 0), Table::num(speedup, 2)});
+        rows.push_back(obs::json::Object{
+            {"backend", circuit::dtaBackendName(cell.backend)},
+            {"lanes", static_cast<int64_t>(cell.lanes)},
+            {"samplesPerSec", rates[i]},
+            {"speedupVsLane64", speedup},
+        });
+    }
+    std::printf("\n%s\n",
+                table.render("DTA throughput (mul.d, 1 thread)")
+                    .c_str());
+    std::printf("speedup is vs the 64-lane interpreter at the same "
+                "thread count\n\n");
+
+    // ---- phase 2: campaign identity across cells and threads -------
+    // One full shard per op type so even 512-lane batches form.
+    const uint64_t opsPerType = timing::kDtaShardOps;
+    std::string refCsv;
+    unsigned checked = 0;
+    for (unsigned threads : counts) {
+        for (const BackendCell &cell : kBackendCells) {
+            circuit::setDtaBackend(cell.backend);
+            timing::setDtaLanes(cell.lanes);
+            ThreadPool pool(threads);
+            Rng rng(1);
+            auto stats = timing::runRandomCampaign(core, point,
+                                                   opsPerType, rng,
+                                                   &pool);
+            std::string csv = timing::berCsv(stats);
+            if (refCsv.empty()) {
+                refCsv = csv;
+            } else if (csv != refCsv) {
+                circuit::resetDtaBackend();
+                timing::setDtaLanes(0);
+                std::printf("FAIL: stats differ at threads=%u "
+                            "backend=%s lanes=%u\n",
+                            threads,
+                            circuit::dtaBackendName(cell.backend),
+                            cell.lanes);
+                return 1;
+            }
+            ++checked;
+        }
+    }
+    circuit::resetDtaBackend(); // back to the REPRO_DTA_BACKEND default
+    timing::setDtaLanes(0);     // back to the REPRO_DTA_LANES default
+    std::printf("campaign identity: %u (backend, lanes, threads) "
+                "cells x %llu ops/type,\nall CSVs byte-identical\n",
+                checked,
+                static_cast<unsigned long long>(opsPerType));
+
+    addJsonSection(
+        "backendSweep",
+        obs::json::Object{
+            {"simd", simd::isaName(simd::activeIsa())},
+            {"unit", "mul.d"},
+            {"bestCompiledSpeedupVsLane64", bestCompiled},
+            {"identityCellsChecked", static_cast<int64_t>(checked)},
+            {"csvIdentical", true},
+            {"rows", std::move(rows)},
+        });
+    if (bestCompiled < 5.0) {
+        std::printf("FAIL: single-thread compiled speedup %.2fx below "
+                    "the 5x target\n",
+                    bestCompiled);
         return 1;
     }
     return 0;
@@ -560,6 +775,22 @@ runAdaptiveSweep()
                 injContained ? "yes" : "NO");
     bool injPass = injRatio >= 2.0 && injContained;
 
+    addJsonSection(
+        "adaptiveSweep",
+        obs::json::Object{
+            {"dtaFixedTrials", fixed.totalOps()},
+            {"dtaAdaptiveTrials", adpt.totalOps()},
+            {"dtaTrialsSaved",
+             static_cast<int64_t>(fixed.totalOps()) -
+                 static_cast<int64_t>(adpt.totalOps())},
+            {"dtaSavingsRatio", dtaRatio},
+            {"injFixedRuns", injF.runs},
+            {"injAdaptiveRuns", injA.runs},
+            {"injRunsSaved", static_cast<int64_t>(injF.runs) -
+                                 static_cast<int64_t>(injA.runs)},
+            {"injSavingsRatio", injRatio},
+        });
+
     if (!dtaPass && !injPass) {
         std::printf("FAIL: no cell reached >= 2x savings with "
                     "contained intervals (DTA %.2fx/%s, inject "
@@ -666,15 +897,51 @@ int
 main(int argc, char **argv)
 {
     tea::bench::initObs(argc, argv);
+    std::string jsonPath =
+        tea::bench::consumeFlagValue(argc, argv, "--json");
+    // Sweeps run in the order requested and combine into one JSON
+    // report; the worst exit status wins.
+    int rc = 0;
+    bool ranSweep = false;
     for (int i = 1; i < argc; ++i) {
+        int r = -1;
         if (std::strcmp(argv[i], "--thread-sweep") == 0)
-            return runThreadSweep();
-        if (std::strcmp(argv[i], "--lane-sweep") == 0)
-            return runLaneSweep();
-        if (std::strcmp(argv[i], "--adaptive-sweep") == 0)
-            return runAdaptiveSweep();
-        if (std::strcmp(argv[i], "--fault-stress") == 0)
-            return runFaultStress();
+            r = runThreadSweep();
+        else if (std::strcmp(argv[i], "--lane-sweep") == 0)
+            r = runLaneSweep();
+        else if (std::strcmp(argv[i], "--backend-sweep") == 0)
+            r = runBackendSweep();
+        else if (std::strcmp(argv[i], "--adaptive-sweep") == 0)
+            r = runAdaptiveSweep();
+        else if (std::strcmp(argv[i], "--fault-stress") == 0)
+            r = runFaultStress();
+        if (r >= 0) {
+            ranSweep = true;
+            rc = std::max(rc, r);
+        }
+    }
+    if (ranSweep) {
+        if (!jsonPath.empty()) {
+            obs::json::Object report{
+                {"schema", "tea-bench-v1"},
+                {"git", obs::gitDescribe()},
+                {"passed", rc == 0},
+            };
+            for (auto &kv : gJsonReport)
+                report.push_back(std::move(kv));
+            FILE *f = std::fopen(jsonPath.c_str(), "w");
+            if (!f) {
+                std::printf("cannot write %s\n", jsonPath.c_str());
+                return 1;
+            }
+            std::string text =
+                obs::json::Value(std::move(report)).dump(2);
+            std::fwrite(text.data(), 1, text.size(), f);
+            std::fputc('\n', f);
+            std::fclose(f);
+            std::printf("wrote %s\n", jsonPath.c_str());
+        }
+        return rc;
     }
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

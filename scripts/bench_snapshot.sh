@@ -1,0 +1,25 @@
+#!/bin/sh
+# Record the performance baseline: run the microbench backend sweep
+# (and the adaptive-sizing sweep) single-threaded and write the
+# machine-readable results to BENCH_dta.json at the repo root. Commit
+# the refreshed file so the perf trajectory is tracked PR over PR.
+#
+# Usage: scripts/bench_snapshot.sh [build-dir] [output.json]
+set -u
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$root/build"}
+out=${2:-"$root/BENCH_dta.json"}
+
+bin="$build/bench/microbench"
+if [ ! -x "$bin" ]; then
+    echo "bench_snapshot: $bin not built (cmake --build $build)" >&2
+    exit 2
+fi
+
+# Single thread: the sweep's speedup targets are single-thread
+# numbers, and one worker keeps the machine noise down.
+REPRO_THREADS=1 "$bin" --backend-sweep --adaptive-sweep --json "$out"
+rc=$?
+[ $rc -eq 0 ] && echo "bench_snapshot: wrote $out"
+exit $rc

@@ -1,0 +1,22 @@
+/**
+ * AVX2 build of the compiled-DTA kernels. Compiled with -mavx2 (see
+ * CMakeLists.txt); only referenced when runtime dispatch selects it.
+ */
+
+#if defined(TEA_SIMD_AVX2)
+
+#define TEA_DTA_NS kernels_avx2
+#define TEA_DTA_ISA_LEVEL 1
+#include "circuit/dta_kernels_impl.hh"
+
+namespace tea::circuit {
+
+const DtaKernelTable &
+dtaKernelsAvx2()
+{
+    return kernels_avx2::kernels();
+}
+
+} // namespace tea::circuit
+
+#endif // TEA_SIMD_AVX2

@@ -1,0 +1,23 @@
+/**
+ * AVX-512 build of the compiled-DTA kernels. Compiled with
+ * -mavx512f/bw/dq (see CMakeLists.txt); only referenced when runtime
+ * dispatch selects it.
+ */
+
+#if defined(TEA_SIMD_AVX512)
+
+#define TEA_DTA_NS kernels_avx512
+#define TEA_DTA_ISA_LEVEL 2
+#include "circuit/dta_kernels_impl.hh"
+
+namespace tea::circuit {
+
+const DtaKernelTable &
+dtaKernelsAvx512()
+{
+    return kernels_avx512::kernels();
+}
+
+} // namespace tea::circuit
+
+#endif // TEA_SIMD_AVX512

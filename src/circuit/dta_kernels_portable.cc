@@ -1,0 +1,15 @@
+/** Portable uint64 build of the compiled-DTA kernels. */
+
+#define TEA_DTA_NS kernels_portable
+#define TEA_DTA_ISA_LEVEL 0
+#include "circuit/dta_kernels_impl.hh"
+
+namespace tea::circuit {
+
+const DtaKernelTable &
+dtaKernelsPortable()
+{
+    return kernels_portable::kernels();
+}
+
+} // namespace tea::circuit

@@ -74,6 +74,13 @@ struct ToolflowOptions
      * (REPRO_MAX_RUNS; 0 = a per-campaign default).
      */
     uint64_t maxAdaptiveRuns = 0;
+    /**
+     * Batched-DTA engine for characterization campaigns
+     * (REPRO_DTA_BACKEND=levelized|lane|compiled). Results are
+     * bit-identical across backends; the knob trades interpretation
+     * against compile-once specialized execution.
+     */
+    circuit::DtaBackend dtaBackend = circuit::DtaBackend::Lane;
 
     /** True when confidence-driven campaign sizing is enabled. */
     bool adaptive() const { return ciTarget > 0.0; }
@@ -82,10 +89,11 @@ struct ToolflowOptions
 /**
  * Read REPRO_RUNS / REPRO_FULL / REPRO_SEED / REPRO_CACHE /
  * REPRO_THREADS / REPRO_RESUME / REPRO_RUN_DEADLINE_MS /
- * REPRO_CI_TARGET / REPRO_CI_CONF / REPRO_MAX_RUNS overrides.
- * Malformed values are rejected with a warn and the default kept;
- * out-of-range values are clamped — a typo in the environment can
- * slow a reproduction down but never crash or silently skew it.
+ * REPRO_CI_TARGET / REPRO_CI_CONF / REPRO_MAX_RUNS /
+ * REPRO_DTA_BACKEND overrides. Malformed values are rejected with a
+ * warn and the default kept; out-of-range values are clamped — a typo
+ * in the environment can slow a reproduction down but never crash or
+ * silently skew it.
  */
 ToolflowOptions optionsFromEnv();
 

@@ -73,14 +73,18 @@ FpuCore::executeBatch(size_t point, FpuOp op, const uint64_t *a,
                       const uint64_t *b, unsigned lanes, Exec *out)
 {
     FpuUnit &u = unit(unitFor(op));
-    // Transpose the operands into one plane per stage-0 input net;
-    // packInputs stays the single source of truth for the layout.
-    std::vector<uint64_t> planes(u.stage(0).numInputs(), 0);
+    // Transpose the operands into W-word planes per stage-0 input net
+    // (input-major; one word per net up to 64 lanes, the historical
+    // layout); packInputs stays the single source of truth for the
+    // input layout itself.
+    const unsigned W = circuit::CompiledDta::wordsFor(lanes);
+    std::vector<uint64_t> planes(u.stage(0).numInputs() * size_t{W},
+                                 0);
     for (unsigned l = 0; l < lanes; ++l) {
         auto in = u.packInputs(op, a[l], b[l]);
         for (size_t i = 0; i < in.size(); ++i)
             if (in[i])
-                planes[i] |= 1ULL << l;
+                planes[i * W + l / 64] |= 1ULL << (l % 64);
     }
     u.executeBatch(point, planes, lanes, captureTimePs_, out);
 }

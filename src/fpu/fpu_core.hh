@@ -78,11 +78,13 @@ class FpuCore
     Exec execute(size_t point, FpuOp op, uint64_t a, uint64_t b = 0);
 
     /**
-     * Run `lanes` (<= 64) instructions of one op type at once through
-     * the unit's bit-parallel lane engine; out[l] receives lane l's
-     * Exec. Bit-identical to `lanes` sequential execute() calls —
-     * including pipeline-history effects — at any lane count (see
-     * FpuUnit::executeBatch for the fallback rules).
+     * Run `lanes` instructions of one op type at once through the
+     * unit's batched DTA engine (<= 64 lanes on the lane backend,
+     * <= 512 on the compiled one — see circuit::dtaBackend); out[l]
+     * receives lane l's Exec. Bit-identical to `lanes` sequential
+     * execute() calls — including pipeline-history effects — at any
+     * lane count and backend (see FpuUnit::executeBatch for the
+     * fallback rules).
      */
     void executeBatch(size_t point, FpuOp op, const uint64_t *a,
                       const uint64_t *b, unsigned lanes, Exec *out);

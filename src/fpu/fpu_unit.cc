@@ -1,7 +1,10 @@
 #include "fpu/fpu_unit.hh"
 
 #include <algorithm>
+#include <chrono>
 
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
 #include "util/logging.hh"
 
 namespace tea::fpu {
@@ -141,24 +144,64 @@ FpuUnit::execute(size_t point, const std::vector<bool> &stage0,
 }
 
 void
+FpuUnit::ensureCompiledEngines(Point &pt, double captureTimePs)
+{
+    if (pt.compiledEngines.empty())
+        for (size_t s = 0; s < stages_.size(); ++s)
+            pt.compiledEngines.push_back(
+                std::make_unique<circuit::CompiledDta>(
+                    *stages_[s], annots_[s], pt.scale));
+    auto t0 = std::chrono::steady_clock::now();
+    bool compiled = false;
+    for (auto &eng : pt.compiledEngines)
+        compiled |= eng->prepare(captureTimePs);
+    if (compiled) {
+        static obs::Histogram hCompile =
+            obs::Registry::global().histogram(
+                obs::metric::kDtaCompileMs,
+                {0.5, 1, 2, 5, 10, 25, 50, 100, 250, 500}, "",
+                "wall-clock ms lowering netlists into DTA programs");
+        hCompile.observe(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+    }
+}
+
+void
 FpuUnit::executeBatch(size_t point,
                       const std::vector<uint64_t> &stage0Planes,
                       unsigned lanes, double captureTimePs, Exec *out)
 {
     panic_if(point >= points_.size(), "bad operating point %zu", point);
-    panic_if(lanes == 0 || lanes > circuit::LaneDta::kMaxLanes,
-             "executeBatch: bad lane count %u", lanes);
-    panic_if(stage0Planes.size() != stages_.front()->numInputs(),
-             "executeBatch: bad stage-0 plane count");
     Point &pt = points_[point];
 
-    if (pt.exact || lanes == 1) {
-        // Scalar fallback: exact points have no lane engines, and a
-        // single lane gains nothing from plane packing.
-        std::vector<bool> in(stage0Planes.size());
+    const circuit::DtaBackend backend = circuit::dtaBackend();
+    static obs::Gauge gBackend = obs::Registry::global().gauge(
+        obs::metric::kDtaBackend, "",
+        "active batched-DTA backend (0=levelized 1=lane 2=compiled)");
+    gBackend.set(static_cast<int64_t>(backend));
+
+    const unsigned maxLanes = backend == circuit::DtaBackend::Lane
+                                  ? circuit::LaneDta::kMaxLanes
+                                  : circuit::CompiledDta::kMaxLanes;
+    panic_if(lanes == 0 || lanes > maxLanes,
+             "executeBatch: bad lane count %u for backend %s", lanes,
+             circuit::dtaBackendName(backend));
+    const unsigned W = circuit::CompiledDta::wordsFor(lanes);
+    panic_if(stage0Planes.size() !=
+                 stages_.front()->numInputs() * size_t{W},
+             "executeBatch: bad stage-0 plane count");
+
+    if (pt.exact || lanes == 1 ||
+        backend == circuit::DtaBackend::Levelized) {
+        // Scalar fallback: exact points have no batch engines, a
+        // single lane gains nothing from plane packing, and the
+        // levelized backend is by definition the scalar oracle loop.
+        std::vector<bool> in(stages_.front()->numInputs());
         for (unsigned l = 0; l < lanes; ++l) {
-            for (size_t i = 0; i < stage0Planes.size(); ++i)
-                in[i] = (stage0Planes[i] >> l) & 1;
+            for (size_t i = 0; i < in.size(); ++i)
+                in[i] = (stage0Planes[i * W + l / 64] >> (l % 64)) & 1;
             out[l] = execute(point, in, captureTimePs);
         }
         return;
@@ -166,52 +209,95 @@ FpuUnit::executeBatch(size_t point,
 
     std::vector<uint64_t> goldenIn = stage0Planes;
     std::vector<uint64_t> faultyIn = stage0Planes;
-    std::array<double, 64> maxArr{};
+    std::array<double, circuit::CompiledDta::kMaxLanes> maxArr{};
     std::vector<uint64_t> prev;
-    for (size_t s = 0; s < stages_.size(); ++s) {
-        circuit::LaneDta &eng = *pt.laneEngines[s];
-        // Lane l's previous stage input is lane l-1's: the cross-lane
-        // dependency is a one-bit shift. Lane 0 continues from the
-        // stored history, or (unprimed) from its own input — the same
-        // self-transition the scalar path uses.
-        prev.resize(faultyIn.size());
-        for (size_t i = 0; i < faultyIn.size(); ++i) {
-            uint64_t hist = pt.primed ? (pt.prevIn[s][i] ? 1 : 0)
-                                      : (faultyIn[i] & 1);
-            prev[i] = (faultyIn[i] << 1) | hist;
+
+    if (backend == circuit::DtaBackend::Compiled) {
+        ensureCompiledEngines(pt, captureTimePs);
+        for (size_t s = 0; s < stages_.size(); ++s) {
+            circuit::CompiledDta &eng = *pt.compiledEngines[s];
+            const size_t nIn = stages_[s]->numInputs();
+            // Same funnel shift as the lane path below, but across W
+            // words per input: lane l's previous stage input is lane
+            // l-1's, with lane 0 continuing from the stored history
+            // (or, unprimed, from its own input).
+            prev.resize(nIn * W);
+            for (size_t i = 0; i < nIn; ++i) {
+                uint64_t carry = pt.primed
+                                     ? (pt.prevIn[s][i] ? 1 : 0)
+                                     : (faultyIn[i * W] & 1);
+                for (unsigned w = 0; w < W; ++w) {
+                    uint64_t v = faultyIn[i * W + w];
+                    prev[i * W + w] = (v << 1) | carry;
+                    carry = v >> 63;
+                }
+            }
+            std::vector<bool> &hist = pt.prevIn[s];
+            hist.assign(nIn, false);
+            for (size_t i = 0; i < nIn; ++i)
+                hist[i] = (faultyIn[i * W + (lanes - 1) / 64] >>
+                           ((lanes - 1) % 64)) &
+                          1;
+            const circuit::WideBatch &res = eng.runBatch(
+                prev, faultyIn, goldenIn, captureTimePs, lanes);
+            for (unsigned l = 0; l < lanes; ++l)
+                maxArr[l] = std::max(maxArr[l], res.maxArrivalPs[l]);
+            faultyIn = res.captured;
+            // The golden chain is the fused third plane: a pure
+            // functional evaluation of the golden inputs, which is
+            // what the scalar chain computes whether or not the
+            // chains have diverged.
+            goldenIn = res.golden;
         }
-        // After the batch the stored history is the last lane's input,
-        // exactly what `lanes` scalar calls would have left behind.
-        std::vector<bool> &hist = pt.prevIn[s];
-        hist.assign(faultyIn.size(), false);
-        for (size_t i = 0; i < faultyIn.size(); ++i)
-            hist[i] = (faultyIn[i] >> (lanes - 1)) & 1;
-        const circuit::LaneBatch &res =
-            eng.runBatch(prev, faultyIn, captureTimePs, lanes);
-        for (unsigned l = 0; l < lanes; ++l)
-            maxArr[l] = std::max(maxArr[l], res.maxArrivalPs[l]);
-        faultyIn = res.captured;
-        // The scalar golden chain equals the pure functional
-        // evaluation of the golden inputs (settled == evaluate when
-        // the chains agree, and it switches to evaluate once they
-        // diverge), so one plane sweep covers all lanes.
-        goldenIn = eng.evalBatch(goldenIn);
+    } else {
+        for (size_t s = 0; s < stages_.size(); ++s) {
+            circuit::LaneDta &eng = *pt.laneEngines[s];
+            // Lane l's previous stage input is lane l-1's: the
+            // cross-lane dependency is a one-bit shift. Lane 0
+            // continues from the stored history, or (unprimed) from
+            // its own input — the same self-transition the scalar
+            // path uses.
+            prev.resize(faultyIn.size());
+            for (size_t i = 0; i < faultyIn.size(); ++i) {
+                uint64_t hist = pt.primed ? (pt.prevIn[s][i] ? 1 : 0)
+                                          : (faultyIn[i] & 1);
+                prev[i] = (faultyIn[i] << 1) | hist;
+            }
+            // After the batch the stored history is the last lane's
+            // input, exactly what `lanes` scalar calls would have
+            // left behind.
+            std::vector<bool> &hist = pt.prevIn[s];
+            hist.assign(faultyIn.size(), false);
+            for (size_t i = 0; i < faultyIn.size(); ++i)
+                hist[i] = (faultyIn[i] >> (lanes - 1)) & 1;
+            const circuit::LaneBatch &res =
+                eng.runBatch(prev, faultyIn, captureTimePs, lanes);
+            for (unsigned l = 0; l < lanes; ++l)
+                maxArr[l] = std::max(maxArr[l], res.maxArrivalPs[l]);
+            faultyIn = res.captured;
+            // The scalar golden chain equals the pure functional
+            // evaluation of the golden inputs (settled == evaluate
+            // when the chains agree, and it switches to evaluate once
+            // they diverge), so one plane sweep covers all lanes.
+            goldenIn = eng.evalBatch(goldenIn);
+        }
     }
     pt.primed = true;
 
     for (unsigned l = 0; l < lanes; ++l) {
         Exec &e = out[l];
         e = Exec{};
+        const unsigned w = l / 64, b = l % 64;
         for (unsigned i = 0; i < resultBits_; ++i) {
-            if ((goldenIn[i] >> l) & 1)
+            if ((goldenIn[i * W + w] >> b) & 1)
                 e.golden |= 1ULL << i;
-            if ((faultyIn[i] >> l) & 1)
+            if ((faultyIn[i * W + w] >> b) & 1)
                 e.faulty |= 1ULL << i;
         }
         for (unsigned i = 0; i < 5; ++i) {
-            if ((goldenIn[resultBits_ + i] >> l) & 1)
+            if ((goldenIn[(resultBits_ + i) * W + w] >> b) & 1)
                 e.goldenFlags |= 1u << i;
-            if ((faultyIn[resultBits_ + i] >> l) & 1)
+            if ((faultyIn[(resultBits_ + i) * W + w] >> b) & 1)
                 e.faultyFlags |= 1u << i;
         }
         e.errorMask = e.golden ^ e.faulty;

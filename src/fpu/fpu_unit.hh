@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "circuit/celllib.hh"
+#include "circuit/compiled_dta.hh"
 #include "circuit/dta.hh"
 #include "circuit/netlist.hh"
 #include "circuit/sta.hh"
@@ -91,19 +92,25 @@ class FpuUnit
                  double captureTimePs);
 
     /**
-     * Execute up to 64 operations at once through the bit-parallel
-     * lane engine (circuit::LaneDta). stage0Planes holds one uint64_t
-     * plane per stage-0 input net; lane l is operation l's input, and
+     * Execute up to 512 operations at once through a batched DTA
+     * engine, selected by circuit::dtaBackend(): the 64-lane SWAR
+     * interpreter (circuit::LaneDta, lanes <= 64), the compiled
+     * program engine (circuit::CompiledDta, lanes <= 512), or a
+     * scalar LevelizedDta loop. stage0Planes holds
+     * circuit::CompiledDta::wordsFor(lanes) uint64_t words per
+     * stage-0 input net, input-major (one word per net for lanes <=
+     * 64 — the historical layout); lane l is operation l's input, and
      * out[l] receives its Exec. Operations behave exactly as `lanes`
      * sequential execute() calls: lane l's pipeline history is lane
      * l-1's stage inputs (lane 0 continues from the point's stored
      * history), and after the batch the history holds the last lane's
-     * inputs — results are bit-identical to the scalar path, except
-     * that Exec::maxArrivalPs is computed over the capture-risky cone
-     * only (exact for every op with a timing error, a lower bound for
-     * error-free ops; see circuit::LaneBatch). Exact (event-driven)
-     * operating points and single-lane batches fall back to scalar
-     * execute() calls internally.
+     * inputs — results are bit-identical to the scalar path at every
+     * backend and lane width, except that Exec::maxArrivalPs is
+     * computed over the capture-risky cone only (exact for every op
+     * with a timing error, a lower bound for error-free ops; see
+     * circuit::LaneBatch). Exact (event-driven) operating points and
+     * single-lane batches fall back to scalar execute() calls
+     * internally.
      *
      * Same concurrency contract as execute(): concurrent calls are
      * safe iff they target distinct operating points.
@@ -134,10 +141,20 @@ class FpuUnit
         std::vector<std::unique_ptr<circuit::DtaEngine>> engines;
         /** Per-stage lane engines (levelized points only). */
         std::vector<std::unique_ptr<circuit::LaneDta>> laneEngines;
+        /**
+         * Per-stage compiled engines, created (and their netlists
+         * lowered) on the first batch the compiled backend executes
+         * at this point — points never routed there pay nothing.
+         */
+        std::vector<std::unique_ptr<circuit::CompiledDta>>
+            compiledEngines;
         std::vector<std::vector<bool>> prevIn; ///< per stage
         bool primed = false;
     };
     std::vector<Point> points_;
+
+    /** Lazily build + compile the point's CompiledDta engines. */
+    void ensureCompiledEngines(Point &pt, double captureTimePs);
 };
 
 } // namespace tea::fpu

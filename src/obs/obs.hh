@@ -50,6 +50,8 @@ inline constexpr const char *kDtaLaneBatches =
     "tea_dta_lane_batches_total";
 inline constexpr const char *kDtaLaneFallbackOps =
     "tea_dta_lane_fallback_ops_total";
+inline constexpr const char *kDtaCompileMs = "tea_dta_compile_ms";
+inline constexpr const char *kDtaBackend = "tea_dta_backend";
 // ---- adaptive estimation ------------------------------------------
 inline constexpr const char *kStatsRounds = "tea_stats_rounds_total";
 inline constexpr const char *kStatsEarlyStops =

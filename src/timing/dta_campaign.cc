@@ -211,7 +211,7 @@ DtaCampaign::executeBlock(FpuOp op, const uint64_t *a, const uint64_t *b,
     static obs::Counter mBatches = obs::Registry::global().counter(
         obs::metric::kDtaLaneBatches, "",
         "lane-batched DTA blocks executed");
-    fpu::FpuCore::Exec execs[64];
+    fpu::FpuCore::Exec execs[circuit::CompiledDta::kMaxLanes];
     core_.executeBatch(point_, op, a, b, lanes, execs);
     mBatches.inc(1);
     // Lanes are recorded in order, so the stats stream — totals,
@@ -226,19 +226,34 @@ namespace {
 /** Cached lane width; 0 = not yet resolved from the environment. */
 std::atomic<unsigned> gDtaLanes{0};
 
+/**
+ * Lane ceiling of the active backend: the lane interpreter is a
+ * 64-lane SWAR engine, while the compiled backend takes up to 512 and
+ * the levelized one is a scalar loop with no width limit of its own
+ * (it shares the compiled ceiling so plane buffers stay bounded).
+ */
+unsigned
+maxDtaLanes()
+{
+    return circuit::dtaBackend() == circuit::DtaBackend::Lane
+               ? circuit::LaneDta::kMaxLanes
+               : circuit::CompiledDta::kMaxLanes;
+}
+
 unsigned
 lanesFromEnv()
 {
+    const unsigned maxLanes = maxDtaLanes();
     const char *env = std::getenv("REPRO_DTA_LANES");
     if (!env || !*env)
-        return circuit::LaneDta::kMaxLanes;
+        return maxLanes;
     char *end = nullptr;
     long n = std::strtol(env, &end, 10);
     if (end == env || *end != '\0' || n < 1 ||
-        n > static_cast<long>(circuit::LaneDta::kMaxLanes)) {
+        n > static_cast<long>(maxLanes)) {
         warn("REPRO_DTA_LANES='%s' invalid (want 1..%u); using %u", env,
-             circuit::LaneDta::kMaxLanes, circuit::LaneDta::kMaxLanes);
-        return circuit::LaneDta::kMaxLanes;
+             maxLanes, maxLanes);
+        return maxLanes;
     }
     return static_cast<unsigned>(n);
 }
@@ -259,8 +274,8 @@ dtaLanes()
 void
 setDtaLanes(unsigned lanes)
 {
-    if (lanes > circuit::LaneDta::kMaxLanes)
-        lanes = circuit::LaneDta::kMaxLanes;
+    if (lanes > maxDtaLanes())
+        lanes = maxDtaLanes();
     gDtaLanes.store(lanes, std::memory_order_relaxed);
 }
 
@@ -446,7 +461,8 @@ runRandomShardOps(DtaCampaign &campaign, FpuOp op, uint64_t count,
             watchdog->poll() != Watchdog::Stop::None)
             return;
         if (lanes > 1 && count - i >= lanes) {
-            uint64_t a[64], b[64];
+            uint64_t a[circuit::CompiledDta::kMaxLanes];
+            uint64_t b[circuit::CompiledDta::kMaxLanes];
             for (unsigned l = 0; l < lanes; ++l)
                 randomOperands(op, shardRng, a[l], b[l]);
             campaign.executeBlock(op, a, b, lanes);
@@ -532,7 +548,8 @@ runTraceWindowOps(DtaCampaign &campaign,
                trace[w.begin + i + run].op == e0.op)
             ++run;
         if (lanes > 1 && run == lanes) {
-            uint64_t a[64], b[64];
+            uint64_t a[circuit::CompiledDta::kMaxLanes];
+            uint64_t b[circuit::CompiledDta::kMaxLanes];
             for (unsigned l = 0; l < lanes; ++l) {
                 a[l] = trace[w.begin + i + l].a;
                 b[l] = trace[w.begin + i + l].b;

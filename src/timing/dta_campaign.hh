@@ -166,10 +166,12 @@ class DtaCampaign
 uint64_t maskPriority(uint64_t seed, unsigned op, uint64_t seq);
 
 /**
- * Lane-batch width campaigns use, cached from REPRO_DTA_LANES on first
- * call (default 64, clamped to [1, 64]; 1 disables batching). Campaign
- * results are bit-identical at every width — the knob is purely a
- * performance/debugging switch.
+ * Batch width campaigns use, cached from REPRO_DTA_LANES on first
+ * call. The ceiling tracks the active DTA backend (see
+ * circuit::dtaBackend): 64 on the lane backend, 512 otherwise; unset
+ * defaults to the ceiling and out-of-range values warn and clamp to
+ * it. 1 disables batching. Campaign results are bit-identical at
+ * every width — the knob is purely a performance/debugging switch.
  */
 unsigned dtaLanes();
 

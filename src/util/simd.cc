@@ -1,0 +1,132 @@
+#include "util/simd.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace tea::simd {
+
+const char *
+isaName(Isa isa)
+{
+    switch (isa) {
+      case Isa::Portable:
+        return "portable";
+      case Isa::Avx2:
+        return "avx2";
+      case Isa::Avx512:
+        return "avx512";
+    }
+    return "unknown";
+}
+
+Isa
+bestCompiledIsa()
+{
+#if defined(TEA_SIMD_AVX512)
+    return Isa::Avx512;
+#elif defined(TEA_SIMD_AVX2)
+    return Isa::Avx2;
+#else
+    return Isa::Portable;
+#endif
+}
+
+bool
+isaCompiled(Isa isa)
+{
+    return static_cast<int>(isa) <= static_cast<int>(bestCompiledIsa());
+}
+
+Isa
+detectedIsa()
+{
+#if defined(TEA_SIMD_AVX512) || defined(TEA_SIMD_AVX2)
+    static const Isa detected = [] {
+        Isa best = Isa::Portable;
+#if defined(TEA_SIMD_AVX2)
+        if (__builtin_cpu_supports("avx2"))
+            best = Isa::Avx2;
+#endif
+#if defined(TEA_SIMD_AVX512)
+        // The masked timing recurrence uses avx512f + avx512bw/dq
+        // mask plumbing; require the common server trio.
+        if (__builtin_cpu_supports("avx512f") &&
+            __builtin_cpu_supports("avx512bw") &&
+            __builtin_cpu_supports("avx512dq"))
+            best = Isa::Avx512;
+#endif
+        return best;
+    }();
+    return detected;
+#else
+    return Isa::Portable;
+#endif
+}
+
+namespace {
+
+/** Cached dispatch level; -1 = not yet resolved. */
+std::atomic<int> gActive{-1};
+
+/** Clamp a requested level to what the build and CPU deliver. */
+Isa
+clampIsa(Isa want, const char *origin)
+{
+    Isa limit = detectedIsa();
+    if (static_cast<int>(want) <= static_cast<int>(limit))
+        return want;
+    warn("%s requested %s but this %s supports at most %s; using %s",
+         origin, isaName(want),
+         isaCompiled(want) ? "CPU" : "build", isaName(limit),
+         isaName(limit));
+    return limit;
+}
+
+Isa
+isaFromEnv()
+{
+    const char *env = std::getenv("REPRO_SIMD");
+    if (!env || !*env)
+        return detectedIsa();
+    if (std::strcmp(env, "portable") == 0)
+        return Isa::Portable;
+    if (std::strcmp(env, "avx2") == 0)
+        return clampIsa(Isa::Avx2, "REPRO_SIMD");
+    if (std::strcmp(env, "avx512") == 0)
+        return clampIsa(Isa::Avx512, "REPRO_SIMD");
+    warn("REPRO_SIMD='%s' invalid (want portable|avx2|avx512); "
+         "using %s",
+         env, isaName(detectedIsa()));
+    return detectedIsa();
+}
+
+} // namespace
+
+Isa
+activeIsa()
+{
+    int v = gActive.load(std::memory_order_relaxed);
+    if (v < 0) {
+        v = static_cast<int>(isaFromEnv());
+        gActive.store(v, std::memory_order_relaxed);
+    }
+    return static_cast<Isa>(v);
+}
+
+void
+setActiveIsa(Isa isa)
+{
+    gActive.store(static_cast<int>(clampIsa(isa, "setActiveIsa")),
+                  std::memory_order_relaxed);
+}
+
+void
+resetActiveIsa()
+{
+    gActive.store(-1, std::memory_order_relaxed);
+}
+
+} // namespace tea::simd
