@@ -16,6 +16,7 @@
 #include "bench_common.hh"
 #include "core/energy.hh"
 #include "core/results.hh"
+#include "fleet/coordinator.hh"
 #include "util/table.hh"
 
 using namespace tea;
@@ -41,7 +42,13 @@ main(int argc, char **argv)
                   "Section V.C (incl. Eq. 4)");
 
     Toolflow tf;
-    EvaluationGrid grid = runEvaluationGrid(tf);
+    // REPRO_FLEET_WORKERS>0 farms the grid across tea-worker
+    // processes; results are byte-identical either way.
+    fleet::FleetOptions fopt = fleet::fleetOptionsFromEnv();
+    EvaluationGrid grid =
+        fopt.workers > 0
+            ? fleet::runFleetGrid(tf.options(), fopt)
+            : runEvaluationGrid(tf);
     if (grid.interrupted) {
         std::printf("(interrupted with %zu completed cell(s); rerun "
                     "with REPRO_RESUME=1 to finish the grid)\n",

@@ -13,6 +13,7 @@
 
 #include "bench_common.hh"
 #include "core/results.hh"
+#include "fleet/coordinator.hh"
 #include "util/table.hh"
 
 using namespace tea;
@@ -44,7 +45,13 @@ main(int argc, char **argv)
                 tf.options().runsPerCell, inject::kStatisticalRuns,
                 tf.pool().numThreads());
     bench::WallTimer timer;
-    EvaluationGrid grid = runEvaluationGrid(tf);
+    // REPRO_FLEET_WORKERS>0 farms the grid across tea-worker
+    // processes; results are byte-identical either way.
+    fleet::FleetOptions fopt = fleet::fleetOptionsFromEnv();
+    EvaluationGrid grid =
+        fopt.workers > 0
+            ? fleet::runFleetGrid(tf.options(), fopt)
+            : runEvaluationGrid(tf);
     uint64_t totalRuns = 0;
     for (const auto &cell : grid.cells)
         totalRuns += cell.result.runs;

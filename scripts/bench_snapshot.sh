@@ -1,15 +1,18 @@
 #!/bin/sh
 # Record the performance baseline: run the microbench backend sweep
 # (and the adaptive-sizing sweep) single-threaded and write the
-# machine-readable results to BENCH_dta.json at the repo root. Commit
-# the refreshed file so the perf trajectory is tracked PR over PR.
+# machine-readable results to BENCH_dta.json at the repo root, then
+# run the fleet worker-count scaling ladder (1/2/4/8 workers) into
+# BENCH_fleet.json. Commit the refreshed files so the perf trajectory
+# is tracked PR over PR.
 #
-# Usage: scripts/bench_snapshot.sh [build-dir] [output.json]
+# Usage: scripts/bench_snapshot.sh [build-dir] [output.json] [fleet.json]
 set -u
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build=${1:-"$root/build"}
 out=${2:-"$root/BENCH_dta.json"}
+fleetOut=${3:-"$root/BENCH_fleet.json"}
 
 bin="$build/bench/microbench"
 if [ ! -x "$bin" ]; then
@@ -22,4 +25,16 @@ fi
 REPRO_THREADS=1 "$bin" --backend-sweep --adaptive-sweep --json "$out"
 rc=$?
 [ $rc -eq 0 ] && echo "bench_snapshot: wrote $out"
-exit $rc
+
+# Fleet scaling ladder: process-level parallelism, so no REPRO_THREADS
+# pin here — the binary forces one thread per worker itself.
+fleetBin="$build/bench/fleet_scaling"
+if [ ! -x "$fleetBin" ]; then
+    echo "bench_snapshot: $fleetBin not built; skipping BENCH_fleet.json" >&2
+    exit $rc
+fi
+"$fleetBin" --json "$fleetOut"
+frc=$?
+[ $frc -eq 0 ] && echo "bench_snapshot: wrote $fleetOut"
+[ $rc -eq 0 ] || exit $rc
+exit $frc

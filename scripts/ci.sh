@@ -1,0 +1,50 @@
+#!/bin/sh
+# The tier-1 gate, run twice:
+#
+#   1. an ASan+UBSan build (catches the memory and UB bugs a fleet of
+#      forking workers is good at hiding), and
+#   2. the regular build with REPRO_SIMD=portable, proving the scalar
+#      kernels produce the same bit-identical results the SIMD paths
+#      are tested against.
+#
+# Both passes run the full suite; either failing fails CI.
+#
+# Usage: scripts/ci.sh [jobs]
+set -u
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+jobs=${1:-$(nproc 2>/dev/null || echo 4)}
+fail=0
+
+run_pass() {
+    name=$1
+    build=$2
+    shift 2
+    echo "=== ci: configure $name ($build) ==="
+    cmake -B "$build" -S "$root" "$@" || return 1
+    echo "=== ci: build $name ==="
+    cmake --build "$build" -j "$jobs" || return 1
+    echo "=== ci: test $name ==="
+    (cd "$build" && ctest --output-on-failure -j "$jobs") || return 1
+}
+
+# Pass 1: sanitizers. ASan needs the leak checker off for the chaos
+# tests (SIGKILLed workers exit without unwinding, by design).
+if ! ASAN_OPTIONS="detect_leaks=0" run_pass "asan+ubsan" \
+        "$root/build-san" -DTEA_SANITIZE="address,undefined"; then
+    echo "ci: sanitizer pass FAILED"
+    fail=1
+fi
+
+# Pass 2: portable SIMD on the regular build — results must not
+# depend on the ISA level the kernels were dispatched to.
+if ! REPRO_SIMD=portable run_pass "portable-simd" "$root/build"; then
+    echo "ci: portable-SIMD pass FAILED"
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "ci: FAILED"
+    exit 1
+fi
+echo "ci: OK (sanitizer + portable-SIMD passes green)"

@@ -8,6 +8,7 @@
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
 #include "util/crc32.hh"
+#include "util/fsatomic.hh"
 #include "util/logging.hh"
 
 namespace tea::core {
@@ -91,14 +92,35 @@ ShardJournal::open(const std::string &identity, bool resume)
     if (resume) {
         std::ifstream in(path_);
         if (in) {
+            // A file that does not end in '\n' was cut mid-append. The
+            // final line may still parse (the newline alone was lost);
+            // either way the file must be rewritten, or the next
+            // append would concatenate onto the partial line and tear
+            // an otherwise-good record.
+            bool terminated = true;
+            {
+                in.seekg(0, std::ios::end);
+                auto size = in.tellg();
+                if (size > 0) {
+                    in.seekg(-1, std::ios::end);
+                    terminated = in.get() == '\n';
+                }
+                in.seekg(0, std::ios::beg);
+            }
             std::string line;
             if (std::getline(in, line) && line == header) {
                 while (std::getline(in, line)) {
                     uint64_t idx;
                     RunRecord rec;
+                    bool last = in.peek() == EOF;
                     if (!parseRecordLine(line, idx, rec)) {
                         damaged = true;
                         break; // torn tail: keep the valid prefix
+                    }
+                    if (last && !terminated) {
+                        // Complete record, missing only its newline:
+                        // keep it, but force the rewrite below.
+                        damaged = true;
                     }
                     validLines.push_back(line);
                     records_[idx] = rec;
@@ -112,20 +134,22 @@ ShardJournal::open(const std::string &identity, bool resume)
     }
 
     if (records_.empty() || damaged) {
-        // Rewrite: fresh header plus whatever prefix survived. This
-        // atomically drops the torn tail so the next open is clean.
-        std::ofstream rw(path_, std::ios::trunc);
-        if (!rw) {
+        // Rewrite: fresh header plus whatever prefix survived, staged
+        // and renamed atomically — a crash mid-rewrite leaves the old
+        // journal intact instead of losing every record.
+        std::string content = header + "\n";
+        for (const auto &l : validLines)
+            content += l + "\n";
+        if (!atomicWriteFile(path_, content)) {
+            // The surviving records are still valid in memory; only
+            // durability of *new* appends is lost.
             warn("cannot write journal '%s'; resume disabled for this "
                  "cell",
                  path_.c_str());
             return records_.size();
         }
-        rw << header << "\n";
-        for (const auto &l : validLines)
-            rw << l << "\n";
         if (damaged)
-            warn("journal '%s' had a corrupt tail; kept %zu valid "
+            warn("journal '%s' had a torn tail; kept %zu valid "
                  "record(s)",
                  path_.c_str(), validLines.size());
     }

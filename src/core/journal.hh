@@ -61,6 +61,15 @@ class ShardJournal
 
     const std::string &path() const { return path_; }
     size_t replayable() const { return records_.size(); }
+    /**
+     * Every replayable record (fleet shard merge: a coordinator reads
+     * each shard journal's records and re-appends them into the
+     * canonical per-cell journal in run-index order).
+     */
+    const std::unordered_map<uint64_t, RunRecord> &records() const
+    {
+        return records_;
+    }
 
   private:
     std::string path_;

@@ -11,6 +11,7 @@
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
 #include "obs/trace.hh"
+#include "util/fsatomic.hh"
 #include "util/logging.hh"
 
 namespace tea::core {
@@ -33,8 +34,7 @@ EvaluationGrid::find(const std::string &workload, ModelKind model,
 void
 saveGrid(const std::string &path, const EvaluationGrid &grid)
 {
-    std::ofstream out(path);
-    fatal_if(!out, "cannot write '%s'", path.c_str());
+    std::ostringstream out;
     out << "workload,model,vr,runs,masked,sdc,crash,timeout,"
            "enginefault,retries,injected,committed,wrongpath\n";
     for (const auto &c : grid.cells) {
@@ -46,6 +46,9 @@ saveGrid(const std::string &path, const EvaluationGrid &grid)
             << c.result.committedInstructions << ","
             << c.result.wrongPathInjections << "\n";
     }
+    // Atomic publication: a reader (or a crash) never sees a torn grid.
+    fatal_if(!atomicWriteFile(path, out.str()), "cannot write '%s'",
+             path.c_str());
 }
 
 std::optional<EvaluationGrid>
@@ -92,12 +95,6 @@ loadGrid(const std::string &path)
                               : std::make_optional(std::move(grid));
 }
 
-namespace {
-
-/**
- * Injection runs per cell: the fixed count, or — in adaptive mode —
- * the cap the round loop may stop short of (REPRO_MAX_RUNS override).
- */
 int
 cellRunCap(const ToolflowOptions &opt)
 {
@@ -106,6 +103,8 @@ cellRunCap(const ToolflowOptions &opt)
             std::min<uint64_t>(opt.maxAdaptiveRuns, 1000000));
     return opt.runsPerCell;
 }
+
+namespace {
 
 /**
  * Extra path/identity component in adaptive mode. Empty when adaptive
@@ -123,7 +122,34 @@ adaptiveSuffix(const ToolflowOptions &opt)
     return buf;
 }
 
-/** Journal file path for one grid cell (unique per configuration). */
+/** The workloads a spec covers (empty list = every workload). */
+std::vector<std::string>
+specWorkloads(const GridSpec &spec)
+{
+    if (!spec.workloads.empty())
+        return spec.workloads;
+    return workloads::workloadNames();
+}
+
+} // namespace
+
+std::string
+gridCachePath(const ToolflowOptions &opt)
+{
+    if (opt.cacheDir.empty())
+        return "";
+    char buf[96];
+    // "_p3" = grid-file revision: p2 added the enginefault/retries
+    // columns; p3 invalidates grids derived from float-precision
+    // arrival times (the levelized engine now accumulates in
+    // double, matching the event-driven reference).
+    std::snprintf(buf, sizeof(buf), "grid_r%d_s%llu_x%d%s_p3.csv",
+                  cellRunCap(opt),
+                  static_cast<unsigned long long>(opt.seed),
+                  opt.workloadScale, adaptiveSuffix(opt).c_str());
+    return opt.cacheDir + "/" + buf;
+}
+
 std::string
 cellJournalPath(const ToolflowOptions &opt, const std::string &workload,
                 ModelKind kind, double vr)
@@ -141,7 +167,6 @@ cellJournalPath(const ToolflowOptions &opt, const std::string &workload,
            buf;
 }
 
-/** Manifest file path for one grid cell (mirrors cellJournalPath). */
 std::string
 cellManifestPath(const ToolflowOptions &opt, const std::string &workload,
                  ModelKind kind, double vr)
@@ -159,7 +184,6 @@ cellManifestPath(const ToolflowOptions &opt, const std::string &workload,
            buf;
 }
 
-/** Everything a cell's journaled records depend on, for the header. */
 std::string
 cellIdentity(const ToolflowOptions &opt, const std::string &workload,
              const models::ErrorModel &model, double vr)
@@ -183,187 +207,215 @@ cellIdentity(const ToolflowOptions &opt, const std::string &workload,
     return id;
 }
 
-} // namespace
+std::vector<CellPlan>
+planEvaluationGrid(const ToolflowOptions &opt, const GridSpec &spec)
+{
+    // One rng.split() per cell, in exactly the order the classic
+    // sequential loop consumed them — the plan is a transcript of that
+    // loop's randomness, safe to execute in any process, any order.
+    Rng rng(opt.seed ^ 0xe1a1ULL);
+    std::vector<CellPlan> plan;
+    const ModelKind kinds[] = {ModelKind::DA, ModelKind::IA,
+                               ModelKind::WA};
+    for (const auto &name : specWorkloads(spec)) {
+        for (double vr : opt.vrLevels) {
+            for (ModelKind kind : kinds) {
+                CellPlan cell;
+                cell.index = plan.size();
+                cell.workload = name;
+                cell.model = kind;
+                cell.vrFrac = vr;
+                cell.runCap = cellRunCap(opt);
+                cell.rngState = rng.split().state();
+                plan.push_back(std::move(cell));
+            }
+        }
+    }
+    return plan;
+}
+
+std::unique_ptr<models::ErrorModel>
+cellModel(Toolflow &tf, const CellPlan &plan)
+{
+    switch (plan.model) {
+      case ModelKind::DA:
+        return std::make_unique<models::DaModel>(
+            tf.daModel(plan.vrFrac));
+      case ModelKind::IA:
+        return std::make_unique<models::IaModel>(
+            tf.iaModel(plan.vrFrac));
+      case ModelKind::WA:
+        return std::make_unique<models::WaModel>(
+            tf.waModel(plan.workload, plan.vrFrac));
+    }
+    fatal("unknown model kind %d", static_cast<int>(plan.model));
+    return nullptr;
+}
+
+CampaignCell
+runGridCell(Toolflow &tf, const CellPlan &plan,
+            const std::string &gridCsvPath,
+            const std::function<
+                void(uint64_t,
+                     const inject::InjectionCampaign::RunRecord &)>
+                &onFreshRecord)
+{
+    const auto &opt = tf.options();
+    const CancelToken &cancel = CancelToken::processWide();
+    auto &campaign = tf.campaign(plan.workload);
+    auto model = cellModel(tf, plan);
+
+    inform("campaign: %s %s VR%.0f (%d runs%s)...",
+           plan.workload.c_str(), models::modelKindName(plan.model),
+           plan.vrFrac * 100, plan.runCap,
+           opt.adaptive() ? " max, adaptive" : "");
+    Rng cellRng = Rng::fromState(plan.rngState);
+
+    inject::InjectionCampaign::RunOptions ro;
+    ro.pool = &tf.pool();
+    ro.cancel = &cancel;
+    ro.runDeadlineMs = opt.runDeadlineMs;
+    ro.maxAttempts = opt.maxRunAttempts;
+    ro.ciTarget = opt.ciTarget;
+    ro.ciConf = opt.ciConf;
+    std::unique_ptr<ShardJournal> journal;
+    size_t replayable = 0;
+    if (!opt.cacheDir.empty()) {
+        journal = std::make_unique<ShardJournal>(cellJournalPath(
+            opt, plan.workload, plan.model, plan.vrFrac));
+        replayable = journal->open(
+            cellIdentity(opt, plan.workload, *model, plan.vrFrac),
+            opt.resume);
+        if (replayable > 0)
+            inform("resuming %s %s VR%.0f: %zu/%d runs journaled",
+                   plan.workload.c_str(),
+                   models::modelKindName(plan.model), plan.vrFrac * 100,
+                   replayable, plan.runCap);
+        ShardJournal *j = journal.get();
+        ro.replay = [j](uint64_t i,
+                        inject::InjectionCampaign::RunRecord &rec) {
+            return j->tryReplay(i, rec);
+        };
+        ro.onComplete =
+            [j, &onFreshRecord](
+                uint64_t i,
+                const inject::InjectionCampaign::RunRecord &rec) {
+                j->append(i, rec);
+                if (onFreshRecord)
+                    onFreshRecord(i, rec);
+            };
+    } else if (onFreshRecord) {
+        ro.onComplete = onFreshRecord;
+    }
+
+    CampaignCell cell;
+    cell.workload = plan.workload;
+    cell.model = plan.model;
+    cell.vrFrac = plan.vrFrac;
+    {
+        obs::Span cellSpan(plan.workload + "/" +
+                               models::modelKindName(plan.model),
+                           "grid",
+                           static_cast<int64_t>(plan.vrFrac * 100 + 0.5));
+        cell.result =
+            campaign.run(*model, plan.runCap, cellRng, ro);
+    }
+    obs::Registry::global()
+        .counter(obs::metric::kCampaignCells, "",
+                 "evaluation-grid cells executed")
+        .inc(1);
+    if (!opt.cacheDir.empty()) {
+        obs::RunManifest m;
+        m.workload = plan.workload;
+        m.model = models::modelKindName(plan.model);
+        m.modelDetail = model->describe();
+        m.vrFrac = plan.vrFrac;
+        m.seed = opt.seed;
+        m.runsPerCell = plan.runCap;
+        m.workloadScale = opt.workloadScale;
+        m.threads = tf.pool().numThreads();
+        m.identity =
+            cellIdentity(opt, plan.workload, *model, plan.vrFrac);
+        m.journalPath =
+            cellJournalPath(opt, plan.workload, plan.model, plan.vrFrac);
+        m.gridCsvPath = gridCsvPath;
+        m.runs = cell.result.runs;
+        m.masked = cell.result.masked;
+        m.sdc = cell.result.sdc;
+        m.crash = cell.result.crash;
+        m.timeout = cell.result.timeout;
+        m.engineFault = cell.result.engineFault;
+        m.retries = cell.result.retries;
+        m.replayedRuns = replayable;
+        m.injectedErrors = cell.result.injectedErrors;
+        m.committedInstructions = cell.result.committedInstructions;
+        m.interrupted = cell.result.interrupted;
+        std::string mpath = cellManifestPath(opt, plan.workload,
+                                             plan.model, plan.vrFrac);
+        if (obs::writeRunManifest(mpath, std::move(m)))
+            obs::Registry::global()
+                .counter(obs::metric::kManifestsWritten, "",
+                         "per-cell run manifests written")
+                .inc(1);
+        else
+            logWarn("cannot write run manifest '%s'", mpath.c_str());
+    }
+    return cell;
+}
 
 EvaluationGrid
 runEvaluationGrid(Toolflow &tf, bool useCache)
 {
+    GridSpec spec;
+    spec.useCache = useCache;
+    return runEvaluationGrid(tf, spec);
+}
+
+EvaluationGrid
+runEvaluationGrid(Toolflow &tf, const GridSpec &spec)
+{
     const auto &opt = tf.options();
     std::string cachePath;
-    if (useCache && !opt.cacheDir.empty()) {
-        char buf[96];
-        // "_p3" = grid-file revision: p2 added the enginefault/retries
-        // columns; p3 invalidates grids derived from float-precision
-        // arrival times (the levelized engine now accumulates in
-        // double, matching the event-driven reference).
-        std::snprintf(buf, sizeof(buf),
-                      "%s/grid_r%d_s%llu_x%d%s_p3.csv",
-                      opt.cacheDir.c_str(), cellRunCap(opt),
-                      static_cast<unsigned long long>(opt.seed),
-                      opt.workloadScale, adaptiveSuffix(opt).c_str());
-        cachePath = buf;
+    if (spec.useCache && !opt.cacheDir.empty()) {
+        cachePath = gridCachePath(opt);
         if (auto grid = loadGrid(cachePath)) {
-            inform("loaded cached evaluation grid %s", cachePath.c_str());
+            inform("loaded cached evaluation grid %s",
+                   cachePath.c_str());
             return *grid;
         }
     }
 
-    const CancelToken &cancel = CancelToken::processWide();
     obs::Span gridSpan("toolflow.grid", "toolflow");
-    std::vector<std::unique_ptr<ShardJournal>> journals;
     EvaluationGrid grid;
-    bool interrupted = false;
-    Rng rng(opt.seed ^ 0xe1a1ULL);
-    for (const auto &name : workloads::workloadNames()) {
-        if (interrupted)
+    std::vector<std::string> journalPaths;
+    for (const CellPlan &plan : planEvaluationGrid(opt, spec)) {
+        CampaignCell cell = runGridCell(tf, plan, cachePath);
+        if (!opt.cacheDir.empty())
+            journalPaths.push_back(cellJournalPath(
+                opt, plan.workload, plan.model, plan.vrFrac));
+        if (cell.result.interrupted) {
+            // Partial cell: its completed runs are safely in the
+            // journal; the aggregate is not comparable and is
+            // reported, not recorded.
+            inform("interrupted during %s %s VR%.0f after %llu/%d runs "
+                   "(masked=%llu sdc=%llu crash=%llu timeout=%llu "
+                   "enginefault=%llu)",
+                   plan.workload.c_str(),
+                   models::modelKindName(plan.model), plan.vrFrac * 100,
+                   static_cast<unsigned long long>(cell.result.runs),
+                   plan.runCap,
+                   static_cast<unsigned long long>(cell.result.masked),
+                   static_cast<unsigned long long>(cell.result.sdc),
+                   static_cast<unsigned long long>(cell.result.crash),
+                   static_cast<unsigned long long>(cell.result.timeout),
+                   static_cast<unsigned long long>(
+                       cell.result.engineFault));
+            grid.interrupted = true;
             break;
-        auto &campaign = tf.campaign(name);
-        for (double vr : opt.vrLevels) {
-            if (interrupted)
-                break;
-            struct ModelRun
-            {
-                ModelKind kind;
-                std::unique_ptr<models::ErrorModel> model;
-            };
-            std::vector<ModelRun> runs;
-            runs.push_back({ModelKind::DA,
-                            std::make_unique<models::DaModel>(
-                                tf.daModel(vr))});
-            runs.push_back({ModelKind::IA,
-                            std::make_unique<models::IaModel>(
-                                tf.iaModel(vr))});
-            runs.push_back({ModelKind::WA,
-                            std::make_unique<models::WaModel>(
-                                tf.waModel(name, vr))});
-            for (auto &mr : runs) {
-                inform("campaign: %s %s VR%.0f (%d runs%s)...",
-                       name.c_str(), models::modelKindName(mr.kind),
-                       vr * 100, cellRunCap(opt),
-                       opt.adaptive() ? " max, adaptive" : "");
-                Rng cellRng = rng.split();
-
-                inject::InjectionCampaign::RunOptions ro;
-                ro.pool = &tf.pool();
-                ro.cancel = &cancel;
-                ro.runDeadlineMs = opt.runDeadlineMs;
-                ro.maxAttempts = opt.maxRunAttempts;
-                ro.ciTarget = opt.ciTarget;
-                ro.ciConf = opt.ciConf;
-                ShardJournal *journal = nullptr;
-                size_t replayable = 0;
-                if (!opt.cacheDir.empty()) {
-                    journals.push_back(std::make_unique<ShardJournal>(
-                        cellJournalPath(opt, name, mr.kind, vr)));
-                    journal = journals.back().get();
-                    replayable = journal->open(
-                        cellIdentity(opt, name, *mr.model, vr),
-                        opt.resume);
-                    if (replayable > 0)
-                        inform("resuming %s %s VR%.0f: %zu/%d runs "
-                               "journaled",
-                               name.c_str(),
-                               models::modelKindName(mr.kind), vr * 100,
-                               replayable, cellRunCap(opt));
-                    ro.replay =
-                        [journal](uint64_t i,
-                                  inject::InjectionCampaign::RunRecord
-                                      &rec) {
-                            return journal->tryReplay(i, rec);
-                        };
-                    ro.onComplete =
-                        [journal](uint64_t i,
-                                  const inject::InjectionCampaign::
-                                      RunRecord &rec) {
-                            journal->append(i, rec);
-                        };
-                }
-
-                CampaignCell cell;
-                cell.workload = name;
-                cell.model = mr.kind;
-                cell.vrFrac = vr;
-                {
-                    obs::Span cellSpan(
-                        name + "/" + models::modelKindName(mr.kind),
-                        "grid",
-                        static_cast<int64_t>(vr * 100 + 0.5));
-                    cell.result = campaign.run(*mr.model,
-                                               cellRunCap(opt),
-                                               cellRng, ro);
-                }
-                obs::Registry::global()
-                    .counter(obs::metric::kCampaignCells, "",
-                             "evaluation-grid cells executed")
-                    .inc(1);
-                if (!opt.cacheDir.empty()) {
-                    obs::RunManifest m;
-                    m.workload = name;
-                    m.model = models::modelKindName(mr.kind);
-                    m.modelDetail = mr.model->describe();
-                    m.vrFrac = vr;
-                    m.seed = opt.seed;
-                    m.runsPerCell = cellRunCap(opt);
-                    m.workloadScale = opt.workloadScale;
-                    m.threads = tf.pool().numThreads();
-                    m.identity = cellIdentity(opt, name, *mr.model, vr);
-                    m.journalPath =
-                        cellJournalPath(opt, name, mr.kind, vr);
-                    m.gridCsvPath = cachePath;
-                    m.runs = cell.result.runs;
-                    m.masked = cell.result.masked;
-                    m.sdc = cell.result.sdc;
-                    m.crash = cell.result.crash;
-                    m.timeout = cell.result.timeout;
-                    m.engineFault = cell.result.engineFault;
-                    m.retries = cell.result.retries;
-                    m.replayedRuns = replayable;
-                    m.injectedErrors = cell.result.injectedErrors;
-                    m.committedInstructions =
-                        cell.result.committedInstructions;
-                    m.interrupted = cell.result.interrupted;
-                    std::string mpath =
-                        cellManifestPath(opt, name, mr.kind, vr);
-                    if (obs::writeRunManifest(mpath, std::move(m)))
-                        obs::Registry::global()
-                            .counter(obs::metric::kManifestsWritten, "",
-                                     "per-cell run manifests written")
-                            .inc(1);
-                    else
-                        logWarn("cannot write run manifest '%s'",
-                                mpath.c_str());
-                }
-                if (cell.result.interrupted) {
-                    // Partial cell: its completed runs are safely in
-                    // the journal; the aggregate is not comparable and
-                    // is reported, not recorded.
-                    inform("interrupted during %s %s VR%.0f after "
-                           "%llu/%d runs (masked=%llu sdc=%llu "
-                           "crash=%llu timeout=%llu enginefault=%llu)",
-                           name.c_str(),
-                           models::modelKindName(mr.kind), vr * 100,
-                           static_cast<unsigned long long>(
-                               cell.result.runs),
-                           cellRunCap(opt),
-                           static_cast<unsigned long long>(
-                               cell.result.masked),
-                           static_cast<unsigned long long>(
-                               cell.result.sdc),
-                           static_cast<unsigned long long>(
-                               cell.result.crash),
-                           static_cast<unsigned long long>(
-                               cell.result.timeout),
-                           static_cast<unsigned long long>(
-                               cell.result.engineFault));
-                    interrupted = true;
-                    break;
-                }
-                grid.cells.push_back(std::move(cell));
-            }
         }
+        grid.cells.push_back(std::move(cell));
     }
-    if (interrupted) {
-        grid.interrupted = true;
+    if (grid.interrupted) {
         inform("evaluation grid interrupted with %zu cell(s) complete; "
                "rerun with REPRO_RESUME=1 to pick up where it stopped",
                grid.cells.size());
@@ -373,8 +425,8 @@ runEvaluationGrid(Toolflow &tf, bool useCache)
         saveGrid(cachePath, grid);
     // The grid is durably cached (or caching is off and the journals
     // have no future): the per-cell journals have served their purpose.
-    for (auto &j : journals)
-        j->remove();
+    for (const auto &p : journalPaths)
+        ShardJournal(p).remove();
     return grid;
 }
 

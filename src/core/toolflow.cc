@@ -247,20 +247,36 @@ Toolflow::cachePath(const std::string &tag, double vrFrac) const
     return opt_.cacheDir + "/" + tag + buf;
 }
 
-void
+bool
 Toolflow::quarantineCache(const std::string &path)
 {
-    std::string bad = path + ".bad";
-    std::error_code ec;
-    std::filesystem::rename(path, bad, ec);
-    if (ec) {
-        warn("corrupt cache '%s' could not be quarantined (%s); "
-             "regenerating over it",
-             path.c_str(), ec.message().c_str());
-    } else {
-        warn("corrupt cache '%s' quarantined to '%s'; regenerating",
-             path.c_str(), bad.c_str());
+    // The first .bad capture is the interesting evidence (it shows
+    // what originally rotted); later corruption of the regenerated
+    // file claims .bad2, .bad3, ... instead of overwriting it.
+    std::error_code lastEc;
+    for (int i = 1; i <= 9; ++i) {
+        char suffix[8];
+        if (i == 1)
+            std::snprintf(suffix, sizeof(suffix), ".bad");
+        else
+            std::snprintf(suffix, sizeof(suffix), ".bad%d", i);
+        std::string bad = path + suffix;
+        std::error_code ec;
+        if (std::filesystem::exists(bad, ec))
+            continue;
+        std::filesystem::rename(path, bad, ec);
+        if (!ec) {
+            warn("corrupt cache '%s' quarantined to '%s'; regenerating",
+                 path.c_str(), bad.c_str());
+            return true;
+        }
+        lastEc = ec;
     }
+    warn("corrupt cache '%s' could not be quarantined (%s); "
+         "regenerating over it",
+         path.c_str(),
+         lastEc ? lastEc.message().c_str() : "no free quarantine slot");
+    return false;
 }
 
 const CampaignStats &
@@ -456,15 +472,11 @@ Toolflow::daErrorRatio(double vrFrac)
                                                    trace(name), per,
                                                    pool_.get(),
                                                    &cancelWatchdog_);
-                for (unsigned o = 0; o < fpu::kNumFpuOps; ++o)
-                    merged.perOp[o].merge(s.perOp[o]);
                 // Degradation and interruption are properties of the
                 // merged calibration too.
-                merged.engineFaults += s.engineFaults;
-                if (s.interrupted) {
-                    merged.interrupted = true;
+                merged.merge(s);
+                if (merged.interrupted)
                     break;
-                }
             }
             return merged;
         });

@@ -124,6 +124,16 @@ class Toolflow
     /** Operating-point index for a VR fraction (created on demand). */
     size_t pointFor(double vrFrac);
 
+    /**
+     * Move a damaged cache file aside to `<path>.bad` (`.bad2`..
+     * `.bad9` when earlier evidence already sits there, so the first
+     * corrupt capture is never overwritten). Returns false when no
+     * quarantine name could be claimed — the caller then regenerates
+     * straight over the damaged file, which the atomic cache writers
+     * make safe. Public for the robustness tests.
+     */
+    static bool quarantineCache(const std::string &path);
+
     // ---- model development phase -----------------------------------
     const timing::CampaignStats &iaStats(double vrFrac);
     const timing::CampaignStats &waStats(const std::string &workload,
@@ -143,8 +153,6 @@ class Toolflow
 
   private:
     std::string cachePath(const std::string &tag, double vrFrac) const;
-    /** Move a damaged cache file aside to `<path>.bad`. */
-    static void quarantineCache(const std::string &path);
     const timing::CampaignStats &
     characterize(const std::string &tag, double vrFrac,
                  const std::function<timing::CampaignStats(size_t)> &run);

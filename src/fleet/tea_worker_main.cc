@@ -1,0 +1,23 @@
+/**
+ * @file
+ * `tea-worker <spool-dir>` — one fleet worker process.
+ *
+ * Spawned (and respawned) by the fleet coordinator; claims work units
+ * under expiring leases from the spool directory and exits when no
+ * claimable work remains. Safe to run by hand against a live spool
+ * for debugging — an extra worker only adds capacity.
+ */
+
+#include <cstdio>
+
+#include "fleet/worker.hh"
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: tea-worker <spool-dir>\n");
+        return 2;
+    }
+    return tea::fleet::workerMain(argv[1]);
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The fleet worker: claim → heartbeat → execute → commit, in a loop.
+ *
+ * A worker is intentionally stateless between units: everything it
+ * needs is in the spool directory's plan file, and everything it
+ * produces lands in the shared cache dir (cell journals + manifests)
+ * or the spool (shard journals + done files). Killing a worker at any
+ * instruction loses at most the not-yet-journaled in-flight runs of
+ * its current unit; a reissued lease resumes from the journal and
+ * produces byte-identical results.
+ *
+ * Test-only fault hooks (never set outside tests/fleet):
+ *  - TEA_FLEET_TEST_CRASH_RUNS=<n>: on a unit that has never failed
+ *    (tries == 0), SIGKILL the process after n freshly-executed runs —
+ *    the chaos test's way of making every unit die exactly once.
+ *  - TEA_FLEET_TEST_POISON_UNIT=<id>: SIGKILL immediately after
+ *    claiming unit <id>, every time — drives the poison-quarantine
+ *    path.
+ */
+
+#ifndef TEA_FLEET_WORKER_HH
+#define TEA_FLEET_WORKER_HH
+
+#include <string>
+
+namespace tea::fleet {
+
+/**
+ * Run the worker loop against `spoolDir` until no claimable work
+ * remains. Returns the process exit code: 0 on a normal drain (or
+ * cooperative cancellation), 2 when the spool/plan is unreadable —
+ * the coordinator treats 2 as "do not respawn".
+ */
+int workerMain(const std::string &spoolDir);
+
+} // namespace tea::fleet
+
+#endif // TEA_FLEET_WORKER_HH

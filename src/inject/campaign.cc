@@ -1,5 +1,6 @@
 #include "inject/campaign.hh"
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstring>
@@ -266,6 +267,49 @@ InjectionCampaign::run(const ErrorModel &model, int runs, Rng &rng,
     RunOptions opts;
     opts.pool = pool;
     return run(model, runs, rng, opts);
+}
+
+uint64_t
+InjectionCampaign::runRange(const ErrorModel &model, uint64_t lo,
+                            uint64_t hi, Rng &rng,
+                            const RunOptions &opts) const
+{
+    ThreadPool &tp = opts.pool ? *opts.pool : ThreadPool::global();
+    // The same split run() performs, so a range worker's base stream
+    // matches the unsplit cell's and fork(i) lands on identical draws.
+    Rng base = rng.split();
+    if (hi <= lo)
+        return 0;
+    std::atomic<uint64_t> executed{0};
+    obs::Registry &reg = obs::Registry::global();
+    obs::Counter mReplays = reg.counter(
+        obs::metric::kInjectReplays, "",
+        "injection runs satisfied from a journal instead of simulated");
+    obs::Histogram mRunMs = reg.histogram(
+        obs::metric::kInjectRunMs, obs::latencyBucketsMs(), "",
+        "wall time of one contained injection run");
+    obs::Span span("inject.range", "inject",
+                   static_cast<int64_t>(hi - lo));
+    tp.parallelFor(lo, hi, [&](uint64_t i, unsigned) {
+        if (opts.cancel && opts.cancel->cancelled())
+            return;
+        RunRecord rec;
+        if (opts.replay && opts.replay(i, rec)) {
+            mReplays.inc(1);
+            return;
+        }
+        auto t0 = std::chrono::steady_clock::now();
+        rec = executeOneContained(model, base, i, opts);
+        mRunMs.observe(std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count());
+        if (rec.fault == ErrorCode::Cancelled)
+            return; // shutdown mid-run: leave it for the resume
+        executed.fetch_add(1, std::memory_order_relaxed);
+        if (opts.onComplete)
+            opts.onComplete(i, rec);
+    });
+    return executed.load();
 }
 
 CampaignResult

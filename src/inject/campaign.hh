@@ -232,6 +232,20 @@ class InjectionCampaign
     CampaignResult run(const models::ErrorModel &model, int runs,
                        Rng &rng, ThreadPool *pool = nullptr) const;
 
+    /**
+     * Execute only runs [lo, hi) of a fixed-size campaign, reporting
+     * each completed record through opts.onComplete (typically a shard
+     * journal) and returning how many were freshly executed. Run i
+     * draws from the same fork(i) substream run() would give it, so a
+     * cell split into ranges across fleet workers and re-assembled by
+     * journal merge is bit-identical to the unsplit cell. No
+     * aggregation happens here — that is the merger's job. Adaptive
+     * stopping is a whole-cell property and does not apply to ranges.
+     */
+    uint64_t runRange(const models::ErrorModel &model, uint64_t lo,
+                      uint64_t hi, Rng &rng,
+                      const RunOptions &opts) const;
+
     const workloads::Workload &workload() const { return workload_; }
 
   private:

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "util/crc32.hh"
+#include "util/fsatomic.hh"
 #include "util/logging.hh"
 
 namespace tea::models {
@@ -223,18 +224,16 @@ saveCampaignStats(const std::string &path,
                   const timing::CampaignStats &stats)
 {
     std::string body = renderStatsBody(stats);
-    std::ofstream out(path);
-    if (!out) {
-        warn("cannot write campaign stats cache '%s'", path.c_str());
-        return false;
-    }
     char crcLine[48];
     std::snprintf(crcLine, sizeof(crcLine), "crc %08x %zu\n",
                   crc32(body.data(), body.size()), body.size());
-    out << kMagic << "\n" << crcLine << body;
-    out.flush();
-    if (!out) {
-        warn("short write of campaign stats cache '%s'", path.c_str());
+    // Staged + renamed: concurrent fleet workers racing to fill the
+    // same cold cache can interleave freely — each publishes a
+    // complete file or nothing, and last-writer-wins is benign because
+    // every writer produces identical (deterministic) statistics.
+    if (!atomicWriteFile(path,
+                         kMagic + std::string("\n") + crcLine + body)) {
+        warn("cannot write campaign stats cache '%s'", path.c_str());
         return false;
     }
     return true;

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
+#include "util/fsatomic.hh"
 
 namespace tea::obs {
 
@@ -122,11 +123,9 @@ writeRunManifest(const std::string &path, RunManifest m)
         m.wallTime = isoTimestamp();
     if (m.metrics.isNull())
         m.metrics = Registry::global().snapshot();
-    std::ofstream out(path, std::ios::trunc);
-    if (!out)
-        return false;
-    out << m.toJson().dump(2) << "\n";
-    return static_cast<bool>(out);
+    // Atomic: a zombie fleet worker and its reissued replacement can
+    // both publish the same cell's manifest; each write lands whole.
+    return atomicWriteFile(path, m.toJson().dump(2) + "\n");
 }
 
 std::optional<RunManifest>

@@ -71,6 +71,25 @@ inline constexpr const char *kWatchdogDeadline =
     "tea_watchdog_deadline_total";
 inline constexpr const char *kWatchdogCancelled =
     "tea_watchdog_cancelled_total";
+// ---- fleet (multi-process job farm) --------------------------------
+// Lease lifecycle metrics are split by role: workers count the leases
+// they acquire and renew, the coordinator counts expiries, reissues,
+// poisonings, and worker restarts — each process exports its own view.
+inline constexpr const char *kFleetLeasesGranted =
+    "tea_fleet_leases_granted_total";
+inline constexpr const char *kFleetLeaseRenewals =
+    "tea_fleet_lease_renewals_total";
+inline constexpr const char *kFleetLeasesExpired =
+    "tea_fleet_leases_expired_total";
+inline constexpr const char *kFleetLeasesReissued =
+    "tea_fleet_leases_reissued_total";
+inline constexpr const char *kFleetUnitsCompleted =
+    "tea_fleet_units_completed_total";
+inline constexpr const char *kFleetUnitsPoisoned =
+    "tea_fleet_units_poisoned_total";
+inline constexpr const char *kFleetWorkerRestarts =
+    "tea_fleet_worker_restarts_total";
+inline constexpr const char *kFleetUnitMs = "tea_fleet_unit_ms";
 // ---- grid / process -----------------------------------------------
 inline constexpr const char *kCampaignCells =
     "tea_campaign_cells_total";

@@ -131,6 +131,15 @@ CampaignStats::errorInterval(double conf) const
     return stats::wilson(totalFaulty(), totalOps(), conf);
 }
 
+void
+CampaignStats::merge(const CampaignStats &o)
+{
+    for (size_t i = 0; i < perOp.size(); ++i)
+        perOp[i].merge(o.perOp[i]);
+    engineFaults += o.engineFaults;
+    interrupted = interrupted || o.interrupted;
+}
+
 uint64_t
 CampaignStats::totalOps() const
 {

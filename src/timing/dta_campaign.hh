@@ -107,6 +107,13 @@ struct CampaignStats
     {
         return perOp[static_cast<size_t>(op)];
     }
+    /**
+     * Fold another campaign's statistics in, per-op, including the
+     * degradation/interruption flags — merging a partial (interrupted)
+     * slice marks the aggregate partial too.
+     */
+    void merge(const CampaignStats &o);
+
     uint64_t totalOps() const;
     uint64_t totalFaulty() const;
     /** Aggregate error ratio across all types. */

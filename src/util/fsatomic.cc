@@ -1,0 +1,95 @@
+#include "util/fsatomic.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <system_error>
+
+namespace tea {
+
+bool
+atomicWriteFile(const std::string &path, const std::string &contents)
+{
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), ".tmp.%ld",
+                  static_cast<long>(::getpid()));
+    std::string tmp = path + suffix;
+    {
+        std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+        if (!out)
+            return false;
+        out << contents;
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+createExclusive(const std::string &path, const std::string &contents)
+{
+    int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0)
+        return false;
+    size_t off = 0;
+    while (off < contents.size()) {
+        ssize_t n = ::write(fd, contents.data() + off,
+                            contents.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            ::unlink(path.c_str());
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    ::close(fd);
+    return true;
+}
+
+std::optional<std::string>
+readFileToString(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (in.bad())
+        return std::nullopt;
+    return data;
+}
+
+bool
+renameFile(const std::string &from, const std::string &to)
+{
+    return std::rename(from.c_str(), to.c_str()) == 0;
+}
+
+bool
+removeFile(const std::string &path)
+{
+    return ::unlink(path.c_str()) == 0 || errno == ENOENT;
+}
+
+int64_t
+wallClockMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace tea

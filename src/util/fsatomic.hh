@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Crash-safe filesystem primitives for multi-process coordination.
+ *
+ * The fleet's file-based work queue and the durability layer's caches
+ * both need two POSIX guarantees:
+ *
+ *  - **Atomic publication.** atomicWriteFile() stages content in a
+ *    `<path>.tmp.<pid>` sibling and rename(2)s it over the target, so
+ *    readers only ever observe either the old file or the complete new
+ *    one — never a torn prefix. A crash mid-write leaves at most a
+ *    stale temp file, never a corrupt artifact.
+ *  - **Atomic claim.** createExclusive() is open(O_CREAT|O_EXCL): of N
+ *    processes racing to create the same lease file, exactly one
+ *    succeeds. This is the entire mutual-exclusion story of the lease
+ *    protocol — no daemons, no flock inheritance surprises.
+ *
+ * All functions report failure as a return value and never throw; a
+ * full disk or a permissions error must degrade one artifact, not a
+ * campaign.
+ */
+
+#ifndef TEA_UTIL_FSATOMIC_HH
+#define TEA_UTIL_FSATOMIC_HH
+
+#include <optional>
+#include <string>
+
+namespace tea {
+
+/**
+ * Replace `path` with `contents` atomically (temp file + rename).
+ * Readers see the old content or the new content, never a mix.
+ */
+bool atomicWriteFile(const std::string &path,
+                     const std::string &contents);
+
+/**
+ * Create `path` with `contents` if and only if it does not already
+ * exist (O_CREAT|O_EXCL). Exactly one of N racing callers wins; the
+ * rest (and any I/O failure) get false.
+ */
+bool createExclusive(const std::string &path,
+                     const std::string &contents);
+
+/** Whole-file read; nullopt when missing or unreadable. */
+std::optional<std::string> readFileToString(const std::string &path);
+
+/**
+ * rename(2) wrapper returning success. Renaming a file that another
+ * process already renamed away fails — which is exactly the
+ * "first claimant wins" property the lease reaper relies on.
+ */
+bool renameFile(const std::string &from, const std::string &to);
+
+/** unlink wrapper; true when the file is gone afterwards. */
+bool removeFile(const std::string &path);
+
+/** Milliseconds since the Unix epoch (lease expiry timestamps). */
+int64_t wallClockMs();
+
+} // namespace tea
+
+#endif // TEA_UTIL_FSATOMIC_HH

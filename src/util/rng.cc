@@ -156,4 +156,13 @@ Rng::fork(uint64_t streamId) const
     return Rng(digest);
 }
 
+Rng
+Rng::fromState(const std::array<uint64_t, 4> &state)
+{
+    Rng rng(0);
+    for (size_t i = 0; i < 4; ++i)
+        rng.s_[i] = state[i];
+    return rng;
+}
+
 } // namespace tea

@@ -10,6 +10,7 @@
 #ifndef TEA_UTIL_RNG_HH
 #define TEA_UTIL_RNG_HH
 
+#include <array>
 #include <cstdint>
 
 namespace tea {
@@ -65,6 +66,18 @@ class Rng
      * for any thread count and task execution order.
      */
     Rng fork(uint64_t streamId) const;
+
+    /**
+     * The full xoshiro256** state, for serialization. A generator
+     * restored with fromState() produces the identical stream — this
+     * is how fleet work units ship a cell's exact substream to a
+     * worker process so N-process campaigns stay bit-identical.
+     */
+    std::array<uint64_t, 4> state() const
+    {
+        return {s_[0], s_[1], s_[2], s_[3]};
+    }
+    static Rng fromState(const std::array<uint64_t, 4> &state);
 
   private:
     uint64_t s_[4];

@@ -10,11 +10,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <thread>
 
 #include "core/journal.hh"
 #include "core/results.hh"
@@ -199,6 +201,45 @@ TEST(Watchdog, DeadlineStopsASlowRun)
     EXPECT_EQ(res.stop, Watchdog::Stop::Deadline);
 }
 
+TEST(Watchdog, CancellationWinsARaceWithTheDeadline)
+{
+    // When a shutdown lands while the deadline has also expired, the
+    // verdict matters: Deadline records the run as an EngineFault,
+    // Cancelled drops it. The poll order pins cancellation as the
+    // winner so a Ctrl-C during a slow run never fabricates a fault.
+    CancelToken token;
+    Watchdog wd(&token, 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(wd.poll(), Watchdog::Stop::Deadline);
+    token.cancel(); // both conditions now hold
+    EXPECT_EQ(wd.poll(), Watchdog::Stop::Cancelled);
+    EXPECT_EQ(wd.poll(), Watchdog::Stop::Cancelled) << "stable verdict";
+}
+
+TEST(Watchdog, CancelledRunNeverDoubleCountsAsDeadlineFault)
+{
+    // Campaign-level regression for the same race: with cancellation
+    // requested and a 1 ms per-run deadline both cutting runs off, no
+    // run may leak into the aggregate as a spurious EngineFault — the
+    // campaign simply stops as interrupted.
+    InjectionCampaign campaign(workloads::buildWorkload("sobel", 1));
+    models::WaModel model("hot", aggressiveStats());
+    CancelToken token;
+    token.cancel();
+    ThreadPool pool(2);
+    InjectionCampaign::RunOptions opts;
+    opts.pool = &pool;
+    opts.cancel = &token;
+    opts.runDeadlineMs = 1;
+    Rng rng(7);
+    auto res = campaign.run(model, 4, rng, opts);
+    EXPECT_TRUE(res.interrupted);
+    EXPECT_EQ(res.runs, 0u);
+    EXPECT_EQ(res.engineFault, 0u)
+        << "a cancelled run must be dropped, not recorded as a "
+           "deadline EngineFault";
+}
+
 TEST(Watchdog, NoStopConditionsMeansNone)
 {
     CancelToken token;
@@ -342,6 +383,52 @@ TEST(CacheIntegrity, ToolflowQuarantinesAndRegenerates)
     EXPECT_EQ(models::loadCampaignStats(statsFile, reloaded),
               models::CacheLoad::Loaded);
     std::filesystem::remove_all(dir);
+}
+
+TEST(CacheIntegrity, QuarantineClaimsNumberedSlotsThenDegrades)
+{
+    Quiet q;
+    namespace fs = std::filesystem;
+    std::string dir = "/tmp/tea_test_robust_quarantine";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    std::string path = dir + "/x.stats";
+    auto put = [&](const std::string &text) {
+        std::ofstream(path, std::ios::trunc) << text;
+    };
+    auto slurp = [](const std::string &p) {
+        std::ifstream in(p);
+        return std::string(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+    };
+
+    // First capture claims .bad; recorrupted regenerations claim
+    // .bad2 ... .bad9 without ever overwriting the original evidence.
+    put("first rot");
+    EXPECT_TRUE(Toolflow::quarantineCache(path));
+    EXPECT_FALSE(fs::exists(path));
+    EXPECT_EQ(slurp(path + ".bad"), "first rot");
+    put("second rot");
+    EXPECT_TRUE(Toolflow::quarantineCache(path));
+    EXPECT_EQ(slurp(path + ".bad2"), "second rot");
+    EXPECT_EQ(slurp(path + ".bad"), "first rot")
+        << "later rot must never overwrite the first capture";
+    for (int i = 3; i <= 9; ++i) {
+        put("rot");
+        EXPECT_TRUE(Toolflow::quarantineCache(path)) << "slot " << i;
+        EXPECT_TRUE(fs::exists(path + ".bad" + std::to_string(i)));
+    }
+
+    // All nine slots taken: graceful degradation — report failure and
+    // leave the corrupt file in place to be regenerated over.
+    put("tenth rot");
+    EXPECT_FALSE(Toolflow::quarantineCache(path));
+    EXPECT_EQ(slurp(path), "tenth rot");
+
+    // A source that vanished (raced with another process) fails every
+    // rename and must report failure instead of aborting.
+    EXPECT_FALSE(Toolflow::quarantineCache(dir + "/never_existed"));
+    fs::remove_all(dir);
 }
 
 // ---------------------------------------------------------------------
@@ -525,5 +612,76 @@ TEST(Journal, CorruptTailIsTruncatedNotFatal)
     // A different identity must never replay foreign records.
     ShardJournal j3(jpath);
     EXPECT_EQ(j3.open("some-other-cell", true), 0u);
+    std::remove(jpath.c_str());
+}
+
+TEST(Journal, TailTruncatedAtEveryByteOffsetKeepsValidPrefix)
+{
+    Quiet q;
+    std::string jpath = "/tmp/tea_test_robust_journal3.jnl";
+    std::remove(jpath.c_str());
+    const std::string identity = "tail-sweep";
+
+    // Four records with distinct payloads, so replay mix-ups show.
+    auto makeRec = [](uint64_t i) {
+        InjectionCampaign::RunRecord rec;
+        rec.outcome = (i % 2) ? Outcome::SDC : Outcome::Masked;
+        rec.injected = 10 * i + 1;
+        rec.committed = 100 + i;
+        rec.attempts = 1;
+        return rec;
+    };
+    {
+        ShardJournal j(jpath);
+        j.open(identity, false);
+        for (uint64_t i = 0; i < 4; ++i)
+            j.append(i, makeRec(i));
+    }
+    std::string full;
+    {
+        std::ifstream in(jpath);
+        full.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+    }
+    ASSERT_FALSE(full.empty());
+    ASSERT_EQ(full.back(), '\n');
+    // Final record = everything after the fourth newline (header + 3
+    // records precede it).
+    size_t lastStart = 0;
+    for (int n = 0; n < 4; ++n)
+        lastStart = full.find('\n', lastStart) + 1;
+    ASSERT_LT(lastStart, full.size());
+
+    // Cut the file at every byte offset within the final record: a
+    // complete final line (with or without its newline) keeps all 4
+    // records; any shorter cut fails the CRC and keeps exactly the
+    // 3-record prefix. Either way the journal must stay appendable.
+    for (size_t len = lastStart; len <= full.size(); ++len) {
+        {
+            std::ofstream out(jpath, std::ios::trunc);
+            out << full.substr(0, len);
+        }
+        size_t expect = len >= full.size() - 1 ? 4u : 3u;
+        ShardJournal j(jpath);
+        ASSERT_EQ(j.open(identity, true), expect) << "cut at " << len;
+        InjectionCampaign::RunRecord rec;
+        for (uint64_t i = 0; i < expect; ++i) {
+            ASSERT_TRUE(j.tryReplay(i, rec)) << "cut at " << len;
+            EXPECT_EQ(rec.injected, 10 * i + 1) << "cut at " << len;
+            EXPECT_EQ(rec.committed, 100 + i) << "cut at " << len;
+            EXPECT_EQ(rec.outcome,
+                      (i % 2) ? Outcome::SDC : Outcome::Masked);
+        }
+        EXPECT_FALSE(j.tryReplay(expect, rec)) << "cut at " << len;
+        // The rewrite must leave a cleanly-terminated file: a fresh
+        // append after the torn tail must never fuse with a partial
+        // line.
+        j.append(expect, makeRec(expect));
+        ShardJournal j2(jpath);
+        ASSERT_EQ(j2.open(identity, true), expect + 1)
+            << "append after cut at " << len;
+        ASSERT_TRUE(j2.tryReplay(expect, rec));
+        EXPECT_EQ(rec.injected, 10 * expect + 1);
+    }
     std::remove(jpath.c_str());
 }
