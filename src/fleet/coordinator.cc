@@ -158,6 +158,9 @@ class Supervisor
             _exit(2);
         }
         workers_.push_back({pid, true});
+        // The kernel may hand this child a reaped worker's recycled
+        // PID; it must not inherit the "instantly stale" verdict.
+        deadPids_.erase(pid);
         return true;
     }
 
@@ -203,7 +206,12 @@ Supervisor::reapWorkers()
     obs::Counter restarts = obs::Registry::global().counter(
         obs::metric::kFleetWorkerRestarts, "",
         "crashed or hung fleet workers restarted");
-    for (WorkerProc &w : workers_) {
+    // spawn() push_backs into workers_, so respawns are deferred
+    // until after the scan — growing the vector mid-loop would
+    // invalidate the references being iterated.
+    int respawns = 0;
+    for (size_t i = 0, n = workers_.size(); i < n; ++i) {
+        WorkerProc &w = workers_[i];
         if (!w.alive)
             continue;
         int status = 0;
@@ -232,9 +240,11 @@ Supervisor::reapWorkers()
                static_cast<int>(w.pid),
                WIFSIGNALED(status) ? "signal" : "nonzero exit");
         restarts.inc(1);
+        ++respawns;
+    }
+    while (respawns-- > 0)
         if (!spawn())
             return false;
-    }
     return true;
 }
 

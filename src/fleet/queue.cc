@@ -93,18 +93,76 @@ WorkQueue::publish(const FleetPlan &plan,
             return false;
         }
     }
-    if (!atomicWriteFile(planPath(), plan.serialize()))
+    // The spool encodes no plan identity in its path, so it may hold
+    // the remains of a *different* campaign (other seed, spec, or
+    // options). Those done/tries/poison records describe other work —
+    // reusing them would silently splice a previous campaign's results
+    // into this grid. The plan file is the identity check: byte-equal
+    // means same campaign (resume), anything else means wipe.
+    std::string planBytes = plan.serialize();
+    auto prevPlan = readFileToString(planPath());
+    if (prevPlan && *prevPlan != planBytes) {
+        inform("fleet: spool '%s' holds a different campaign's plan; "
+               "clearing it",
+               dir_.c_str());
+        if (!clearState())
+            return false;
+    }
+    if (!atomicWriteFile(planPath(), planBytes))
         return false;
+    // Unit ids are dense [0, N): drop files a previous, larger
+    // decomposition left beyond this one — workers sweep units/ and
+    // would otherwise execute stale definitions.
+    for (uint64_t id : listUnits())
+        if (id >= units.size() && !dropUnit(id))
+            return false;
     for (const WorkUnit &u : units) {
-        // Re-publishing into an existing spool is idempotent: units
-        // are pure functions of the plan, so an existing file already
-        // holds these bytes.
         std::string path = unitPath(u.id);
-        if (!createExclusive(path, u.serialize()) &&
-            !readFileToString(path))
+        std::string bytes = u.serialize();
+        if (createExclusive(path, bytes))
+            continue;
+        auto prev = readFileToString(path);
+        if (prev && *prev == bytes)
+            continue; // byte-identical re-publish: resume as-is
+        // Same plan but different bytes: the decomposition changed
+        // (e.g. another REPRO_FLEET_SHARD_RUNS) or the file is torn.
+        // Any state recorded against the old definition is void.
+        if (!dropUnit(u.id) || !atomicWriteFile(path, bytes))
             return false;
     }
     return true;
+}
+
+bool
+WorkQueue::clearState()
+{
+    std::error_code ec;
+    for (const char *sub :
+         {"/units", "/leases", "/done", "/tries", "/poison",
+          "/shards"}) {
+        fs::remove_all(dir_ + sub, ec);
+        if (ec) {
+            warn("fleet: cannot clear spool '%s%s': %s", dir_.c_str(),
+                 sub, ec.message().c_str());
+            return false;
+        }
+        fs::create_directories(dir_ + sub, ec);
+        if (ec) {
+            warn("fleet: cannot recreate spool '%s%s': %s",
+                 dir_.c_str(), sub, ec.message().c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+WorkQueue::dropUnit(uint64_t id)
+{
+    return removeFile(unitPath(id)) && removeFile(leasePath(id)) &&
+           removeFile(donePath(id)) && removeFile(triesPath(id)) &&
+           removeFile(poisonPath(id)) &&
+           removeFile(shardJournalPath(id));
 }
 
 std::optional<FleetPlan>
@@ -151,8 +209,11 @@ WorkQueue::renew(uint64_t id, int64_t pid)
 {
     // Atomic rename: the lease file exists continuously through a
     // renewal, so the coordinator never mistakes a renewing worker for
-    // a vanished one.
-    return atomicWriteFile(leasePath(id), leaseBody(pid));
+    // a vanished one. Not durable: a heartbeat lost to power failure
+    // just re-expires, and fsync at heartbeat rate would throttle
+    // every worker.
+    return atomicWriteFile(leasePath(id), leaseBody(pid),
+                           /*durable=*/false);
 }
 
 bool

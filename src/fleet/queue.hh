@@ -63,7 +63,15 @@ class WorkQueue
     std::string shardJournalPath(uint64_t id) const;
 
     // ---- coordinator side -------------------------------------------
-    /** Create the directory tree and publish plan + units. */
+    /**
+     * Create the directory tree and publish plan + units. The plan
+     * file doubles as the spool's identity: publishing a byte-equal
+     * plan is an idempotent resume that preserves done/tries/poison
+     * state, while a differing plan (or a unit whose bytes changed,
+     * e.g. another shard size) wipes the stale state first — a spool
+     * left by a different campaign must never leak its results into
+     * this one.
+     */
     bool publish(const FleetPlan &plan,
                  const std::vector<WorkUnit> &units);
 
@@ -105,6 +113,11 @@ class WorkQueue
     bool poison(uint64_t id);
 
   private:
+    /** Wipe all per-unit state (a different campaign owned it). */
+    bool clearState();
+    /** Remove one unit's file and every record attached to it. */
+    bool dropUnit(uint64_t id);
+
     std::string dir_;
 };
 

@@ -11,28 +11,73 @@
 
 namespace tea {
 
+namespace {
+
+/**
+ * Best-effort fsync of `path`'s parent directory so the rename that
+ * published `path` survives power failure. Some filesystems refuse
+ * directory fsync; that only weakens durability, never atomicity.
+ */
+void
+fsyncParentDir(const std::string &path)
+{
+    size_t slash = path.find_last_of('/');
+    std::string dir = slash == std::string::npos
+                          ? std::string(".")
+                          : path.substr(0, slash);
+    if (dir.empty())
+        dir = "/";
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return;
+    ::fsync(fd);
+    ::close(fd);
+}
+
+} // namespace
+
 bool
-atomicWriteFile(const std::string &path, const std::string &contents)
+atomicWriteFile(const std::string &path, const std::string &contents,
+                bool durable)
 {
     char suffix[32];
     std::snprintf(suffix, sizeof(suffix), ".tmp.%ld",
                   static_cast<long>(::getpid()));
     std::string tmp = path + suffix;
-    {
-        std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
-        if (!out)
-            return false;
-        out << contents;
-        out.flush();
-        if (!out) {
-            std::remove(tmp.c_str());
+    int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd < 0)
+        return false;
+    size_t off = 0;
+    while (off < contents.size()) {
+        ssize_t n = ::write(fd, contents.data() + off,
+                            contents.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            ::unlink(tmp.c_str());
             return false;
         }
+        off += static_cast<size_t>(n);
+    }
+    // The bytes must reach stable storage *before* the rename
+    // publishes them, or power failure can leave a complete-looking
+    // but empty/torn file at `path`.
+    if (durable && ::fsync(fd) != 0) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        return false;
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
         return false;
     }
+    if (durable)
+        fsyncParentDir(path);
     return true;
 }
 

@@ -9,7 +9,11 @@
  *    `<path>.tmp.<pid>` sibling and rename(2)s it over the target, so
  *    readers only ever observe either the old file or the complete new
  *    one — never a torn prefix. A crash mid-write leaves at most a
- *    stale temp file, never a corrupt artifact.
+ *    stale temp file, never a corrupt artifact. By default the temp
+ *    fd (and, best-effort, the parent directory) is fsync'd before
+ *    the rename, so files used as durable commit points — done/
+ *    records, rewritten journals, the grid CSV — survive power
+ *    failure, not just process kill.
  *  - **Atomic claim.** createExclusive() is open(O_CREAT|O_EXCL): of N
  *    processes racing to create the same lease file, exactly one
  *    succeeds. This is the entire mutual-exclusion story of the lease
@@ -30,10 +34,15 @@ namespace tea {
 
 /**
  * Replace `path` with `contents` atomically (temp file + rename).
- * Readers see the old content or the new content, never a mix.
+ * Readers see the old content or the new content, never a mix. With
+ * `durable` (the default) the temp file is fsync'd before the rename
+ * and the parent directory after it, making the write a power-failure
+ * commit point; pass false only for files whose loss is self-healing
+ * (lease heartbeats, which simply re-expire).
  */
 bool atomicWriteFile(const std::string &path,
-                     const std::string &contents);
+                     const std::string &contents,
+                     bool durable = true);
 
 /**
  * Create `path` with `contents` if and only if it does not already

@@ -291,6 +291,60 @@ TEST(FleetQueue, ClaimIsExclusive)
     fs::remove_all(dir);
 }
 
+TEST(FleetQueue, RepublishRejectsStaleCampaignState)
+{
+    std::string dir = "/tmp/tea_fleet_test_stale";
+    fs::remove_all(dir);
+    WorkQueue q(dir);
+    FleetPlan planA{tinyOptions(dir), tinySpec()};
+    WorkUnit u0, u1;
+    u0.id = 0;
+    u1.id = 1;
+    u1.cell = 1;
+    ASSERT_TRUE(q.publish(planA, {u0, u1}));
+    UnitResult done;
+    done.unit = 0;
+    done.result.runs = 6;
+    ASSERT_TRUE(q.markDone(done));
+    q.setTries(1, 1);
+    ASSERT_TRUE(q.poison(1));
+
+    // Byte-identical re-publish is a resume: state survives.
+    ASSERT_TRUE(q.publish(planA, {u0, u1}));
+    EXPECT_TRUE(q.isDone(0));
+    EXPECT_TRUE(q.isPoisoned(1));
+    EXPECT_EQ(q.tries(1), 1);
+
+    // A different campaign (other seed) into the same spool: its
+    // done/tries/poison describe other work and must be wiped, not
+    // silently spliced into the new grid.
+    FleetPlan planB = planA;
+    planB.opt.seed += 1;
+    ASSERT_TRUE(q.publish(planB, {u0, u1}));
+    EXPECT_FALSE(q.isDone(0));
+    EXPECT_FALSE(q.isPoisoned(1));
+    EXPECT_EQ(q.tries(1), 0);
+    ASSERT_TRUE(q.loadUnit(0).has_value());
+    ASSERT_TRUE(q.loadUnit(1).has_value());
+
+    // Same plan, different decomposition (e.g. another shard size):
+    // a unit whose bytes changed voids its recorded state, and units
+    // beyond the new count disappear from the workers' sweep.
+    ASSERT_TRUE(q.markDone(done));
+    WorkUnit r0 = u0;
+    r0.kind = WorkUnit::Kind::Range;
+    r0.lo = 0;
+    r0.hi = 3;
+    ASSERT_TRUE(q.publish(planB, {r0}));
+    EXPECT_FALSE(q.isDone(0));
+    EXPECT_EQ(q.listUnits(), std::vector<uint64_t>{0});
+    auto reloaded = q.loadUnit(0);
+    ASSERT_TRUE(reloaded.has_value());
+    EXPECT_EQ(reloaded->kind, WorkUnit::Kind::Range);
+    EXPECT_EQ(reloaded->hi, 3u);
+    fs::remove_all(dir);
+}
+
 // ---------------------------------------------------------------------
 // Shard-journal merge: bytes equal a single-threaded whole-cell run
 // ---------------------------------------------------------------------
