@@ -7,12 +7,14 @@
 # is tracked PR over PR.
 #
 # Usage: scripts/bench_snapshot.sh [build-dir] [output.json] [fleet.json]
+#        [daemon.json]
 set -u
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build=${1:-"$root/build"}
 out=${2:-"$root/BENCH_dta.json"}
 fleetOut=${3:-"$root/BENCH_fleet.json"}
+daemonOut=${4:-"$root/BENCH_daemon.json"}
 
 bin="$build/bench/microbench"
 if [ ! -x "$bin" ]; then
@@ -36,5 +38,17 @@ fi
 "$fleetBin" --json "$fleetOut"
 frc=$?
 [ $frc -eq 0 ] && echo "bench_snapshot: wrote $fleetOut"
+
+# Campaign-service ladder: an in-process daemon over a real socket.
+daemonBin="$build/bench/daemon_throughput"
+if [ ! -x "$daemonBin" ]; then
+    echo "bench_snapshot: $daemonBin not built; skipping BENCH_daemon.json" >&2
+    [ $rc -eq 0 ] || exit $rc
+    exit $frc
+fi
+"$daemonBin" --json "$daemonOut"
+drc=$?
+[ $drc -eq 0 ] && echo "bench_snapshot: wrote $daemonOut"
 [ $rc -eq 0 ] || exit $rc
-exit $frc
+[ $frc -eq 0 ] || exit $frc
+exit $drc

@@ -1,9 +1,18 @@
 #!/bin/sh
-# Docs-drift check (wired into ctest as check_docs): every REPRO_*
-# environment variable referenced anywhere in src/bench/examples and
-# every metric family registered in src/obs/obs.hh must be documented
-# in BOTH README.md and docs/OBSERVABILITY.md. Adding a knob or a
-# metric without documenting it fails the test suite.
+# Docs-drift check (wired into ctest as check_docs):
+#
+#  - every REPRO_* environment variable referenced anywhere in
+#    src/bench/examples must be documented in docs/OPERATIONS.md or
+#    docs/OBSERVABILITY.md (and documented variables must still exist
+#    in the code);
+#  - every metric family registered in src/obs/obs.hh must appear in
+#    docs/OBSERVABILITY.md, and vice versa;
+#  - every message type and error code in the daemon protocol enum
+#    (src/service/protocol.hh) must appear in docs/PROTOCOL.md, and
+#    every `NAME` the doc's tables name must still be in the enum.
+#
+# Adding a knob, metric or protocol message without documenting it —
+# or leaving a stale row behind — fails the test suite.
 #
 # Usage: scripts/check_docs.sh [repo-root]
 set -u
@@ -14,22 +23,23 @@ cd "$root" || exit 2
 fail=0
 
 # ---- REPRO_* environment variables ---------------------------------
-# README's "Environment variables" table is the canonical reference.
+# docs/OPERATIONS.md's tables are the canonical reference (the
+# observability-export knobs live in docs/OBSERVABILITY.md).
 vars=$(grep -rhoE 'REPRO_[A-Z_]+' src bench examples | sort -u)
 [ -n "$vars" ] || { echo "check_docs: found no REPRO_ variables — wrong root?"; exit 2; }
 for v in $vars; do
-    if ! grep -q "$v" README.md; then
-        echo "check_docs: $v is used in the code but missing from README.md"
+    if ! grep -q "$v" docs/OPERATIONS.md docs/OBSERVABILITY.md; then
+        echo "check_docs: $v is used in the code but missing from docs/OPERATIONS.md and docs/OBSERVABILITY.md"
         fail=1
     fi
 done
 
 # ... and the reverse: a documented variable that no code reads is a
 # stale row (e.g. a renamed adaptive-campaign knob).
-docVars=$(grep -hoE 'REPRO_[A-Z_]+' README.md | sort -u)
+docVars=$(grep -hoE 'REPRO_[A-Z_]+' docs/OPERATIONS.md docs/OBSERVABILITY.md README.md | sort -u)
 for v in $docVars; do
     if ! echo "$vars" | grep -q "^$v$"; then
-        echo "check_docs: $v is documented in README.md but unused in the code"
+        echo "check_docs: $v is documented but unused in the code"
         fail=1
     fi
 done
@@ -55,8 +65,36 @@ for m in $docMetrics; do
     fi
 done
 
+# ---- daemon protocol enums vs docs/PROTOCOL.md ---------------------
+# The wire names ("SUBMIT", "RETRY_AFTER") are returned by
+# msgTypeName()/errorCodeName() in protocol.cc; the doc's tables must
+# name exactly that set.
+wireNames=$(grep -hoE 'return "[A-Z][A-Z_]+"' src/service/protocol.cc \
+            | sed 's/return "//; s/"//' | grep -v '^UNKNOWN$' | sort -u)
+[ -n "$wireNames" ] || { echo "check_docs: found no wire names in src/service/protocol.cc"; exit 2; }
+for n in $wireNames; do
+    if ! grep -qE "\`$n\`" docs/PROTOCOL.md; then
+        echo "check_docs: protocol name $n (src/service/protocol.cc) is missing from docs/PROTOCOL.md"
+        fail=1
+    fi
+done
+
+# ... and the doc must not invent message types or error codes: every
+# backticked ALL_CAPS token in its tables must be a real wire name or
+# a payload key written in caps (none today).
+docNames=$(grep -hoE '\`[A-Z][A-Z_]{2,}\`' docs/PROTOCOL.md | tr -d '\`' | sort -u)
+for n in $docNames; do
+    case "$n" in
+      TEAF|CRC|LE) continue ;; # frame-layout prose, not wire names
+    esac
+    if ! echo "$wireNames" | grep -q "^$n$"; then
+        echo "check_docs: docs/PROTOCOL.md names $n but protocol.cc has no such message type or error code"
+        fail=1
+    fi
+done
+
 if [ "$fail" -ne 0 ]; then
-    echo "check_docs: FAILED — update README.md / docs/OBSERVABILITY.md"
+    echo "check_docs: FAILED — update docs/OPERATIONS.md / docs/OBSERVABILITY.md / docs/PROTOCOL.md"
     exit 1
 fi
-echo "check_docs: OK ($(echo "$vars" | wc -l | tr -d ' ') REPRO_ vars, $(echo "$metrics" | wc -l | tr -d ' ') metrics documented)"
+echo "check_docs: OK ($(echo "$vars" | wc -l | tr -d ' ') REPRO_ vars, $(echo "$metrics" | wc -l | tr -d ' ') metrics, $(echo "$wireNames" | wc -l | tr -d ' ') protocol names documented)"

@@ -389,6 +389,11 @@ runEvaluationGrid(Toolflow &tf, const GridSpec &spec)
     EvaluationGrid grid;
     std::vector<std::string> journalPaths;
     for (const CellPlan &plan : planEvaluationGrid(opt, spec)) {
+        if (spec.stopFlag &&
+            spec.stopFlag->load(std::memory_order_relaxed)) {
+            grid.interrupted = true;
+            break;
+        }
         CampaignCell cell = runGridCell(tf, plan, cachePath);
         if (!opt.cacheDir.empty())
             journalPaths.push_back(cellJournalPath(
@@ -414,6 +419,8 @@ runEvaluationGrid(Toolflow &tf, const GridSpec &spec)
             break;
         }
         grid.cells.push_back(std::move(cell));
+        if (spec.onCell)
+            spec.onCell(grid.cells.back());
     }
     if (grid.interrupted) {
         inform("evaluation grid interrupted with %zu cell(s) complete; "

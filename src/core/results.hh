@@ -18,6 +18,8 @@
 #define TEA_CORE_RESULTS_HH
 
 #include <array>
+#include <atomic>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -62,6 +64,27 @@ struct GridSpec
     /** Workload subset in canonical order; empty = all workloads. */
     std::vector<std::string> workloads;
     bool useCache = true;
+
+    // ---- observation-only execution hooks ---------------------------
+    // Neither field is part of the campaign identity: they are never
+    // serialized into fleet plans and have no effect on any byte the
+    // campaign produces. The service daemon uses them to stream
+    // per-cell results to clients and to stop one campaign without
+    // cancelling the whole process.
+
+    /**
+     * Invoked after each cell completes and is appended to the grid
+     * (from the executing thread, in canonical cell order). Not
+     * invoked when the whole grid is served from its CSV cache.
+     */
+    std::function<void(const CampaignCell &)> onCell;
+    /**
+     * Cooperative per-campaign stop, honoured at cell boundaries like
+     * the process-wide CancelToken: the grid returns with
+     * `interrupted = true` and the completed prefix intact (journals
+     * preserved for a resume).
+     */
+    const std::atomic<bool> *stopFlag = nullptr;
 };
 
 /**

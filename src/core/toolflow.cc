@@ -2,9 +2,12 @@
 
 #include <cerrno>
 #include <cmath>
+#include <condition_variable>
 #include <cstdlib>
 #include <filesystem>
 #include <functional>
+#include <mutex>
+#include <set>
 
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
@@ -279,6 +282,34 @@ Toolflow::quarantineCache(const std::string &path)
     return false;
 }
 
+namespace {
+
+/**
+ * Process-wide singleflight over on-disk characterization caches.
+ * Two concurrent campaigns (daemon executor threads, each with its own
+ * Toolflow but one shared cache dir) that need the same
+ * (unit, operating point) characterization would otherwise both run
+ * the gate-level campaign; instead the first becomes the leader and
+ * the rest wait, then re-read the leader's freshly saved cache file.
+ * Keyed on the cache *path* — the full on-disk identity (tag, VR,
+ * seed, revision) — so distinct characterizations never serialize.
+ */
+struct StatsSingleflight
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    std::set<std::string> inflight;
+};
+
+StatsSingleflight &
+statsSingleflight()
+{
+    static StatsSingleflight sf;
+    return sf;
+}
+
+} // namespace
+
 const CampaignStats &
 Toolflow::characterize(
     const std::string &tag, double vrFrac,
@@ -294,28 +325,57 @@ Toolflow::characterize(
     obs::Registry &reg = obs::Registry::global();
     std::string path = cachePath(tag, vrFrac);
     CampaignStats stats;
+    bool leader = false;
+    StatsSingleflight &sf = statsSingleflight();
+    auto releaseLead = [&] {
+        if (!leader)
+            return;
+        std::lock_guard<std::mutex> lock(sf.mu);
+        sf.inflight.erase(path);
+        sf.cv.notify_all();
+    };
     if (!path.empty()) {
-        switch (models::loadCampaignStats(path, stats)) {
-          case models::CacheLoad::Loaded:
-            inform("loaded cached characterization %s", path.c_str());
-            reg.counter(obs::metric::kCacheHits, "",
-                        "characterizations served from the stats cache")
+        for (;;) {
+            switch (models::loadCampaignStats(path, stats)) {
+              case models::CacheLoad::Loaded:
+                releaseLead();
+                inform("loaded cached characterization %s",
+                       path.c_str());
+                reg.counter(obs::metric::kCacheHits, "",
+                            "characterizations served from the stats "
+                            "cache")
+                    .inc(1);
+                return statsCache_.emplace(key, std::move(stats))
+                    .first->second;
+              case models::CacheLoad::Missing:
+                reg.counter(obs::metric::kCacheMisses, "",
+                            "characterizations recomputed on a cold "
+                            "cache")
+                    .inc(1);
+                break; // cold cache: the quiet, normal case
+              case models::CacheLoad::Corrupt:
+                reg.counter(obs::metric::kCacheCorrupt, "",
+                            "cache files quarantined after failing "
+                            "integrity checks")
+                    .inc(1);
+                quarantineCache(path);
+                stats = CampaignStats{};
+                break;
+            }
+            std::unique_lock<std::mutex> lock(sf.mu);
+            if (!sf.inflight.count(path)) {
+                sf.inflight.insert(path);
+                leader = true;
+                break;
+            }
+            // Someone else is computing this exact characterization
+            // right now: wait, then re-read their saved cache.
+            reg.counter(obs::metric::kCacheSingleflight, "",
+                        "characterizations that waited on a concurrent "
+                        "identical computation")
                 .inc(1);
-            return statsCache_.emplace(key, std::move(stats))
-                .first->second;
-          case models::CacheLoad::Missing:
-            reg.counter(obs::metric::kCacheMisses, "",
-                        "characterizations recomputed on a cold cache")
-                .inc(1);
-            break; // cold cache: the quiet, normal case
-          case models::CacheLoad::Corrupt:
-            reg.counter(obs::metric::kCacheCorrupt, "",
-                        "cache files quarantined after failing "
-                        "integrity checks")
-                .inc(1);
-            quarantineCache(path);
-            stats = CampaignStats{};
-            break;
+            sf.cv.wait(lock,
+                       [&] { return !sf.inflight.count(path); });
         }
     }
     size_t point = pointFor(vrFrac);
@@ -337,6 +397,7 @@ Toolflow::characterize(
     } else if (!path.empty()) {
         models::saveCampaignStats(path, stats);
     }
+    releaseLead();
     return statsCache_.emplace(key, std::move(stats)).first->second;
 }
 

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -134,6 +135,9 @@ class Supervisor
 
     bool cancelled() const { return cancelled_; }
 
+    /** Per-campaign cooperative stop (GridSpec::stopFlag). */
+    void setStop(const std::atomic<bool> *stop) { stop_ = stop; }
+
   private:
     bool allResolved() const
     {
@@ -186,6 +190,7 @@ class Supervisor
     std::set<int64_t> deadPids_;
     /** unit id -> earliest reissue time (exponential backoff). */
     std::map<uint64_t, int64_t> reissueAt_;
+    const std::atomic<bool> *stop_ = nullptr;
     int restartBudget_ = 0;
     bool cancelled_ = false;
 
@@ -351,7 +356,8 @@ Supervisor::superviseToCompletion()
 {
     const CancelToken &cancel = CancelToken::processWide();
     while (true) {
-        if (cancel.cancelled()) {
+        if (cancel.cancelled() ||
+            (stop_ && stop_->load(std::memory_order_relaxed))) {
             cancelled_ = true;
             terminateAll();
             return false;
@@ -484,6 +490,7 @@ runFleetGrid(const ToolflowOptions &opt, const FleetOptions &fopt,
              spool.c_str());
 
     Supervisor sup(q, fopt, units);
+    sup.setStop(spec.stopFlag);
     bool farmed = false;
     if (published) {
         int nWorkers = std::min<int>(
@@ -513,6 +520,11 @@ runFleetGrid(const ToolflowOptions &opt, const FleetOptions &fopt,
     EvaluationGrid grid;
     std::vector<std::string> journalPaths, shardPaths;
     for (const CellPlan &cp : cells) {
+        if (spec.stopFlag &&
+            spec.stopFlag->load(std::memory_order_relaxed)) {
+            grid.interrupted = true;
+            break;
+        }
         bool poisonedUnit = false, sharded = false;
         bool allUnitsDone = true;
         std::optional<UnitResult> cellDone;
@@ -537,6 +549,8 @@ runFleetGrid(const ToolflowOptions &opt, const FleetOptions &fopt,
         }
         if (poisonedUnit) {
             grid.cells.push_back(poisonedCell(cp));
+            if (spec.onCell)
+                spec.onCell(grid.cells.back());
             continue;
         }
         core::CampaignCell cell;
@@ -566,6 +580,8 @@ runFleetGrid(const ToolflowOptions &opt, const FleetOptions &fopt,
             journalPaths.push_back(core::cellJournalPath(
                 opt, cp.workload, cp.model, cp.vrFrac));
         grid.cells.push_back(std::move(cell));
+        if (spec.onCell)
+            spec.onCell(grid.cells.back());
     }
     (void)farmed;
     if (grid.interrupted) {

@@ -8,6 +8,16 @@
 namespace tea::fleet {
 
 std::string
+spoolNamespace(const FleetPlan &plan)
+{
+    std::string bytes = plan.serialize();
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "c%08x",
+                  crc32(bytes.data(), bytes.size()));
+    return buf;
+}
+
+std::string
 sealBody(const std::string &body)
 {
     char line[24];

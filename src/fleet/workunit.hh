@@ -79,6 +79,16 @@ struct UnitResult
     static std::optional<UnitResult> parse(const std::string &content);
 };
 
+/**
+ * Stable spool subdirectory name for a plan: "c<8hex>", the CRC-32 of
+ * the serialized plan bytes. The daemon namespaces one spool root
+ * across concurrent campaigns with it — a byte-identical resubmission
+ * lands in the same spool (and resumes, by WorkQueue::publish's
+ * plan-identity rule) while distinct campaigns can never collide on
+ * unit ids.
+ */
+std::string spoolNamespace(const FleetPlan &plan);
+
 /** Append the `crc` seal line to a key=value body. */
 std::string sealBody(const std::string &body);
 /** Verify and strip the seal; nullopt when damaged or missing. */

@@ -66,6 +66,8 @@ inline constexpr const char *kJournalAppends =
 inline constexpr const char *kCacheHits = "tea_cache_hits_total";
 inline constexpr const char *kCacheMisses = "tea_cache_misses_total";
 inline constexpr const char *kCacheCorrupt = "tea_cache_corrupt_total";
+inline constexpr const char *kCacheSingleflight =
+    "tea_cache_singleflight_total";
 // ---- watchdogs -----------------------------------------------------
 inline constexpr const char *kWatchdogDeadline =
     "tea_watchdog_deadline_total";
@@ -90,6 +92,38 @@ inline constexpr const char *kFleetUnitsPoisoned =
 inline constexpr const char *kFleetWorkerRestarts =
     "tea_fleet_worker_restarts_total";
 inline constexpr const char *kFleetUnitMs = "tea_fleet_unit_ms";
+// ---- service daemon (tea-daemon) -----------------------------------
+// Connection- and frame-level counters, the admission pipeline
+// (submitted / deduplicated / rejected / completed / cancelled), the
+// scheduler's live state gauges, and the per-campaign latency
+// histograms. All daemon-side: tea-client is stateless.
+inline constexpr const char *kDaemonConnections =
+    "tea_daemon_connections_total";
+inline constexpr const char *kDaemonBadFrames =
+    "tea_daemon_bad_frames_total";
+inline constexpr const char *kDaemonRequests =
+    "tea_daemon_requests_total";
+inline constexpr const char *kDaemonSubmitted =
+    "tea_daemon_campaigns_submitted_total";
+inline constexpr const char *kDaemonDeduped =
+    "tea_daemon_campaigns_deduped_total";
+inline constexpr const char *kDaemonRejected =
+    "tea_daemon_campaigns_rejected_total";
+inline constexpr const char *kDaemonCompleted =
+    "tea_daemon_campaigns_completed_total";
+inline constexpr const char *kDaemonCancelled =
+    "tea_daemon_campaigns_cancelled_total";
+inline constexpr const char *kDaemonCellsStreamed =
+    "tea_daemon_cells_streamed_total";
+inline constexpr const char *kDaemonQueueDepth =
+    "tea_daemon_queue_depth";
+inline constexpr const char *kDaemonActive =
+    "tea_daemon_campaigns_active";
+inline constexpr const char *kDaemonState = "tea_daemon_state";
+inline constexpr const char *kDaemonCampaignMs =
+    "tea_daemon_campaign_ms";
+inline constexpr const char *kDaemonQueueWaitMs =
+    "tea_daemon_queue_wait_ms";
 // ---- grid / process -----------------------------------------------
 inline constexpr const char *kCampaignCells =
     "tea_campaign_cells_total";

@@ -1,0 +1,67 @@
+#include "service/cellwire.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace tea::service {
+
+std::string
+cellToKv(const core::CampaignCell &cell)
+{
+    char vr[32];
+    // %.17g: the VR fraction round-trips bit-exactly, like the fleet
+    // plan's doubles.
+    std::snprintf(vr, sizeof(vr), "%.17g", cell.vrFrac);
+    std::ostringstream out;
+    out << "workload " << cell.workload << "\n";
+    out << "model " << static_cast<int>(cell.model) << "\n";
+    out << "vr " << vr << "\n";
+    out << "runs " << cell.result.runs << "\n";
+    out << "masked " << cell.result.masked << "\n";
+    out << "sdc " << cell.result.sdc << "\n";
+    out << "crash " << cell.result.crash << "\n";
+    out << "timeout " << cell.result.timeout << "\n";
+    out << "enginefault " << cell.result.engineFault << "\n";
+    out << "retries " << cell.result.retries << "\n";
+    out << "injected " << cell.result.injectedErrors << "\n";
+    out << "committed " << cell.result.committedInstructions << "\n";
+    out << "wrongpath " << cell.result.wrongPathInjections << "\n";
+    return out.str();
+}
+
+bool
+cellFromKv(const std::map<std::string, std::string> &kv,
+           core::CampaignCell &out)
+{
+    auto get = [&kv](const char *key, uint64_t &dst) {
+        auto it = kv.find(key);
+        if (it == kv.end())
+            return false;
+        dst = std::strtoull(it->second.c_str(), nullptr, 10);
+        return true;
+    };
+    auto wl = kv.find("workload");
+    auto model = kv.find("model");
+    auto vr = kv.find("vr");
+    if (wl == kv.end() || model == kv.end() || vr == kv.end())
+        return false;
+    out.workload = wl->second;
+    out.model = static_cast<models::ModelKind>(
+        std::strtol(model->second.c_str(), nullptr, 10));
+    out.vrFrac = std::strtod(vr->second.c_str(), nullptr);
+    bool ok = get("runs", out.result.runs) &&
+              get("masked", out.result.masked) &&
+              get("sdc", out.result.sdc) &&
+              get("crash", out.result.crash) &&
+              get("timeout", out.result.timeout) &&
+              get("enginefault", out.result.engineFault) &&
+              get("retries", out.result.retries) &&
+              get("injected", out.result.injectedErrors) &&
+              get("committed", out.result.committedInstructions) &&
+              get("wrongpath", out.result.wrongPathInjections);
+    out.result.workload = out.workload;
+    out.result.model = models::modelKindName(out.model);
+    return ok;
+}
+
+} // namespace tea::service

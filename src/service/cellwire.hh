@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Wire form of one completed grid cell: the key=value payload carried
+ * by CELL frames. Shared by the daemon (encode) and the client
+ * (decode); kept out of protocol.hh so the framing layer stays free of
+ * campaign types.
+ */
+
+#ifndef TEA_SERVICE_CELLWIRE_HH
+#define TEA_SERVICE_CELLWIRE_HH
+
+#include <map>
+#include <string>
+
+#include "core/results.hh"
+
+namespace tea::service {
+
+/** Serialize a cell's coordinates and outcome counters. */
+std::string cellToKv(const core::CampaignCell &cell);
+
+/** Rebuild a cell from a parsed payload; false when keys are missing. */
+bool cellFromKv(const std::map<std::string, std::string> &kv,
+                core::CampaignCell &out);
+
+} // namespace tea::service
+
+#endif // TEA_SERVICE_CELLWIRE_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Synchronous client for the tea-daemon protocol. One connection, one
+ * request at a time; every call blocks until the daemon answers (or
+ * the connection drops). This is the whole API surface the tea-client
+ * CLI and the service tests use — anything fancier (pipelining,
+ * reconnect policies) belongs in the caller.
+ *
+ * Error frames do not throw: the call returns false and `lastError()`
+ * holds the decoded code / retry hint / detail, so callers can treat
+ * RETRY_AFTER differently from NOT_FOUND.
+ */
+
+#ifndef TEA_SERVICE_CLIENT_HH
+#define TEA_SERVICE_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/results.hh"
+#include "service/socketio.hh"
+
+namespace tea::service {
+
+class Client
+{
+  public:
+    /** Connect + HELLO ("" name -> "anon"); nullopt on any failure. */
+    static std::optional<Client> connectUnix(const std::string &path,
+                                             const std::string &name);
+    static std::optional<Client> connectTcp(int port,
+                                            const std::string &name);
+
+    struct Error
+    {
+        ErrorCode code = ErrorCode::Internal;
+        int64_t retryMs = 0;
+        std::string detail;
+    };
+
+    /** The last Error frame received (valid after a false return). */
+    const Error &lastError() const { return err_; }
+
+    struct Submitted
+    {
+        uint64_t id = 0;
+        bool deduped = false;
+        uint64_t cellsTotal = 0;
+    };
+
+    /** Submit a serialized FleetPlan. */
+    bool submit(const std::string &planBytes, Submitted &out);
+
+    struct Status
+    {
+        std::string state;
+        uint64_t cellsDone = 0;
+        uint64_t cellsTotal = 0;
+        bool interrupted = false;
+    };
+
+    bool status(uint64_t id, Status &out);
+
+    /**
+     * Stream campaign `id` from cell 0 to its terminal state; `onCell`
+     * (may be null) sees each cell in canonical merge order. `final`
+     * is the DONE frame's snapshot.
+     */
+    bool watch(uint64_t id,
+               const std::function<void(const core::CampaignCell &)>
+                   &onCell,
+               Status &final);
+
+    bool cancel(uint64_t id, Status &out);
+    bool drain();
+
+  private:
+    explicit Client(Socket sock) : sock_(std::move(sock)) {}
+    bool hello(const std::string &name);
+    /**
+     * Send one request and receive the next frame. False on transport
+     * failure or an Error frame (which fills err_).
+     */
+    bool roundTrip(MsgType type, const std::string &payload,
+                   MsgType expect, Frame &resp);
+    bool recvOne(Frame &resp);
+
+    Socket sock_;
+    std::string buf_;
+    Error err_;
+};
+
+} // namespace tea::service
+
+#endif // TEA_SERVICE_CLIENT_HH

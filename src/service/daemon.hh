@@ -1,0 +1,78 @@
+/**
+ * @file
+ * tea-daemon: the socket front-end over the Scheduler.
+ *
+ * One accept thread per listener (Unix-domain socket always, loopback
+ * TCP when enabled) and one thread per connection. Connections speak
+ * the framed protocol (docs/PROTOCOL.md): HELLO negotiates, SUBMIT
+ * admits a serialized FleetPlan, WATCH streams CELL frames as the
+ * scheduler merges cells, CANCEL/STATUS act on one campaign, DRAIN
+ * asks the whole daemon to finish its work and exit.
+ *
+ * The daemon is embeddable: tests and the throughput bench construct
+ * a ServiceDaemon in-process, drive it through a real socket with the
+ * Client, and stop it — identical code paths to the standalone
+ * tea-daemon binary, minus process management.
+ */
+
+#ifndef TEA_SERVICE_DAEMON_HH
+#define TEA_SERVICE_DAEMON_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/scheduler.hh"
+#include "service/socketio.hh"
+
+namespace tea::service {
+
+class ServiceDaemon
+{
+  public:
+    explicit ServiceDaemon(DaemonOptions opt);
+    ~ServiceDaemon();
+
+    /** Bind the listeners and start serving; false on bind failure. */
+    bool start();
+    /** Hard stop: close listeners, stop the scheduler, join threads. */
+    void stop();
+
+    const std::string &socketPath() const { return opt_.socketPath; }
+    /** TCP port actually bound (0 when TCP is disabled). */
+    int tcpPort() const { return tcpPort_; }
+    Scheduler &scheduler() { return sched_; }
+
+    /** True once a DRAIN request was received (or drain() called). */
+    bool drainRequested() const
+    {
+        return drainRequested_.load(std::memory_order_relaxed);
+    }
+    /** Programmatic drain: same as receiving a DRAIN frame. */
+    void drain();
+    /**
+     * Block until a requested drain has emptied the scheduler (the
+     * standalone binary exits then) or `stop()` is called.
+     */
+    void awaitDrained();
+
+  private:
+    void acceptLoop(Listener listener);
+    void serveConnection(Socket sock);
+
+    DaemonOptions opt_;
+    Scheduler sched_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> drainRequested_{false};
+    int tcpPort_ = 0;
+    std::vector<Listener> listeners_;
+    std::vector<std::thread> acceptThreads_;
+    std::mutex connMu_;
+    std::vector<std::thread> connThreads_;
+};
+
+} // namespace tea::service
+
+#endif // TEA_SERVICE_DAEMON_HH

@@ -1,0 +1,289 @@
+#include "service/socketio.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace tea::service {
+
+namespace {
+
+/** poll(2) one fd for readability; EINTR-safe. */
+int
+pollRead(int fd, int timeoutMs)
+{
+    struct pollfd p;
+    p.fd = fd;
+    p.events = POLLIN;
+    p.revents = 0;
+    for (;;) {
+        int r = ::poll(&p, 1, timeoutMs);
+        if (r >= 0 || errno != EINTR)
+            return r;
+    }
+}
+
+} // namespace
+
+Socket &
+Socket::operator=(Socket &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+Socket::close()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = -1;
+}
+
+bool
+Socket::sendAll(std::string_view bytes)
+{
+    size_t off = 0;
+    while (off < bytes.size()) {
+        // MSG_NOSIGNAL: a client that vanished mid-stream must surface
+        // as EPIPE, not kill the daemon with SIGPIPE.
+        ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+long
+Socket::recvSome(std::string &buf, int timeoutMs)
+{
+    if (timeoutMs >= 0) {
+        int r = pollRead(fd_, timeoutMs);
+        if (r == 0)
+            return -2;
+        if (r < 0)
+            return -1;
+    }
+    char chunk[4096];
+    for (;;) {
+        ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0)
+            return -1;
+        if (n > 0)
+            buf.append(chunk, static_cast<size_t>(n));
+        return n;
+    }
+}
+
+std::optional<Socket>
+Socket::connectUnix(const std::string &path)
+{
+    struct sockaddr_un addr;
+    if (path.size() >= sizeof(addr.sun_path))
+        return std::nullopt;
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return std::nullopt;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    int r;
+    do {
+        r = ::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                      sizeof(addr));
+    } while (r < 0 && errno == EINTR);
+    if (r < 0) {
+        ::close(fd);
+        return std::nullopt;
+    }
+    return Socket(fd);
+}
+
+std::optional<Socket>
+Socket::connectTcp(int port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return std::nullopt;
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    int r;
+    do {
+        r = ::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                      sizeof(addr));
+    } while (r < 0 && errno == EINTR);
+    if (r < 0) {
+        ::close(fd);
+        return std::nullopt;
+    }
+    return Socket(fd);
+}
+
+Listener::Listener(Listener &&other) noexcept
+    : fd_(other.fd_), port_(other.port_),
+      unlinkPath_(std::move(other.unlinkPath_))
+{
+    other.fd_ = -1;
+    other.unlinkPath_.clear();
+}
+
+Listener &
+Listener::operator=(Listener &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        port_ = other.port_;
+        unlinkPath_ = std::move(other.unlinkPath_);
+        other.fd_ = -1;
+        other.unlinkPath_.clear();
+    }
+    return *this;
+}
+
+void
+Listener::close()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = -1;
+    if (!unlinkPath_.empty())
+        ::unlink(unlinkPath_.c_str());
+    unlinkPath_.clear();
+}
+
+std::optional<Listener>
+Listener::listenUnix(const std::string &path)
+{
+    struct sockaddr_un addr;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        warn("daemon: socket path too long: '%s'", path.c_str());
+        return std::nullopt;
+    }
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        warn("daemon: socket(AF_UNIX): %s", std::strerror(errno));
+        return std::nullopt;
+    }
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    ::unlink(path.c_str()); // stale socket from a dead daemon
+    if (::bind(fd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(fd, 64) < 0) {
+        warn("daemon: cannot listen on '%s': %s", path.c_str(),
+             std::strerror(errno));
+        ::close(fd);
+        return std::nullopt;
+    }
+    Listener l;
+    l.fd_ = fd;
+    l.unlinkPath_ = path;
+    return l;
+}
+
+std::optional<Listener>
+Listener::listenTcp(int port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        warn("daemon: socket(AF_INET): %s", std::strerror(errno));
+        return std::nullopt;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    // Loopback only: the protocol has no authentication; exposing it
+    // beyond the host is an operator decision (ssh tunnel, proxy).
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::bind(fd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(fd, 64) < 0) {
+        warn("daemon: cannot listen on 127.0.0.1:%d: %s", port,
+             std::strerror(errno));
+        ::close(fd);
+        return std::nullopt;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  &len);
+    Listener l;
+    l.fd_ = fd;
+    l.port_ = ntohs(addr.sin_port);
+    return l;
+}
+
+std::optional<Socket>
+Listener::accept(int timeoutMs)
+{
+    int r = pollRead(fd_, timeoutMs);
+    if (r <= 0)
+        return std::nullopt;
+    for (;;) {
+        int fd = ::accept(fd_, nullptr, nullptr);
+        if (fd < 0 && errno == EINTR)
+            continue;
+        if (fd < 0)
+            return std::nullopt;
+        return Socket(fd);
+    }
+}
+
+bool
+sendFrame(Socket &sock, MsgType type, std::string_view payload)
+{
+    return sock.sendAll(encodeFrame(type, payload));
+}
+
+RecvStatus
+recvFrame(Socket &sock, std::string &buf, Frame &out, int timeoutMs)
+{
+    for (;;) {
+        size_t consumed = 0;
+        switch (decodeFrame(buf, out, consumed)) {
+          case DecodeStatus::Ok:
+            buf.erase(0, consumed);
+            return RecvStatus::Ok;
+          case DecodeStatus::VersionSkew:
+            buf.erase(0, consumed);
+            return RecvStatus::VersionSkew;
+          case DecodeStatus::Bad:
+            return RecvStatus::Bad;
+          case DecodeStatus::NeedMore:
+            break;
+        }
+        long n = sock.recvSome(buf, timeoutMs);
+        if (n == 0 || n == -1)
+            return RecvStatus::Closed;
+        if (n == -2)
+            return RecvStatus::Timeout;
+    }
+}
+
+} // namespace tea::service

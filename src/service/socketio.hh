@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Minimal blocking socket plumbing for the daemon and its client:
+ * RAII fds, Unix-domain and TCP listeners, and whole-frame send/recv
+ * on top of the protocol framing.
+ *
+ * Everything here is deliberately boring POSIX: blocking sockets, a
+ * poll(2) timeout on accept/recv so loops can notice shutdown, and
+ * EINTR retries. No event loop — the daemon runs one thread per
+ * connection, which at "campaigns per minute" request rates is the
+ * simplest design that cannot starve anyone.
+ */
+
+#ifndef TEA_SERVICE_SOCKETIO_HH
+#define TEA_SERVICE_SOCKETIO_HH
+
+#include <optional>
+#include <string>
+
+#include "service/protocol.hh"
+
+namespace tea::service {
+
+/** A connected stream socket (move-only RAII fd). */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    Socket(Socket &&other) noexcept : fd_(other.fd_)
+    {
+        other.fd_ = -1;
+    }
+    Socket &operator=(Socket &&other) noexcept;
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+    ~Socket() { close(); }
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+    void close();
+
+    /** Connect to a daemon's Unix-domain socket; nullopt on failure. */
+    static std::optional<Socket> connectUnix(const std::string &path);
+    /** Connect to a daemon's loopback TCP port; nullopt on failure. */
+    static std::optional<Socket> connectTcp(int port);
+
+    /** Write the whole buffer (EINTR/partial-write safe). */
+    bool sendAll(std::string_view bytes);
+    /**
+     * Read some bytes into `buf` (appending). Returns the count read,
+     * 0 on orderly peer close, -1 on error, -2 when `timeoutMs` >= 0
+     * elapsed with nothing to read.
+     */
+    long recvSome(std::string &buf, int timeoutMs = -1);
+
+  private:
+    int fd_ = -1;
+};
+
+/** A listening socket (Unix-domain or TCP on loopback). */
+class Listener
+{
+  public:
+    Listener() = default;
+    Listener(Listener &&other) noexcept;
+    Listener &operator=(Listener &&other) noexcept;
+    Listener(const Listener &) = delete;
+    Listener &operator=(const Listener &) = delete;
+    ~Listener() { close(); }
+
+    /**
+     * Bind + listen on a Unix-domain socket path. A stale socket file
+     * from a dead daemon is removed first (the bind would fail
+     * otherwise); two live daemons on one path lose to the second
+     * bind, which is the operator's configuration error to fix.
+     */
+    static std::optional<Listener> listenUnix(const std::string &path);
+    /** Bind + listen on 127.0.0.1:`port` (the optional TCP mode). */
+    static std::optional<Listener> listenTcp(int port);
+
+    bool valid() const { return fd_ >= 0; }
+    /** Port actually bound (TCP with port 0 picks one); 0 for UDS. */
+    int port() const { return port_; }
+    /**
+     * Accept one connection, waiting at most `timeoutMs` (-1 = wait
+     * forever). nullopt on timeout or error.
+     */
+    std::optional<Socket> accept(int timeoutMs);
+    void close();
+
+  private:
+    int fd_ = -1;
+    int port_ = 0;
+    /** Socket file to unlink on close ("" for TCP). */
+    std::string unlinkPath_;
+};
+
+/** Encode and send one frame. */
+bool sendFrame(Socket &sock, MsgType type, std::string_view payload);
+
+enum class RecvStatus
+{
+    Ok,          ///< one frame decoded into `out`
+    Closed,      ///< peer closed (or read error) before a full frame
+    Timeout,     ///< `timeoutMs` elapsed mid-frame
+    Bad,         ///< structurally invalid bytes: abandon the stream
+    VersionSkew, ///< intact frame, wrong protocol version
+};
+
+/**
+ * Receive one whole frame, buffering partial reads in `buf` (pass the
+ * same string across calls on a connection — it may already hold the
+ * next frame's prefix).
+ */
+RecvStatus recvFrame(Socket &sock, std::string &buf, Frame &out,
+                     int timeoutMs = -1);
+
+} // namespace tea::service
+
+#endif // TEA_SERVICE_SOCKETIO_HH
