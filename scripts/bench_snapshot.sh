@@ -3,11 +3,13 @@
 # (and the adaptive-sizing sweep) single-threaded and write the
 # machine-readable results to BENCH_dta.json at the repo root, then
 # run the fleet worker-count scaling ladder (1/2/4/8 workers) into
-# BENCH_fleet.json. Commit the refreshed files so the perf trajectory
-# is tracked PR over PR.
+# BENCH_fleet.json, the campaign-service daemon ladder into
+# BENCH_daemon.json, and the importance-sampling convergence ladder
+# into BENCH_is.json. Commit the refreshed files so the perf
+# trajectory is tracked PR over PR.
 #
 # Usage: scripts/bench_snapshot.sh [build-dir] [output.json] [fleet.json]
-#        [daemon.json]
+#        [daemon.json] [is.json]
 set -u
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -15,6 +17,7 @@ build=${1:-"$root/build"}
 out=${2:-"$root/BENCH_dta.json"}
 fleetOut=${3:-"$root/BENCH_fleet.json"}
 daemonOut=${4:-"$root/BENCH_daemon.json"}
+isOut=${5:-"$root/BENCH_is.json"}
 
 bin="$build/bench/microbench"
 if [ ! -x "$bin" ]; then
@@ -49,6 +52,20 @@ fi
 "$daemonBin" --json "$daemonOut"
 drc=$?
 [ $drc -eq 0 ] && echo "bench_snapshot: wrote $daemonOut"
+
+# Importance-sampling ladder: rare-regime plain-vs-IS convergence and
+# the estimator-agreement gate (exit non-zero if the arms diverge).
+isBin="$build/bench/is_convergence"
+if [ ! -x "$isBin" ]; then
+    echo "bench_snapshot: $isBin not built; skipping BENCH_is.json" >&2
+    [ $rc -eq 0 ] || exit $rc
+    [ $frc -eq 0 ] || exit $frc
+    exit $drc
+fi
+"$isBin" --json "$isOut"
+irc=$?
+[ $irc -eq 0 ] && echo "bench_snapshot: wrote $isOut"
 [ $rc -eq 0 ] || exit $rc
 [ $frc -eq 0 ] || exit $frc
-exit $drc
+[ $drc -eq 0 ] || exit $drc
+exit $irc

@@ -47,4 +47,13 @@ if [ "$fail" -ne 0 ]; then
     echo "ci: FAILED"
     exit 1
 fi
-echo "ci: OK (sanitizer + portable-SIMD passes green)"
+
+# Surrogate calibration gate, called out by name so a regression in
+# the importance-sampling stack is visible as its own CI line (the
+# tier1is-labeled tests also ran inside both full passes above).
+echo "=== ci: surrogate calibration gate (ctest -L tier1is) ==="
+if ! (cd "$root/build" && ctest -L tier1is --output-on-failure); then
+    echo "ci: surrogate calibration gate FAILED"
+    exit 1
+fi
+echo "ci: OK (sanitizer + portable-SIMD + IS calibration green)"

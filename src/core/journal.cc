@@ -1,6 +1,7 @@
 #include "core/journal.hh"
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <sstream>
 #include <vector>
@@ -15,7 +16,11 @@ namespace tea::core {
 
 namespace {
 
-constexpr const char *kJournalMagic = "tea-journal-v1";
+// v2 appends the run's log likelihood-ratio weight to each record as
+// an exact 64-bit pattern (importance-sampled campaigns must replay
+// weights bit-for-bit); v1 files fail the magic check and are started
+// fresh — the journal path revision bump retires them anyway.
+constexpr const char *kJournalMagic = "tea-journal-v2";
 
 std::string
 headerLine(const std::string &identity)
@@ -29,15 +34,22 @@ headerLine(const std::string &identity)
 std::string
 recordLine(uint64_t idx, const ShardJournal::RunRecord &rec)
 {
-    char buf[160];
+    // The log-weight travels as its raw IEEE-754 bit pattern: decimal
+    // formatting could round, and a replayed weight that differs in
+    // one ulp would break resumed-campaign bit identity.
+    uint64_t wBits;
+    static_assert(sizeof(wBits) == sizeof(rec.logWeight));
+    std::memcpy(&wBits, &rec.logWeight, sizeof(wBits));
+    char buf[176];
     int n = std::snprintf(
-        buf, sizeof(buf), "r %llu %d %llu %llu %llu %u %d",
+        buf, sizeof(buf), "r %llu %d %llu %llu %llu %u %d %016llx",
         static_cast<unsigned long long>(idx),
         static_cast<int>(rec.outcome),
         static_cast<unsigned long long>(rec.injected),
         static_cast<unsigned long long>(rec.committed),
         static_cast<unsigned long long>(rec.wrongPath), rec.attempts,
-        static_cast<int>(rec.fault));
+        static_cast<int>(rec.fault),
+        static_cast<unsigned long long>(wBits));
     std::snprintf(buf + n, sizeof(buf) - n, " c%08x",
                   crc32(buf, static_cast<size_t>(n)));
     return buf;
@@ -56,11 +68,12 @@ parseRecordLine(const std::string &line, uint64_t &idx,
         return false;
     if (crc32(line.data(), cpos) != storedCrc)
         return false;
-    unsigned long long i, inj, com, wp;
+    unsigned long long i, inj, com, wp, wBits;
     int outcome, fault;
     unsigned attempts;
-    if (std::sscanf(line.c_str(), "r %llu %d %llu %llu %llu %u %d", &i,
-                    &outcome, &inj, &com, &wp, &attempts, &fault) != 7)
+    if (std::sscanf(line.c_str(), "r %llu %d %llu %llu %llu %u %d %llx",
+                    &i, &outcome, &inj, &com, &wp, &attempts, &fault,
+                    &wBits) != 8)
         return false;
     if (outcome < 0 ||
         outcome > static_cast<int>(inject::Outcome::EngineFault))
@@ -72,6 +85,8 @@ parseRecordLine(const std::string &line, uint64_t &idx,
     rec.wrongPath = wp;
     rec.attempts = attempts;
     rec.fault = static_cast<ErrorCode>(fault);
+    uint64_t bits = wBits;
+    std::memcpy(&rec.logWeight, &bits, sizeof(rec.logWeight));
     return true;
 }
 

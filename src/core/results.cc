@@ -11,6 +11,7 @@
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
 #include "obs/trace.hh"
+#include "surrogate/importance.hh"
 #include "util/fsatomic.hh"
 #include "util/logging.hh"
 
@@ -36,15 +37,23 @@ saveGrid(const std::string &path, const EvaluationGrid &grid)
 {
     std::ostringstream out;
     out << "workload,model,vr,runs,masked,sdc,crash,timeout,"
-           "enginefault,retries,injected,committed,wrongpath\n";
+           "enginefault,retries,injected,committed,wrongpath,"
+           "weighted,wsum,wunsafe,wsqsum,wusqsum\n";
     for (const auto &c : grid.cells) {
+        // %.17g round-trips any double exactly: reweighted AVM from a
+        // reloaded grid is bit-identical to the freshly computed one.
+        char wbuf[128];
+        std::snprintf(wbuf, sizeof(wbuf), "%d,%.17g,%.17g,%.17g,%.17g",
+                      c.result.weightedModel ? 1 : 0, c.result.weightSum,
+                      c.result.weightUnsafe, c.result.weightSqSum,
+                      c.result.weightUnsafeSqSum);
         out << c.workload << "," << static_cast<int>(c.model) << ","
             << c.vrFrac << "," << c.result.runs << "," << c.result.masked
             << "," << c.result.sdc << "," << c.result.crash << ","
             << c.result.timeout << "," << c.result.engineFault << ","
             << c.result.retries << "," << c.result.injectedErrors << ","
             << c.result.committedInstructions << ","
-            << c.result.wrongPathInjections << "\n";
+            << c.result.wrongPathInjections << "," << wbuf << "\n";
     }
     // Atomic publication: a reader (or a crash) never sees a torn grid.
     fatal_if(!atomicWriteFile(path, out.str()), "cannot write '%s'",
@@ -76,6 +85,7 @@ loadGrid(const std::string &path)
         };
         if (!std::getline(ls, cell.workload, ','))
             return std::nullopt;
+        int weighted = 0;
         if (!field(model) || !field(cell.vrFrac) ||
             !field(cell.result.runs) || !field(cell.result.masked) ||
             !field(cell.result.sdc) || !field(cell.result.crash) ||
@@ -84,8 +94,13 @@ loadGrid(const std::string &path)
             !field(cell.result.retries) ||
             !field(cell.result.injectedErrors) ||
             !field(cell.result.committedInstructions) ||
-            !field(cell.result.wrongPathInjections))
+            !field(cell.result.wrongPathInjections) ||
+            !field(weighted) || !field(cell.result.weightSum) ||
+            !field(cell.result.weightUnsafe) ||
+            !field(cell.result.weightSqSum) ||
+            !field(cell.result.weightUnsafeSqSum))
             return std::nullopt;
+        cell.result.weightedModel = weighted != 0;
         cell.model = static_cast<ModelKind>(model);
         cell.result.workload = cell.workload;
         cell.result.model = models::modelKindName(cell.model);
@@ -122,6 +137,25 @@ adaptiveSuffix(const ToolflowOptions &opt)
     return buf;
 }
 
+/**
+ * Extra path/identity component for importance-sampled campaigns.
+ * IS changes the proposal distribution (different RNG consumption,
+ * different per-run weights), so its grids and journals must never
+ * share a file with plain campaigns of the same geometry. Empty when
+ * IS is off.
+ */
+std::string
+isSuffix(const ToolflowOptions &opt)
+{
+    if (!opt.isEnable)
+        return "";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "_isb%gf%gm%gn%llu", opt.isBoost,
+                  opt.isFloor, opt.isMaxTilted,
+                  static_cast<unsigned long long>(opt.isCorpusPerOp));
+    return buf;
+}
+
 /** The workloads a spec covers (empty list = every workload). */
 std::vector<std::string>
 specWorkloads(const GridSpec &spec)
@@ -138,15 +172,16 @@ gridCachePath(const ToolflowOptions &opt)
 {
     if (opt.cacheDir.empty())
         return "";
-    char buf[96];
-    // "_p3" = grid-file revision: p2 added the enginefault/retries
-    // columns; p3 invalidates grids derived from float-precision
-    // arrival times (the levelized engine now accumulates in
-    // double, matching the event-driven reference).
-    std::snprintf(buf, sizeof(buf), "grid_r%d_s%llu_x%d%s_p3.csv",
+    char buf[128];
+    // "_p4" = grid-file revision: p2 added the enginefault/retries
+    // columns; p3 invalidated grids derived from float-precision
+    // arrival times; p4 added the weighted-estimator columns
+    // (weighted, wsum, wunsafe, wsqsum).
+    std::snprintf(buf, sizeof(buf), "grid_r%d_s%llu_x%d%s%s_p4.csv",
                   cellRunCap(opt),
                   static_cast<unsigned long long>(opt.seed),
-                  opt.workloadScale, adaptiveSuffix(opt).c_str());
+                  opt.workloadScale, adaptiveSuffix(opt).c_str(),
+                  isSuffix(opt).c_str());
     return opt.cacheDir + "/" + buf;
 }
 
@@ -154,12 +189,15 @@ std::string
 cellJournalPath(const ToolflowOptions &opt, const std::string &workload,
                 ModelKind kind, double vr)
 {
-    char buf[80];
-    std::snprintf(buf, sizeof(buf), "_m%d_vr%02d_s%llu_x%d%s_p3.jnl",
+    char buf[128];
+    // "_p4" = journal revision: record lines now carry the run's exact
+    // log likelihood-ratio weight (core/journal.cc, tea-journal-v2).
+    std::snprintf(buf, sizeof(buf), "_m%d_vr%02d_s%llu_x%d%s%s_p4.jnl",
                   static_cast<int>(kind),
                   static_cast<int>(vr * 100 + 0.5),
                   static_cast<unsigned long long>(opt.seed),
-                  opt.workloadScale, adaptiveSuffix(opt).c_str());
+                  opt.workloadScale, adaptiveSuffix(opt).c_str(),
+                  isSuffix(opt).c_str());
     return opt.cacheDir + "/" +
            Toolflow::cacheTag(
                "jnl", workload,
@@ -171,12 +209,13 @@ std::string
 cellManifestPath(const ToolflowOptions &opt, const std::string &workload,
                  ModelKind kind, double vr)
 {
-    char buf[80];
-    std::snprintf(buf, sizeof(buf), "_m%d_vr%02d_s%llu_x%d%s.json",
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "_m%d_vr%02d_s%llu_x%d%s%s.json",
                   static_cast<int>(kind),
                   static_cast<int>(vr * 100 + 0.5),
                   static_cast<unsigned long long>(opt.seed),
-                  opt.workloadScale, adaptiveSuffix(opt).c_str());
+                  opt.workloadScale, adaptiveSuffix(opt).c_str(),
+                  isSuffix(opt).c_str());
     return opt.cacheDir + "/" +
            Toolflow::cacheTag(
                "mft", workload,
@@ -237,16 +276,34 @@ planEvaluationGrid(const ToolflowOptions &opt, const GridSpec &spec)
 std::unique_ptr<models::ErrorModel>
 cellModel(Toolflow &tf, const CellPlan &plan)
 {
+    const auto &opt = tf.options();
+    // IS tilts per-site probabilities by operand risk, which only the
+    // statistical (IA/WA) models have: the DA model injects uniformly
+    // into any destination register, so it runs plain even with
+    // REPRO_IS=1.
+    auto importance =
+        [&](const models::StatisticalModel &base)
+        -> std::unique_ptr<models::ErrorModel> {
+        return std::make_unique<surrogate::ImportanceModel>(
+            base, tf.surrogate(), tf.trace(plan.workload), plan.vrFrac,
+            opt.isBoost, opt.isFloor, opt.isMaxTilted);
+    };
     switch (plan.model) {
       case ModelKind::DA:
         return std::make_unique<models::DaModel>(
             tf.daModel(plan.vrFrac));
-      case ModelKind::IA:
-        return std::make_unique<models::IaModel>(
-            tf.iaModel(plan.vrFrac));
-      case ModelKind::WA:
-        return std::make_unique<models::WaModel>(
-            tf.waModel(plan.workload, plan.vrFrac));
+      case ModelKind::IA: {
+        auto base = tf.iaModel(plan.vrFrac);
+        if (opt.isEnable)
+            return importance(base);
+        return std::make_unique<models::IaModel>(std::move(base));
+      }
+      case ModelKind::WA: {
+        auto base = tf.waModel(plan.workload, plan.vrFrac);
+        if (opt.isEnable)
+            return importance(base);
+        return std::make_unique<models::WaModel>(std::move(base));
+      }
     }
     fatal("unknown model kind %d", static_cast<int>(plan.model));
     return nullptr;

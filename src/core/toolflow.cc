@@ -1,9 +1,11 @@
 #include "core/toolflow.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <functional>
 #include <mutex>
@@ -150,6 +152,57 @@ optionsFromEnv()
         uint64_t v;
         if (parseEnvU64("REPRO_MAX_RUNS", cap, v))
             opt.maxAdaptiveRuns = v;
+    }
+    if (const char *is = std::getenv("REPRO_IS"))
+        opt.isEnable = is[0] == '1';
+    if (const char *boost = std::getenv("REPRO_IS_BOOST")) {
+        double v;
+        if (parseEnvDouble("REPRO_IS_BOOST", boost, v)) {
+            if (v < 1.0) {
+                warn("clamping REPRO_IS_BOOST=%g to 1 (no tilt)", v);
+                v = 1.0;
+            } else if (v > 64.0) {
+                warn("clamping REPRO_IS_BOOST=%g to 64", v);
+                v = 64.0;
+            }
+            opt.isBoost = v;
+        }
+    }
+    if (const char *floor = std::getenv("REPRO_IS_FLOOR")) {
+        double v;
+        if (parseEnvDouble("REPRO_IS_FLOOR", floor, v)) {
+            if (v <= 0.0 || v > 1.0) {
+                warn("REPRO_IS_FLOOR=%g outside (0, 1]; keeping %g", v,
+                     opt.isFloor);
+            } else {
+                opt.isFloor = v;
+            }
+        }
+    }
+    if (const char *mt = std::getenv("REPRO_IS_MAXTILT")) {
+        double v;
+        if (parseEnvDouble("REPRO_IS_MAXTILT", mt, v)) {
+            if (v < 0.1) {
+                warn("clamping REPRO_IS_MAXTILT=%g to 0.1", v);
+                v = 0.1;
+            }
+            opt.isMaxTilted = v;
+        }
+    }
+    if (const char *corpus = std::getenv("REPRO_IS_CORPUS")) {
+        uint64_t v;
+        if (parseEnvU64("REPRO_IS_CORPUS", corpus, v)) {
+            if (v < 100) {
+                warn("clamping REPRO_IS_CORPUS=%llu to 100",
+                     static_cast<unsigned long long>(v));
+                v = 100;
+            } else if (v > 1000000) {
+                warn("clamping REPRO_IS_CORPUS=%llu to 1000000",
+                     static_cast<unsigned long long>(v));
+                v = 1000000;
+            }
+            opt.isCorpusPerOp = v;
+        }
     }
     if (const char *be = std::getenv("REPRO_DTA_BACKEND")) {
         circuit::DtaBackend b;
@@ -562,6 +615,92 @@ models::WaModel
 Toolflow::waModel(const std::string &workload, double vrFrac)
 {
     return models::WaModel(workload, waStats(workload, vrFrac));
+}
+
+const surrogate::ErrorSurrogate &
+Toolflow::surrogate()
+{
+    if (surrogate_)
+        return *surrogate_;
+
+    // Identity: everything the trained weights are a function of. The
+    // VR levels enter via a CRC over their exact bit patterns, so two
+    // level lists that differ in any ulp train separately.
+    std::string vrBits;
+    for (double vr : opt_.vrLevels) {
+        char buf[24];
+        uint64_t bits;
+        std::memcpy(&bits, &vr, sizeof(bits));
+        std::snprintf(buf, sizeof(buf), "%016llx,",
+                      static_cast<unsigned long long>(bits));
+        vrBits += buf;
+    }
+    char identity[128];
+    std::snprintf(identity, sizeof(identity),
+                  "surrogate s%llu n%llu v%08x",
+                  static_cast<unsigned long long>(opt_.seed),
+                  static_cast<unsigned long long>(opt_.isCorpusPerOp),
+                  crc32(vrBits.data(), vrBits.size()));
+    std::string path;
+    if (!opt_.cacheDir.empty()) {
+        char file[96];
+        std::snprintf(file, sizeof(file),
+                      "/surrogate_s%llu_n%llu_v%08x_p1.sg",
+                      static_cast<unsigned long long>(opt_.seed),
+                      static_cast<unsigned long long>(
+                          opt_.isCorpusPerOp),
+                      crc32(vrBits.data(), vrBits.size()));
+        path = opt_.cacheDir + file;
+    }
+
+    auto sg = std::make_unique<surrogate::ErrorSurrogate>();
+    obs::Registry &reg = obs::Registry::global();
+    bool cached = !path.empty() && sg->load(path, identity);
+    if (cached) {
+        inform("loaded cached surrogate %s (AUC %.3f)", path.c_str(),
+               sg->heldOutAuc());
+        reg.counter(obs::metric::kCacheHits, "",
+                    "characterizations served from the stats cache")
+            .inc(1);
+    } else {
+        std::vector<std::pair<double, size_t>> vrPoints;
+        for (double vr : opt_.vrLevels)
+            vrPoints.emplace_back(vr, pointFor(vr));
+        surrogate::CorpusConfig cfg;
+        cfg.seed = opt_.seed;
+        cfg.opsPerOpPerVr = opt_.isCorpusPerOp;
+        inform("training error surrogate (%llu ops/type x %zu VR "
+               "levels)...",
+               static_cast<unsigned long long>(cfg.opsPerOpPerVr),
+               opt_.vrLevels.size());
+        obs::Span span("toolflow.surrogate", "toolflow");
+        auto t0 = std::chrono::steady_clock::now();
+        sg->train(*core_, vrPoints, cfg);
+        double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+        reg.histogram(obs::metric::kSurrogateTrainMs,
+                      obs::latencyBucketsMs(), "",
+                      "wall-clock ms spent training the error "
+                      "surrogate")
+            .observe(ms);
+        inform("surrogate trained: held-out AUC %.3f over %llu "
+               "corpus ops (%.0f ms)",
+               sg->heldOutAuc(),
+               static_cast<unsigned long long>(sg->corpusOps()), ms);
+        if (!path.empty())
+            sg->save(path, identity);
+    }
+    // Fractional gauges export in parts-per-million (gauges are
+    // integral); see docs/OBSERVABILITY.md.
+    reg.gauge(obs::metric::kSurrogateAuc, "",
+              "held-out surrogate AUC in parts per million")
+        .set(static_cast<int64_t>(sg->heldOutAuc() * 1e6));
+    reg.counter(obs::metric::kSurrogateCorpusOps, "",
+                "gate-level DTA ops spent building surrogate corpora")
+        .inc(cached ? 0 : sg->corpusOps());
+    surrogate_ = std::move(sg);
+    return *surrogate_;
 }
 
 const workloads::Workload &

@@ -20,6 +20,7 @@
 #include "fpu/fpu_core.hh"
 #include "inject/campaign.hh"
 #include "models/error_models.hh"
+#include "surrogate/importance.hh"
 #include "timing/dta_campaign.hh"
 #include "util/threadpool.hh"
 #include "util/watchdog.hh"
@@ -81,6 +82,26 @@ struct ToolflowOptions
      * against compile-once specialized execution.
      */
     circuit::DtaBackend dtaBackend = circuit::DtaBackend::Lane;
+    /**
+     * Importance-sampled injection (REPRO_IS=1): IA/WA campaign cells
+     * plan injections under a surrogate-tilted proposal and estimate
+     * AVM with the self-normalized weighted estimator. Off by default:
+     * the plain path keeps byte-identical legacy artifacts.
+     */
+    bool isEnable = false;
+    /** Risk tilt strength of the IS proposal (REPRO_IS_BOOST). */
+    double isBoost = surrogate::kDefaultBoost;
+    /** Proposal floor as a fraction of p (REPRO_IS_FLOOR). */
+    double isFloor = surrogate::kDefaultFloor;
+    /**
+     * Rare-regime guard: cap on an op's tilted expected injection
+     * count before the boost is scaled back (REPRO_IS_MAXTILT).
+     * Saturated ops stay exactly on the target measure, so IS never
+     * degrades a cell that plain Monte Carlo already resolves fast.
+     */
+    double isMaxTilted = surrogate::kDefaultMaxTilted;
+    /** Surrogate corpus: DTA ops per (type, VR) (REPRO_IS_CORPUS). */
+    uint64_t isCorpusPerOp = 1500;
 
     /** True when confidence-driven campaign sizing is enabled. */
     bool adaptive() const { return ciTarget > 0.0; }
@@ -90,7 +111,8 @@ struct ToolflowOptions
  * Read REPRO_RUNS / REPRO_FULL / REPRO_SEED / REPRO_CACHE /
  * REPRO_THREADS / REPRO_RESUME / REPRO_RUN_DEADLINE_MS /
  * REPRO_CI_TARGET / REPRO_CI_CONF / REPRO_MAX_RUNS /
- * REPRO_DTA_BACKEND overrides. Malformed values are rejected with a
+ * REPRO_DTA_BACKEND / REPRO_IS / REPRO_IS_BOOST / REPRO_IS_FLOOR /
+ * REPRO_IS_MAXTILT / REPRO_IS_CORPUS overrides. Malformed values are rejected with a
  * warn and the default kept; out-of-range values are clamped — a typo
  * in the environment can slow a reproduction down but never crash or
  * silently skew it.
@@ -145,6 +167,15 @@ class Toolflow
     models::IaModel iaModel(double vrFrac);
     models::WaModel waModel(const std::string &workload, double vrFrac);
 
+    /**
+     * The timing-error surrogate for importance-sampled campaigns:
+     * trained once per toolflow over all configured VR levels (VR is
+     * a feature), cached on disk next to the characterization stats.
+     * Deterministic — a pure function of (seed, corpus size, VR
+     * levels), independent of thread count and call order.
+     */
+    const surrogate::ErrorSurrogate &surrogate();
+
     // ---- workload plumbing ------------------------------------------
     const workloads::Workload &workload(const std::string &name);
     const std::vector<sim::FpTraceEntry> &
@@ -170,6 +201,7 @@ class Toolflow
     std::map<std::string, std::unique_ptr<inject::InjectionCampaign>>
         campaigns_;
     std::map<int, double> daEr_;
+    std::unique_ptr<surrogate::ErrorSurrogate> surrogate_;
 };
 
 } // namespace tea::core

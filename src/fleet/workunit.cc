@@ -151,6 +151,11 @@ FleetPlan::serialize() const
     out << "ciconf " << fmtDouble(opt.ciConf) << "\n";
     out << "maxadaptive " << opt.maxAdaptiveRuns << "\n";
     out << "dtabackend " << static_cast<int>(opt.dtaBackend) << "\n";
+    out << "isenable " << (opt.isEnable ? 1 : 0) << "\n";
+    out << "isboost " << fmtDouble(opt.isBoost) << "\n";
+    out << "isfloor " << fmtDouble(opt.isFloor) << "\n";
+    out << "ismaxtilt " << fmtDouble(opt.isMaxTilted) << "\n";
+    out << "iscorpus " << opt.isCorpusPerOp << "\n";
     out << "cachedir " << opt.cacheDir << "\n";
     out << "leasems " << leaseMs << "\n";
     out << "usecache " << (spec.useCache ? 1 : 0) << "\n";
@@ -205,6 +210,16 @@ FleetPlan::parse(const std::string &content)
         else if (key == "dtabackend")
             p.opt.dtaBackend =
                 static_cast<circuit::DtaBackend>(toU64(value));
+        else if (key == "isenable")
+            p.opt.isEnable = value == "1";
+        else if (key == "isboost")
+            p.opt.isBoost = std::strtod(value.c_str(), nullptr);
+        else if (key == "isfloor")
+            p.opt.isFloor = std::strtod(value.c_str(), nullptr);
+        else if (key == "ismaxtilt")
+            p.opt.isMaxTilted = std::strtod(value.c_str(), nullptr);
+        else if (key == "iscorpus")
+            p.opt.isCorpusPerOp = toU64(value);
         else if (key == "cachedir")
             p.opt.cacheDir = value;
         else if (key == "leasems")
@@ -245,6 +260,11 @@ UnitResult::serialize() const
     out << "injected " << result.injectedErrors << "\n";
     out << "committed " << result.committedInstructions << "\n";
     out << "wrongpath " << result.wrongPathInjections << "\n";
+    out << "weighted " << (result.weightedModel ? 1 : 0) << "\n";
+    out << "wsum " << fmtDouble(result.weightSum) << "\n";
+    out << "wunsafe " << fmtDouble(result.weightUnsafe) << "\n";
+    out << "wsqsum " << fmtDouble(result.weightSqSum) << "\n";
+    out << "wusqsum " << fmtDouble(result.weightUnsafeSqSum) << "\n";
     return sealBody(out.str());
 }
 
@@ -282,6 +302,17 @@ UnitResult::parse(const std::string &content)
             r.result.committedInstructions = toU64(value);
         else if (key == "wrongpath")
             r.result.wrongPathInjections = toU64(value);
+        else if (key == "weighted")
+            r.result.weightedModel = value == "1";
+        else if (key == "wsum")
+            r.result.weightSum = std::strtod(value.c_str(), nullptr);
+        else if (key == "wunsafe")
+            r.result.weightUnsafe = std::strtod(value.c_str(), nullptr);
+        else if (key == "wsqsum")
+            r.result.weightSqSum = std::strtod(value.c_str(), nullptr);
+        else if (key == "wusqsum")
+            r.result.weightUnsafeSqSum =
+                std::strtod(value.c_str(), nullptr);
     }
     return r;
 }

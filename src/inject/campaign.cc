@@ -33,6 +33,21 @@ outcomeName(Outcome outcome)
 }
 
 double
+likelihoodWeight(double logWeight)
+{
+    // +-700 keeps exp() comfortably inside double range (|log
+    // DBL_MAX| ~ 709.8). NaN input degrades to weight 1 — a damaged
+    // weight must not poison the whole campaign's sums.
+    if (std::isnan(logWeight))
+        return 1.0;
+    if (logWeight > 700.0)
+        logWeight = 700.0;
+    else if (logWeight < -700.0)
+        logWeight = -700.0;
+    return std::exp(logWeight);
+}
+
+double
 CampaignResult::errorRatio() const
 {
     if (committedInstructions == 0)
@@ -76,6 +91,40 @@ stats::Interval
 CampaignResult::avmInterval(double conf) const
 {
     return stats::wilson(sdc + crash + timeout, classified(), conf);
+}
+
+double
+CampaignResult::avmWeighted() const
+{
+    if (!(weightSum > 0.0))
+        return std::numeric_limits<double>::quiet_NaN();
+    return weightUnsafe / weightSum;
+}
+
+double
+CampaignResult::ess() const
+{
+    if (!(weightSqSum > 0.0))
+        return 0.0;
+    return weightSum * weightSum / weightSqSum;
+}
+
+stats::Interval
+CampaignResult::avmWeightedInterval(double conf) const
+{
+    if (!(weightSqSum > 0.0))
+        return {0.0, 1.0};
+    // Unit weights (proposal degraded to the target measure): take
+    // the integer path so the interval is bit-identical to the plain
+    // campaign's.
+    double cls = static_cast<double>(classified());
+    double unsafe = static_cast<double>(sdc + crash + timeout);
+    if (weightSum == cls && weightSqSum == cls &&
+        weightUnsafe == unsafe && weightUnsafeSqSum == unsafe)
+        return avmInterval(conf);
+    return stats::selfNormalizedWilson(weightUnsafe, weightSum,
+                                       weightSqSum,
+                                       weightUnsafeSqSum, conf);
 }
 
 stats::Interval
@@ -172,10 +221,12 @@ InjectionCampaign::RunRecord
 InjectionCampaign::executeOne(const ErrorModel &model, Rng &rng,
                               const Watchdog *watchdog) const
 {
-    auto events = model.plan(profile_, rng);
+    double logWeight = 0.0;
+    auto events = model.planWeighted(profile_, rng, logWeight);
     OooSim sim(workload_.program, cfg_, sim::InjectionPlan(events));
     auto res = sim.run(2 * goldenCycles_, watchdog);
     RunRecord rec;
+    rec.logWeight = logWeight;
     rec.injected = res.injectionsApplied;
     rec.committed = res.committed;
     rec.wrongPath = res.injectionsOnWrongPath;
@@ -390,6 +441,8 @@ InjectionCampaign::run(const ErrorModel &model, int runs, Rng &rng,
             // Fold the round: EngineFaults carry no AVM evidence and
             // unfinished (cancelled) runs must not count at all.
             uint64_t events = 0, trials = 0;
+            double wEvents = 0.0, wSum = 0.0, wSq = 0.0;
+            double wEventsSq = 0.0;
             for (uint64_t i = next; i < end; ++i) {
                 if (!done[i]) {
                     cancelled = true;
@@ -399,10 +452,23 @@ InjectionCampaign::run(const ErrorModel &model, int runs, Rng &rng,
                 if (rec.outcome == Outcome::EngineFault)
                     continue;
                 ++trials;
-                if (rec.outcome != Outcome::Masked)
+                double w = likelihoodWeight(rec.logWeight);
+                wSum += w;
+                wSq += w * w;
+                if (rec.outcome != Outcome::Masked) {
                     ++events;
+                    wEvents += w;
+                    wEventsSq += w * w;
+                }
             }
-            planner.record(0, events, trials);
+            // A reweighted proposal stops on the *weighted* interval
+            // (the variance-matched self-normalized one); plain
+            // campaigns keep the integer path bit-for-bit.
+            if (model.weightedProposal())
+                planner.recordWeighted(0, wEvents, wSum, wSq,
+                                       wEventsSq, events, trials);
+            else
+                planner.record(0, events, trials);
             next = end;
         }
         executed = next;
@@ -425,6 +491,7 @@ InjectionCampaign::run(const ErrorModel &model, int runs, Rng &rng,
     CampaignResult out;
     out.workload = workload_.name;
     out.model = model.describe();
+    out.weightedModel = model.weightedProposal();
     for (size_t i = 0; i < executed; ++i) {
         if (!done[i]) {
             out.interrupted = true;
@@ -438,14 +505,22 @@ InjectionCampaign::run(const ErrorModel &model, int runs, Rng &rng,
                         "runs cut off by the per-run deadline")
                 .inc(1);
         if (rec.outcome == Outcome::EngineFault) {
-            // Infrastructure failure: excluded from AVM and from the
-            // injection/commit accounting (its counters are partial).
+            // Infrastructure failure: excluded from AVM (weighted and
+            // unweighted) and from the injection/commit accounting
+            // (its counters are partial).
             ++out.engineFault;
             continue;
         }
         out.injectedErrors += rec.injected;
         out.committedInstructions += rec.committed;
         out.wrongPathInjections += rec.wrongPath;
+        double w = likelihoodWeight(rec.logWeight);
+        out.weightSum += w;
+        out.weightSqSum += w * w;
+        if (rec.outcome != Outcome::Masked) {
+            out.weightUnsafe += w;
+            out.weightUnsafeSqSum += w * w;
+        }
         switch (rec.outcome) {
           case Outcome::Masked: ++out.masked; break;
           case Outcome::SDC: ++out.sdc; break;
@@ -457,6 +532,19 @@ InjectionCampaign::run(const ErrorModel &model, int runs, Rng &rng,
     reg.counter(obs::metric::kInjectRuns, "",
                 "classified injection runs (replayed or simulated)")
         .inc(out.runs);
+    if (out.weightedModel) {
+        reg.counter(obs::metric::kIsRuns, "",
+                    "injection runs classified under a reweighted "
+                    "(importance-sampling) proposal")
+            .inc(out.classified());
+        if (out.classified() > 0)
+            reg.gauge(obs::metric::kIsEssRatio, "",
+                      "effective-sample-size fraction ESS/n of the "
+                      "last weighted campaign, in parts per million")
+                .set(static_cast<int64_t>(
+                    1e6 * out.ess() /
+                    static_cast<double>(out.classified())));
+    }
     reg.counter(obs::metric::kInjectRetries, "",
                 "extra attempts spent containing faulted runs")
         .inc(out.retries);

@@ -59,6 +59,15 @@ enum class Outcome
 const char *outcomeName(Outcome outcome);
 
 /**
+ * Turn a journaled log likelihood ratio into the finite weight used by
+ * aggregation: exp(logWeight) with the exponent clamped to +-700, so a
+ * pathological proposal (an extreme likelihood ratio) degrades to a
+ * huge-but-finite or tiny-but-positive weight instead of inf/0/NaN
+ * poisoning every weighted sum it touches. exp(0) is exactly 1.
+ */
+double likelihoodWeight(double logWeight);
+
+/**
  * Runs per campaign cell for a 3% error margin at 95% confidence
  * (Leveugle et al., the paper's choice).
  */
@@ -87,6 +96,22 @@ struct CampaignResult
     uint64_t committedInstructions = 0;
     /** Injections landing on squashed (wrong-path) instructions. */
     uint64_t wrongPathInjections = 0;
+    /**
+     * Likelihood-ratio weight sums over classified runs (importance
+     * sampling): sum of weights, sum over unsafe (SDC/Crash/Timeout)
+     * runs, sum of squared weights, and sum of squared weights over
+     * unsafe runs (the term the self-normalized variance needs).
+     * Plain campaigns have weight exactly 1 per run, so
+     * weightSum == classified() and the weighted estimate coincides
+     * bit-for-bit with the plain one. EngineFault runs contribute to
+     * none of them.
+     */
+    double weightSum = 0.0;
+    double weightUnsafe = 0.0;
+    double weightSqSum = 0.0;
+    double weightUnsafeSqSum = 0.0;
+    /** True when the campaign sampled from a reweighted proposal. */
+    bool weightedModel = false;
 
     /** Runs that produced one of the paper's four outcomes. */
     uint64_t classified() const { return runs - engineFault; }
@@ -106,6 +131,20 @@ struct CampaignResult
     double fraction(Outcome o) const;
     /** Wilson interval on the AVM over classified runs. */
     stats::Interval avmInterval(double conf = 0.95) const;
+    /**
+     * Self-normalized importance-sampling AVM: weightUnsafe/weightSum
+     * over classified runs (identical to avm() when every weight is
+     * 1). NaN when no weight was accumulated.
+     */
+    double avmWeighted() const;
+    /** Kish effective sample size (sum w)^2 / sum w^2 (0 when empty). */
+    double ess() const;
+    /**
+     * Variance-matched Wilson interval on avmWeighted()
+     * (stats::selfNormalizedWilson); bit-identical to avmInterval()
+     * when every weight is exactly 1.
+     */
+    stats::Interval avmWeightedInterval(double conf = 0.95) const;
     /** Wilson interval on fraction(o) (same denominators). */
     stats::Interval fractionInterval(Outcome o,
                                      double conf = 0.95) const;
@@ -153,6 +192,12 @@ class InjectionCampaign
         uint32_t attempts = 1;
         /** Why outcome == EngineFault (None otherwise). */
         ErrorCode fault = ErrorCode::None;
+        /**
+         * Log likelihood-ratio weight of this run's injection plan
+         * (0.0 — weight exactly 1 — for plain models). Journaled as an
+         * exact bit pattern so replayed runs aggregate identically.
+         */
+        double logWeight = 0.0;
     };
 
     /** Durability and containment knobs for run(). */

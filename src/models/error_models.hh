@@ -62,6 +62,30 @@ class ErrorModel
     virtual std::vector<sim::InjectionEvent>
     plan(const ProgramProfile &profile, Rng &rng) const = 0;
 
+    /**
+     * Plan one run under a (possibly reweighted) proposal
+     * distribution. `logWeight` receives the natural log of the
+     * likelihood ratio target/proposal of the produced plan — the
+     * importance-sampling weight campaigns fold into weighted AVM
+     * estimation. The base implementation samples from the target
+     * itself, so the weight is exactly 1 (log 0.0) and campaigns over
+     * plain models are bit-identical to the unweighted path.
+     */
+    virtual std::vector<sim::InjectionEvent>
+    planWeighted(const ProgramProfile &profile, Rng &rng,
+                 double &logWeight) const
+    {
+        logWeight = 0.0;
+        return plan(profile, rng);
+    }
+
+    /**
+     * True when planWeighted() samples from a proposal other than the
+     * target measure (i.e. produced weights can differ from 1). Drives
+     * the weighted-estimation path in campaigns.
+     */
+    virtual bool weightedProposal() const { return false; }
+
     /** Expected number of injected errors for a program (for Fig. 10). */
     virtual double expectedErrors(const ProgramProfile &profile) const = 0;
 };
@@ -108,6 +132,12 @@ class StatisticalModel : public ErrorModel
     const OpModelStats &opStats(fpu::FpuOp op) const
     {
         return stats_[static_cast<size_t>(op)];
+    }
+
+    /** Full per-type statistics (importance-sampling wrappers copy it). */
+    const std::array<OpModelStats, fpu::kNumFpuOps> &allStats() const
+    {
+        return stats_;
     }
 
     /** Convert DTA campaign statistics into model statistics. */

@@ -52,6 +52,14 @@ inline constexpr const char *kDtaLaneFallbackOps =
     "tea_dta_lane_fallback_ops_total";
 inline constexpr const char *kDtaCompileMs = "tea_dta_compile_ms";
 inline constexpr const char *kDtaBackend = "tea_dta_backend";
+// ---- importance sampling / surrogate -------------------------------
+inline constexpr const char *kIsRuns = "tea_is_runs_total";
+inline constexpr const char *kIsEssRatio = "tea_is_ess_ratio";
+inline constexpr const char *kSurrogateTrainMs =
+    "tea_surrogate_train_ms";
+inline constexpr const char *kSurrogateAuc = "tea_surrogate_auc";
+inline constexpr const char *kSurrogateCorpusOps =
+    "tea_surrogate_corpus_ops_total";
 // ---- adaptive estimation ------------------------------------------
 inline constexpr const char *kStatsRounds = "tea_stats_rounds_total";
 inline constexpr const char *kStatsEarlyStops =

@@ -26,6 +26,15 @@ cellToKv(const core::CampaignCell &cell)
     out << "injected " << cell.result.injectedErrors << "\n";
     out << "committed " << cell.result.committedInstructions << "\n";
     out << "wrongpath " << cell.result.wrongPathInjections << "\n";
+    char w[160];
+    std::snprintf(w, sizeof(w),
+                  "weighted %d\nwsum %.17g\nwunsafe %.17g\n"
+                  "wsqsum %.17g\nwusqsum %.17g\n",
+                  cell.result.weightedModel ? 1 : 0,
+                  cell.result.weightSum, cell.result.weightUnsafe,
+                  cell.result.weightSqSum,
+                  cell.result.weightUnsafeSqSum);
+    out << w;
     return out.str();
 }
 
@@ -59,6 +68,19 @@ cellFromKv(const std::map<std::string, std::string> &kv,
               get("injected", out.result.injectedErrors) &&
               get("committed", out.result.committedInstructions) &&
               get("wrongpath", out.result.wrongPathInjections);
+    // Weighted-estimator fields are optional on the wire: a client
+    // reading an older daemon's stream keeps the zero defaults.
+    auto getD = [&kv](const char *key, double &dst) {
+        auto it = kv.find(key);
+        if (it != kv.end())
+            dst = std::strtod(it->second.c_str(), nullptr);
+    };
+    if (auto it = kv.find("weighted"); it != kv.end())
+        out.result.weightedModel = it->second == "1";
+    getD("wsum", out.result.weightSum);
+    getD("wunsafe", out.result.weightUnsafe);
+    getD("wsqsum", out.result.weightSqSum);
+    getD("wusqsum", out.result.weightUnsafeSqSum);
     out.result.workload = out.workload;
     out.result.model = models::modelKindName(out.model);
     return ok;

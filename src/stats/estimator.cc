@@ -5,11 +5,18 @@ namespace tea::stats {
 Interval
 makeInterval(IntervalMethod m, uint64_t k, uint64_t n, double conf)
 {
+    return makeIntervalReal(m, static_cast<double>(k),
+                            static_cast<double>(n), conf);
+}
+
+Interval
+makeIntervalReal(IntervalMethod m, double k, double n, double conf)
+{
     switch (m) {
       case IntervalMethod::Wilson:
-        return wilson(k, n, conf);
+        return wilsonReal(k, n, conf);
       case IntervalMethod::ClopperPearson:
-        return clopperPearson(k, n, conf);
+        return clopperPearsonReal(k, n, conf);
     }
     return {0.0, 1.0};
 }

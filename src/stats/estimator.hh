@@ -7,16 +7,35 @@
  * campaign engines: a campaign keeps sampling while the confidence
  * interval on its proportion is wider than the requested target, and
  * stops the moment the target (or a hard run cap) is reached. All
- * state is integer counts and the decision is a pure function of
+ * state is plain counts/sums and the decision is a pure function of
  * them, so a sequential campaign is bit-deterministic at any thread
  * or lane count as long as counts are folded in at fixed round
  * boundaries — which is exactly what AdaptivePlanner enforces.
+ *
+ * Two accumulation modes share one object:
+ *
+ *  - **Unweighted** (`add`): classic integer (events, trials) counts.
+ *  - **Weighted** (`addWeighted`): importance-sampled campaigns fold
+ *    in likelihood-ratio weight sums (sum w over events, sum w, sum
+ *    w^2, sum w^2 over events) alongside the raw counts. The point
+ *    estimate becomes the self-normalized ratio and the interval is
+ *    the variance-matched Wilson score of selfNormalizedWilson(): the
+ *    delta-method SNIS variance sets the effective sample size, so a
+ *    badly-matched proposal widens the interval instead of silently
+ *    faking precision while a proposal that concentrates events in
+ *    low-weight trials is *credited* for it — the property that lets
+ *    an importance-sampled campaign stop earlier than plain Monte
+ *    Carlo. When every weight is exactly 1.0 the weight sums equal
+ *    the raw integer counts and the weighted path detects that and
+ *    is bit-identical to the unweighted one.
  */
 
 #ifndef TEA_STATS_ESTIMATOR_HH
 #define TEA_STATS_ESTIMATOR_HH
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 
 #include "stats/intervals.hh"
 
@@ -32,6 +51,10 @@ enum class IntervalMethod
 Interval makeInterval(IntervalMethod m, uint64_t k, uint64_t n,
                       double conf);
 
+/** Real-valued (effective-count) variant of makeInterval. */
+Interval makeIntervalReal(IntervalMethod m, double k, double n,
+                          double conf);
+
 class Estimator
 {
   public:
@@ -46,9 +69,30 @@ class Estimator
     {
     }
 
-    /** Fold in one shard / round worth of counts. */
+    /** Fold in one shard / round worth of unweighted counts. */
     void add(uint64_t events, uint64_t trials)
     {
+        events_ += events;
+        trials_ += trials;
+    }
+
+    /**
+     * Fold in one round of likelihood-ratio-weighted counts: the sum
+     * of weights over event trials, the sum of weights over all
+     * trials, the sum of squared weights, the sum of squared weights
+     * over event trials, plus the raw integer counts (still tracked
+     * for caps and the zero-event guard). Switches the estimator into
+     * weighted (self-normalized) mode permanently.
+     */
+    void addWeighted(double wEvents, double wSum, double wSq,
+                     double wEventsSq, uint64_t events,
+                     uint64_t trials)
+    {
+        weighted_ = true;
+        wEvents_ += wEvents;
+        wSum_ += wSum;
+        wSq_ += wSq;
+        wEventsSq_ += wEventsSq;
         events_ += events;
         trials_ += trials;
     }
@@ -57,25 +101,105 @@ class Estimator
     uint64_t trials() const { return trials_; }
     double target() const { return target_; }
     double confidence() const { return conf_; }
+    bool weighted() const { return weighted_; }
 
-    /** Point estimate events/trials (0 when no trials yet). */
+    /** True once at least one trial has been folded in. */
+    bool hasData() const { return trials_ > 0; }
+
+    /**
+     * Effective event count: raw events when unweighted, the
+     * ESS-scaled weighted event mass otherwise.
+     */
+    double effEvents() const
+    {
+        if (!weighted_)
+            return static_cast<double>(events_);
+        if (!(wSq_ > 0.0))
+            return 0.0;
+        return wEvents_ * wSum_ / wSq_;
+    }
+
+    /**
+     * Effective sample size: raw trials when unweighted, Kish ESS
+     * (sum w)^2 / sum w^2 otherwise.
+     */
+    double effTrials() const
+    {
+        if (!weighted_)
+            return static_cast<double>(trials_);
+        if (!(wSq_ > 0.0))
+            return 0.0;
+        return wSum_ * wSum_ / wSq_;
+    }
+
+    /**
+     * Point estimate: events/trials unweighted, the self-normalized
+     * ratio (sum w over events) / (sum w) weighted. NaN before any
+     * trial — a cell that never ran has *no* estimate, not estimate
+     * zero (callers test hasData() or std::isnan).
+     */
     double mean() const
     {
-        return trials_ ? static_cast<double>(events_) /
-                             static_cast<double>(trials_)
-                       : 0.0;
+        if (!hasData())
+            return std::numeric_limits<double>::quiet_NaN();
+        if (weighted_)
+            return wSum_ > 0.0
+                       ? wEvents_ / wSum_
+                       : std::numeric_limits<double>::quiet_NaN();
+        return static_cast<double>(events_) /
+               static_cast<double>(trials_);
+    }
+
+    /**
+     * True when every folded weight was exactly 1.0 (the weight sums
+     * are bit-equal to the raw integer counts) — the importance model
+     * degraded to the target measure, e.g. under the rare-regime
+     * guard. The weighted estimator then takes the integer path so
+     * its artifacts stay bit-identical to an unweighted campaign.
+     */
+    bool unitWeights() const
+    {
+        return wSum_ == static_cast<double>(trials_) &&
+               wSq_ == static_cast<double>(trials_) &&
+               wEvents_ == static_cast<double>(events_) &&
+               wEventsSq_ == static_cast<double>(events_);
     }
 
     /** Current interval (vacuous [0, 1] before any trials). */
     Interval interval() const
     {
-        return makeInterval(method_, events_, trials_, conf_);
+        if (weighted_ && !unitWeights() &&
+            method_ == IntervalMethod::Wilson)
+            return selfNormalizedWilson(wEvents_, wSum_, wSq_,
+                                        wEventsSq_, conf_);
+        if (weighted_ && !unitWeights())
+            return makeIntervalReal(method_, effEvents(), effTrials(),
+                                    conf_);
+        return makeIntervalReal(method_,
+                                static_cast<double>(events_),
+                                static_cast<double>(trials_), conf_);
     }
 
-    /** True once the interval is at least as tight as the target. */
+    /**
+     * True once the interval is at least as tight as the target.
+     *
+     * Zero-event guard: with k == 0 the Wilson half-width shrinks
+     * faster than the exact one-sided bound, so a stratum could
+     * "converge" while the true proportion may still exceed the
+     * target with probability > alpha. Never declare a zero-event
+     * stratum done while the exact rule-of-three upper bound (on the
+     * effective sample size) still exceeds the target half-width.
+     */
     bool converged() const
     {
-        return trials_ > 0 && interval().halfWidth() <= target_;
+        if (!hasData())
+            return false;
+        if (interval().halfWidth() > target_)
+            return false;
+        if (events_ == 0 &&
+            ruleOfThreeUpperReal(effTrials(), conf_) > target_)
+            return false;
+        return true;
     }
 
     /**
@@ -93,6 +217,11 @@ class Estimator
     IntervalMethod method_;
     uint64_t events_ = 0;
     uint64_t trials_ = 0;
+    bool weighted_ = false;
+    double wEvents_ = 0.0;
+    double wSum_ = 0.0;
+    double wSq_ = 0.0;
+    double wEventsSq_ = 0.0;
 };
 
 } // namespace tea::stats

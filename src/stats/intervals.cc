@@ -158,11 +158,22 @@ normalQuantile(double p)
 Interval
 wilson(uint64_t k, uint64_t n, double conf)
 {
-    if (n == 0)
+    return wilsonReal(static_cast<double>(k), static_cast<double>(n),
+                      conf);
+}
+
+Interval
+wilsonReal(double k, double n, double conf)
+{
+    if (!(n > 0.0))
         return {0.0, 1.0};
+    if (k < 0.0)
+        k = 0.0;
+    if (k > n)
+        k = n;
     double z = normalQuantile(0.5 + conf / 2.0);
-    double nn = static_cast<double>(n);
-    double p = static_cast<double>(k) / nn;
+    double nn = n;
+    double p = k / nn;
     double z2 = z * z;
     double denom = 1.0 + z2 / nn;
     double center = (p + z2 / (2.0 * nn)) / denom;
@@ -180,25 +191,68 @@ wilson(uint64_t k, uint64_t n, double conf)
 }
 
 Interval
+selfNormalizedWilson(double wEvents, double wSum, double wSq,
+                     double wEventsSq, double conf)
+{
+    if (!(wSum > 0.0) || !(wSq > 0.0))
+        return {0.0, 1.0};
+    // Kish effective counts: the conservative fallback whenever the
+    // delta-method variance is unavailable or degenerate.
+    double nKish = wSum * wSum / wSq;
+    double kKish = wEvents * wSum / wSq;
+    if (!(wEvents > 0.0))
+        return wilsonReal(kKish, nKish, conf);
+    // The delta-method variance is itself estimated from the weighted
+    // sample; with only a handful of effective observations (e.g. one
+    // run carrying nearly all the weight) it collapses toward zero and
+    // the interval would be absurdly overconfident. Below ~10 effective
+    // samples, trust Kish instead.
+    if (nKish < 10.0)
+        return wilsonReal(kKish, nKish, conf);
+    double mu = wEvents / wSum;
+    if (!(mu < 1.0))
+        return wilsonReal(kKish, nKish, conf);
+    // Sum w^2 (f - mu)^2 expanded over Bernoulli f (f^2 == f); tiny
+    // negative values are cancellation noise around a true zero.
+    double num = wEventsSq * (1.0 - 2.0 * mu) + mu * mu * wSq;
+    double var = num / (wSum * wSum);
+    if (!(var > 0.0) || !std::isfinite(var))
+        return wilsonReal(kKish, nKish, conf);
+    double nEff = mu * (1.0 - mu) / var;
+    if (!std::isfinite(nEff) || !(nEff > 0.0))
+        return wilsonReal(kKish, nKish, conf);
+    return wilsonReal(mu * nEff, nEff, conf);
+}
+
+Interval
 clopperPearson(uint64_t k, uint64_t n, double conf)
 {
-    if (n == 0)
+    return clopperPearsonReal(static_cast<double>(k),
+                              static_cast<double>(n), conf);
+}
+
+Interval
+clopperPearsonReal(double kk, double nn, double conf)
+{
+    if (!(nn > 0.0))
         return {0.0, 1.0};
+    if (kk < 0.0)
+        kk = 0.0;
+    if (kk > nn)
+        kk = nn;
     double alpha = 1.0 - conf;
-    double nn = static_cast<double>(n);
-    double kk = static_cast<double>(k);
     Interval iv;
     // Closed forms at the edges avoid the continued fraction entirely
     // (and are the exact zero-event bounds the planner leans on).
-    if (k == 0)
+    if (kk == 0.0)
         iv.lo = 0.0;
-    else if (k == n)
+    else if (kk == nn)
         iv.lo = std::pow(alpha / 2.0, 1.0 / nn);
     else
         iv.lo = inverseIncompleteBeta(kk, nn - kk + 1.0, alpha / 2.0);
-    if (k == n)
+    if (kk == nn)
         iv.hi = 1.0;
-    else if (k == 0)
+    else if (kk == 0.0)
         iv.hi = 1.0 - std::pow(alpha / 2.0, 1.0 / nn);
     else
         iv.hi =
@@ -209,9 +263,15 @@ clopperPearson(uint64_t k, uint64_t n, double conf)
 double
 ruleOfThreeUpper(uint64_t n, double conf)
 {
-    if (n == 0)
+    return ruleOfThreeUpperReal(static_cast<double>(n), conf);
+}
+
+double
+ruleOfThreeUpperReal(double n, double conf)
+{
+    if (!(n > 0.0))
         return 1.0;
-    return 1.0 - std::pow(1.0 - conf, 1.0 / static_cast<double>(n));
+    return 1.0 - std::pow(1.0 - conf, 1.0 / n);
 }
 
 double

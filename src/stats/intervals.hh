@@ -54,6 +54,16 @@ double normalQuantile(double p);
 Interval wilson(uint64_t k, uint64_t n, double conf);
 
 /**
+ * Wilson score interval over *real-valued* effective counts — the
+ * weighted-sample generalisation used by importance-sampled campaigns,
+ * where (k, n) are the effective event count and effective sample size
+ * (ESS) of a self-normalized estimator. With integral k and n this is
+ * bit-identical to wilson(): the integer overload delegates here.
+ * n <= 0 yields the vacuous [0, 1]; k is clamped into [0, n].
+ */
+Interval wilsonReal(double k, double n, double conf);
+
+/**
  * Clopper-Pearson "exact" interval: inverts the binomial CDF via the
  * regularized incomplete beta function, guaranteeing >= conf coverage
  * at every p (at the price of being conservative). n == 0 -> [0, 1].
@@ -61,11 +71,47 @@ Interval wilson(uint64_t k, uint64_t n, double conf);
 Interval clopperPearson(uint64_t k, uint64_t n, double conf);
 
 /**
+ * Clopper-Pearson interval over real-valued effective counts (the
+ * beta-quantile form is already continuous in k and n). Bit-identical
+ * to clopperPearson() at integral arguments — the integer overload
+ * delegates here. n <= 0 -> [0, 1]; k is clamped into [0, n].
+ */
+Interval clopperPearsonReal(double k, double n, double conf);
+
+/**
+ * Interval on the self-normalized importance-sampling estimate of a
+ * Bernoulli proportion, from the four weight sums a weighted campaign
+ * accumulates: sum w over event trials, sum w, sum w^2, and sum w^2
+ * over event trials. The delta-method variance of the SNIS ratio is
+ * Var = sum w^2 (f - mu)^2 / (sum w)^2 — computable from the sums as
+ * (wEventsSq (1 - 2 mu) + mu^2 wSq) / wSum^2 — and the interval is the
+ * Wilson score at the *variance-matched* effective sample size
+ * n_eff = mu (1 - mu) / Var (with k_eff = mu n_eff). Unlike the Kish
+ * ESS, which charges the estimator for all weight dispersion, this
+ * credits a proposal that concentrates events in low-weight trials:
+ * exactly the regime where importance sampling beats plain Monte
+ * Carlo. Degenerate inputs (no events, no weight mass, vanishing
+ * variance, Kish ESS below ~10 — where the plug-in variance estimate
+ * is itself untrustworthy) fall back to the Wilson interval at the
+ * Kish effective counts, which is conservative — a zero-event stratum
+ * keeps its rule-of-three guard semantics.
+ */
+Interval selfNormalizedWilson(double wEvents, double wSum, double wSq,
+                              double wEventsSq, double conf);
+
+/**
  * Upper confidence bound on p after observing ZERO events in n trials:
  * the exact value 1 - (1-conf)^(1/n) that the "rule of three" (3/n at
  * 95%) approximates. Returns 1.0 for n == 0.
  */
 double ruleOfThreeUpper(uint64_t n, double conf = 0.95);
+
+/**
+ * Rule-of-three bound over a real-valued effective sample size (ESS of
+ * a weighted zero-event stratum). Bit-identical to ruleOfThreeUpper()
+ * at integral n, which delegates here. Returns 1.0 for n <= 0.
+ */
+double ruleOfThreeUpperReal(double n, double conf = 0.95);
 
 /**
  * One-sided upper bound used for safety decisions: the exact

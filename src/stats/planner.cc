@@ -35,6 +35,17 @@ AdaptivePlanner::record(size_t s, uint64_t events, uint64_t trials)
     strata_[s].add(events, trials);
 }
 
+void
+AdaptivePlanner::recordWeighted(size_t s, double wEvents, double wSum,
+                                double wSq, double wEventsSq,
+                                uint64_t events, uint64_t trials)
+{
+    fatal_if(s >= strata_.size(),
+             "recordWeighted: stratum %zu out of range", s);
+    strata_[s].addWeighted(wEvents, wSum, wSq, wEventsSq, events,
+                           trials);
+}
+
 bool
 AdaptivePlanner::stratumActive(size_t s) const
 {

@@ -79,6 +79,16 @@ class AdaptivePlanner
     void record(size_t s, uint64_t events, uint64_t trials);
 
     /**
+     * Fold one round's likelihood-ratio-weighted counts in (see
+     * Estimator::addWeighted). Raw counts still drive the per-stratum
+     * cap and Neyman allocation; the weighted sums drive the interval
+     * and the stop rule.
+     */
+    void recordWeighted(size_t s, double wEvents, double wSum,
+                        double wSq, double wEventsSq, uint64_t events,
+                        uint64_t trials);
+
+    /**
      * Allocate the next round: trials per stratum (0 for strata that
      * are converged or capped). An all-zero vector means the campaign
      * is done; planRound() never returns all-zero while any stratum

@@ -1,0 +1,169 @@
+#include "surrogate/features.hh"
+
+#include <cmath>
+
+namespace tea::surrogate {
+
+using fpu::FpuOp;
+
+namespace {
+
+/** Scaled bit-level description of one operand. */
+struct OperandView
+{
+    double sign = 0.0;    ///< sign bit
+    double exponent = 0.0;///< biased exponent / max (or bit length / 64)
+    double mantLz = 0.0;  ///< mantissa leading zeros / width
+    double mantTz = 0.0;  ///< mantissa trailing zeros / width
+    double mantPop = 0.0; ///< mantissa popcount / width
+    double special = 0.0; ///< zero / denormal / integer-zero flag
+};
+
+unsigned
+clz64(uint64_t v, unsigned width)
+{
+    if (v == 0)
+        return width;
+    unsigned lead = static_cast<unsigned>(__builtin_clzll(v));
+    // v occupies the low `width` bits; discount the empty high part.
+    return lead - (64 - width);
+}
+
+unsigned
+ctz64(uint64_t v, unsigned width)
+{
+    if (v == 0)
+        return width;
+    unsigned t = static_cast<unsigned>(__builtin_ctzll(v));
+    return t < width ? t : width;
+}
+
+OperandView
+viewFloat(uint64_t bits, bool isDouble)
+{
+    const unsigned expBits = isDouble ? 11 : 8;
+    const unsigned manBits = isDouble ? 52 : 23;
+    const uint64_t manMask = (1ULL << manBits) - 1;
+    uint64_t exp = (bits >> manBits) & ((1ULL << expBits) - 1);
+    uint64_t man = bits & manMask;
+    OperandView v;
+    v.sign = (bits >> (expBits + manBits)) & 1 ? 1.0 : 0.0;
+    v.exponent = static_cast<double>(exp) /
+                 static_cast<double>((1ULL << expBits) - 1);
+    v.mantLz = static_cast<double>(clz64(man, manBits)) /
+               static_cast<double>(manBits);
+    v.mantTz = static_cast<double>(ctz64(man, manBits)) /
+               static_cast<double>(manBits);
+    v.mantPop = static_cast<double>(__builtin_popcountll(man)) /
+                static_cast<double>(manBits);
+    v.special = exp == 0 ? 1.0 : 0.0; // zero or denormal
+    return v;
+}
+
+OperandView
+viewInt(uint64_t bits, unsigned width)
+{
+    // Two's-complement integer: magnitude bit length stands in for the
+    // exponent, the magnitude bits for the mantissa.
+    uint64_t mask = width == 64 ? ~0ULL : ((1ULL << width) - 1);
+    uint64_t v = bits & mask;
+    bool neg = (v >> (width - 1)) & 1;
+    uint64_t mag = neg ? (~v + 1) & mask : v;
+    OperandView out;
+    out.sign = neg ? 1.0 : 0.0;
+    out.exponent =
+        static_cast<double>(width - clz64(mag, width)) /
+        static_cast<double>(width);
+    out.mantLz = static_cast<double>(clz64(mag, width)) /
+                 static_cast<double>(width);
+    out.mantTz = static_cast<double>(ctz64(mag, width)) /
+                 static_cast<double>(width);
+    out.mantPop = static_cast<double>(__builtin_popcountll(mag)) /
+                  static_cast<double>(width);
+    out.special = mag == 0 ? 1.0 : 0.0;
+    return out;
+}
+
+/** Unit-class index: 0 add/sub, 1 mul, 2 div, 3 convert. */
+unsigned
+opClass(FpuOp op)
+{
+    switch (op) {
+      case FpuOp::AddD: case FpuOp::SubD:
+      case FpuOp::AddS: case FpuOp::SubS: return 0;
+      case FpuOp::MulD: case FpuOp::MulS: return 1;
+      case FpuOp::DivD: case FpuOp::DivS: return 2;
+      case FpuOp::I2FD: case FpuOp::F2ID:
+      case FpuOp::I2FS: case FpuOp::F2IS: return 3;
+    }
+    return 3;
+}
+
+bool
+isSingleOperand(FpuOp op)
+{
+    return opClass(op) == 3;
+}
+
+constexpr const char *kFeatureNames[kNumFeatures] = {
+    "bias",       "vr",          "is_double",  "class_addsub",
+    "class_mul",  "class_div",   "class_cvt",  "sign_a",
+    "sign_b",     "sign_differs","exp_a",      "exp_b",
+    "exp_delta",  "mant_lz_a",   "mant_lz_b",  "mant_tz_a",
+    "mant_tz_b",  "mant_pop_a",  "mant_pop_b", "special_a",
+    "special_b",  "exp_high_a",
+};
+
+} // namespace
+
+const char *
+featureName(unsigned index)
+{
+    return index < kNumFeatures ? kFeatureNames[index] : "?";
+}
+
+FeatureVec
+featurize(FpuOp op, uint64_t a, uint64_t b, double vrFrac)
+{
+    bool isDouble = fpu::isDoubleOp(op);
+    OperandView va, vb;
+    switch (op) {
+      case FpuOp::I2FD: va = viewInt(a, 64); break;
+      case FpuOp::I2FS: va = viewInt(a, 32); break;
+      default:          va = viewFloat(a, isDouble); break;
+    }
+    if (isSingleOperand(op))
+        vb = OperandView{}; // the FPU ignores b; so does the model
+    else
+        vb = viewFloat(b, isDouble);
+
+    unsigned cls = opClass(op);
+    FeatureVec x{};
+    x[0] = 1.0; // bias
+    x[1] = vrFrac;
+    x[2] = isDouble ? 1.0 : 0.0;
+    x[3] = cls == 0 ? 1.0 : 0.0;
+    x[4] = cls == 1 ? 1.0 : 0.0;
+    x[5] = cls == 2 ? 1.0 : 0.0;
+    x[6] = cls == 3 ? 1.0 : 0.0;
+    x[7] = va.sign;
+    x[8] = vb.sign;
+    x[9] = va.sign != vb.sign ? 1.0 : 0.0;
+    x[10] = va.exponent;
+    x[11] = vb.exponent;
+    // Alignment-shift magnitude: the add/sub path's datapath activity
+    // is governed by |exp(a) - exp(b)|.
+    x[12] = std::fabs(va.exponent - vb.exponent);
+    x[13] = va.mantLz;
+    x[14] = vb.mantLz;
+    x[15] = va.mantTz;
+    x[16] = vb.mantTz;
+    x[17] = va.mantPop;
+    x[18] = vb.mantPop;
+    x[19] = va.special;
+    x[20] = vb.special;
+    x[21] = va.exponent > 0.9 ? 1.0 : 0.0; // near the overflow rail
+    return x;
+}
+
+} // namespace tea::surrogate

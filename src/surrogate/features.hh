@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Operand feature extraction for the timing-error surrogate.
+ *
+ * Timing errors at reduced voltage are strongly operand-dependent:
+ * the paper's WA model exists precisely because an instruction's real
+ * operands decide which circuit paths toggle (alignment shifts from
+ * exponent deltas, carry chains from mantissa bit patterns, overflow
+ * handling near the exponent rails). The surrogate turns one
+ * (op, a, b, VR level) site into a small dense feature vector that a
+ * logistic model can score — every feature a pure, branch-stable
+ * function of its inputs, scaled into roughly [0, 1] so one fixed
+ * learning rate trains all of them.
+ */
+
+#ifndef TEA_SURROGATE_FEATURES_HH
+#define TEA_SURROGATE_FEATURES_HH
+
+#include <array>
+#include <cstdint>
+
+#include "fpu/fpu_types.hh"
+
+namespace tea::surrogate {
+
+/** Dimension of the feature vector (bias term included). */
+constexpr unsigned kNumFeatures = 22;
+
+using FeatureVec = std::array<double, kNumFeatures>;
+
+/**
+ * Featurize one candidate injection site. `vrFrac` is the
+ * voltage-reduction fraction of the operating point (0.15 for VR15).
+ * Integer-operand conversions are decoded as two's-complement values
+ * (bit length in place of the exponent); `b` is ignored for
+ * single-operand ops, exactly as the FPU ignores it.
+ */
+FeatureVec featurize(fpu::FpuOp op, uint64_t a, uint64_t b,
+                     double vrFrac);
+
+/** Feature names, index-aligned with featurize() (reports/tests). */
+const char *featureName(unsigned index);
+
+} // namespace tea::surrogate
+
+#endif // TEA_SURROGATE_FEATURES_HH

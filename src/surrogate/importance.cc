@@ -1,0 +1,146 @@
+#include "surrogate/importance.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace tea::surrogate {
+
+using fpu::FpuOp;
+using sim::InjectionEvent;
+
+namespace {
+
+std::string
+composeName(const models::StatisticalModel &base, double boost,
+            double floorFrac, size_t traceOps)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "+is(b=%g,f=%g,n=%llu)", boost,
+                  floorFrac,
+                  static_cast<unsigned long long>(traceOps));
+    return base.describe() + buf;
+}
+
+} // namespace
+
+ImportanceModel::ImportanceModel(
+    const models::StatisticalModel &base,
+    const ErrorSurrogate &surrogate,
+    const std::vector<sim::FpTraceEntry> &trace, double vrFrac,
+    double boost, double floorFrac, double maxTilted)
+    : StatisticalModel(base.kind(),
+                       composeName(base, boost, floorFrac,
+                                   trace.size()),
+                       base.allStats())
+{
+    boost = std::clamp(boost, 1.0, 64.0);
+    floorFrac = std::clamp(floorFrac, 1e-3, 1.0);
+    maxTilted = std::clamp(maxTilted, 0.1, 1e18);
+
+    // Pass 1: surrogate risk per site, grouped by op in trace order
+    // (site i of op o = the i-th dynamic instance of o).
+    std::array<std::vector<double>, fpu::kNumFpuOps> risk;
+    for (const auto &t : trace)
+        risk[static_cast<size_t>(t.op)].push_back(
+            surrogate.score(t.op, t.a, t.b, vrFrac));
+
+    // Pass 2: proposal q_i = clamp(p * boost * s_i / mean(s),
+    // floor * p, 1/2) with a *tempered* risk s_i = sqrt(r_i). The
+    // square root halves the log-spread of the tilt: a raw
+    // risk-proportional proposal trusts the surrogate's ranking
+    // absolutely, and every mis-ranked site it over-boosts becomes a
+    // low-weight event that inflates the self-normalized variance —
+    // measured on the convergence bench, tempering beats both the
+    // raw (gamma = 1) and the uniform (gamma = 0) tilt. Sites the
+    // model never injects (p <= 0) and already-frequent errors
+    // (p >= 1/2) keep q = p: the likelihood ratio is then exactly 1
+    // there, term by term.
+    for (unsigned o = 0; o < fpu::kNumFpuOps; ++o) {
+        const auto &r = risk[o];
+        if (r.empty())
+            continue;
+        double p = opStats(static_cast<FpuOp>(o)).faultyProb;
+        SiteTable &tab = sites_[o];
+        tab.q.resize(r.size());
+        tab.dLog.resize(r.size());
+        // Rare-regime guard: the tilted expectation sum(q) ~= b*n*p
+        // must stay under maxTilted. An op already expecting that
+        // many injections per run is left exactly on the target
+        // measure (b = 1 => q = p => every log term 0.0); in the
+        // transition band the boost shrinks proportionally.
+        double expected = p * static_cast<double>(r.size());
+        double b = boost;
+        if (expected > 0.0)
+            b = std::min(boost, maxTilted / expected);
+        bool tilt = p > 0.0 && p < 0.5 && b > 1.0;
+        double meanRisk = 0.0;
+        if (tilt) {
+            for (double ri : r)
+                meanRisk += std::sqrt(ri);
+            meanRisk /= static_cast<double>(r.size());
+        }
+        for (size_t i = 0; i < r.size(); ++i) {
+            double q = p;
+            if (tilt && meanRisk > 0.0)
+                q = std::clamp(p * b * std::sqrt(r[i]) / meanRisk,
+                               floorFrac * p, 0.5);
+            tab.q[i] = q;
+            if (q == p) {
+                // log(1) is exactly 0.0: an untilted site leaves the
+                // weight bit-identical to 1.
+                tab.dLog[i] = 0.0;
+            } else {
+                double miss = std::log((1.0 - p) / (1.0 - q));
+                tab.dLog[i] = std::log(p / q) - miss;
+                tab.cLog += miss;
+            }
+        }
+    }
+}
+
+std::vector<InjectionEvent>
+ImportanceModel::planWeighted(const models::ProgramProfile &profile,
+                              Rng &rng, double &logWeight) const
+{
+    // The tilt only applies when the trace covers every dynamic site
+    // the profile can inject into; otherwise sample the target
+    // measure itself (weight exactly 1).
+    for (unsigned o = 0; o < fpu::kNumFpuOps; ++o) {
+        uint64_t n = profile.fpOpCounts[o];
+        const auto &m = opStats(static_cast<FpuOp>(o));
+        if (n == 0 || m.faultyProb <= 0.0 || m.maskPool.empty())
+            continue;
+        if (sites_[o].q.size() != n) {
+            logWeight = 0.0;
+            return StatisticalModel::plan(profile, rng);
+        }
+    }
+
+    logWeight = 0.0;
+    std::vector<InjectionEvent> events;
+    for (unsigned o = 0; o < fpu::kNumFpuOps; ++o) {
+        uint64_t n = profile.fpOpCounts[o];
+        const auto &m = opStats(static_cast<FpuOp>(o));
+        if (n == 0 || m.faultyProb <= 0.0 || m.maskPool.empty())
+            continue;
+        const SiteTable &tab = sites_[o];
+        logWeight += tab.cLog;
+        for (uint64_t i = 0; i < n; ++i) {
+            if (!rng.nextBool(tab.q[i]))
+                continue;
+            InjectionEvent ev{};
+            ev.kind = InjectionEvent::Kind::FpOp;
+            ev.op = static_cast<FpuOp>(o);
+            ev.index = i;
+            // Mask drawn immediately after the site decision so the
+            // stream layout is a pure function of the decisions.
+            ev.mask = m.maskPool[rng.nextBounded(m.maskPool.size())];
+            events.push_back(ev);
+            logWeight += tab.dLog[i];
+        }
+    }
+    return events;
+}
+
+} // namespace tea::surrogate

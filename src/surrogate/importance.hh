@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Importance-sampled injection proposal built on the error surrogate.
+ *
+ * Wraps a characterized IA/WA model: instead of sampling injection
+ * sites uniformly at the per-type error ratio p, each dynamic site i
+ * draws Bernoulli(q_i) where q_i tilts p by the surrogate's risk score
+ * for that site's actual operands. Every plan carries the exact log
+ * likelihood ratio log(target/proposal); campaigns fold it into the
+ * self-normalized weighted AVM estimator, so the tilt changes only the
+ * variance, never the estimand.
+ *
+ * The target measure is the wrapped model's own plan distribution —
+ * k ~ Binomial(n, p) followed by k uniform distinct sites, which is
+ * exactly the iid per-site Bernoulli(p) product measure — so per-site
+ * Bernoulli(q_i) with the product-form likelihood ratio is an unbiased
+ * proposal for it.
+ */
+
+#ifndef TEA_SURROGATE_IMPORTANCE_HH
+#define TEA_SURROGATE_IMPORTANCE_HH
+
+#include <array>
+#include <vector>
+
+#include "models/error_models.hh"
+#include "surrogate/surrogate.hh"
+
+namespace tea::surrogate {
+
+/** Default risk tilt: a top-scored site is boosted ~this factor. */
+constexpr double kDefaultBoost = 4.0;
+/** Default floor on q_i as a fraction of p (bounds the weights). */
+constexpr double kDefaultFloor = 0.25;
+/**
+ * Default cap on an op's *tilted* expected injection count (sum of
+ * q_i). Importance sampling pays off when injections are rare — most
+ * target-measure runs inject nothing and learn nothing. When an op
+ * already expects more injections per run than this cap, tilting its
+ * thousands of sites only piles variance onto the likelihood weights
+ * (the Kish ESS collapses), so the proposal keeps q_i = p there: the
+ * weight contribution is exactly 1 term by term and the campaign
+ * behaves like plain Monte Carlo. In between, the boost is scaled
+ * down so sum(q_i) never exceeds the cap.
+ */
+constexpr double kDefaultMaxTilted = 2.0;
+
+class ImportanceModel final : public models::StatisticalModel
+{
+  public:
+    /**
+     * `trace` is the workload's dynamic FP operand stream in program
+     * order (Toolflow::trace); site i of op o is the i-th instance of
+     * o in it. `boost` scales a mean-risk site's proposal to p (risk
+     * above the mean raises q, below lowers it); `floorFrac` clamps
+     * q_i >= floorFrac * p so no site's weight can exceed 1/floorFrac.
+     * When the trace does not cover a profile's op counts,
+     * planWeighted() falls back to the wrapped model's plan with
+     * weight exactly 1 — still unbiased, just untilted.
+     * `maxTilted` caps each op's tilted expected injection count
+     * (see kDefaultMaxTilted): ops already saturated with injections
+     * keep q_i = p exactly, so enabling IS can never make a
+     * fast-converging cell slower than plain Monte Carlo.
+     */
+    ImportanceModel(const models::StatisticalModel &base,
+                    const ErrorSurrogate &surrogate,
+                    const std::vector<sim::FpTraceEntry> &trace,
+                    double vrFrac, double boost = kDefaultBoost,
+                    double floorFrac = kDefaultFloor,
+                    double maxTilted = kDefaultMaxTilted);
+
+    std::vector<sim::InjectionEvent>
+    planWeighted(const models::ProgramProfile &profile, Rng &rng,
+                 double &logWeight) const override;
+
+    std::vector<sim::InjectionEvent>
+    plan(const models::ProgramProfile &profile,
+         Rng &rng) const override
+    {
+        double lw;
+        return planWeighted(profile, rng, lw);
+    }
+
+    bool weightedProposal() const override { return true; }
+
+    /** Proposal probabilities for one op type (tests). */
+    const std::vector<double> &proposal(fpu::FpuOp op) const
+    {
+        return sites_[static_cast<size_t>(op)].q;
+    }
+
+  private:
+    struct SiteTable
+    {
+        std::vector<double> q;    ///< per-site proposal probability
+        /** Weight delta an *injected* site adds on top of cLog:
+         *  log(p/q_i) - log((1-p)/(1-q_i)). */
+        std::vector<double> dLog;
+        /** Sum over all sites of log((1-p)/(1-q_i)) — the weight of
+         *  the nothing-injected plan. */
+        double cLog = 0.0;
+    };
+
+    std::array<SiteTable, fpu::kNumFpuOps> sites_;
+};
+
+} // namespace tea::surrogate
+
+#endif // TEA_SURROGATE_IMPORTANCE_HH

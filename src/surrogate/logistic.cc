@@ -1,0 +1,106 @@
+#include "surrogate/logistic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tea::surrogate {
+
+namespace {
+
+double
+sigmoid(double z)
+{
+    // Split by sign so the exp() argument is always <= 0: no overflow,
+    // and the symmetric formulation keeps predict() in (0, 1).
+    if (z >= 0.0)
+        return 1.0 / (1.0 + std::exp(-z));
+    double e = std::exp(z);
+    return e / (1.0 + e);
+}
+
+} // namespace
+
+void
+LogisticModel::train(const std::vector<Sample> &samples,
+                     const TrainConfig &cfg)
+{
+    w_ = FeatureVec{};
+    if (samples.empty())
+        return;
+    const double invN = 1.0 / static_cast<double>(samples.size());
+    FeatureVec grad;
+    for (unsigned it = 0; it < cfg.iterations; ++it) {
+        grad = FeatureVec{};
+        for (const Sample &s : samples) {
+            double z = 0.0;
+            for (unsigned j = 0; j < kNumFeatures; ++j)
+                z += w_[j] * s.x[j];
+            double err = sigmoid(z) - (s.label ? 1.0 : 0.0);
+            for (unsigned j = 0; j < kNumFeatures; ++j)
+                grad[j] += err * s.x[j];
+        }
+        for (unsigned j = 0; j < kNumFeatures; ++j) {
+            double g = grad[j] * invN;
+            if (j != 0) // never decay the bias
+                g += cfg.l2 * w_[j];
+            w_[j] -= cfg.learningRate * g;
+        }
+    }
+}
+
+double
+LogisticModel::predict(const FeatureVec &x) const
+{
+    double z = 0.0;
+    for (unsigned j = 0; j < kNumFeatures; ++j)
+        z += w_[j] * x[j];
+    return sigmoid(z);
+}
+
+double
+modelAuc(const LogisticModel &model,
+         const std::vector<Sample> &samples)
+{
+    struct Scored
+    {
+        double score;
+        bool label;
+    };
+    std::vector<Scored> scored;
+    scored.reserve(samples.size());
+    size_t pos = 0;
+    for (const Sample &s : samples) {
+        scored.push_back({model.predict(s.x), s.label});
+        if (s.label)
+            ++pos;
+    }
+    size_t neg = scored.size() - pos;
+    if (pos == 0 || neg == 0)
+        return 0.5;
+    // stable_sort keeps equal scores in input order; equal-score runs
+    // then share their mean rank, so the result does not depend on the
+    // sort's tie-breaking at all.
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const Scored &a, const Scored &b) {
+                         return a.score < b.score;
+                     });
+    double posRankSum = 0.0;
+    size_t i = 0;
+    while (i < scored.size()) {
+        size_t j = i;
+        while (j < scored.size() && scored[j].score == scored[i].score)
+            ++j;
+        // Ranks are 1-based; run [i, j) spans ranks i+1 .. j.
+        double meanRank = (static_cast<double>(i + 1) +
+                           static_cast<double>(j)) / 2.0;
+        for (size_t k = i; k < j; ++k)
+            if (scored[k].label)
+                posRankSum += meanRank;
+        i = j;
+    }
+    double u = posRankSum - static_cast<double>(pos) *
+                                (static_cast<double>(pos) + 1.0) / 2.0;
+    return u / (static_cast<double>(pos) * static_cast<double>(neg));
+}
+
+} // namespace tea::surrogate

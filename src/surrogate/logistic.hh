@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Dependency-free logistic regression for the timing-error surrogate.
+ *
+ * Deliberately tiny: full-batch gradient descent with L2 weight decay,
+ * a fixed iteration count, and no floating-point reductions whose
+ * order depends on thread count — training the same corpus always
+ * produces bit-identical weights, which keeps importance-sampled
+ * campaigns reproducible end to end.
+ */
+
+#ifndef TEA_SURROGATE_LOGISTIC_HH
+#define TEA_SURROGATE_LOGISTIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "surrogate/features.hh"
+
+namespace tea::surrogate {
+
+/** One labeled training example. */
+struct Sample
+{
+    FeatureVec x;
+    bool label = false; ///< true = timing error observed
+};
+
+struct TrainConfig
+{
+    unsigned iterations = 200;
+    double learningRate = 0.5;
+    double l2 = 1e-4;
+};
+
+class LogisticModel
+{
+  public:
+    /**
+     * Fit by full-batch gradient descent from zero weights. Sample
+     * order matters only through the (sequential, deterministic)
+     * gradient accumulation — same corpus, same weights, always.
+     */
+    void train(const std::vector<Sample> &samples,
+               const TrainConfig &cfg = {});
+
+    /** P(timing error | x) in (0, 1). */
+    double predict(const FeatureVec &x) const;
+
+    const FeatureVec &weights() const { return w_; }
+    void setWeights(const FeatureVec &w) { w_ = w; }
+
+  private:
+    FeatureVec w_{};
+};
+
+/**
+ * Rank-based AUC of `model` over `samples` with deterministic tie
+ * handling (ties share the mean rank). Returns 0.5 when either class
+ * is empty — no ranking information either way.
+ */
+double modelAuc(const LogisticModel &model,
+                const std::vector<Sample> &samples);
+
+} // namespace tea::surrogate
+
+#endif // TEA_SURROGATE_LOGISTIC_HH

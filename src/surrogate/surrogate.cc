@@ -1,0 +1,172 @@
+#include "surrogate/surrogate.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "timing/dta_campaign.hh"
+#include "util/crc32.hh"
+#include "util/fsatomic.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace tea::surrogate {
+
+namespace {
+
+// v1: weights + AUC as exact bit patterns. Any format change bumps
+// this and old caches are regenerated (they fail the magic check).
+constexpr const char *kSurrogateMagic = "tea-surrogate-v1";
+
+/** Corpus RNG domain: distinct from every campaign/characterization
+ *  salt so surrogate corpora never share a stream with them. */
+constexpr uint64_t kCorpusSalt = 0x5a6b7c8d9eULL;
+
+std::string
+hexBits(double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(bits));
+    return buf;
+}
+
+bool
+parseBits(const std::string &tok, double &v)
+{
+    unsigned long long bits;
+    if (std::sscanf(tok.c_str(), "%llx", &bits) != 1)
+        return false;
+    uint64_t b = bits;
+    std::memcpy(&v, &b, sizeof(v));
+    return true;
+}
+
+} // namespace
+
+void
+ErrorSurrogate::train(
+    fpu::FpuCore &core,
+    const std::vector<std::pair<double, size_t>> &vrPoints,
+    const CorpusConfig &cfg)
+{
+    std::vector<Sample> trainSet, heldOut;
+    trainSet.reserve(vrPoints.size() * fpu::kNumFpuOps *
+                     cfg.opsPerOpPerVr / 2 + 1);
+    heldOut.reserve(trainSet.capacity());
+    corpusOps_ = 0;
+    Rng base(cfg.seed ^ kCorpusSalt);
+    for (size_t vrIdx = 0; vrIdx < vrPoints.size(); ++vrIdx) {
+        double vrFrac = vrPoints[vrIdx].first;
+        size_t point = vrPoints[vrIdx].second;
+        Rng vrRng = base.fork(vrIdx);
+        for (unsigned o = 0; o < fpu::kNumFpuOps; ++o) {
+            auto op = static_cast<fpu::FpuOp>(o);
+            Rng rng = vrRng.fork(o);
+            // Fresh pipeline per (VR, op) stream: the corpus is then a
+            // pure function of (seed, vrIdx, op), not of build order.
+            core.reset(point);
+            for (uint64_t i = 0; i < cfg.opsPerOpPerVr; ++i) {
+                uint64_t a, b;
+                timing::randomOperands(op, rng, a, b);
+                auto exec = core.execute(point, op, a, b);
+                Sample s{featurize(op, a, b, vrFrac),
+                         exec.timingError};
+                (i % 2 == 0 ? trainSet : heldOut).push_back(s);
+                ++corpusOps_;
+            }
+        }
+    }
+    model_.train(trainSet);
+    auc_ = modelAuc(model_, heldOut);
+    trained_ = true;
+}
+
+bool
+ErrorSurrogate::save(const std::string &path,
+                     const std::string &identity) const
+{
+    std::ostringstream body;
+    body << kSurrogateMagic << " c";
+    {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%08x",
+                      crc32(identity.data(), identity.size()));
+        body << buf;
+    }
+    body << " " << identity << "\n";
+    body << "w";
+    for (double w : model_.weights())
+        body << " " << hexBits(w);
+    body << "\n";
+    body << "a " << hexBits(auc_) << " o " << corpusOps_ << "\n";
+    std::string s = body.str();
+    char crcLine[16];
+    std::snprintf(crcLine, sizeof(crcLine), "c%08x\n",
+                  crc32(s.data(), s.size()));
+    if (!atomicWriteFile(path, s + crcLine)) {
+        warn("cannot write surrogate cache '%s'", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+ErrorSurrogate::load(const std::string &path,
+                     const std::string &identity)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    // Split the trailing "c<crc>\n" line off and verify the body.
+    size_t tail = content.rfind("\nc");
+    if (tail == std::string::npos || content.size() - tail != 11 ||
+        content.back() != '\n')
+        return false;
+    uint32_t storedCrc = 0;
+    if (std::sscanf(content.c_str() + tail + 2, "%8x", &storedCrc) != 1)
+        return false;
+    if (crc32(content.data(), tail + 1) != storedCrc)
+        return false;
+    std::istringstream body(content.substr(0, tail + 1));
+    std::string magic, crcTok, storedIdentity;
+    body >> magic >> crcTok;
+    std::getline(body, storedIdentity);
+    if (magic != kSurrogateMagic)
+        return false;
+    if (!storedIdentity.empty() && storedIdentity.front() == ' ')
+        storedIdentity.erase(0, 1);
+    if (storedIdentity != identity)
+        return false;
+    std::string tag;
+    body >> tag;
+    if (tag != "w")
+        return false;
+    FeatureVec w{};
+    for (unsigned j = 0; j < kNumFeatures; ++j) {
+        std::string tok;
+        if (!(body >> tok) || !parseBits(tok, w[j]))
+            return false;
+    }
+    std::string aTag, aTok, oTag;
+    uint64_t ops = 0;
+    if (!(body >> aTag >> aTok >> oTag >> ops) || aTag != "a" ||
+        oTag != "o")
+        return false;
+    double auc;
+    if (!parseBits(aTok, auc))
+        return false;
+    model_.setWeights(w);
+    auc_ = auc;
+    corpusOps_ = ops;
+    trained_ = true;
+    return true;
+}
+
+} // namespace tea::surrogate

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The learned timing-error surrogate (importance-sampling brain).
+ *
+ * An ErrorSurrogate is a logistic model over operand features
+ * (surrogate/features.hh) trained on a gate-level DTA corpus: random
+ * operands streamed through the real FPU at every studied VR level,
+ * labeled by whether the instruction actually suffered a timing error.
+ * Campaigns then score candidate injection sites cheaply — a dot
+ * product instead of a gate-level simulation — and concentrate
+ * injection runs on high-risk sites (surrogate/importance.hh), with
+ * likelihood-ratio reweighting keeping the AVM estimate unbiased.
+ *
+ * Training is deterministic (fixed corpus RNG substreams, sequential
+ * gradient descent), so a surrogate is a pure function of
+ * (FPU, VR levels, seed, corpus size) — which is exactly the identity
+ * its on-disk cache is keyed by.
+ */
+
+#ifndef TEA_SURROGATE_SURROGATE_HH
+#define TEA_SURROGATE_SURROGATE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fpu/fpu_core.hh"
+#include "surrogate/logistic.hh"
+
+namespace tea::surrogate {
+
+/** Corpus-building parameters. */
+struct CorpusConfig
+{
+    uint64_t seed = 1;
+    /** DTA ops per (instruction type, VR level). */
+    uint64_t opsPerOpPerVr = 1500;
+};
+
+class ErrorSurrogate
+{
+  public:
+    /**
+     * Build the corpus and fit the model. `vrPoints` pairs each VR
+     * fraction with its FpuCore operating-point index. Every
+     * (VR, op) stream gets its own RNG substream and a reset pipeline,
+     * so the corpus is independent of training order and of whatever
+     * ran on the point before. Even-indexed ops train, odd-indexed
+     * ops are held out for the calibration AUC.
+     */
+    void train(fpu::FpuCore &core,
+               const std::vector<std::pair<double, size_t>> &vrPoints,
+               const CorpusConfig &cfg);
+
+    /** Predicted P(timing error) for one site. */
+    double score(fpu::FpuOp op, uint64_t a, uint64_t b,
+                 double vrFrac) const
+    {
+        return model_.predict(featurize(op, a, b, vrFrac));
+    }
+
+    bool trained() const { return trained_; }
+    /** Held-out ranking quality (0.5 = uninformative). */
+    double heldOutAuc() const { return auc_; }
+    /** Gate-level DTA ops spent building the corpus. */
+    uint64_t corpusOps() const { return corpusOps_; }
+    const LogisticModel &model() const { return model_; }
+
+    /**
+     * CRC-guarded cache round-trip. `identity` must describe
+     * everything the surrogate is a function of (seed, corpus size,
+     * VR levels); load() rejects files written under a different
+     * identity, a damaged body, or a format bump.
+     */
+    bool save(const std::string &path,
+              const std::string &identity) const;
+    bool load(const std::string &path, const std::string &identity);
+
+  private:
+    LogisticModel model_;
+    double auc_ = 0.5;
+    uint64_t corpusOps_ = 0;
+    bool trained_ = false;
+};
+
+} // namespace tea::surrogate
+
+#endif // TEA_SURROGATE_SURROGATE_HH

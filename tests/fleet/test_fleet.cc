@@ -14,6 +14,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <map>
 #include <sstream>
@@ -528,6 +529,68 @@ TEST(FleetGrid, ShardedCellsMatchReference)
     expectSameResults(ref, grid);
     Artifacts art = captureAndClear(opt, spec);
     EXPECT_EQ(refArt.csv, art.csv);
+    fs::remove_all(dir);
+}
+
+TEST(FleetGrid, ImportanceSampledGridIsByteIdentical)
+{
+    // REPRO_IS grids must keep the fleet contract: the surrogate is a
+    // pure function of (seed, corpus, VR levels) so every worker
+    // trains or cache-loads identical weights, per-site proposals
+    // derive from the shared trace, and the weighted columns in the
+    // grid CSV merge bit-exactly — including through 3-run shards,
+    // whose journals carry each run's log weight verbatim.
+    std::string dir = "/tmp/tea_fleet_test_is";
+    fs::remove_all(dir);
+    ToolflowOptions opt = tinyOptions(dir);
+    opt.isEnable = true;
+    opt.isBoost = 2.0;
+    opt.isMaxTilted = 1e9;   // full tilt: nontrivial weights merge
+    opt.isCorpusPerOp = 200; // keep surrogate training sub-second
+    GridSpec spec;
+    spec.workloads = {"sobel"};
+
+    Toolflow tf(opt);
+    EvaluationGrid ref = runEvaluationGrid(tf, spec);
+    ASSERT_EQ(ref.cells.size(), 3u);
+    // IA and WA cells sample the tilted proposal; DA stays plain.
+    EXPECT_TRUE(ref.cells[1].result.weightedModel);
+    EXPECT_TRUE(ref.cells[2].result.weightedModel);
+    EXPECT_FALSE(ref.cells[0].result.weightedModel);
+    EXPECT_GT(ref.cells[1].result.weightSum, 0.0);
+    Artifacts refArt = captureAndClear(opt, spec);
+    ASSERT_FALSE(refArt.csv.empty());
+    EXPECT_NE(refArt.csv.find(",1,"), std::string::npos);
+
+    for (int workers : {1, 2}) {
+        FleetOptions fopt =
+            tinyFleet(workers, dir + "/spool" + std::to_string(workers));
+        if (workers == 2)
+            fopt.shardRuns = 3; // exercise the weighted journal merge
+        EvaluationGrid grid = runFleetGrid(opt, fopt, spec);
+        expectSameResults(ref, grid);
+        for (size_t i = 0; i < ref.cells.size(); ++i) {
+            const auto &r = ref.cells[i].result;
+            const auto &g = grid.cells[i].result;
+            EXPECT_EQ(0, std::memcmp(&r.weightSum, &g.weightSum,
+                                     sizeof(double)))
+                << "cell " << i << " at " << workers << " workers";
+            EXPECT_EQ(0, std::memcmp(&r.weightUnsafe, &g.weightUnsafe,
+                                     sizeof(double)))
+                << "cell " << i << " at " << workers << " workers";
+            EXPECT_EQ(0, std::memcmp(&r.weightSqSum, &g.weightSqSum,
+                                     sizeof(double)))
+                << "cell " << i << " at " << workers << " workers";
+            EXPECT_EQ(0,
+                      std::memcmp(&r.weightUnsafeSqSum,
+                                  &g.weightUnsafeSqSum,
+                                  sizeof(double)))
+                << "cell " << i << " at " << workers << " workers";
+        }
+        Artifacts art = captureAndClear(opt, spec);
+        EXPECT_EQ(refArt.csv, art.csv)
+            << workers << "-worker IS grid CSV must be byte-identical";
+    }
     fs::remove_all(dir);
 }
 

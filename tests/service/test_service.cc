@@ -533,6 +533,78 @@ TEST(ServiceDaemon, ByteIdenticalToInProcessUnderChaos)
     fs::remove(opt.socketPath);
 }
 
+TEST(ServiceDaemon, ImportanceSampledCampaignMatchesInProcess)
+{
+    // REPRO_IS through the daemon: the plan carries the IS knobs, the
+    // streamed cells carry the weighted-estimator sums bit-exactly,
+    // and the merged grid CSV (weighted columns included) matches the
+    // same plan run in-process.
+    std::string dir = "/tmp/tea_svc_test_is";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    ToolflowOptions refOpt = tinyOptions(dir);
+    refOpt.isEnable = true;
+    refOpt.isBoost = 2.0;
+    refOpt.isMaxTilted = 1e9; // full tilt: nontrivial weights on wire
+    refOpt.isCorpusPerOp = 200;
+    GridSpec spec = tinySpec();
+
+    Toolflow tf(refOpt);
+    EvaluationGrid ref = runEvaluationGrid(tf, spec);
+    ASSERT_EQ(ref.cells.size(), 3u);
+    std::string csvPath = gridCachePath(refOpt);
+    std::string refCsv = readFileToString(csvPath).value_or("");
+    ASSERT_FALSE(refCsv.empty());
+    fs::remove(csvPath);
+
+    DaemonOptions opt = schedulerOptions(dir);
+    opt.socketPath = "/tmp/tea_svc_is.sock";
+    ServiceDaemon daemon(opt);
+    ASSERT_TRUE(daemon.start());
+
+    fleet::FleetPlan plan{refOpt, spec};
+    std::vector<CampaignCell> streamed;
+    Client::Status final;
+    {
+        auto client = Client::connectUnix(opt.socketPath, "is");
+        ASSERT_TRUE(client.has_value());
+        Client::Submitted sub;
+        ASSERT_TRUE(client->submit(plan.serialize(), sub))
+            << errorCodeName(client->lastError().code) << " "
+            << client->lastError().detail;
+        ASSERT_TRUE(client->watch(
+            sub.id,
+            [&streamed](const CampaignCell &cell) {
+                streamed.push_back(cell);
+            },
+            final));
+    }
+    EXPECT_EQ(final.state, "done");
+    expectSameCells(ref.cells, streamed);
+    for (size_t i = 0; i < ref.cells.size(); ++i) {
+        const auto &r = ref.cells[i].result;
+        const auto &g = streamed[i].result;
+        EXPECT_EQ(r.weightedModel, g.weightedModel) << "cell " << i;
+        // The wire carries the sums as %.17g: bit-exact doubles.
+        EXPECT_EQ(r.weightSum, g.weightSum) << "cell " << i;
+        EXPECT_EQ(r.weightUnsafe, g.weightUnsafe) << "cell " << i;
+        EXPECT_EQ(r.weightSqSum, g.weightSqSum) << "cell " << i;
+        EXPECT_EQ(r.weightUnsafeSqSum, g.weightUnsafeSqSum)
+            << "cell " << i;
+    }
+    // IA and WA cells really sampled the tilted proposal.
+    EXPECT_TRUE(streamed[1].result.weightedModel);
+    EXPECT_TRUE(streamed[2].result.weightedModel);
+
+    std::string daemonCsv = readFileToString(csvPath).value_or("");
+    EXPECT_EQ(refCsv, daemonCsv)
+        << "daemon-run IS grid CSV must be byte-identical";
+
+    daemon.stop();
+    fs::remove_all(dir);
+    fs::remove(opt.socketPath);
+}
+
 TEST(ServiceDaemon, ProtocolErrorsOverTheWire)
 {
     std::string dir = "/tmp/tea_svc_test_wire";

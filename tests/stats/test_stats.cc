@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "circuit/celllib.hh"
@@ -138,13 +140,163 @@ TEST(Estimator, StartsVacuousAndAccumulates)
     EXPECT_DOUBLE_EQ(e.interval().lo, 0.0);
     EXPECT_DOUBLE_EQ(e.interval().hi, 1.0);
     EXPECT_FALSE(e.converged());
-    EXPECT_DOUBLE_EQ(e.mean(), 0.0);
+    // Zero trials is "no data", not "rate zero": mean() is NaN so a
+    // caller averaging or thresholding it cannot mistake an
+    // unmeasured stratum for a perfectly safe one.
+    EXPECT_FALSE(e.hasData());
+    EXPECT_TRUE(std::isnan(e.mean()));
 
     e.add(3, 10);
     e.add(2, 10);
+    EXPECT_TRUE(e.hasData());
     EXPECT_EQ(e.events(), 5u);
     EXPECT_EQ(e.trials(), 20u);
     EXPECT_DOUBLE_EQ(e.mean(), 0.25);
+}
+
+TEST(Estimator, ZeroEventStopRequiresRuleOfThreeBound)
+{
+    // Property: a zero-event estimator may only report convergence
+    // when the exact zero-event upper bound itself is below target —
+    // the Wilson half-width alone can look "tight" around 0 while the
+    // plausible upper limit still exceeds the safety threshold.
+    for (double target : {0.02, 0.01, 0.005, 0.001}) {
+        for (uint64_t n : {10ull, 50ull, 100ull, 300ull, 1000ull,
+                           5000ull, 20000ull}) {
+            Estimator e(target, 0.95);
+            e.add(0, n);
+            if (e.converged()) {
+                EXPECT_LE(ruleOfThreeUpperReal(
+                              static_cast<double>(n), 0.95),
+                          target)
+                    << "n=" << n << " target=" << target;
+            }
+        }
+    }
+    // Concrete regression: 100 zero-event trials have Wilson
+    // half-width ~0.018 < 0.02, but the 95% upper bound is ~0.0295 —
+    // stopping there would certify an unsafe voltage level.
+    Estimator e(0.02, 0.95);
+    e.add(0, 100);
+    EXPECT_LE(e.interval().halfWidth(), 0.02);
+    EXPECT_FALSE(e.converged());
+    // With one event the rule no longer applies (Wilson covers it).
+    Estimator e1(0.2, 0.95);
+    e1.add(1, 100);
+    EXPECT_TRUE(e1.converged());
+}
+
+// ---------------------------------------------------------------------
+// Weighted (importance-sampled) estimation
+// ---------------------------------------------------------------------
+
+TEST(WeightedEstimator, UnitWeightsMatchUnweightedBitExactly)
+{
+    // addWeighted with every weight 1.0 must reproduce the unweighted
+    // estimator bit for bit: effective counts k*n/n and n*n/n are
+    // exact in IEEE-754 for campaign-scale n, so the intervals and
+    // stop decisions cannot drift between the two paths.
+    for (auto [k, n] : std::vector<std::pair<uint64_t, uint64_t>>{
+             {0, 50}, {3, 97}, {50, 100}, {999, 1000}, {0, 4000}}) {
+        Estimator plain(0.01, 0.95), weighted(0.01, 0.95);
+        plain.add(k, n);
+        weighted.addWeighted(static_cast<double>(k),
+                             static_cast<double>(n),
+                             static_cast<double>(n),
+                             static_cast<double>(k), k, n);
+        EXPECT_EQ(plain.hasData(), weighted.hasData());
+        EXPECT_DOUBLE_EQ(plain.effEvents(), weighted.effEvents());
+        EXPECT_DOUBLE_EQ(plain.effTrials(), weighted.effTrials());
+        EXPECT_DOUBLE_EQ(plain.mean(), weighted.mean());
+        EXPECT_DOUBLE_EQ(plain.interval().lo, weighted.interval().lo);
+        EXPECT_DOUBLE_EQ(plain.interval().hi, weighted.interval().hi);
+        EXPECT_EQ(plain.converged(), weighted.converged());
+    }
+}
+
+TEST(WeightedEstimator, EffectiveCountsShrinkWithWeightVariance)
+{
+    // Equal weights: ESS = n. Wildly unequal weights: ESS collapses
+    // toward 1 — and the interval must widen accordingly.
+    Estimator even(0.01, 0.95), skewed(0.01, 0.95);
+    even.addWeighted(10.0, 100.0, 100.0, 10.0, 10, 100);
+    EXPECT_DOUBLE_EQ(even.effTrials(), 100.0);
+    // 99 runs of weight ~0 plus one of weight 100.
+    skewed.addWeighted(100.0, 100.0 + 99 * 1e-6,
+                       10000.0 + 99 * 1e-12, 10000.0, 1, 100);
+    EXPECT_LT(skewed.effTrials(), 2.0);
+    EXPECT_GT(skewed.interval().halfWidth(),
+              even.interval().halfWidth());
+}
+
+TEST(WeightedEstimator, ConcentratedEventsTightenTheInterval)
+{
+    // The payoff case for importance sampling: a proposal that makes
+    // events common but down-weighted. 200 of 1000 runs are events at
+    // weight 0.1 each; the rest carry weight 1.225 so E[w] = 1. The
+    // variance-matched interval must beat the plain-MC interval at the
+    // same mean (20 events in 1000 unit-weight runs) — the Kish-ESS
+    // interval never could, since ESS <= n.
+    Estimator weighted(0.001, 0.95), plain(0.001, 0.95);
+    double wEvents = 200 * 0.1;           // 20
+    double wNon = (1000.0 - wEvents) / 800.0;
+    double wSq = 200 * 0.01 + 800 * wNon * wNon;
+    weighted.addWeighted(wEvents, 1000.0, wSq, 200 * 0.01, 200, 1000);
+    plain.add(20, 1000);
+    EXPECT_DOUBLE_EQ(weighted.mean(), plain.mean());
+    EXPECT_LT(weighted.interval().halfWidth(),
+              plain.interval().halfWidth());
+}
+
+TEST(WeightedEstimator, ExtremeLikelihoodRatiosStayFinite)
+{
+    // Log-weights beyond exp()'s range are clamped, never inf/NaN,
+    // and a NaN log-weight degrades to weight 1 (the safe identity).
+    EXPECT_TRUE(std::isfinite(inject::likelihoodWeight(1e6)));
+    EXPECT_TRUE(std::isfinite(inject::likelihoodWeight(-1e6)));
+    EXPECT_GT(inject::likelihoodWeight(1e6), 0.0);
+    EXPECT_GT(inject::likelihoodWeight(-1e6), 0.0);
+    EXPECT_DOUBLE_EQ(inject::likelihoodWeight(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(
+        inject::likelihoodWeight(
+            std::numeric_limits<double>::quiet_NaN()),
+        1.0);
+
+    // Accumulating such weights keeps every estimator output finite.
+    Estimator e(0.01, 0.95);
+    double w = inject::likelihoodWeight(750.0);
+    e.addWeighted(w, w + 99.0, w * w + 99.0, w * w, 1, 100);
+    EXPECT_TRUE(std::isfinite(e.mean()));
+    EXPECT_TRUE(std::isfinite(e.interval().lo));
+    EXPECT_TRUE(std::isfinite(e.interval().hi));
+    EXPECT_GE(e.interval().lo, 0.0);
+    EXPECT_LE(e.interval().hi, 1.0);
+}
+
+TEST(WeightedEstimator, WeightedCampaignResultAccessors)
+{
+    // avmWeighted is the self-normalized estimate; ESS is Kish's
+    // formula; EngineFault runs contribute to none of the sums (the
+    // campaign aggregation skips them before the weighted fold).
+    inject::CampaignResult r;
+    r.weightedModel = true;
+    r.runs = 4;
+    r.sdc = 1;
+    r.masked = 2;
+    r.engineFault = 1;
+    r.weightSum = 0.5 + 2.0 + 1.0;
+    r.weightUnsafe = 0.5;
+    r.weightSqSum = 0.25 + 4.0 + 1.0;
+    r.weightUnsafeSqSum = 0.25;
+    EXPECT_DOUBLE_EQ(r.avmWeighted(), 0.5 / 3.5);
+    EXPECT_DOUBLE_EQ(r.ess(), 3.5 * 3.5 / 5.25);
+    auto iv = r.avmWeightedInterval(0.95);
+    EXPECT_TRUE(iv.contains(r.avmWeighted()));
+
+    inject::CampaignResult empty;
+    empty.weightedModel = true;
+    EXPECT_TRUE(std::isnan(empty.avmWeighted()));
+    EXPECT_DOUBLE_EQ(empty.ess(), 0.0);
 }
 
 TEST(Estimator, ConvergesOnTightInterval)

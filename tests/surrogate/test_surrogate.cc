@@ -1,0 +1,525 @@
+/**
+ * @file
+ * The importance-sampling contract: operand features are deterministic
+ * and bounded, logistic training is bit-reproducible, the surrogate
+ * calibrates on a held-out DTA slice where timing errors actually
+ * occur, the cache round-trips bit-exactly and rejects damage, and the
+ * ImportanceModel proposal is unbiased (unit-boost keeps the target
+ * measure term-by-term, tilted weights average to 1) with campaign
+ * weight sums bit-identical at any thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "inject/campaign.hh"
+#include "sim/func_sim.hh"
+#include "surrogate/importance.hh"
+#include "surrogate/surrogate.hh"
+#include "util/fsatomic.hh"
+#include "util/rng.hh"
+#include "util/threadpool.hh"
+#include "workloads/workloads.hh"
+
+using namespace tea;
+using namespace tea::surrogate;
+using fpu::FpuOp;
+
+// ---- features ------------------------------------------------------
+
+TEST(Features, DeterministicAndBounded)
+{
+    Rng rng(42);
+    for (unsigned o = 0; o < fpu::kNumFpuOps; ++o) {
+        for (int i = 0; i < 200; ++i) {
+            uint64_t a = rng.next(), b = rng.next();
+            auto op = static_cast<FpuOp>(o);
+            FeatureVec x = featurize(op, a, b, 0.15);
+            FeatureVec y = featurize(op, a, b, 0.15);
+            EXPECT_EQ(0, std::memcmp(x.data(), y.data(), sizeof(x)));
+            EXPECT_DOUBLE_EQ(x[0], 1.0); // bias
+            for (unsigned f = 0; f < kNumFeatures; ++f) {
+                EXPECT_TRUE(std::isfinite(x[f])) << featureName(f);
+                EXPECT_GE(x[f], 0.0) << featureName(f);
+                EXPECT_LE(x[f], 1.0) << featureName(f);
+            }
+        }
+    }
+}
+
+TEST(Features, SingleOperandOpsIgnoreB)
+{
+    for (FpuOp op : {FpuOp::I2FD, FpuOp::F2ID, FpuOp::I2FS,
+                     FpuOp::F2IS}) {
+        FeatureVec x = featurize(op, 12345, 0, 0.2);
+        FeatureVec y = featurize(op, 12345, 0xdeadbeefULL, 0.2);
+        EXPECT_EQ(0, std::memcmp(x.data(), y.data(), sizeof(x)));
+    }
+    // ...while two-operand ops do depend on b.
+    FeatureVec x = featurize(FpuOp::AddD, 12345, 0, 0.2);
+    FeatureVec y = featurize(FpuOp::AddD, 12345, 0xdeadbeefULL, 0.2);
+    EXPECT_NE(0, std::memcmp(x.data(), y.data(), sizeof(x)));
+}
+
+TEST(Features, VrLevelIsAFeature)
+{
+    FeatureVec lo = featurize(FpuOp::MulD, 99, 77, 0.15);
+    FeatureVec hi = featurize(FpuOp::MulD, 99, 77, 0.20);
+    EXPECT_NE(0, std::memcmp(lo.data(), hi.data(), sizeof(lo)));
+}
+
+TEST(Features, NamesCoverEveryIndex)
+{
+    for (unsigned f = 0; f < kNumFeatures; ++f) {
+        ASSERT_NE(featureName(f), nullptr);
+        EXPECT_GT(std::strlen(featureName(f)), 0u);
+    }
+}
+
+// ---- logistic regression -------------------------------------------
+
+namespace {
+
+/** Linearly separable toy corpus: label = (x1 > 0.5). */
+std::vector<Sample>
+separableCorpus(uint64_t seed, size_t n)
+{
+    Rng rng(seed);
+    std::vector<Sample> out;
+    for (size_t i = 0; i < n; ++i) {
+        Sample s;
+        s.x.fill(0.0);
+        s.x[0] = 1.0;
+        s.x[1] = rng.nextDouble();
+        s.x[2] = rng.nextDouble();
+        s.label = s.x[1] > 0.5;
+        out.push_back(s);
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(Logistic, LearnsSeparableData)
+{
+    auto corpus = separableCorpus(7, 400);
+    LogisticModel m;
+    m.train(corpus);
+    EXPECT_GT(modelAuc(m, corpus), 0.95);
+    FeatureVec lo{}, hi{};
+    lo[0] = hi[0] = 1.0;
+    lo[1] = 0.1;
+    hi[1] = 0.9;
+    EXPECT_LT(m.predict(lo), m.predict(hi));
+    EXPECT_GT(m.predict(lo), 0.0);
+    EXPECT_LT(m.predict(hi), 1.0);
+}
+
+TEST(Logistic, TrainingIsBitReproducible)
+{
+    auto corpus = separableCorpus(9, 300);
+    LogisticModel a, b;
+    a.train(corpus);
+    b.train(corpus);
+    EXPECT_EQ(0, std::memcmp(a.weights().data(), b.weights().data(),
+                             sizeof(FeatureVec)));
+}
+
+TEST(Logistic, AucOfOneClassIsUninformative)
+{
+    LogisticModel m;
+    std::vector<Sample> allNeg(10);
+    EXPECT_DOUBLE_EQ(modelAuc(m, allNeg), 0.5);
+    EXPECT_DOUBLE_EQ(modelAuc(m, {}), 0.5);
+}
+
+// ---- surrogate calibration + cache ---------------------------------
+
+namespace {
+
+/**
+ * Train a small surrogate at an aggressive delay scale (1.4x) where
+ * the random corpus contains both classes — at the paper's VR15/VR20
+ * points timing errors are too rare for a random corpus to rank.
+ */
+ErrorSurrogate &
+aggressiveSurrogate()
+{
+    static ErrorSurrogate s = [] {
+        fpu::FpuCore core;
+        size_t pt = core.addOperatingPoint(1.4);
+        ErrorSurrogate sur;
+        CorpusConfig cfg;
+        cfg.seed = 1;
+        cfg.opsPerOpPerVr = 800;
+        sur.train(core, {{0.30, pt}}, cfg);
+        return sur;
+    }();
+    return s;
+}
+
+} // namespace
+
+TEST(Surrogate, CalibratesOnHeldOutSlice)
+{
+    // The calibration gate of the PR: held-out (odd-indexed) corpus
+    // ops must rank well above chance. The corpus RNG is fixed, so
+    // this AUC is one deterministic number (~0.88), not a flaky
+    // statistic; 0.75 leaves margin for feature/training tweaks.
+    auto &s = aggressiveSurrogate();
+    EXPECT_TRUE(s.trained());
+    EXPECT_GE(s.heldOutAuc(), 0.75);
+    EXPECT_LE(s.heldOutAuc(), 1.0);
+    EXPECT_EQ(s.corpusOps(), 800u * fpu::kNumFpuOps);
+}
+
+TEST(Surrogate, ScoresVaryAcrossOperands)
+{
+    auto &s = aggressiveSurrogate();
+    Rng rng(3);
+    double lo = 1.0, hi = 0.0;
+    for (int i = 0; i < 200; ++i) {
+        double r = s.score(FpuOp::DivD, rng.next(), rng.next(), 0.30);
+        lo = std::min(lo, r);
+        hi = std::max(hi, r);
+        EXPECT_GT(r, 0.0);
+        EXPECT_LT(r, 1.0);
+    }
+    EXPECT_GT(hi - lo, 0.05); // the model actually discriminates
+}
+
+TEST(Surrogate, CacheRoundTripsBitExactly)
+{
+    auto &s = aggressiveSurrogate();
+    std::string path = "/tmp/tea_test_surrogate_cache.sg";
+    std::string id = "surrogate s1 n800 vdeadbeef";
+    ASSERT_TRUE(s.save(path, id));
+
+    ErrorSurrogate loaded;
+    ASSERT_TRUE(loaded.load(path, id));
+    EXPECT_TRUE(loaded.trained());
+    EXPECT_EQ(0, std::memcmp(s.model().weights().data(),
+                             loaded.model().weights().data(),
+                             sizeof(FeatureVec)));
+    double a = s.heldOutAuc(), b = loaded.heldOutAuc();
+    EXPECT_EQ(0, std::memcmp(&a, &b, sizeof(double)));
+    EXPECT_EQ(s.corpusOps(), loaded.corpusOps());
+}
+
+TEST(Surrogate, CacheRejectsWrongIdentityAndDamage)
+{
+    auto &s = aggressiveSurrogate();
+    std::string path = "/tmp/tea_test_surrogate_reject.sg";
+    ASSERT_TRUE(s.save(path, "identity-A"));
+
+    ErrorSurrogate other;
+    EXPECT_FALSE(other.load(path, "identity-B"));
+    EXPECT_FALSE(other.trained());
+    EXPECT_FALSE(other.load("/tmp/tea_no_such_surrogate.sg",
+                            "identity-A"));
+
+    // Flip one byte in the body: the CRC seal must catch it.
+    auto content = readFileToString(path);
+    ASSERT_TRUE(content.has_value());
+    std::string damaged = *content;
+    damaged[damaged.size() / 2] ^= 0x01;
+    ASSERT_TRUE(atomicWriteFile(path, damaged));
+    EXPECT_FALSE(other.load(path, "identity-A"));
+}
+
+// ---- importance proposal -------------------------------------------
+
+namespace {
+
+timing::CampaignStats
+mulOnlyStats(uint64_t total, uint64_t faulty)
+{
+    timing::CampaignStats stats;
+    auto &mul = stats.of(FpuOp::MulD);
+    mul.total = total;
+    mul.faulty = faulty;
+    mul.maskPool = {0x00000000000000ffULL};
+    return stats;
+}
+
+std::vector<sim::FpTraceEntry>
+mulTrace(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<sim::FpTraceEntry> tr;
+    for (size_t i = 0; i < n; ++i)
+        tr.push_back({FpuOp::MulD, rng.next(), rng.next()});
+    return tr;
+}
+
+models::ProgramProfile
+mulProfile(uint64_t n)
+{
+    models::ProgramProfile p;
+    p.totalInstructions = 10 * n;
+    p.instructionsWithDest = 5 * n;
+    p.fpOpCounts[static_cast<size_t>(FpuOp::MulD)] = n;
+    return p;
+}
+
+} // namespace
+
+TEST(Importance, UnitBoostKeepsTargetMeasureExactly)
+{
+    // boost=1 with a uniform (untrained) surrogate gives q_i == p for
+    // every site, so every log term is log(1) == 0.0 — the plan's
+    // weight is bit-identical to 1, not merely close.
+    models::WaModel base("t", mulOnlyStats(1000, 100)); // p = 0.1
+    ErrorSurrogate untrained;
+    auto trace = mulTrace(16, 11);
+    ImportanceModel is(base, untrained, trace, 0.15, 1.0, 1.0);
+
+    const auto &q = is.proposal(FpuOp::MulD);
+    ASSERT_EQ(q.size(), 16u);
+    for (double qi : q)
+        EXPECT_DOUBLE_EQ(qi, 0.1);
+
+    auto profile = mulProfile(16);
+    Rng rng(5);
+    for (int draw = 0; draw < 200; ++draw) {
+        double lw = 1e9;
+        auto events = is.planWeighted(profile, rng, lw);
+        EXPECT_EQ(lw, 0.0);
+        for (const auto &ev : events) {
+            EXPECT_EQ(ev.op, FpuOp::MulD);
+            EXPECT_LT(ev.index, 16u);
+            EXPECT_EQ(ev.mask, 0x00000000000000ffULL);
+        }
+    }
+}
+
+TEST(Importance, TiltedWeightsAverageToOne)
+{
+    // The unbiasedness property E_q[w] = 1: a uniform 2x tilt over 16
+    // sites has small enough weight variance that the empirical mean
+    // over 20000 plans pins the expectation.
+    models::WaModel base("t", mulOnlyStats(1000, 100)); // p = 0.1
+    ErrorSurrogate untrained;
+    auto trace = mulTrace(16, 13);
+    ImportanceModel is(base, untrained, trace, 0.15, 2.0, 0.25,
+                       1e9);
+
+    const auto &q = is.proposal(FpuOp::MulD);
+    for (double qi : q)
+        EXPECT_DOUBLE_EQ(qi, 0.2); // uniform risk => q = boost * p
+
+    auto profile = mulProfile(16);
+    Rng rng(17);
+    double sum = 0.0;
+    const int draws = 20000;
+    for (int draw = 0; draw < draws; ++draw) {
+        double lw = 0.0;
+        auto events = is.planWeighted(profile, rng, lw);
+        double w = inject::likelihoodWeight(lw);
+        EXPECT_TRUE(std::isfinite(w));
+        EXPECT_GT(w, 0.0);
+        // More expected injections than the target measure's n*p.
+        (void)events;
+        sum += w;
+    }
+    EXPECT_NEAR(sum / draws, 1.0, 0.06);
+}
+
+TEST(Importance, TiltRaisesInjectionRate)
+{
+    models::WaModel base("t", mulOnlyStats(1000, 100));
+    ErrorSurrogate untrained;
+    auto trace = mulTrace(64, 19);
+    ImportanceModel is(base, untrained, trace, 0.15, 4.0, 0.25,
+                       1e9);
+    auto profile = mulProfile(64);
+    Rng rng(23);
+    uint64_t injected = 0;
+    for (int draw = 0; draw < 500; ++draw) {
+        double lw = 0.0;
+        injected += is.planWeighted(profile, rng, lw).size();
+    }
+    // q = 0.4 vs p = 0.1: ~4x the target measure's injection count.
+    double perPlan = static_cast<double>(injected) / 500.0;
+    EXPECT_GT(perPlan, 0.3 * 64);
+    EXPECT_LT(perPlan, 0.5 * 64);
+}
+
+TEST(Importance, SaturatedOpStaysOnTargetMeasure)
+{
+    // The rare-regime guard: 64 sites at p = 0.1 already expect 6.4
+    // injections per run — far above kDefaultMaxTilted — so under the
+    // default cap the effective boost collapses to <= 1 and the op is
+    // left exactly on the target measure (q == p, weight == 1). IS
+    // must never make a saturated cell worse than plain Monte Carlo.
+    models::WaModel base("t", mulOnlyStats(1000, 100)); // p = 0.1
+    ErrorSurrogate untrained;
+    auto trace = mulTrace(64, 47);
+    ImportanceModel is(base, untrained, trace, 0.15, 4.0, 0.25);
+
+    const auto &q = is.proposal(FpuOp::MulD);
+    ASSERT_EQ(q.size(), 64u);
+    for (double qi : q)
+        EXPECT_DOUBLE_EQ(qi, 0.1);
+
+    auto profile = mulProfile(64);
+    Rng rng(53);
+    for (int draw = 0; draw < 100; ++draw) {
+        double lw = 1e9;
+        is.planWeighted(profile, rng, lw);
+        EXPECT_EQ(lw, 0.0);
+    }
+}
+
+TEST(Importance, FallsBackToTargetPlanOnTraceMismatch)
+{
+    // An 8-site trace cannot cover a 16-site profile: the proposal
+    // must sample the target measure itself (same plan the wrapped
+    // model draws from the same substream) with weight exactly 1.
+    auto stats = mulOnlyStats(1000, 100);
+    models::WaModel base("t", stats);
+    ErrorSurrogate untrained;
+    auto trace = mulTrace(8, 29);
+    ImportanceModel is(base, untrained, trace, 0.15, 4.0, 0.25);
+
+    auto profile = mulProfile(16);
+    Rng r1(31), r2(31);
+    double lw = 1e9;
+    auto got = is.planWeighted(profile, r1, lw);
+    auto want = base.plan(profile, r2);
+    EXPECT_EQ(lw, 0.0);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].op, want[i].op);
+        EXPECT_EQ(got[i].index, want[i].index);
+        EXPECT_EQ(got[i].mask, want[i].mask);
+    }
+}
+
+TEST(Importance, DescribeNamesTheProposal)
+{
+    models::WaModel base("t", mulOnlyStats(1000, 100));
+    ErrorSurrogate untrained;
+    auto trace = mulTrace(4, 37);
+    ImportanceModel is(base, untrained, trace, 0.15);
+    EXPECT_NE(is.describe().find("+is("), std::string::npos);
+    EXPECT_TRUE(is.weightedProposal());
+    EXPECT_FALSE(base.weightedProposal());
+}
+
+// ---- weighted campaigns end to end ---------------------------------
+
+namespace {
+
+inject::InjectionCampaign &
+campaign()
+{
+    static inject::InjectionCampaign c(
+        workloads::buildWorkload("sobel", 1));
+    return c;
+}
+
+const std::vector<sim::FpTraceEntry> &
+sobelTrace()
+{
+    static std::vector<sim::FpTraceEntry> tr = [] {
+        auto w = workloads::buildWorkload("sobel", 1);
+        sim::FuncSim fs(w.program);
+        std::vector<sim::FpTraceEntry> out;
+        fs.setFpTrace(&out);
+        EXPECT_EQ(fs.run().status, sim::FuncSim::Status::Halted);
+        return out;
+    }();
+    return tr;
+}
+
+timing::CampaignStats
+aggressiveStats()
+{
+    timing::CampaignStats stats;
+    auto &mul = stats.of(FpuOp::MulD);
+    mul.total = 1000;
+    mul.faulty = 100;
+    mul.maskPool = {0x7ff0000000000000ULL, 0x000fffff00000000ULL,
+                    0x4010000000000000ULL};
+    auto &div = stats.of(FpuOp::DivD);
+    div.total = 1000;
+    div.faulty = 50;
+    div.maskPool = {0x7ff8000000000000ULL, 0x3ff0000000000000ULL};
+    return stats;
+}
+
+} // namespace
+
+TEST(WeightedCampaign, TraceCoversTheSobelProfile)
+{
+    // The production wiring depends on the FuncSim operand trace
+    // counting exactly the profile's dynamic FP ops — otherwise the
+    // importance model silently degrades to the untilted plan.
+    const auto &tr = sobelTrace();
+    std::array<uint64_t, fpu::kNumFpuOps> cnt{};
+    for (const auto &e : tr)
+        cnt[static_cast<size_t>(e.op)]++;
+    for (unsigned o = 0; o < fpu::kNumFpuOps; ++o)
+        EXPECT_EQ(cnt[o], campaign().profile().fpOpCounts[o])
+            << fpu::fpuOpName(static_cast<FpuOp>(o));
+}
+
+TEST(WeightedCampaign, UnitProposalCoincidesWithPlainEstimate)
+{
+    models::WaModel base("hot", aggressiveStats());
+    ErrorSurrogate untrained;
+    ImportanceModel is(base, untrained, sobelTrace(), 0.15, 1.0, 1.0);
+    Rng rng(41);
+    auto r = campaign().run(is, 12, rng);
+    EXPECT_TRUE(r.weightedModel);
+    ASSERT_GT(r.classified(), 0u);
+    // Every weight is exactly 1, so the weighted estimator collapses
+    // onto the plain one bit for bit.
+    EXPECT_DOUBLE_EQ(r.weightSum,
+                     static_cast<double>(r.classified()));
+    EXPECT_DOUBLE_EQ(r.weightSqSum,
+                     static_cast<double>(r.classified()));
+    EXPECT_DOUBLE_EQ(r.avmWeighted(), r.avm());
+    EXPECT_DOUBLE_EQ(r.ess(), static_cast<double>(r.classified()));
+}
+
+TEST(WeightedCampaign, WeightSumsAreThreadInvariant)
+{
+    models::WaModel base("hot", aggressiveStats());
+    ErrorSurrogate untrained;
+    ImportanceModel is(base, untrained, sobelTrace(), 0.15, 2.0, 0.25,
+                       1e9);
+
+    auto runWith = [&](unsigned threads) {
+        ThreadPool pool(threads);
+        inject::InjectionCampaign::RunOptions opts;
+        opts.pool = &pool;
+        Rng rng(43);
+        return campaign().run(is, 16, rng, opts);
+    };
+    auto r1 = runWith(1);
+    auto r4 = runWith(4);
+
+    EXPECT_TRUE(r1.weightedModel);
+    EXPECT_EQ(r1.runs, r4.runs);
+    EXPECT_EQ(r1.masked, r4.masked);
+    EXPECT_EQ(r1.sdc, r4.sdc);
+    EXPECT_EQ(r1.crash, r4.crash);
+    EXPECT_EQ(r1.timeout, r4.timeout);
+    EXPECT_EQ(r1.engineFault, r4.engineFault);
+    EXPECT_EQ(r1.injectedErrors, r4.injectedErrors);
+    // The weight sums are doubles: identity must hold at the bit
+    // level, not within a tolerance.
+    EXPECT_EQ(0, std::memcmp(&r1.weightSum, &r4.weightSum,
+                             sizeof(double)));
+    EXPECT_EQ(0, std::memcmp(&r1.weightUnsafe, &r4.weightUnsafe,
+                             sizeof(double)));
+    EXPECT_EQ(0, std::memcmp(&r1.weightSqSum, &r4.weightSqSum,
+                             sizeof(double)));
+    // And the tilt is real: a 2x-boosted proposal cannot have every
+    // weight equal to 1.
+    EXPECT_NE(r1.weightSum, static_cast<double>(r1.classified()));
+}
