@@ -4,12 +4,13 @@
 # machine-readable results to BENCH_dta.json at the repo root, then
 # run the fleet worker-count scaling ladder (1/2/4/8 workers) into
 # BENCH_fleet.json, the campaign-service daemon ladder into
-# BENCH_daemon.json, and the importance-sampling convergence ladder
-# into BENCH_is.json. Commit the refreshed files so the perf
-# trajectory is tracked PR over PR.
+# BENCH_daemon.json, the importance-sampling convergence ladder into
+# BENCH_is.json, and the multi-core outcome-refinement ladder into
+# BENCH_mc.json. Commit the refreshed files so the perf trajectory is
+# tracked PR over PR.
 #
 # Usage: scripts/bench_snapshot.sh [build-dir] [output.json] [fleet.json]
-#        [daemon.json] [is.json]
+#        [daemon.json] [is.json] [mc.json]
 set -u
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -18,6 +19,7 @@ out=${2:-"$root/BENCH_dta.json"}
 fleetOut=${3:-"$root/BENCH_fleet.json"}
 daemonOut=${4:-"$root/BENCH_daemon.json"}
 isOut=${5:-"$root/BENCH_is.json"}
+mcOut=${6:-"$root/BENCH_mc.json"}
 
 bin="$build/bench/microbench"
 if [ ! -x "$bin" ]; then
@@ -65,7 +67,23 @@ fi
 "$isBin" --json "$isOut"
 irc=$?
 [ $irc -eq 0 ] && echo "bench_snapshot: wrote $isOut"
+
+# Multi-core ladder: threaded workloads at 2/4 cores; gates on
+# cross-core SDC propagation being observed (exit non-zero if the
+# taint channel records nothing).
+mcBin="$build/bench/mc_scaling"
+if [ ! -x "$mcBin" ]; then
+    echo "bench_snapshot: $mcBin not built; skipping BENCH_mc.json" >&2
+    [ $rc -eq 0 ] || exit $rc
+    [ $frc -eq 0 ] || exit $frc
+    [ $drc -eq 0 ] || exit $drc
+    exit $irc
+fi
+REPRO_THREADS=1 "$mcBin" --json "$mcOut"
+mrc=$?
+[ $mrc -eq 0 ] && echo "bench_snapshot: wrote $mcOut"
 [ $rc -eq 0 ] || exit $rc
 [ $frc -eq 0 ] || exit $frc
 [ $drc -eq 0 ] || exit $drc
-exit $irc
+[ $irc -eq 0 ] || exit $irc
+exit $mrc

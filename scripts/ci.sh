@@ -56,4 +56,15 @@ if ! (cd "$root/build" && ctest -L tier1is --output-on-failure); then
     echo "ci: surrogate calibration gate FAILED"
     exit 1
 fi
-echo "ci: OK (sanitizer + portable-SIMD + IS calibration green)"
+# Multi-core determinism gate, likewise named: the N-core interleaving
+# and journal byte-identity claims of DESIGN.md §15 run under both the
+# sanitizer build and the regular build (tier1mc also ran inside both
+# full passes above — this line just makes a regression unmissable).
+echo "=== ci: multi-core determinism gate (ctest -L tier1mc) ==="
+if ! (cd "$root/build-san" && \
+      ASAN_OPTIONS="detect_leaks=0" ctest -L tier1mc --output-on-failure) \
+   || ! (cd "$root/build" && ctest -L tier1mc --output-on-failure); then
+    echo "ci: multi-core determinism gate FAILED"
+    exit 1
+fi
+echo "ci: OK (sanitizer + portable-SIMD + IS calibration + multi-core green)"

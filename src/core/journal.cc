@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <map>
 #include <sstream>
 #include <vector>
 
@@ -16,11 +17,12 @@ namespace tea::core {
 
 namespace {
 
-// v2 appends the run's log likelihood-ratio weight to each record as
-// an exact 64-bit pattern (importance-sampled campaigns must replay
-// weights bit-for-bit); v1 files fail the magic check and are started
+// v3 appends the multi-core outcome refinement (McClass) to each
+// record; v2 added the run's log likelihood-ratio weight as an exact
+// 64-bit pattern (importance-sampled campaigns must replay weights
+// bit-for-bit). Older files fail the magic check and are started
 // fresh — the journal path revision bump retires them anyway.
-constexpr const char *kJournalMagic = "tea-journal-v2";
+constexpr const char *kJournalMagic = "tea-journal-v3";
 
 std::string
 headerLine(const std::string &identity)
@@ -42,14 +44,15 @@ recordLine(uint64_t idx, const ShardJournal::RunRecord &rec)
     std::memcpy(&wBits, &rec.logWeight, sizeof(wBits));
     char buf[176];
     int n = std::snprintf(
-        buf, sizeof(buf), "r %llu %d %llu %llu %llu %u %d %016llx",
+        buf, sizeof(buf), "r %llu %d %llu %llu %llu %u %d %016llx %d",
         static_cast<unsigned long long>(idx),
         static_cast<int>(rec.outcome),
         static_cast<unsigned long long>(rec.injected),
         static_cast<unsigned long long>(rec.committed),
         static_cast<unsigned long long>(rec.wrongPath), rec.attempts,
         static_cast<int>(rec.fault),
-        static_cast<unsigned long long>(wBits));
+        static_cast<unsigned long long>(wBits),
+        static_cast<int>(rec.mcClass));
     std::snprintf(buf + n, sizeof(buf) - n, " c%08x",
                   crc32(buf, static_cast<size_t>(n)));
     return buf;
@@ -69,14 +72,18 @@ parseRecordLine(const std::string &line, uint64_t &idx,
     if (crc32(line.data(), cpos) != storedCrc)
         return false;
     unsigned long long i, inj, com, wp, wBits;
-    int outcome, fault;
+    int outcome, fault, mcClass;
     unsigned attempts;
-    if (std::sscanf(line.c_str(), "r %llu %d %llu %llu %llu %u %d %llx",
-                    &i, &outcome, &inj, &com, &wp, &attempts, &fault,
-                    &wBits) != 8)
+    if (std::sscanf(line.c_str(),
+                    "r %llu %d %llu %llu %llu %u %d %llx %d", &i,
+                    &outcome, &inj, &com, &wp, &attempts, &fault,
+                    &wBits, &mcClass) != 9)
         return false;
     if (outcome < 0 ||
         outcome > static_cast<int>(inject::Outcome::EngineFault))
+        return false;
+    if (mcClass < 0 ||
+        mcClass > static_cast<int>(inject::McClass::Timeout))
         return false;
     idx = i;
     rec.outcome = static_cast<inject::Outcome>(outcome);
@@ -85,6 +92,7 @@ parseRecordLine(const std::string &line, uint64_t &idx,
     rec.wrongPath = wp;
     rec.attempts = attempts;
     rec.fault = static_cast<ErrorCode>(fault);
+    rec.mcClass = static_cast<inject::McClass>(mcClass);
     uint64_t bits = wBits;
     std::memcpy(&rec.logWeight, &bits, sizeof(rec.logWeight));
     return true;
@@ -196,6 +204,39 @@ ShardJournal::append(uint64_t idx, const RunRecord &rec)
         .counter(obs::metric::kJournalAppends, "",
                  "run records appended to shard journals")
         .inc(1);
+}
+
+void
+ShardJournal::canonicalize()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (out_.is_open())
+        out_.close();
+    std::ifstream in(path_);
+    if (!in)
+        return;
+    std::string header;
+    if (!std::getline(in, header)) {
+        out_.open(path_, std::ios::app);
+        return;
+    }
+    // Keyed by index: damaged lines are dropped (the same policy as
+    // open()), duplicates collapse to the last append.
+    std::map<uint64_t, std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        uint64_t idx;
+        RunRecord rec;
+        if (parseRecordLine(line, idx, rec))
+            lines[idx] = line;
+    }
+    in.close();
+    std::string content = header + "\n";
+    for (const auto &[idx, l] : lines)
+        content += l + "\n";
+    if (!atomicWriteFile(path_, content))
+        warn("cannot canonicalize journal '%s'", path_.c_str());
+    out_.open(path_, std::ios::app);
 }
 
 void

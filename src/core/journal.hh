@@ -56,6 +56,19 @@ class ShardJournal
      */
     void append(uint64_t idx, const RunRecord &rec);
 
+    /**
+     * Rewrite the file with its records in run-index order (staged,
+     * atomic rename). Appends land in completion order, which varies
+     * with the thread pool's scheduling; a completed cell
+     * canonicalizes its journal so the on-disk bytes are a pure
+     * function of the campaign — identical for any REPRO_THREADS and
+     * byte-comparable against a fleet coordinator's merged journal,
+     * which is written in index order by construction. The append
+     * stream is reopened, so an adaptive top-up can still extend the
+     * file afterwards.
+     */
+    void canonicalize();
+
     /** Close and delete the journal file (campaign completed). */
     void remove();
 

@@ -38,7 +38,8 @@ saveGrid(const std::string &path, const EvaluationGrid &grid)
     std::ostringstream out;
     out << "workload,model,vr,runs,masked,sdc,crash,timeout,"
            "enginefault,retries,injected,committed,wrongpath,"
-           "weighted,wsum,wunsafe,wsqsum,wusqsum\n";
+           "weighted,wsum,wunsafe,wsqsum,wusqsum,"
+           "mcchm,mcscs,mcccs,mcsync,mcdead\n";
     for (const auto &c : grid.cells) {
         // %.17g round-trips any double exactly: reweighted AVM from a
         // reloaded grid is bit-identical to the freshly computed one.
@@ -53,7 +54,11 @@ saveGrid(const std::string &path, const EvaluationGrid &grid)
             << c.result.timeout << "," << c.result.engineFault << ","
             << c.result.retries << "," << c.result.injectedErrors << ","
             << c.result.committedInstructions << ","
-            << c.result.wrongPathInjections << "," << wbuf << "\n";
+            << c.result.wrongPathInjections << "," << wbuf << ","
+            << c.result.mcCoherenceMasked << ","
+            << c.result.mcSdcSameCore << "," << c.result.mcSdcCrossCore
+            << "," << c.result.mcSyncCrash << ","
+            << c.result.mcDeadlock << "\n";
     }
     // Atomic publication: a reader (or a crash) never sees a torn grid.
     fatal_if(!atomicWriteFile(path, out.str()), "cannot write '%s'",
@@ -98,7 +103,12 @@ loadGrid(const std::string &path)
             !field(weighted) || !field(cell.result.weightSum) ||
             !field(cell.result.weightUnsafe) ||
             !field(cell.result.weightSqSum) ||
-            !field(cell.result.weightUnsafeSqSum))
+            !field(cell.result.weightUnsafeSqSum) ||
+            !field(cell.result.mcCoherenceMasked) ||
+            !field(cell.result.mcSdcSameCore) ||
+            !field(cell.result.mcSdcCrossCore) ||
+            !field(cell.result.mcSyncCrash) ||
+            !field(cell.result.mcDeadlock))
             return std::nullopt;
         cell.result.weightedModel = weighted != 0;
         cell.model = static_cast<ModelKind>(model);
@@ -156,6 +166,24 @@ isSuffix(const ToolflowOptions &opt)
     return buf;
 }
 
+/**
+ * Extra path/identity component for threaded ("-mt") workloads: the
+ * multi-core geometry changes golden references, plans, and outcomes,
+ * so cells from different core counts or quanta must never share a
+ * journal or manifest. Empty for single-core workloads — their file
+ * names are untouched by the multi-core subsystem.
+ */
+std::string
+mcSuffix(const ToolflowOptions &opt, const std::string &workload)
+{
+    if (!workloads::isThreadedWorkload(workload))
+        return "";
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "_c%uq%u", opt.mcCores,
+                  opt.mcQuantum);
+    return buf;
+}
+
 /** The workloads a spec covers (empty list = every workload). */
 std::vector<std::string>
 specWorkloads(const GridSpec &spec)
@@ -172,16 +200,18 @@ gridCachePath(const ToolflowOptions &opt)
 {
     if (opt.cacheDir.empty())
         return "";
-    char buf[128];
-    // "_p4" = grid-file revision: p2 added the enginefault/retries
+    char buf[160];
+    // "_p5" = grid-file revision: p2 added the enginefault/retries
     // columns; p3 invalidated grids derived from float-precision
     // arrival times; p4 added the weighted-estimator columns
-    // (weighted, wsum, wunsafe, wsqsum).
-    std::snprintf(buf, sizeof(buf), "grid_r%d_s%llu_x%d%s%s_p4.csv",
+    // (weighted, wsum, wunsafe, wsqsum); p5 added the multi-core
+    // refinement columns and the mc geometry in the name (a grid may
+    // contain threaded cells, whose results depend on it).
+    std::snprintf(buf, sizeof(buf), "grid_r%d_s%llu_x%d%s%s_c%uq%u_p5.csv",
                   cellRunCap(opt),
                   static_cast<unsigned long long>(opt.seed),
                   opt.workloadScale, adaptiveSuffix(opt).c_str(),
-                  isSuffix(opt).c_str());
+                  isSuffix(opt).c_str(), opt.mcCores, opt.mcQuantum);
     return opt.cacheDir + "/" + buf;
 }
 
@@ -189,15 +219,17 @@ std::string
 cellJournalPath(const ToolflowOptions &opt, const std::string &workload,
                 ModelKind kind, double vr)
 {
-    char buf[128];
-    // "_p4" = journal revision: record lines now carry the run's exact
-    // log likelihood-ratio weight (core/journal.cc, tea-journal-v2).
-    std::snprintf(buf, sizeof(buf), "_m%d_vr%02d_s%llu_x%d%s%s_p4.jnl",
+    char buf[160];
+    // "_p5" = journal revision: record lines now carry the multi-core
+    // outcome refinement (core/journal.cc, tea-journal-v3); p4 added
+    // the run's exact log likelihood-ratio weight.
+    std::snprintf(buf, sizeof(buf), "_m%d_vr%02d_s%llu_x%d%s%s%s_p5.jnl",
                   static_cast<int>(kind),
                   static_cast<int>(vr * 100 + 0.5),
                   static_cast<unsigned long long>(opt.seed),
                   opt.workloadScale, adaptiveSuffix(opt).c_str(),
-                  isSuffix(opt).c_str());
+                  isSuffix(opt).c_str(),
+                  mcSuffix(opt, workload).c_str());
     return opt.cacheDir + "/" +
            Toolflow::cacheTag(
                "jnl", workload,
@@ -209,13 +241,14 @@ std::string
 cellManifestPath(const ToolflowOptions &opt, const std::string &workload,
                  ModelKind kind, double vr)
 {
-    char buf[128];
-    std::snprintf(buf, sizeof(buf), "_m%d_vr%02d_s%llu_x%d%s%s.json",
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "_m%d_vr%02d_s%llu_x%d%s%s%s.json",
                   static_cast<int>(kind),
                   static_cast<int>(vr * 100 + 0.5),
                   static_cast<unsigned long long>(opt.seed),
                   opt.workloadScale, adaptiveSuffix(opt).c_str(),
-                  isSuffix(opt).c_str());
+                  isSuffix(opt).c_str(),
+                  mcSuffix(opt, workload).c_str());
     return opt.cacheDir + "/" +
            Toolflow::cacheTag(
                "mft", workload,
@@ -236,6 +269,13 @@ cellIdentity(const ToolflowOptions &opt, const std::string &workload,
                   static_cast<unsigned long long>(opt.seed),
                   opt.workloadScale);
     std::string id = buf;
+    if (workloads::isThreadedWorkload(workload)) {
+        // A threaded cell's runs depend on the mc geometry; journals
+        // from a different one must not replay into this cell.
+        std::snprintf(buf, sizeof(buf), " cores=%u quantum=%u",
+                      opt.mcCores, opt.mcQuantum);
+        id += buf;
+    }
     if (opt.adaptive()) {
         // Journaled adaptive prefixes are only replayable into a
         // campaign with the same stopping rule.
@@ -377,6 +417,8 @@ runGridCell(Toolflow &tf, const CellPlan &plan,
         cell.result =
             campaign.run(*model, plan.runCap, cellRng, ro);
     }
+    if (journal && !cell.result.interrupted)
+        journal->canonicalize();
     obs::Registry::global()
         .counter(obs::metric::kCampaignCells, "",
                  "evaluation-grid cells executed")

@@ -11,6 +11,7 @@
 #include <mutex>
 #include <set>
 
+#include "mc/mc_func_sim.hh"
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
 #include "obs/trace.hh"
@@ -202,6 +203,37 @@ optionsFromEnv()
                 v = 1000000;
             }
             opt.isCorpusPerOp = v;
+        }
+    }
+    if (const char *cores = std::getenv("REPRO_MC_CORES")) {
+        uint64_t v;
+        if (parseEnvU64("REPRO_MC_CORES", cores, v)) {
+            if (v < 1) {
+                warn("clamping REPRO_MC_CORES=%llu to 1",
+                     static_cast<unsigned long long>(v));
+                v = 1;
+            } else if (v > isa::kMcMaxCores) {
+                warn("clamping REPRO_MC_CORES=%llu to %u",
+                     static_cast<unsigned long long>(v),
+                     isa::kMcMaxCores);
+                v = isa::kMcMaxCores;
+            }
+            opt.mcCores = static_cast<unsigned>(v);
+        }
+    }
+    if (const char *q = std::getenv("REPRO_MC_QUANTUM")) {
+        uint64_t v;
+        if (parseEnvU64("REPRO_MC_QUANTUM", q, v)) {
+            if (v < 1) {
+                warn("clamping REPRO_MC_QUANTUM=%llu to 1",
+                     static_cast<unsigned long long>(v));
+                v = 1;
+            } else if (v > 1000000) {
+                warn("clamping REPRO_MC_QUANTUM=%llu to 1000000",
+                     static_cast<unsigned long long>(v));
+                v = 1000000;
+            }
+            opt.mcQuantum = static_cast<unsigned>(v);
         }
     }
     if (const char *be = std::getenv("REPRO_DTA_BACKEND")) {
@@ -722,13 +754,28 @@ Toolflow::trace(const std::string &name)
     auto it = traces_.find(name);
     if (it == traces_.end()) {
         const auto &w = workload(name);
-        sim::FuncSim sim(w.program);
         std::vector<sim::FpTraceEntry> tr;
-        sim.setFpTrace(&tr);
-        auto res = sim.run();
-        fatal_if(res.status != sim::FuncSim::Status::Halted,
-                 "workload '%s' did not halt while tracing",
-                 name.c_str());
+        if (w.threaded) {
+            // Threaded workloads trace on the N-core functional
+            // simulator; entries merge in the deterministic
+            // interleave order, so the trace is a pure function of
+            // (workload, cores).
+            mc::McFuncSim::Config fcfg;
+            fcfg.cores = opt_.mcCores;
+            mc::McFuncSim msim(w.program, fcfg);
+            msim.setFpTrace(&tr);
+            auto mres = msim.run();
+            fatal_if(mres.status != mc::McFuncSim::Status::Halted,
+                     "workload '%s' did not halt while tracing",
+                     name.c_str());
+        } else {
+            sim::FuncSim sim(w.program);
+            sim.setFpTrace(&tr);
+            auto res = sim.run();
+            fatal_if(res.status != sim::FuncSim::Status::Halted,
+                     "workload '%s' did not halt while tracing",
+                     name.c_str());
+        }
         it = traces_.emplace(name, std::move(tr)).first;
     }
     return it->second;
@@ -739,10 +786,13 @@ Toolflow::campaign(const std::string &name)
 {
     auto it = campaigns_.find(name);
     if (it == campaigns_.end()) {
+        mc::McConfig mcCfg;
+        mcCfg.cores = opt_.mcCores;
+        mcCfg.quantum = opt_.mcQuantum;
         it = campaigns_
                  .emplace(name,
                           std::make_unique<inject::InjectionCampaign>(
-                              workload(name)))
+                              workload(name), sim::OooConfig{}, mcCfg))
                  .first;
     }
     return *it->second;

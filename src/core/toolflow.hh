@@ -102,6 +102,15 @@ struct ToolflowOptions
     double isMaxTilted = surrogate::kDefaultMaxTilted;
     /** Surrogate corpus: DTA ops per (type, VR) (REPRO_IS_CORPUS). */
     uint64_t isCorpusPerOp = 1500;
+    /**
+     * Cores simulated for threaded ("-mt") workloads (REPRO_MC_CORES,
+     * clamped to [1, isa::kMcMaxCores]). Part of a threaded cell's
+     * identity: journals and caches from different core counts never
+     * mix. Single-core workloads ignore it.
+     */
+    unsigned mcCores = 2;
+    /** Round-robin quantum in cycles (REPRO_MC_QUANTUM, >= 1). */
+    unsigned mcQuantum = 64;
 
     /** True when confidence-driven campaign sizing is enabled. */
     bool adaptive() const { return ciTarget > 0.0; }
@@ -112,7 +121,8 @@ struct ToolflowOptions
  * REPRO_THREADS / REPRO_RESUME / REPRO_RUN_DEADLINE_MS /
  * REPRO_CI_TARGET / REPRO_CI_CONF / REPRO_MAX_RUNS /
  * REPRO_DTA_BACKEND / REPRO_IS / REPRO_IS_BOOST / REPRO_IS_FLOOR /
- * REPRO_IS_MAXTILT / REPRO_IS_CORPUS overrides. Malformed values are rejected with a
+ * REPRO_IS_MAXTILT / REPRO_IS_CORPUS / REPRO_MC_CORES /
+ * REPRO_MC_QUANTUM overrides. Malformed values are rejected with a
  * warn and the default kept; out-of-range values are clamped — a typo
  * in the environment can slow a reproduction down but never crash or
  * silently skew it.

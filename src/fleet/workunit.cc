@@ -156,6 +156,8 @@ FleetPlan::serialize() const
     out << "isfloor " << fmtDouble(opt.isFloor) << "\n";
     out << "ismaxtilt " << fmtDouble(opt.isMaxTilted) << "\n";
     out << "iscorpus " << opt.isCorpusPerOp << "\n";
+    out << "mccores " << opt.mcCores << "\n";
+    out << "mcquantum " << opt.mcQuantum << "\n";
     out << "cachedir " << opt.cacheDir << "\n";
     out << "leasems " << leaseMs << "\n";
     out << "usecache " << (spec.useCache ? 1 : 0) << "\n";
@@ -220,6 +222,10 @@ FleetPlan::parse(const std::string &content)
             p.opt.isMaxTilted = std::strtod(value.c_str(), nullptr);
         else if (key == "iscorpus")
             p.opt.isCorpusPerOp = toU64(value);
+        else if (key == "mccores")
+            p.opt.mcCores = static_cast<unsigned>(toU64(value));
+        else if (key == "mcquantum")
+            p.opt.mcQuantum = static_cast<unsigned>(toU64(value));
         else if (key == "cachedir")
             p.opt.cacheDir = value;
         else if (key == "leasems")
@@ -265,6 +271,11 @@ UnitResult::serialize() const
     out << "wunsafe " << fmtDouble(result.weightUnsafe) << "\n";
     out << "wsqsum " << fmtDouble(result.weightSqSum) << "\n";
     out << "wusqsum " << fmtDouble(result.weightUnsafeSqSum) << "\n";
+    out << "mcchm " << result.mcCoherenceMasked << "\n";
+    out << "mcscs " << result.mcSdcSameCore << "\n";
+    out << "mcccs " << result.mcSdcCrossCore << "\n";
+    out << "mcsync " << result.mcSyncCrash << "\n";
+    out << "mcdead " << result.mcDeadlock << "\n";
     return sealBody(out.str());
 }
 
@@ -313,6 +324,16 @@ UnitResult::parse(const std::string &content)
         else if (key == "wusqsum")
             r.result.weightUnsafeSqSum =
                 std::strtod(value.c_str(), nullptr);
+        else if (key == "mcchm")
+            r.result.mcCoherenceMasked = toU64(value);
+        else if (key == "mcscs")
+            r.result.mcSdcSameCore = toU64(value);
+        else if (key == "mcccs")
+            r.result.mcSdcCrossCore = toU64(value);
+        else if (key == "mcsync")
+            r.result.mcSyncCrash = toU64(value);
+        else if (key == "mcdead")
+            r.result.mcDeadlock = toU64(value);
     }
     return r;
 }

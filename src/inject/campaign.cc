@@ -6,6 +6,8 @@
 #include <cstring>
 #include <limits>
 
+#include "isa/isa.hh"
+#include "mc/mc_func_sim.hh"
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
 #include "obs/trace.hh"
@@ -28,6 +30,23 @@ outcomeName(Outcome outcome)
       case Outcome::Crash: return "Crash";
       case Outcome::Timeout: return "Timeout";
       case Outcome::EngineFault: return "EngineFault";
+    }
+    return "?";
+}
+
+const char *
+mcClassName(McClass c)
+{
+    switch (c) {
+      case McClass::None: return "None";
+      case McClass::Masked: return "Masked";
+      case McClass::CoherenceMasked: return "CoherenceMasked";
+      case McClass::SdcSameCore: return "SdcSameCore";
+      case McClass::SdcCrossCore: return "SdcCrossCore";
+      case McClass::Crash: return "Crash";
+      case McClass::SyncCrash: return "SyncCrash";
+      case McClass::Deadlock: return "Deadlock";
+      case McClass::Timeout: return "Timeout";
     }
     return "?";
 }
@@ -145,14 +164,17 @@ CampaignResult::fractionInterval(Outcome o, double conf) const
 
 InjectionCampaign::InjectionCampaign(Unprepared,
                                      workloads::Workload workload,
-                                     sim::OooConfig cfg)
-    : workload_(std::move(workload)), cfg_(cfg)
+                                     sim::OooConfig cfg,
+                                     mc::McConfig mcCfg)
+    : workload_(std::move(workload)), cfg_(cfg), mcCfg_(mcCfg)
 {
+    mcCfg_.core = cfg_;
 }
 
 InjectionCampaign::InjectionCampaign(workloads::Workload workload,
-                                     sim::OooConfig cfg)
-    : InjectionCampaign(Unprepared{}, std::move(workload), cfg)
+                                     sim::OooConfig cfg,
+                                     mc::McConfig mcCfg)
+    : InjectionCampaign(Unprepared{}, std::move(workload), cfg, mcCfg)
 {
     Error err = prepare();
     fatal_if(!err.ok(), "%s", err.describe().c_str());
@@ -160,10 +182,10 @@ InjectionCampaign::InjectionCampaign(workloads::Workload workload,
 
 Expected<std::unique_ptr<InjectionCampaign>>
 InjectionCampaign::create(workloads::Workload workload,
-                          sim::OooConfig cfg)
+                          sim::OooConfig cfg, mc::McConfig mcCfg)
 {
-    std::unique_ptr<InjectionCampaign> c(
-        new InjectionCampaign(Unprepared{}, std::move(workload), cfg));
+    std::unique_ptr<InjectionCampaign> c(new InjectionCampaign(
+        Unprepared{}, std::move(workload), cfg, mcCfg));
     Error err = c->prepare();
     if (!err.ok())
         return err;
@@ -173,6 +195,58 @@ InjectionCampaign::create(workloads::Workload workload,
 Error
 InjectionCampaign::prepare()
 {
+    if (workload_.threaded) {
+        try {
+            // Per-core profiles from the functional N-core run: model
+            // planning addresses "the n-th eligible op on core k", so
+            // each core needs its own dynamic op counts.
+            mc::McFuncSim::Config fcfg;
+            fcfg.cores = mcCfg_.cores;
+            mc::McFuncSim fsim(workload_.program, fcfg);
+            auto fres = fsim.run();
+            if (fres.status != mc::McFuncSim::Status::Halted)
+                return makeError(
+                    ErrorCode::GoldenRunFailed,
+                    "workload '%s' golden mc run did not halt (%s)",
+                    workload_.name.c_str(), sim::trapName(fres.trap));
+            coreProfiles_.assign(fsim.cores(), {});
+            profile_ = {};
+            for (unsigned k = 0; k < fsim.cores(); ++k) {
+                ProgramProfile &p = coreProfiles_[k];
+                p.totalInstructions = fsim.instructions(k);
+                for (unsigned i = 0; i < isa::kNumOps; ++i) {
+                    auto op = static_cast<isa::Op>(i);
+                    if (isa::hasDest(op))
+                        p.instructionsWithDest += fsim.opCount(k, op);
+                    if (isa::isFpArith(op))
+                        p.fpOpCounts[static_cast<size_t>(
+                            isa::fpuOpFor(op))] += fsim.opCount(k, op);
+                }
+                profile_.totalInstructions += p.totalInstructions;
+                profile_.instructionsWithDest += p.instructionsWithDest;
+                for (size_t j = 0; j < p.fpOpCounts.size(); ++j)
+                    profile_.fpOpCounts[j] += p.fpOpCounts[j];
+            }
+
+            // Timing/output reference from a golden detailed mc run.
+            mc::McSim msim(workload_.program, mcCfg_);
+            auto mres = msim.run(~0ULL);
+            if (mres.status != mc::McSim::Status::Halted)
+                return makeError(
+                    ErrorCode::GoldenRunFailed,
+                    "workload '%s' golden McSim run did not halt",
+                    workload_.name.c_str());
+            goldenCycles_ = mres.cycles;
+            goldenSignature_ =
+                outputSignature(msim.memory(), msim.console());
+        } catch (const std::exception &e) {
+            return makeError(
+                ErrorCode::EngineFault,
+                "workload '%s' golden preparation faulted: %s",
+                workload_.name.c_str(), e.what());
+        }
+        return {};
+    }
     try {
         // Profile from a fast functional run...
         sim::FuncSim fsim(workload_.program);
@@ -218,9 +292,111 @@ InjectionCampaign::outputSignature(const sim::Memory &mem,
 }
 
 InjectionCampaign::RunRecord
+InjectionCampaign::executeOneMc(const ErrorModel &model, Rng &rng,
+                                const Watchdog *watchdog) const
+{
+    // Plan per core, in core-major order on the one run substream, so
+    // the whole multi-core plan is a deterministic function of the run
+    // index. Each event is stamped with its core: "the n-th eligible
+    // op on core k". The run's weight is the product (log-sum) of the
+    // per-core plan weights.
+    double logWeight = 0.0;
+    std::vector<sim::InjectionPlan> plans;
+    plans.reserve(coreProfiles_.size());
+    for (unsigned k = 0; k < coreProfiles_.size(); ++k) {
+        double lw = 0.0;
+        auto events = model.planWeighted(coreProfiles_[k], rng, lw);
+        for (auto &e : events)
+            e.core = k;
+        logWeight += lw;
+        plans.emplace_back(events);
+    }
+    mc::McSim sim(workload_.program, mcCfg_, std::move(plans));
+    auto res = sim.run(2 * goldenCycles_, watchdog);
+
+    RunRecord rec;
+    rec.logWeight = logWeight;
+    rec.injected = res.injectionsApplied;
+    rec.committed = res.committed;
+    rec.wrongPath = res.injectionsOnWrongPath;
+    switch (res.status) {
+      case mc::McSim::Status::Crashed:
+        rec.outcome = Outcome::Crash;
+        rec.mcClass = res.trap == sim::TrapKind::SyncFault
+                          ? McClass::SyncCrash
+                          : McClass::Crash;
+        break;
+      case mc::McSim::Status::Deadlock:
+        // No commit on any core for the bounded-progress window: the
+        // run would never finish. The base taxonomy calls that a
+        // Timeout; the refinement keeps it countable on its own.
+        rec.outcome = Outcome::Timeout;
+        rec.mcClass = McClass::Deadlock;
+        break;
+      case mc::McSim::Status::CycleLimit:
+        rec.outcome = Outcome::Timeout;
+        rec.mcClass = McClass::Timeout;
+        break;
+      case mc::McSim::Status::Interrupted:
+        rec.outcome = Outcome::EngineFault;
+        rec.fault = res.stop == Watchdog::Stop::Deadline
+                        ? ErrorCode::RunDeadline
+                        : ErrorCode::Cancelled;
+        break;
+      case mc::McSim::Status::Halted: {
+        auto sig = outputSignature(sim.memory(), sim.console());
+        if (sig == goldenSignature_) {
+            rec.outcome = Outcome::Masked;
+            // Coherence-masked: an injection landed AND some clean
+            // committed store overwrote a tainted word — the error
+            // demonstrably died in memory rather than never mattering.
+            rec.mcClass = (res.injectionsApplied > 0 &&
+                           res.coh.overwriteMasks > 0)
+                              ? McClass::CoherenceMasked
+                              : McClass::Masked;
+        } else {
+            rec.outcome = Outcome::SDC;
+            rec.mcClass = res.crossTaintedLoads > 0
+                              ? McClass::SdcCrossCore
+                              : McClass::SdcSameCore;
+        }
+        break;
+      }
+    }
+
+    // Coherence/synchronization observability (never aggregated into
+    // campaign statistics — the journal stays the source of truth).
+    obs::Registry &reg = obs::Registry::global();
+    reg.counter(obs::metric::kMcInvalidations, "",
+                "sharer lines invalidated by committed stores")
+        .inc(res.coh.invalidations);
+    reg.counter(obs::metric::kMcC2cTransfers, "",
+                "dirty lines forwarded cache-to-cache")
+        .inc(res.coh.c2cTransfers);
+    reg.counter(obs::metric::kMcL2Misses, "",
+                "shared-L2 misses across all cores")
+        .inc(res.coh.l2Misses);
+    reg.counter(obs::metric::kMcCrossReads, "",
+                "committed loads of another core's tainted data")
+        .inc(res.crossTaintedLoads);
+    reg.counter(obs::metric::kMcOverwriteMasked, "",
+                "clean committed stores overwriting tainted words")
+        .inc(res.coh.overwriteMasks);
+    reg.counter(obs::metric::kMcSpawns, "",
+                "cores started via the spawn syscall")
+        .inc(res.coh.spawns);
+    reg.counter(obs::metric::kMcBarriers, "",
+                "completed barrier episodes")
+        .inc(res.coh.barriers);
+    return rec;
+}
+
+InjectionCampaign::RunRecord
 InjectionCampaign::executeOne(const ErrorModel &model, Rng &rng,
                               const Watchdog *watchdog) const
 {
+    if (workload_.threaded)
+        return executeOneMc(model, rng, watchdog);
     double logWeight = 0.0;
     auto events = model.planWeighted(profile_, rng, logWeight);
     OooSim sim(workload_.program, cfg_, sim::InjectionPlan(events));
@@ -528,6 +704,14 @@ InjectionCampaign::run(const ErrorModel &model, int runs, Rng &rng,
           case Outcome::Timeout: ++out.timeout; break;
           case Outcome::EngineFault: break; // handled above
         }
+        switch (rec.mcClass) {
+          case McClass::CoherenceMasked: ++out.mcCoherenceMasked; break;
+          case McClass::SdcSameCore: ++out.mcSdcSameCore; break;
+          case McClass::SdcCrossCore: ++out.mcSdcCrossCore; break;
+          case McClass::SyncCrash: ++out.mcSyncCrash; break;
+          case McClass::Deadlock: ++out.mcDeadlock; break;
+          default: break; // refinements that add nothing to the base
+        }
     }
     reg.counter(obs::metric::kInjectRuns, "",
                 "classified injection runs (replayed or simulated)")
@@ -560,6 +744,25 @@ InjectionCampaign::run(const ErrorModel &model, int runs, Rng &rng,
     reg.counter(obs::metric::kInjectOutcomes, "outcome=\"EngineFault\"",
                 help)
         .inc(out.engineFault);
+    if (workload_.threaded) {
+        const char *mcHelp =
+            "multi-core outcome refinements by classification";
+        reg.counter(obs::metric::kMcOutcomes,
+                    "class=\"CoherenceMasked\"", mcHelp)
+            .inc(out.mcCoherenceMasked);
+        reg.counter(obs::metric::kMcOutcomes, "class=\"SdcSameCore\"",
+                    mcHelp)
+            .inc(out.mcSdcSameCore);
+        reg.counter(obs::metric::kMcOutcomes, "class=\"SdcCrossCore\"",
+                    mcHelp)
+            .inc(out.mcSdcCrossCore);
+        reg.counter(obs::metric::kMcOutcomes, "class=\"SyncCrash\"",
+                    mcHelp)
+            .inc(out.mcSyncCrash);
+        reg.counter(obs::metric::kMcOutcomes, "class=\"Deadlock\"",
+                    mcHelp)
+            .inc(out.mcDeadlock);
+    }
     return out;
 }
 

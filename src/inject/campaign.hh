@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "mc/mc_sim.hh"
 #include "models/error_models.hh"
 #include "sim/ooo_sim.hh"
 #include "stats/intervals.hh"
@@ -57,6 +58,33 @@ enum class Outcome
 };
 
 const char *outcomeName(Outcome outcome);
+
+/**
+ * Multi-core refinement of the outcome taxonomy. Threaded ("-mt")
+ * workloads run on McSim, where an injected error can cross core
+ * boundaries through shared memory; each of the paper's program-level
+ * outcomes then splits by the propagation evidence the simulator
+ * collects (word-granularity taint with per-core origin masks,
+ * overwrite tracking, and the sync-fault/deadlock machinery).
+ * Single-core runs always record None.
+ */
+enum class McClass
+{
+    None = 0,        ///< single-core run (no multi-core refinement)
+    Masked,          ///< output matched; no masking evidence needed
+    CoherenceMasked, ///< matched, but a clean store overwrote a
+                     ///< tainted word (the error died in memory)
+    SdcSameCore,     ///< output mismatch, taint never crossed cores
+    SdcCrossCore,    ///< mismatch and a core committed a load of
+                     ///< another core's tainted data
+    Crash,           ///< ordinary trap reached commit
+    SyncCrash,       ///< spawn/join/barrier misuse trap (SyncFault)
+    Deadlock,        ///< bounded-progress watchdog fired (e.g. a
+                     ///< corrupted barrier never released)
+    Timeout,         ///< cycle limit with commits still happening
+};
+
+const char *mcClassName(McClass c);
 
 /**
  * Turn a journaled log likelihood ratio into the finite weight used by
@@ -112,6 +140,18 @@ struct CampaignResult
     double weightUnsafeSqSum = 0.0;
     /** True when the campaign sampled from a reweighted proposal. */
     bool weightedModel = false;
+    /**
+     * Multi-core outcome refinements (threaded workloads only; all
+     * zero for single-core cells). Each counts a subset of the
+     * corresponding base outcome: mcCoherenceMasked <= masked,
+     * mcSdcSameCore + mcSdcCrossCore == sdc, mcSyncCrash <= crash,
+     * mcDeadlock <= timeout.
+     */
+    uint64_t mcCoherenceMasked = 0;
+    uint64_t mcSdcSameCore = 0;
+    uint64_t mcSdcCrossCore = 0;
+    uint64_t mcSyncCrash = 0;
+    uint64_t mcDeadlock = 0;
 
     /** Runs that produced one of the paper's four outcomes. */
     uint64_t classified() const { return runs - engineFault; }
@@ -163,14 +203,18 @@ class InjectionCampaign
      * process abort, so one broken workload degrades one cell.
      */
     static Expected<std::unique_ptr<InjectionCampaign>>
-    create(workloads::Workload workload, sim::OooConfig cfg = {});
+    create(workloads::Workload workload, sim::OooConfig cfg = {},
+           mc::McConfig mcCfg = {});
 
     /**
      * Convenience constructor for known-good workloads: same
-     * preparation, but a golden-run failure is fatal().
+     * preparation, but a golden-run failure is fatal(). `mcCfg` only
+     * matters for threaded workloads, which run on McSim with that
+     * core count / quantum (both part of the cell's identity).
      */
     InjectionCampaign(workloads::Workload workload,
-                      sim::OooConfig cfg = sim::OooConfig{});
+                      sim::OooConfig cfg = sim::OooConfig{},
+                      mc::McConfig mcCfg = mc::McConfig{});
 
     /** Golden profile used by the models' planners. */
     const models::ProgramProfile &profile() const { return profile_; }
@@ -198,6 +242,8 @@ class InjectionCampaign
          * exact bit pattern so replayed runs aggregate identically.
          */
         double logWeight = 0.0;
+        /** Multi-core refinement (None for single-core runs). */
+        McClass mcClass = McClass::None;
     };
 
     /** Durability and containment knobs for run(). */
@@ -298,10 +344,14 @@ class InjectionCampaign
     {
     };
     InjectionCampaign(Unprepared, workloads::Workload workload,
-                      sim::OooConfig cfg);
+                      sim::OooConfig cfg, mc::McConfig mcCfg);
 
     /** Golden functional + detailed runs; the recoverable ctor body. */
     Error prepare();
+
+    /** executeOne's multi-core path (threaded workloads). */
+    RunRecord executeOneMc(const models::ErrorModel &model, Rng &rng,
+                           const Watchdog *watchdog) const;
 
     /** Capture the checked output state of a finished simulation. */
     std::vector<uint8_t> outputSignature(const sim::Memory &mem,
@@ -309,7 +359,10 @@ class InjectionCampaign
 
     workloads::Workload workload_;
     sim::OooConfig cfg_;
+    mc::McConfig mcCfg_;
     models::ProgramProfile profile_;
+    /** Per-core profiles (threaded only): plan "core k's n-th op". */
+    std::vector<models::ProgramProfile> coreProfiles_;
     uint64_t goldenCycles_ = 0;
     std::vector<uint8_t> goldenSignature_;
 };

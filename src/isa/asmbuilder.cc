@@ -142,6 +142,13 @@ AsmBuilder::jal(uint8_t rd, Label l)
     emit(Op::JAL, rd, 0, 0, 0);
 }
 
+void
+AsmBuilder::laCode(uint8_t rd, Label l)
+{
+    fixups_.push_back(Fixup{code_.size(), l, true});
+    emit(Op::LIW, rd, 0, 0, 0);
+}
+
 Program
 AsmBuilder::build()
 {
@@ -150,8 +157,16 @@ AsmBuilder::build()
         int64_t pos = labelPos_[fx.label];
         fatal_if(pos < 0, "unbound label %zu in '%s'", fx.label,
                  name_.c_str());
-        int64_t off = pos - static_cast<int64_t>(fx.index);
         Instruction &insn = code_[fx.index];
+        if (fx.absolute) {
+            int64_t addr =
+                static_cast<int64_t>(kCodeBase) + pos * 4;
+            fatal_if(!fitsImm19(addr), "code address %lld overflows LIW",
+                     static_cast<long long>(addr));
+            insn.imm = static_cast<int32_t>(addr);
+            continue;
+        }
+        int64_t off = pos - static_cast<int64_t>(fx.index);
         if (insn.op == Op::JAL)
             fatal_if(!fitsImm19(off), "jump offset %lld overflows",
                      static_cast<long long>(off));

@@ -133,6 +133,28 @@ class AsmBuilder
     void halt() { emit(Op::HALT); }
     void nop() { emit(Op::NOP); }
 
+    // ---- multi-core ABI (no-ops on the single-core simulators) ----
+    /** Start the lowest parked core at the code address in x[rs1]. */
+    void spawn(uint8_t rs1) { emit(Op::ECALL, 0, rs1, 0, 3); }
+    /** Stall until every spawned core has halted. */
+    void join() { emit(Op::ECALL, 0, 0, 0, 4); }
+    /** Stall until every running core arrives. */
+    void barrier() { emit(Op::ECALL, 0, 0, 0, 5); }
+    /** rd = this core's id (0 on the main core). */
+    void mcCoreId(uint8_t rd)
+    {
+        li(rd, static_cast<int64_t>(kMcCtrlCoreId));
+        ld(rd, rd, 0);
+    }
+    /** rd = number of cores in the machine. */
+    void mcNumCores(uint8_t rd)
+    {
+        li(rd, static_cast<int64_t>(kMcCtrlBase));
+        ld(rd, rd, static_cast<int32_t>(kMcCtrlNumCores - kMcCtrlBase));
+    }
+    /** Load the absolute byte address of a code label (for spawn). */
+    void laCode(uint8_t rd, Label l);
+
     /** Resolve labels and produce the program. */
     Program build();
 
@@ -146,6 +168,8 @@ class AsmBuilder
     {
         size_t index;
         Label label;
+        /** Patch the absolute code byte address, not a PC offset. */
+        bool absolute = false;
     };
     std::vector<Fixup> fixups_;
     std::vector<int64_t> labelPos_; // -1 = unbound

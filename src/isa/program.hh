@@ -24,6 +24,22 @@ constexpr uint64_t kDataBase = 0x100000;     ///< 1 MiB
 constexpr uint64_t kStackTop = 0x4000000;    ///< 64 MiB
 constexpr uint64_t kStackSize = 0x100000;    ///< 1 MiB mapped
 
+/**
+ * Multi-core control page: a read-only page below the data segment
+ * that the multi-core simulator (src/mc) maps per core, so one SPMD
+ * program image can ask "who am I / how many of us are there". Loads
+ * from it hit the single-core simulators as plain unmapped memory —
+ * single-core programs simply never touch it.
+ */
+constexpr uint64_t kMcCtrlBase = 0xF0000;
+constexpr uint64_t kMcCtrlSize = 0x1000;
+constexpr uint64_t kMcCtrlCoreId = kMcCtrlBase + 0;   ///< this core's id
+constexpr uint64_t kMcCtrlNumCores = kMcCtrlBase + 8; ///< core count
+
+/** Per-core stack carve used by the spawn ABI (cores fit in 1 MiB). */
+constexpr uint64_t kMcStackBytes = 0x10000; ///< 64 KiB per core
+constexpr unsigned kMcMaxCores = 8;
+
 struct Program
 {
     std::string name;

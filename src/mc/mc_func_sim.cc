@@ -1,0 +1,271 @@
+#include "mc/mc_func_sim.hh"
+
+#include <algorithm>
+
+#include "sim/exec.hh"
+#include "util/logging.hh"
+
+namespace tea::mc {
+
+using isa::Op;
+using sim::TrapKind;
+
+McFuncSim::McFuncSim(isa::Program prog, Config cfg)
+    : prog_(std::move(prog)), cfg_(cfg)
+{
+    cfg_.cores = std::clamp(cfg_.cores, 1u, isa::kMcMaxCores);
+    mem_.loadProgram(prog_);
+    cores_.resize(cfg_.cores);
+    cores_[0].running = true;
+    cores_[0].idx = prog_.entryIndex;
+    cores_[0].xreg[2] = isa::kStackTop - 64;
+    barPhase_.assign(cfg_.cores, 0);
+    inBarrier_.assign(cfg_.cores, 0);
+}
+
+McFuncSim::StepOut
+McFuncSim::stepCore(unsigned k, TrapKind &trap)
+{
+    Core &c = cores_[k];
+    const auto &code = prog_.code;
+    if (c.idx >= code.size()) {
+        trap = TrapKind::BadJump;
+        return StepOut::Trapped;
+    }
+    const isa::Instruction &insn = code[c.idx];
+    uint64_t next = c.idx + 1;
+
+    auto countAndAdvance = [&]() {
+        ++c.instructions;
+        ++c.opCounts[static_cast<size_t>(insn.op)];
+        c.idx = next;
+        return StepOut::Advanced;
+    };
+
+    switch (insn.op) {
+      case Op::HALT:
+        ++c.instructions;
+        ++c.opCounts[static_cast<size_t>(insn.op)];
+        c.halted = true;
+        c.running = false;
+        return StepOut::Halted;
+      case Op::NOP:
+        break;
+      case Op::ECALL: {
+        using isa::Syscall;
+        switch (static_cast<Syscall>(insn.imm)) {
+          case Syscall::PrintInt:
+            console_.push_back(c.xreg[insn.rs1]);
+            break;
+          case Syscall::PrintFp:
+            console_.push_back(c.freg[insn.rs1]);
+            break;
+          case Syscall::Spawn: {
+            uint64_t arg = c.xreg[insn.rs1];
+            if (arg < isa::kCodeBase || (arg & 3) ||
+                (arg - isa::kCodeBase) / 4 >= code.size()) {
+                trap = TrapKind::SyncFault;
+                return StepOut::Trapped;
+            }
+            int target = -1;
+            for (unsigned j = 1; j < cfg_.cores; ++j) {
+                if (!cores_[j].running) {
+                    target = static_cast<int>(j);
+                    break;
+                }
+            }
+            if (target < 0) {
+                trap = TrapKind::SyncFault;
+                return StepOut::Trapped;
+            }
+            Core &w = cores_[static_cast<size_t>(target)];
+            w.running = true;
+            w.halted = false;
+            w.idx = (arg - isa::kCodeBase) / 4;
+            w.xreg[2] = isa::kStackTop - 64 -
+                        static_cast<uint64_t>(target) *
+                            isa::kMcStackBytes;
+            break;
+          }
+          case Syscall::Join: {
+            for (unsigned j = 1; j < cfg_.cores; ++j)
+                if (cores_[j].running)
+                    return StepOut::Stalled;
+            break;
+          }
+          case Syscall::Barrier: {
+            if (barPhase_[k] < barGlobalPhase_) {
+                ++barPhase_[k];
+                break;
+            }
+            unsigned nActive = 0;
+            for (const Core &cc : cores_)
+                nActive += cc.running ? 1 : 0;
+            if (!inBarrier_[k]) {
+                inBarrier_[k] = 1;
+                ++barArrived_;
+            }
+            if (barArrived_ >= nActive) {
+                ++barGlobalPhase_;
+                barArrived_ = 0;
+                std::fill(inBarrier_.begin(), inBarrier_.end(), 0);
+                ++barPhase_[k];
+                break;
+            }
+            return StepOut::Stalled;
+          }
+          default:
+            break;
+        }
+        break;
+      }
+      case Op::JAL:
+        c.xreg[insn.rd] = (c.idx + 1) * 4 + isa::kCodeBase;
+        if (insn.rd == 0)
+            c.xreg[0] = 0;
+        next = c.idx + static_cast<int64_t>(insn.imm);
+        break;
+      case Op::JALR: {
+        uint64_t target =
+            c.xreg[insn.rs1] + static_cast<int64_t>(insn.imm);
+        c.xreg[insn.rd] = (c.idx + 1) * 4 + isa::kCodeBase;
+        c.xreg[0] = 0;
+        if (target < isa::kCodeBase || (target & 3) ||
+            (target - isa::kCodeBase) / 4 >= code.size()) {
+            trap = TrapKind::BadJump;
+            return StepOut::Trapped;
+        }
+        next = (target - isa::kCodeBase) / 4;
+        break;
+      }
+      case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
+      case Op::BLTU: case Op::BGEU:
+        if (sim::branchTaken(insn.op, c.xreg[insn.rs1], c.xreg[insn.rs2]))
+            next = c.idx + static_cast<int64_t>(insn.imm);
+        break;
+      case Op::LD: case Op::LW: case Op::FLD: {
+        uint64_t addr =
+            c.xreg[insn.rs1] + static_cast<int64_t>(insn.imm);
+        unsigned size = sim::memAccessSize(insn.op);
+        if (addr & (size - 1)) {
+            trap = TrapKind::Misaligned;
+            return StepOut::Trapped;
+        }
+        if (addr < isa::kProtectedTop) {
+            trap = TrapKind::ProtectedAccess;
+            return StepOut::Trapped;
+        }
+        uint64_t v;
+        if (addr >= isa::kMcCtrlBase &&
+            addr + size <= isa::kMcCtrlBase + isa::kMcCtrlSize) {
+            v = addr == isa::kMcCtrlCoreId     ? k
+                : addr == isa::kMcCtrlNumCores ? cfg_.cores
+                                               : 0;
+        } else if (!mem_.isMapped(addr, size)) {
+            trap = TrapKind::MemFault;
+            return StepOut::Trapped;
+        } else {
+            v = mem_.read(addr, size);
+        }
+        if (insn.op == Op::LW)
+            v = static_cast<uint64_t>(
+                static_cast<int64_t>(static_cast<int32_t>(v)));
+        if (insn.op == Op::FLD)
+            c.freg[insn.rd] = v;
+        else
+            c.xreg[insn.rd] = v;
+        break;
+      }
+      case Op::SD: case Op::SW: case Op::FSD: {
+        uint64_t addr =
+            c.xreg[insn.rs1] + static_cast<int64_t>(insn.imm);
+        unsigned size = sim::memAccessSize(insn.op);
+        if (addr & (size - 1)) {
+            trap = TrapKind::Misaligned;
+            return StepOut::Trapped;
+        }
+        if (addr < isa::kProtectedTop) {
+            trap = TrapKind::ProtectedAccess;
+            return StepOut::Trapped;
+        }
+        // The control page is read-only and unmapped for stores, so a
+        // write lands here like McSim's port: a MemFault.
+        if (!mem_.isMapped(addr, size)) {
+            trap = TrapKind::MemFault;
+            return StepOut::Trapped;
+        }
+        uint64_t data =
+            (insn.op == Op::FSD) ? c.freg[insn.rd] : c.xreg[insn.rd];
+        mem_.write(addr, size, data);
+        break;
+      }
+      default: {
+        uint64_t a, b = 0;
+        if (isa::readsFpRs1(insn.op))
+            a = c.freg[insn.rs1];
+        else
+            a = c.xreg[insn.rs1];
+        if (isa::readsFpRs2(insn.op))
+            b = c.freg[insn.rs2];
+        else if (isa::readsIntRs2(insn.op))
+            b = c.xreg[insn.rs2];
+        if (fpTrace_ && isa::isFpArith(insn.op))
+            fpTrace_->push_back(
+                sim::FpTraceEntry{isa::fpuOpFor(insn.op), a, b});
+        sim::ExecOut out = sim::execArith(insn, a, b);
+        if (out.fpSevere && cfg_.trapOnSevereFp &&
+            isa::isFpArith(insn.op)) {
+            trap = TrapKind::FpException;
+            return StepOut::Trapped;
+        }
+        if (isa::writesFpReg(insn.op)) {
+            c.freg[insn.rd] = out.value;
+        } else if (isa::writesIntReg(insn.op)) {
+            c.xreg[insn.rd] = out.value;
+            c.xreg[0] = 0;
+        }
+        break;
+      }
+    }
+    return countAndAdvance();
+}
+
+McFuncSim::Result
+McFuncSim::run()
+{
+    uint64_t total = 0;
+    while (total < cfg_.maxInstructions) {
+        bool progressed = false;
+        bool anyRunning = false;
+        for (unsigned k = 0; k < cfg_.cores; ++k) {
+            if (!cores_[k].running)
+                continue;
+            anyRunning = true;
+            TrapKind trap = TrapKind::None;
+            StepOut out = stepCore(k, trap);
+            switch (out) {
+              case StepOut::Advanced:
+                ++total;
+                progressed = true;
+                break;
+              case StepOut::Halted:
+                ++total;
+                progressed = true;
+                if (k == 0)
+                    return {Status::Halted, TrapKind::None, -1, total};
+                break;
+              case StepOut::Trapped:
+                return {Status::Trapped, trap, static_cast<int>(k),
+                        total};
+              case StepOut::Stalled:
+                break;
+            }
+        }
+        panic_if(!anyRunning, "mc funcsim: no runnable core");
+        if (!progressed)
+            return {Status::Deadlock, TrapKind::None, -1, total};
+    }
+    return {Status::LimitReached, TrapKind::None, -1, total};
+}
+
+} // namespace tea::mc

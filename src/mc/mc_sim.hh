@@ -1,0 +1,137 @@
+/**
+ * @file
+ * N-core shared-memory cycle-level simulator.
+ *
+ * `McSim` instantiates N `CorePipeline` cores (the same machine OooSim
+ * wraps) behind private L1 tag models, a shared L2, and a MESI-style
+ * coherence layer: line-granularity state with per-line sharer
+ * vectors, invalidate-on-write, and cache-to-cache transfer latency
+ * for dirty lines. Functional data always flows through the one
+ * shared `Memory` in global interleave order, so coherence is a
+ * timing/statistics model — never a second source of truth.
+ *
+ * Determinism rule: the scheduler is a fixed round-robin over cores
+ * with a configurable quantum (`REPRO_MC_CORES`/`REPRO_MC_QUANTUM`),
+ * and a whole N-core simulation steps on ONE host thread. Campaign
+ * parallelism stays at the run level, exactly like single-core
+ * campaigns — so any injection replays bit-identically regardless of
+ * host thread count, fleet sharding, or daemon scheduling.
+ *
+ * Programs use the spawn/join/barrier ECALLs (src/isa) and the
+ * per-core control page (kMcCtrlBase) for SPMD sharding. Syscalls
+ * execute non-speculatively at commit: an injected error that corrupts
+ * a spawn target or loop bound produces a genuine SyncFault crash or a
+ * barrier deadlock, which the bounded-progress watchdog converts into
+ * a distinct `Deadlock` status (no commit on any core for a window).
+ */
+
+#ifndef TEA_MC_MC_SIM_HH
+#define TEA_MC_MC_SIM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "isa/program.hh"
+#include "sim/ooo_sim.hh"
+#include "sim/sim_types.hh"
+#include "util/watchdog.hh"
+
+namespace tea::mc {
+
+struct McConfig
+{
+    unsigned cores = 2;   ///< clamped to [1, isa::kMcMaxCores]
+    unsigned quantum = 64; ///< cycles per core per round-robin turn
+
+    // Shared-L2 / coherence timing.
+    unsigned l2Sets = 512;
+    unsigned l2Ways = 8;
+    unsigned latL2Hit = 20;  ///< L1 miss that hits in the shared L2
+    unsigned latC2c = 30;    ///< dirty line forwarded from another L1
+
+    /**
+     * Bounded-progress watchdog: if no core commits an instruction
+     * for this many global cycles while the machine is not done, the
+     * run ends with Status::Deadlock (e.g. a barrier whose arrival
+     * count was corrupted). Livelock that still commits falls through
+     * to the ordinary cycle limit instead.
+     */
+    uint64_t deadlockWindow = 250'000;
+
+    sim::OooConfig core; ///< per-core pipeline configuration
+};
+
+/** Coherence / synchronization statistics for one run. */
+struct CoherenceStats
+{
+    uint64_t invalidations = 0;  ///< sharer lines killed by stores
+    uint64_t c2cTransfers = 0;   ///< dirty-line cache-to-cache fills
+    uint64_t upgrades = 0;       ///< S->M ownership acquisitions
+    uint64_t l2Accesses = 0;
+    uint64_t l2Misses = 0;
+    /** Clean committed stores that overwrote a tainted word. */
+    uint64_t overwriteMasks = 0;
+    uint64_t spawns = 0;
+    uint64_t joins = 0;
+    uint64_t barriers = 0; ///< completed barrier episodes
+};
+
+class McSim
+{
+  public:
+    /**
+     * `plans[k]` is core k's injection plan ("the n-th FP op on core
+     * k"); missing entries mean no injections on that core.
+     */
+    McSim(isa::Program prog, McConfig cfg = McConfig{},
+          std::vector<sim::InjectionPlan> plans = {});
+    ~McSim();
+
+    enum class Status
+    {
+        Halted,    ///< core 0 committed HALT
+        Crashed,   ///< a trap reached commit on some core
+        CycleLimit,
+        Deadlock,  ///< bounded-progress watchdog fired
+        Interrupted,
+    };
+
+    struct Result
+    {
+        Status status;
+        sim::TrapKind trap = sim::TrapKind::None;
+        int trapCore = -1; ///< core that crashed (Crashed only)
+        Watchdog::Stop stop = Watchdog::Stop::None;
+        /** Total stepped core-cycles (the scheduler's clock). */
+        uint64_t cycles = 0;
+        uint64_t committed = 0;
+        uint64_t executed = 0;
+        uint64_t injectionsApplied = 0;
+        uint64_t injectionsOnWrongPath = 0;
+        uint64_t branchMispredicts = 0;
+        uint64_t squashedInstructions = 0;
+        uint64_t l1Misses = 0;
+        uint64_t l1Accesses = 0;
+        /** Committed loads of words tainted by *another* core. */
+        uint64_t crossTaintedLoads = 0;
+        CoherenceStats coh;
+        std::vector<uint64_t> perCoreCommitted;
+        std::vector<uint64_t> perCoreInjected;
+    };
+
+    Result run(uint64_t maxCycles, const Watchdog *watchdog = nullptr);
+
+    const sim::Memory &memory() const;
+    const sim::Console &console() const;
+    unsigned cores() const;
+
+  private:
+    struct Impl;
+    isa::Program prog_; ///< owned copy; callers may pass temporaries
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace tea::mc
+
+#endif // TEA_MC_MC_SIM_HH

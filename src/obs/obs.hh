@@ -38,6 +38,19 @@ inline constexpr const char *kInjectRetries =
 inline constexpr const char *kInjectReplays =
     "tea_inject_replays_total";
 inline constexpr const char *kInjectRunMs = "tea_inject_run_ms";
+// ---- multi-core injection (McSim) ----------------------------------
+inline constexpr const char *kMcOutcomes = "tea_mc_outcomes_total";
+inline constexpr const char *kMcInvalidations =
+    "tea_mc_invalidations_total";
+inline constexpr const char *kMcC2cTransfers =
+    "tea_mc_c2c_transfers_total";
+inline constexpr const char *kMcL2Misses = "tea_mc_l2_misses_total";
+inline constexpr const char *kMcCrossReads =
+    "tea_mc_cross_reads_total";
+inline constexpr const char *kMcOverwriteMasked =
+    "tea_mc_overwrite_masked_total";
+inline constexpr const char *kMcSpawns = "tea_mc_spawns_total";
+inline constexpr const char *kMcBarriers = "tea_mc_barriers_total";
 // ---- DTA characterization -----------------------------------------
 inline constexpr const char *kDtaShards = "tea_dta_shards_total";
 inline constexpr const char *kDtaShardRetries =

@@ -35,6 +35,11 @@ cellToKv(const core::CampaignCell &cell)
                   cell.result.weightSqSum,
                   cell.result.weightUnsafeSqSum);
     out << w;
+    out << "mcchm " << cell.result.mcCoherenceMasked << "\n";
+    out << "mcscs " << cell.result.mcSdcSameCore << "\n";
+    out << "mcccs " << cell.result.mcSdcCrossCore << "\n";
+    out << "mcsync " << cell.result.mcSyncCrash << "\n";
+    out << "mcdead " << cell.result.mcDeadlock << "\n";
     return out.str();
 }
 
@@ -81,6 +86,18 @@ cellFromKv(const std::map<std::string, std::string> &kv,
     getD("wunsafe", out.result.weightUnsafe);
     getD("wsqsum", out.result.weightSqSum);
     getD("wusqsum", out.result.weightUnsafeSqSum);
+    // Multi-core refinement counters are likewise optional: absent
+    // from single-core cells and from older daemons.
+    auto getOpt = [&kv](const char *key, uint64_t &dst) {
+        auto it = kv.find(key);
+        if (it != kv.end())
+            dst = std::strtoull(it->second.c_str(), nullptr, 10);
+    };
+    getOpt("mcchm", out.result.mcCoherenceMasked);
+    getOpt("mcscs", out.result.mcSdcSameCore);
+    getOpt("mcccs", out.result.mcSdcCrossCore);
+    getOpt("mcsync", out.result.mcSyncCrash);
+    getOpt("mcdead", out.result.mcDeadlock);
     out.result.workload = out.workload;
     out.result.model = models::modelKindName(out.model);
     return ok;

@@ -16,6 +16,7 @@ trapName(TrapKind kind)
       case TrapKind::BadJump: return "bad-jump";
       case TrapKind::IllegalInsn: return "illegal-insn";
       case TrapKind::FpException: return "fp-exception";
+      case TrapKind::SyncFault: return "sync-fault";
     }
     return "?";
 }

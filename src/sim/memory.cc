@@ -50,19 +50,34 @@ Memory::pageFor(uint64_t addr) const
 uint64_t
 Memory::read(uint64_t addr, unsigned size) const
 {
-    // Accesses are aligned (the simulators trap misalignment first), so
-    // they never straddle a page.
-    const uint8_t *p = pageFor(addr) + (addr & (kPageSize - 1));
+    // Aligned accesses (the common case — the simulators trap
+    // misalignment first) stay within one page; byte-granularity
+    // callers like loadProgram may straddle, so fall back to a byte
+    // loop rather than run a memcpy off the end of a page.
+    uint64_t off = addr & (kPageSize - 1);
     uint64_t v = 0;
-    std::memcpy(&v, p, size);
+    if (off + size <= kPageSize) {
+        std::memcpy(&v, pageFor(addr) + off, size);
+    } else {
+        for (unsigned i = 0; i < size; ++i)
+            v |= static_cast<uint64_t>(
+                     pageFor(addr + i)[(addr + i) & (kPageSize - 1)])
+                 << (8 * i);
+    }
     return v;
 }
 
 void
 Memory::write(uint64_t addr, unsigned size, uint64_t value)
 {
-    uint8_t *p = pageFor(addr) + (addr & (kPageSize - 1));
-    std::memcpy(p, &value, size);
+    uint64_t off = addr & (kPageSize - 1);
+    if (off + size <= kPageSize) {
+        std::memcpy(pageFor(addr) + off, &value, size);
+    } else {
+        for (unsigned i = 0; i < size; ++i)
+            pageFor(addr + i)[(addr + i) & (kPageSize - 1)] =
+                static_cast<uint8_t>(value >> (8 * i));
+    }
 }
 
 std::vector<uint8_t>

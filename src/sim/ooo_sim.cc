@@ -1,15 +1,11 @@
 #include "sim/ooo_sim.hh"
 
 #include <algorithm>
-#include <deque>
 
-#include "sim/exec.hh"
+#include "sim/pipeline.hh"
 #include "util/logging.hh"
 
 namespace tea::sim {
-
-using isa::Instruction;
-using isa::Op;
 
 InjectionPlan::InjectionPlan(const std::vector<InjectionEvent> &events)
 {
@@ -50,676 +46,68 @@ InjectionPlan::totalEvents() const
 
 namespace {
 
-enum class Stage : uint8_t
+/**
+ * Single-core port: one flat Memory behind a private L1, console
+ * syscalls only. Reproduces the pre-refactor OooSim bit-for-bit.
+ */
+class FlatPort final : public CorePort
 {
-    InIQ,       ///< waiting for operands / FU
-    Exec,       ///< in a functional unit (countdown)
-    MemPending, ///< load waiting for disambiguation
-    MemAccess,  ///< load accessing the cache (countdown)
-    Done,
-};
-
-struct RobEntry
-{
-    Instruction insn;
-    uint64_t pcIdx;
-    uint64_t seq;
-    uint64_t predNextIdx;
-    Stage stage;
-    unsigned countdown;
-    // Sources: [0] = rs1-class, [1] = rs2 / store data.
-    int src[2];          ///< ROB slot of the producer, or -1
-    uint64_t srcVal[2];  ///< value when src == -1 (or after patch)
-    bool srcIsFp[2];
-    // Destination.
-    bool hasDest;
-    bool destIsFp;
-    uint8_t destReg;
-    uint64_t result;
-    // Memory.
-    bool isLoad, isStore;
-    uint64_t addr;
-    unsigned size;
-    // Control.
-    bool isCtrl;
-    uint64_t actualNextIdx;
-    bool resolved;
-    // Faults & bookkeeping.
-    TrapKind trap;
-    bool injected;
-};
-
-/** Simple 2-bit bimodal predictor plus a last-target table for JALR. */
-struct Predictor
-{
-    static constexpr size_t kBimodal = 4096;
-    static constexpr size_t kTargets = 1024;
-    std::vector<uint8_t> counters = std::vector<uint8_t>(kBimodal, 1);
-    std::vector<uint64_t> lastTarget =
-        std::vector<uint64_t>(kTargets, ~0ULL);
-
-    bool predictTaken(uint64_t pcIdx) const
-    {
-        return counters[pcIdx % kBimodal] >= 2;
-    }
-    void update(uint64_t pcIdx, bool taken)
-    {
-        uint8_t &c = counters[pcIdx % kBimodal];
-        if (taken && c < 3)
-            ++c;
-        if (!taken && c > 0)
-            --c;
-    }
-    uint64_t predictTarget(uint64_t pcIdx) const
-    {
-        return lastTarget[pcIdx % kTargets];
-    }
-    void updateTarget(uint64_t pcIdx, uint64_t target)
-    {
-        lastTarget[pcIdx % kTargets] = target;
-    }
-};
-
-/** L1 data cache tag model (set-associative, LRU). */
-struct L1Cache
-{
-    unsigned sets, ways, lineBits;
-    std::vector<uint64_t> tags;
-    std::vector<uint32_t> lru;
-    uint32_t tick = 0;
-    uint64_t misses = 0, accesses = 0;
-
-    L1Cache(unsigned sets_, unsigned ways_, unsigned lineBytes)
-        : sets(sets_), ways(ways_),
-          lineBits(static_cast<unsigned>(__builtin_ctz(lineBytes))),
-          tags(sets_ * ways_, ~0ULL), lru(sets_ * ways_, 0)
+  public:
+    FlatPort(Memory &mem, Console &console, const OooConfig &cfg)
+        : mem_(mem), console_(console),
+          cache_(cfg.l1Sets, cfg.l1Ways, cfg.l1LineBytes),
+          latHit_(cfg.latCacheHit), latMiss_(cfg.latCacheMiss)
     {
     }
 
-    bool access(uint64_t addr, bool allocate)
+    LoadResult load(uint64_t addr, unsigned size) override
     {
-        ++accesses;
-        uint64_t line = addr >> lineBits;
-        unsigned set = line % sets;
-        ++tick;
-        for (unsigned w = 0; w < ways; ++w) {
-            if (tags[set * ways + w] == line) {
-                lru[set * ways + w] = tick;
-                return true;
-            }
-        }
-        ++misses;
-        if (allocate) {
-            unsigned victim = 0;
-            uint32_t best = UINT32_MAX;
-            for (unsigned w = 0; w < ways; ++w) {
-                if (lru[set * ways + w] < best) {
-                    best = lru[set * ways + w];
-                    victim = w;
-                }
-            }
-            tags[set * ways + victim] = line;
-            lru[set * ways + victim] = tick;
-        }
-        return false;
+        bool hit = cache_.access(addr, true);
+        return {mem_.read(addr, size), hit ? latHit_ : latMiss_, 0};
     }
+
+    void store(uint64_t addr, unsigned size, uint64_t value,
+               uint32_t /*taint*/) override
+    {
+        mem_.write(addr, size, value);
+        cache_.access(addr, true);
+    }
+
+    bool mapped(uint64_t addr, unsigned size,
+                bool /*isStore*/) const override
+    {
+        return mem_.isMapped(addr, size);
+    }
+
+    Sys syscall(int func, uint64_t arg, TrapKind & /*trap*/) override
+    {
+        if (func == static_cast<int>(isa::Syscall::PrintInt) ||
+            func == static_cast<int>(isa::Syscall::PrintFp))
+            console_.push_back(arg);
+        return Sys::Proceed;
+    }
+
+    const L1Cache &cache() const { return cache_; }
+
+  private:
+    Memory &mem_;
+    Console &console_;
+    L1Cache cache_;
+    unsigned latHit_, latMiss_;
 };
 
 } // namespace
 
 struct OooSim::Impl
 {
-    const isa::Program &prog;
-    OooConfig cfg;
-    InjectionPlan plan;
-    Memory &mem;
-    Console &console;
+    FlatPort port;
+    CorePipeline pipe;
 
-    // ROB.
-    std::vector<RobEntry> rob;
-    size_t head = 0, tail = 0, count = 0;
-    uint64_t nextSeq = 0;
-
-    // Rename tables: ROB slot of the latest producer, or -1.
-    std::array<int, 32> mapInt;
-    std::array<int, 32> mapFp;
-    std::array<uint64_t, 32> xreg{};
-    std::array<uint64_t, 32> freg{};
-
-    std::vector<int> iq; // ROB slots, program order
-    std::deque<std::pair<uint64_t, uint64_t>> fetchBuf; // (pcIdx, pred)
-
-    uint64_t fetchIdx;
-    bool fetchStopped = false;
-
-    Predictor pred;
-    L1Cache cache;
-
-    unsigned loadsInFlight = 0, storesInFlight = 0;
-    uint64_t intDivBusyUntil = 0, fpDivBusyUntil = 0;
-
-    // Injection counters.
-    uint64_t anyDestCount = 0;
-    size_t anyDestPtr = 0;
-    std::array<uint64_t, fpu::kNumFpuOps> fpOpCount{};
-    std::array<size_t, fpu::kNumFpuOps> fpOpPtr{};
-
-    // Stats.
-    uint64_t cycles = 0, committed = 0, executed = 0;
-    uint64_t injApplied = 0, injWrongPath = 0;
-    uint64_t mispredicts = 0, squashed = 0;
-
-    Impl(const isa::Program &p, OooConfig c, InjectionPlan pl,
-         Memory &m, Console &con)
-        : prog(p), cfg(c), plan(std::move(pl)), mem(m), console(con),
-          rob(c.robSize), fetchIdx(p.entryIndex),
-          cache(c.l1Sets, c.l1Ways, c.l1LineBytes)
+    Impl(const isa::Program &prog, const OooConfig &cfg,
+         InjectionPlan plan, Memory &mem, Console &console)
+        : port(mem, console, cfg),
+          pipe(prog, cfg, std::move(plan), port, 0)
     {
-        mapInt.fill(-1);
-        mapFp.fill(-1);
-        xreg[2] = isa::kStackTop - 64;
-    }
-
-    size_t robNext(size_t i) const { return (i + 1) % rob.size(); }
-
-    // ---- fetch -------------------------------------------------------
-    void
-    fetch()
-    {
-        for (unsigned i = 0; i < cfg.fetchWidth; ++i) {
-            if (fetchStopped || fetchBuf.size() >= 2 * cfg.fetchWidth)
-                return;
-            if (fetchIdx >= prog.code.size()) {
-                // Wrong-path runaway; wait for a redirect.
-                return;
-            }
-            const Instruction &insn = prog.code[fetchIdx];
-            uint64_t next = fetchIdx + 1;
-            if (isa::isBranch(insn.op)) {
-                if (pred.predictTaken(fetchIdx))
-                    next = fetchIdx + static_cast<int64_t>(insn.imm);
-            } else if (insn.op == Op::JAL) {
-                next = fetchIdx + static_cast<int64_t>(insn.imm);
-            } else if (insn.op == Op::JALR) {
-                uint64_t t = pred.predictTarget(fetchIdx);
-                next = (t == ~0ULL) ? fetchIdx + 1 : t;
-            } else if (insn.op == Op::HALT) {
-                fetchBuf.push_back({fetchIdx, fetchIdx});
-                fetchStopped = true;
-                return;
-            }
-            fetchBuf.push_back({fetchIdx, next});
-            fetchIdx = next;
-        }
-    }
-
-    // ---- rename / dispatch --------------------------------------------
-    uint64_t
-    readIntNow(unsigned r) const
-    {
-        return r == 0 ? 0 : xreg[r];
-    }
-
-    void
-    captureSource(RobEntry &e, int slot, unsigned reg, bool isFp)
-    {
-        e.srcIsFp[slot] = isFp;
-        int producer = isFp ? mapFp[reg] : (reg ? mapInt[reg] : -1);
-        if (producer >= 0) {
-            e.src[slot] = producer;
-            e.srcVal[slot] = 0;
-        } else {
-            e.src[slot] = -1;
-            e.srcVal[slot] = isFp ? freg[reg] : readIntNow(reg);
-        }
-    }
-
-    void
-    rename()
-    {
-        for (unsigned i = 0; i < cfg.renameWidth; ++i) {
-            if (fetchBuf.empty() || count == rob.size() ||
-                iq.size() >= cfg.iqSize)
-                return;
-            auto [pcIdx, predNext] = fetchBuf.front();
-            const Instruction &insn = prog.code[pcIdx];
-            if (isa::isLoad(insn.op) && loadsInFlight >= cfg.maxLoads)
-                return;
-            if (isa::isStore(insn.op) &&
-                storesInFlight >= cfg.maxStores)
-                return;
-            fetchBuf.pop_front();
-
-            size_t slot = tail;
-            tail = robNext(tail);
-            ++count;
-            RobEntry &e = rob[slot];
-            e = RobEntry{};
-            e.insn = insn;
-            e.pcIdx = pcIdx;
-            e.seq = nextSeq++;
-            e.predNextIdx = predNext;
-            e.stage = Stage::InIQ;
-            e.src[0] = e.src[1] = -1;
-            e.isLoad = isa::isLoad(insn.op);
-            e.isStore = isa::isStore(insn.op);
-            e.isCtrl = isa::isBranch(insn.op) || isa::isJump(insn.op);
-            e.trap = TrapKind::None;
-
-            // Sources.
-            bool ecallFp = insn.op == Op::ECALL &&
-                           insn.imm ==
-                               static_cast<int>(isa::Syscall::PrintFp);
-            if (isa::readsFpRs1(insn.op) || ecallFp)
-                captureSource(e, 0, insn.rs1, true);
-            else if (isa::readsIntRs1(insn.op) && !ecallFp)
-                captureSource(e, 0, insn.rs1, false);
-            if (isa::readsFpRs2(insn.op))
-                captureSource(e, 1, insn.rs2, true);
-            else if (isa::readsIntRs2(insn.op))
-                captureSource(e, 1, insn.rs2, false);
-            if (e.isStore)
-                captureSource(e, 1, insn.rd, isa::storeDataIsFp(insn.op));
-
-            // Destination.
-            e.destIsFp = isa::writesFpReg(insn.op);
-            e.destReg = insn.rd;
-            e.hasDest = isa::hasDest(insn.op) &&
-                        !(!e.destIsFp && insn.rd == 0);
-            if (e.hasDest) {
-                if (e.destIsFp)
-                    mapFp[e.destReg] = static_cast<int>(slot);
-                else
-                    mapInt[e.destReg] = static_cast<int>(slot);
-            }
-
-            if (e.isLoad)
-                ++loadsInFlight;
-            if (e.isStore)
-                ++storesInFlight;
-            iq.push_back(static_cast<int>(slot));
-        }
-    }
-
-    // ---- issue ---------------------------------------------------------
-    bool
-    sourcesReady(const RobEntry &e) const
-    {
-        for (int s = 0; s < 2; ++s) {
-            if (e.src[s] >= 0 &&
-                rob[static_cast<size_t>(e.src[s])].stage != Stage::Done)
-                return false;
-        }
-        return true;
-    }
-
-    uint64_t
-    sourceValue(const RobEntry &e, int s) const
-    {
-        if (e.src[s] >= 0)
-            return rob[static_cast<size_t>(e.src[s])].result;
-        return e.srcVal[s];
-    }
-
-    unsigned
-    latencyOf(Op op) const
-    {
-        if (op == Op::MUL)
-            return cfg.latMul;
-        if (op == Op::DIV || op == Op::DIVU || op == Op::REM ||
-            op == Op::REMU)
-            return cfg.latDiv;
-        if (isa::isFpArith(op)) {
-            switch (op) {
-              case Op::FADD_D: case Op::FSUB_D:
-              case Op::FADD_S: case Op::FSUB_S:
-                return cfg.latFpAdd;
-              case Op::FMUL_D: case Op::FMUL_S:
-                return cfg.latFpMul;
-              case Op::FDIV_D: case Op::FDIV_S:
-                return cfg.latFpDiv;
-              default:
-                return cfg.latFpCvt;
-            }
-        }
-        return cfg.latAlu;
-    }
-
-    void
-    checkMemFault(RobEntry &e)
-    {
-        if (e.addr & (e.size - 1))
-            e.trap = TrapKind::Misaligned;
-        else if (e.addr < isa::kProtectedTop)
-            e.trap = TrapKind::ProtectedAccess;
-        else if (!mem.isMapped(e.addr, e.size))
-            e.trap = TrapKind::MemFault;
-    }
-
-    void
-    issue()
-    {
-        unsigned issued = 0;
-        for (auto it = iq.begin(); it != iq.end() &&
-                                   issued < cfg.issueWidth;) {
-            RobEntry &e = rob[static_cast<size_t>(*it)];
-            if (!sourcesReady(e)) {
-                ++it;
-                continue;
-            }
-            Op op = e.insn.op;
-            bool intDiv = op == Op::DIV || op == Op::DIVU ||
-                          op == Op::REM || op == Op::REMU;
-            bool fpDiv = op == Op::FDIV_D || op == Op::FDIV_S;
-            if (intDiv && cycles < intDivBusyUntil) {
-                ++it;
-                continue;
-            }
-            if (fpDiv && cycles < fpDivBusyUntil) {
-                ++it;
-                continue;
-            }
-
-            uint64_t a = sourceValue(e, 0);
-            uint64_t b = sourceValue(e, 1);
-            e.countdown = latencyOf(op);
-            e.stage = Stage::Exec;
-
-            if (e.isLoad || e.isStore) {
-                e.addr = a + static_cast<int64_t>(e.insn.imm);
-                e.size = memAccessSize(op);
-                checkMemFault(e);
-                if (e.isStore)
-                    e.result = b; // store data
-                e.countdown = cfg.latAgen;
-            } else if (isa::isBranch(op)) {
-                bool taken = branchTaken(op, a, b);
-                e.actualNextIdx =
-                    taken ? e.pcIdx + static_cast<int64_t>(e.insn.imm)
-                          : e.pcIdx + 1;
-                e.countdown = cfg.latAlu;
-            } else if (op == Op::JAL) {
-                e.actualNextIdx =
-                    e.pcIdx + static_cast<int64_t>(e.insn.imm);
-                e.result = (e.pcIdx + 1) * 4 + isa::kCodeBase;
-                e.countdown = cfg.latAlu;
-            } else if (op == Op::JALR) {
-                uint64_t target = a + static_cast<int64_t>(e.insn.imm);
-                e.result = (e.pcIdx + 1) * 4 + isa::kCodeBase;
-                if (target < isa::kCodeBase || (target & 3) ||
-                    (target - isa::kCodeBase) / 4 >= prog.code.size()) {
-                    e.trap = TrapKind::BadJump;
-                    e.actualNextIdx = e.pcIdx + 1; // never used
-                } else {
-                    e.actualNextIdx = (target - isa::kCodeBase) / 4;
-                }
-                e.countdown = cfg.latAlu;
-            } else if (op == Op::ECALL) {
-                e.result = a; // value captured for commit
-                e.countdown = cfg.latAlu;
-            } else if (op == Op::HALT || op == Op::NOP) {
-                e.countdown = 1;
-            } else {
-                ExecOut out = execArith(e.insn, a, b);
-                e.result = out.value;
-                if (out.fpSevere && cfg.trapOnSevereFp &&
-                    isa::isFpArith(op))
-                    e.trap = TrapKind::FpException;
-                if (intDiv)
-                    intDivBusyUntil = cycles + cfg.latDiv;
-                if (fpDiv)
-                    fpDivBusyUntil = cycles + cfg.latFpDiv;
-            }
-            it = iq.erase(it);
-            ++issued;
-        }
-    }
-
-    // ---- injection at writeback -----------------------------------------
-    void
-    applyInjection(RobEntry &e)
-    {
-        if (e.hasDest) {
-            const auto &events = plan.anyDest();
-            while (anyDestPtr < events.size() &&
-                   events[anyDestPtr].first == anyDestCount) {
-                e.result ^= events[anyDestPtr].second;
-                e.injected = true;
-                ++injApplied;
-                ++anyDestPtr;
-            }
-            ++anyDestCount;
-        }
-        if (isa::isFpArith(e.insn.op)) {
-            auto op = isa::fpuOpFor(e.insn.op);
-            auto idx = static_cast<size_t>(op);
-            const auto &events = plan.fpOp(op);
-            while (fpOpPtr[idx] < events.size() &&
-                   events[fpOpPtr[idx]].first == fpOpCount[idx]) {
-                e.result ^= events[fpOpPtr[idx]].second;
-                e.injected = true;
-                ++injApplied;
-                ++fpOpPtr[idx];
-            }
-            ++fpOpCount[idx];
-        }
-    }
-
-    // ---- squash ---------------------------------------------------------
-    void
-    squashAfter(size_t slot, uint64_t redirectIdx, bool stopFetch)
-    {
-        // Kill everything younger than `slot`.
-        while (tail != robNext(slot)) {
-            size_t last = (tail + rob.size() - 1) % rob.size();
-            RobEntry &e = rob[last];
-            if (e.isLoad)
-                --loadsInFlight;
-            if (e.isStore)
-                --storesInFlight;
-            if (e.injected)
-                ++injWrongPath;
-            ++squashed;
-            tail = last;
-            --count;
-        }
-        // Drop IQ entries that no longer exist.
-        uint64_t maxSeq = rob[slot].seq;
-        std::erase_if(iq, [&](int s) {
-            return rob[static_cast<size_t>(s)].seq > maxSeq ||
-                   rob[static_cast<size_t>(s)].stage != Stage::InIQ;
-        });
-        // Rebuild the rename tables from the surviving entries.
-        mapInt.fill(-1);
-        mapFp.fill(-1);
-        for (size_t i = head, n = 0; n < count; i = robNext(i), ++n) {
-            RobEntry &e = rob[i];
-            if (e.hasDest) {
-                if (e.destIsFp)
-                    mapFp[e.destReg] = static_cast<int>(i);
-                else
-                    mapInt[e.destReg] = static_cast<int>(i);
-            }
-        }
-        fetchBuf.clear();
-        fetchIdx = redirectIdx;
-        fetchStopped = stopFetch;
-    }
-
-    // ---- writeback / memory progression -----------------------------------
-    void
-    finishExec(size_t slot)
-    {
-        RobEntry &e = rob[slot];
-        e.stage = Stage::Done;
-        ++executed;
-        applyInjection(e);
-        if (e.isCtrl && !e.resolved) {
-            e.resolved = true;
-            if (isa::isBranch(e.insn.op))
-                pred.update(e.pcIdx,
-                            e.actualNextIdx != e.pcIdx + 1);
-            if (e.insn.op == Op::JALR && e.trap == TrapKind::None)
-                pred.updateTarget(e.pcIdx, e.actualNextIdx);
-            if (e.trap != TrapKind::None) {
-                // Bad jump: stop fetching down this path entirely.
-                ++mispredicts;
-                squashAfter(slot, 0, true);
-            } else if (e.actualNextIdx != e.predNextIdx) {
-                ++mispredicts;
-                squashAfter(slot, e.actualNextIdx, false);
-            }
-        }
-    }
-
-    /** Disambiguate a load against older in-flight stores. */
-    enum class MemCheck { Ready, Forward, Wait };
-
-    MemCheck
-    checkLoad(size_t slot, uint64_t &forwardValue)
-    {
-        const RobEntry &ld = rob[slot];
-        // Walk older entries from youngest to oldest.
-        size_t i = slot;
-        MemCheck result = MemCheck::Ready;
-        while (i != head) {
-            i = (i + rob.size() - 1) % rob.size();
-            const RobEntry &st = rob[i];
-            if (!st.isStore)
-                continue;
-            if (st.stage != Stage::Done)
-                return MemCheck::Wait; // address unknown
-            if (st.trap != TrapKind::None)
-                return MemCheck::Wait; // will crash at commit
-            bool overlap = st.addr < ld.addr + ld.size &&
-                           ld.addr < st.addr + st.size;
-            if (!overlap)
-                continue;
-            if (st.addr == ld.addr && st.size == ld.size) {
-                forwardValue = st.result;
-                return MemCheck::Forward;
-            }
-            return MemCheck::Wait; // partial overlap: wait for commit
-        }
-        return result;
-    }
-
-    void
-    writeback()
-    {
-        for (size_t i = head, n = 0; n < count; i = robNext(i), ++n) {
-            RobEntry &e = rob[i];
-            switch (e.stage) {
-              case Stage::Exec:
-                if (--e.countdown == 0) {
-                    if (e.isLoad && e.trap == TrapKind::None) {
-                        e.stage = Stage::MemPending;
-                    } else {
-                        finishExec(i);
-                        // finishExec may squash; restart conservatively.
-                        if (rob[i].stage != Stage::Done)
-                            return;
-                    }
-                }
-                break;
-              case Stage::MemPending: {
-                uint64_t fwd = 0;
-                MemCheck c = checkLoad(i, fwd);
-                if (c == MemCheck::Forward) {
-                    e.result = fwd;
-                    e.stage = Stage::MemAccess;
-                    e.countdown = 1;
-                } else if (c == MemCheck::Ready) {
-                    bool hit = cache.access(e.addr, true);
-                    e.result = mem.read(e.addr, e.size);
-                    e.stage = Stage::MemAccess;
-                    e.countdown =
-                        hit ? cfg.latCacheHit : cfg.latCacheMiss;
-                }
-                break;
-              }
-              case Stage::MemAccess:
-                if (--e.countdown == 0) {
-                    if (e.insn.op == Op::LW) {
-                        e.result = static_cast<uint64_t>(
-                            static_cast<int64_t>(
-                                static_cast<int32_t>(e.result)));
-                    }
-                    finishExec(i);
-                }
-                break;
-              default:
-                break;
-            }
-        }
-    }
-
-    // ---- commit ----------------------------------------------------------
-    /** Patch IQ waiters whose producer leaves the ROB. */
-    void
-    patchWaiters(size_t slot, uint64_t value)
-    {
-        for (int s : iq) {
-            RobEntry &e = rob[static_cast<size_t>(s)];
-            for (int k = 0; k < 2; ++k) {
-                if (e.src[k] == static_cast<int>(slot)) {
-                    e.src[k] = -1;
-                    e.srcVal[k] = value;
-                }
-            }
-        }
-    }
-
-    enum class CommitOutcome { Continue, Halt, Crash };
-
-    CommitOutcome
-    commit(TrapKind &trapOut)
-    {
-        for (unsigned i = 0; i < cfg.commitWidth; ++i) {
-            if (count == 0)
-                return CommitOutcome::Continue;
-            RobEntry &e = rob[head];
-            if (e.stage != Stage::Done)
-                return CommitOutcome::Continue;
-            if (e.trap != TrapKind::None) {
-                trapOut = e.trap;
-                return CommitOutcome::Crash;
-            }
-            if (e.insn.op == Op::HALT) {
-                ++committed;
-                return CommitOutcome::Halt;
-            }
-            if (e.isStore) {
-                mem.write(e.addr, e.size, e.result);
-                cache.access(e.addr, true);
-                --storesInFlight;
-            }
-            if (e.isLoad)
-                --loadsInFlight;
-            if (e.insn.op == Op::ECALL &&
-                (e.insn.imm ==
-                     static_cast<int>(isa::Syscall::PrintInt) ||
-                 e.insn.imm ==
-                     static_cast<int>(isa::Syscall::PrintFp))) {
-                console.push_back(e.result);
-            }
-            if (e.hasDest) {
-                patchWaiters(head, e.result);
-                if (e.destIsFp) {
-                    freg[e.destReg] = e.result;
-                    if (mapFp[e.destReg] == static_cast<int>(head))
-                        mapFp[e.destReg] = -1;
-                } else {
-                    xreg[e.destReg] = e.result;
-                    if (mapInt[e.destReg] == static_cast<int>(head))
-                        mapInt[e.destReg] = -1;
-                }
-            }
-            head = robNext(head);
-            --count;
-            ++committed;
-        }
-        return CommitOutcome::Continue;
     }
 };
 
@@ -727,18 +115,16 @@ OooSim::OooSim(isa::Program prog, OooConfig cfg, InjectionPlan plan)
     : prog_(std::move(prog))
 {
     mem_.loadProgram(prog_);
-    impl_ = new Impl(prog_, cfg, std::move(plan), mem_, console_);
+    impl_ = std::make_unique<Impl>(prog_, cfg, std::move(plan), mem_,
+                                   console_);
 }
 
-OooSim::~OooSim()
-{
-    delete impl_;
-}
+OooSim::~OooSim() = default;
 
 OooSim::Result
 OooSim::run(uint64_t maxCycles, const Watchdog *watchdog)
 {
-    Impl &s = *impl_;
+    CorePipeline &pipe = impl_->pipe;
     Result res{};
     res.status = Status::CycleLimit;
     res.trap = TrapKind::None;
@@ -748,8 +134,8 @@ OooSim::run(uint64_t maxCycles, const Watchdog *watchdog)
     // of overshoot.
     constexpr uint64_t kPollMask = 0xFFF;
 
-    while (s.cycles < maxCycles) {
-        if (watchdog && (s.cycles & kPollMask) == 0) {
+    while (pipe.cycles() < maxCycles) {
+        if (watchdog && (pipe.cycles() & kPollMask) == 0) {
             Watchdog::Stop stop = watchdog->poll();
             if (stop != Watchdog::Stop::None) {
                 res.status = Status::Interrupted;
@@ -757,33 +143,28 @@ OooSim::run(uint64_t maxCycles, const Watchdog *watchdog)
                 break;
             }
         }
-        ++s.cycles;
         TrapKind trap = TrapKind::None;
-        auto outcome = s.commit(trap);
-        if (outcome == Impl::CommitOutcome::Halt) {
+        auto step = pipe.step(trap);
+        if (step == CorePipeline::Step::Halted) {
             res.status = Status::Halted;
             break;
         }
-        if (outcome == Impl::CommitOutcome::Crash) {
+        if (step == CorePipeline::Step::Crashed) {
             res.status = Status::Crashed;
             res.trap = trap;
             break;
         }
-        s.writeback();
-        s.issue();
-        s.rename();
-        s.fetch();
     }
 
-    res.cycles = s.cycles;
-    res.committed = s.committed;
-    res.executed = s.executed;
-    res.injectionsApplied = s.injApplied;
-    res.injectionsOnWrongPath = s.injWrongPath;
-    res.branchMispredicts = s.mispredicts;
-    res.cacheMisses = s.cache.misses;
-    res.cacheAccesses = s.cache.accesses;
-    res.squashedInstructions = s.squashed;
+    res.cycles = pipe.cycles();
+    res.committed = pipe.committed();
+    res.executed = pipe.executed();
+    res.injectionsApplied = pipe.injectionsApplied();
+    res.injectionsOnWrongPath = pipe.injectionsOnWrongPath();
+    res.branchMispredicts = pipe.branchMispredicts();
+    res.cacheMisses = impl_->port.cache().misses;
+    res.cacheAccesses = impl_->port.cache().accesses;
+    res.squashedInstructions = pipe.squashedInstructions();
     return res;
 }
 

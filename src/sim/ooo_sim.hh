@@ -17,6 +17,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "fpu/fpu_types.hh"
@@ -75,6 +76,12 @@ struct InjectionEvent
     fpu::FpuOp op;  ///< valid for Kind::FpOp
     uint64_t index; ///< occurrence index within the category
     uint64_t mask;  ///< XORed into the destination value
+    /**
+     * Target core for multi-core campaigns: the occurrence index
+     * counts events on this core only ("the n-th FP op on core k").
+     * Single-core simulation ignores it (always core 0).
+     */
+    uint32_t core = 0;
 };
 
 /** Events grouped per counter category and sorted by index. */
@@ -150,7 +157,7 @@ class OooSim
   private:
     struct Impl;
     isa::Program prog_; ///< owned copy; callers may pass temporaries
-    Impl *impl_;
+    std::unique_ptr<Impl> impl_;
     Memory mem_;
     Console console_;
 };

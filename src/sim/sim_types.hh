@@ -25,6 +25,7 @@ enum class TrapKind : uint8_t
     BadJump,         ///< control transfer outside the code segment
     IllegalInsn,     ///< undecodable instruction
     FpException,     ///< severe IEEE flag with FP traps enabled
+    SyncFault,       ///< bad spawn/join/barrier use (multi-core)
 };
 
 const char *trapName(TrapKind kind);

@@ -4,6 +4,15 @@
 
 namespace tea::workloads {
 
+bool
+isThreadedWorkload(const std::string &name)
+{
+    static const std::string suffix = "-mt";
+    return name.size() > suffix.size() &&
+           name.compare(name.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
 const std::vector<std::string> &
 workloadNames()
 {
@@ -31,6 +40,10 @@ buildWorkload(const std::string &name, uint64_t seed, int scale)
         return buildIs(seed, scale);
     if (name == "mg")
         return buildMg(seed, scale);
+    if (name == "k-means-mt")
+        return buildKmeansMt(seed, scale);
+    if (name == "hotspot-mt")
+        return buildHotspotMt(seed, scale);
     fatal("unknown workload '%s'", name.c_str());
 }
 

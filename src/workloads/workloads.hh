@@ -33,7 +33,17 @@ struct Workload
     std::string classification; ///< Table II "Classification Criteria"
     /** Symbols whose memory regions are compared against the golden. */
     std::vector<std::string> outputSymbols;
+    /**
+     * True for the "-mt" variants that use the spawn/join/barrier ABI
+     * and the per-core control page; they require the multi-core
+     * simulators (mc::McSim / mc::McFuncSim) and trap on the
+     * single-core ones.
+     */
+    bool threaded = false;
 };
+
+/** True when `name` denotes a threaded ("-mt") workload variant. */
+bool isThreadedWorkload(const std::string &name);
 
 /** The seven benchmark names, in the paper's Table II order. */
 const std::vector<std::string> &workloadNames();
@@ -54,6 +64,11 @@ Workload buildSrad(uint64_t seed, int scale);
 Workload buildHotspot(uint64_t seed, int scale);
 Workload buildIs(uint64_t seed, int scale);
 Workload buildMg(uint64_t seed, int scale);
+
+// Multi-threaded (SPMD) variants; not part of the Table II seven, so
+// they are buildable by name but absent from workloadNames().
+Workload buildKmeansMt(uint64_t seed, int scale);
+Workload buildHotspotMt(uint64_t seed, int scale);
 
 } // namespace tea::workloads
 
